@@ -1,0 +1,73 @@
+//! Ablation: action-space resolution `M` (steering bins).
+//!
+//! Fig. 5 notes the IL curve is "stepped and less smooth" because of
+//! action discretization. This sweep trains small IL models at several
+//! steering resolutions and measures imitation smoothness (mean absolute
+//! steering error vs the expert) and training accuracy.
+//!
+//! ```text
+//! cargo run --release -p icoil-bench --bin ablate_actions
+//! ```
+
+use icoil_bench::RunSize;
+use icoil_il::{collect_demonstrations, train, ExpertPolicy, TrainConfig};
+use icoil_perception::{BevConfig, BevRenderer};
+use icoil_vehicle::ActionCodec;
+use icoil_world::episode::{Observation, Policy};
+use icoil_world::{Difficulty, NoiseConfig, ScenarioConfig, World};
+use rand::SeedableRng;
+
+fn main() {
+    let size = RunSize::from_env();
+    let bev = BevConfig::default();
+    let scenarios: Vec<ScenarioConfig> = (0..size.train_episodes)
+        .map(|s| ScenarioConfig::new(Difficulty::Easy, 1000 + s))
+        .collect();
+
+    println!("# Ablation: steering bins M = 3 × bins");
+    println!("# bins  M   train_acc  steer_mae");
+    for bins in [3usize, 5, 7, 11] {
+        let codec = ActionCodec::new(bins, 0.6).expect("odd bins ≥ 3");
+        let dataset = collect_demonstrations(&scenarios, &codec, &bev, 90.0);
+        let train_config = TrainConfig {
+            epochs: size.train_epochs,
+            ..TrainConfig::default()
+        };
+        let (mut model, report) = train(&dataset, &codec, &bev, &train_config);
+
+        // steering error against the expert on a held-out episode
+        let scenario = ScenarioConfig::new(Difficulty::Easy, 4242).build();
+        let params = scenario.vehicle_params;
+        let renderer = BevRenderer::new(bev);
+        let mut world = World::new(scenario);
+        let mut expert = ExpertPolicy::new(params);
+        expert.begin_episode(&Observation::new(&world));
+        let mut mae = 0.0;
+        let mut frames = 0usize;
+        loop {
+            let obs = Observation::new(&world);
+            let decision = expert.decide(&obs);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+            let image = renderer.render(
+                &obs.ego(),
+                &obs.obstacles(),
+                world.map(),
+                &NoiseConfig::none(),
+                &mut rng,
+            );
+            let il = model.infer(&image);
+            mae += (il.action.steer - decision.action.steer).abs();
+            frames += 1;
+            world.step(&decision.action);
+            if world.in_collision() || world.at_goal() || world.time() > 90.0 {
+                break;
+            }
+        }
+        println!(
+            "{bins:5}  {:2}  {:9.3}  {:9.3}",
+            codec.num_classes(),
+            report.final_accuracy(),
+            mae / frames as f64
+        );
+    }
+}

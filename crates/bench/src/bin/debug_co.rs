@@ -1,0 +1,64 @@
+//! Developer diagnostic: frame-level CO introspection on one scenario.
+
+use icoil_co::{CoConfig, CoController};
+use icoil_perception::{BevConfig, Perception};
+use icoil_world::episode::Observation;
+use icoil_world::{Difficulty, ScenarioConfig, World};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let difficulty = match std::env::args().nth(2).as_deref() {
+        Some("normal") => Difficulty::Normal,
+        Some("hard") => Difficulty::Hard,
+        _ => Difficulty::Easy,
+    };
+    let scenario = ScenarioConfig::new(difficulty, seed).build();
+    let params = scenario.vehicle_params;
+    println!("start {:?}", scenario.start_state.pose);
+    let noisy = std::env::args().nth(3).as_deref() == Some("noisy");
+    let mut perception = Perception::new(BevConfig::default(), &scenario);
+    let mut world = World::new(scenario);
+    let mut co = CoController::new(CoConfig::default(), params);
+    for i in 0..1200 {
+        let boxes = if noisy {
+            perception.observe(&Observation::new(&world)).boxes
+        } else {
+            world.obstacle_footprints()
+        };
+        let out = co.control(&Observation::new(&world), &boxes);
+        if i % 50 == 0 {
+            let ego = world.ego();
+            let (cost, viol) = out
+                .mpc
+                .as_ref()
+                .map(|m| (m.tracking_cost, m.predicted_violation))
+                .unwrap_or((f64::NAN, f64::NAN));
+            println!(
+                "f{:4} pos ({:5.2},{:5.2},{:5.2}) v {:+.2} act t{:.2} b{:.2} s{:+.2} r{} em{} cost {:8.2} viol {:.3} plen {:.1} clr {:.2}",
+                i, ego.pose.x, ego.pose.y, ego.pose.theta, ego.velocity,
+                out.action.throttle, out.action.brake, out.action.steer,
+                out.action.reverse as u8, out.emergency as u8,
+                cost, viol,
+                co.path().map(|p| p.length()).unwrap_or(f64::NAN),
+                world.clearance(),
+            );
+        }
+        world.step(&out.action);
+        if world.in_collision() {
+            println!("COLLISION at {i}");
+            break;
+        }
+        if world.at_goal() {
+            println!("PARKED at frame {i} t={:.1}", world.time());
+            break;
+        }
+    }
+    println!(
+        "end dgoal {:.2} pos {:?}",
+        world.distance_to_goal(),
+        world.ego().pose
+    );
+}

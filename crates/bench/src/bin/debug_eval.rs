@@ -1,0 +1,55 @@
+//! Developer diagnostic: per-episode outcomes with mode fractions.
+//!
+//! Not part of the paper's experiment set — use it to understand *why* a
+//! batch behaves the way it does (`cargo run --release -p icoil-bench
+//! --bin debug_eval easy 0 8 icoil`).
+
+use icoil_bench::{shared_model, RunSize};
+use icoil_core::{eval, ICoilConfig, Method};
+use icoil_world::episode::{EpisodeConfig, ModeTag};
+use icoil_world::{Difficulty, ScenarioConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let difficulty = match args.get(1).map(String::as_str) {
+        Some("normal") => Difficulty::Normal,
+        Some("hard") => Difficulty::Hard,
+        _ => Difficulty::Easy,
+    };
+    let lo: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(0);
+    let hi: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(8);
+    let method = match args.get(4).map(String::as_str) {
+        Some("il") => Method::Il,
+        Some("co") => Method::Co,
+        _ => Method::ICoil,
+    };
+    let size = RunSize::from_env();
+    let model = shared_model(&size);
+    let config = ICoilConfig::default();
+    let episode = EpisodeConfig {
+        max_time: 60.0,
+        record_trace: true,
+    };
+    println!("{method} on {difficulty}, seeds {lo}..{hi}");
+    for seed in lo..hi {
+        let sc = ScenarioConfig::new(difficulty, seed);
+        let r = eval::run_one(method, &config, &model, &sc, &episode);
+        let il_frames = r
+            .trace
+            .iter()
+            .filter(|f| f.mode == Some(ModeTag::Il))
+            .count();
+        let last = r.trace.last();
+        println!(
+            "seed {seed}: {:?} t={:.1}s frames={} IL-mode={:.0}% end=({:.1},{:.1},{:.2}) u_last={:.3}",
+            r.outcome,
+            r.parking_time,
+            r.frames,
+            100.0 * il_frames as f64 / r.frames.max(1) as f64,
+            last.map_or(0.0, |f| f.pose.x),
+            last.map_or(0.0, |f| f.pose.y),
+            last.map_or(0.0, |f| f.pose.theta),
+            last.and_then(|f| f.uncertainty).unwrap_or(f64::NAN),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Developer diagnostic: dataset statistics and trained-model accuracy.
+
+use icoil_bench::{model_path, RunSize};
+use icoil_il::{collect_demonstrations, IlModel};
+use icoil_nn::Tensor;
+use icoil_perception::BevConfig;
+use icoil_vehicle::ActionCodec;
+use icoil_world::{Difficulty, ScenarioConfig};
+
+fn main() {
+    let size = RunSize::from_env();
+    let codec = ActionCodec::default();
+    let bev = BevConfig::default();
+    let scenarios: Vec<ScenarioConfig> = (0..size.train_episodes)
+        .map(|s| ScenarioConfig::new(Difficulty::Easy, 1000 + s))
+        .collect();
+    let dataset = collect_demonstrations(&scenarios, &codec, &bev, 90.0);
+    println!("dataset: {} samples", dataset.len());
+    let counts = dataset.class_counts(codec.num_classes());
+    for (c, n) in counts.iter().enumerate() {
+        if *n > 0 {
+            println!("  class {c:2}: {n:5} ({:?})", codec.decode(c));
+        }
+    }
+    let json = std::fs::read_to_string(model_path()).expect("model artifact");
+    let mut model = IlModel::from_json(&json).expect("valid model");
+    // accuracy over the dataset in batches
+    let mut correct = 0usize;
+    let idx: Vec<usize> = (0..dataset.len()).collect();
+    for chunk in idx.chunks(64) {
+        let (x, y) = dataset.batch(chunk);
+        let net = model.network_mut();
+        let preds = net.predict(&Tensor::from_vec(x.shape().to_vec(), x.data().to_vec()).unwrap());
+        correct += preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+    }
+    println!(
+        "training-set accuracy: {:.3}",
+        correct as f64 / dataset.len() as f64
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Fig. 5**: steering values of the trained IL policy vs
+//! the expert ("human driver" substitute) over one demonstration episode.
+//!
+//! The IL is replayed *open-loop* on the expert's frames: at every frame
+//! of the expert's successful episode, the IL model predicts an action
+//! from the same BEV image, and both steering commands are printed. The
+//! IL curve is stepped (discretized actions); the expert curve is smooth
+//! — exactly the comparison in the paper.
+//!
+//! ```text
+//! cargo run --release -p icoil-bench --bin fig5
+//! ```
+
+use icoil_bench::{shared_model, RunSize};
+use icoil_il::ExpertPolicy;
+use icoil_perception::BevRenderer;
+use icoil_world::episode::{Observation, Policy};
+use icoil_world::{Difficulty, NoiseConfig, ScenarioConfig, World};
+use rand::SeedableRng;
+
+fn main() {
+    let size = RunSize::from_env();
+    let mut model = shared_model(&size);
+    let renderer = BevRenderer::new(*model.bev_config());
+
+    // a fresh scenario the model never saw during training
+    let scenario = ScenarioConfig::new(Difficulty::Easy, 4242).build();
+    let params = scenario.vehicle_params;
+    let mut world = World::new(scenario);
+    let mut expert = ExpertPolicy::new(params);
+    expert.begin_episode(&Observation::new(&world));
+
+    println!("# Fig. 5: steering values of IL and the expert driver");
+    println!("# frame  time_s  expert_steer  il_steer  il_class");
+    let mut agree = 0usize;
+    let mut frames = 0usize;
+    loop {
+        let obs = Observation::new(&world);
+        let decision = expert.decide(&obs);
+        let ego = obs.ego();
+        let truth = obs.obstacles();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let image = renderer.render(&ego, &truth, world.map(), &NoiseConfig::none(), &mut rng);
+        let il = model.infer(&image);
+        if world.frame() % 5 == 0 {
+            println!(
+                "{:5}  {:6.2}  {:+.4}  {:+.4}  {}",
+                world.frame(),
+                world.time(),
+                decision.action.steer,
+                il.action.steer,
+                il.class
+            );
+        }
+        frames += 1;
+        if (il.action.steer - decision.action.steer).abs() < 0.2
+            && il.action.reverse == decision.action.reverse
+        {
+            agree += 1;
+        }
+        world.step(&decision.action);
+        if world.in_collision() || world.at_goal() || world.time() > 90.0 {
+            break;
+        }
+    }
+    println!(
+        "# agreement (steer within 0.2 and same gear): {:.1}% over {} frames",
+        100.0 * agree as f64 / frames as f64,
+        frames
+    );
+}

@@ -1,0 +1,91 @@
+//! Regenerates **Fig. 7**: the HSA scenario uncertainty over time and the
+//! control commands (steer, reverse) around the mode switch, for one
+//! complete iCOIL parking episode.
+//!
+//! The paper's observations to reproduce: uncertainty fluctuates early,
+//! then drops low and stays stable near the bay; the reverse gear engages
+//! after the mode switch; steering settles near zero as the car backs
+//! into the bay.
+//!
+//! ```text
+//! cargo run --release -p icoil-bench --bin fig7
+//! ```
+
+use icoil_bench::{shared_model, RunSize};
+use icoil_core::{eval, ICoilConfig, Method};
+use icoil_world::episode::EpisodeConfig;
+use icoil_world::{Difficulty, ModeTag, ScenarioConfig};
+
+fn main() {
+    let size = RunSize::from_env();
+    let model = shared_model(&size);
+    let config = ICoilConfig::default();
+    let episode = EpisodeConfig {
+        max_time: 60.0,
+        record_trace: true,
+    };
+    // first successful iCOIL episode
+    let mut chosen = None;
+    for seed in 0..size.episodes.max(10) {
+        let sc = ScenarioConfig::new(Difficulty::Easy, seed);
+        let r = eval::run_one(Method::ICoil, &config, &model, &sc, &episode);
+        if r.is_success() {
+            chosen = Some((seed, r));
+            break;
+        }
+    }
+    let Some((seed, r)) = chosen else {
+        println!("# no successful iCOIL episode found");
+        return;
+    };
+    println!("# Fig. 7: HSA uncertainty and control commands, easy seed {seed}");
+    println!("# frame  time_s  uncertainty  complexity  mode  steer  reverse");
+    for f in r.trace.iter().step_by(5) {
+        println!(
+            "{:5}  {:6.2}  {:8.4}  {:12.1}  {}  {:+.3}  {}",
+            f.frame,
+            f.time,
+            f.uncertainty.unwrap_or(f64::NAN),
+            f.complexity.unwrap_or(f64::NAN),
+            f.mode.map_or("-".to_string(), |m| m.to_string()),
+            f.action.steer,
+            f.action.reverse as u8,
+        );
+    }
+    // summary of the switching structure
+    let switches: Vec<usize> = r
+        .trace
+        .windows(2)
+        .filter(|w| w[0].mode != w[1].mode)
+        .map(|w| w[1].frame)
+        .collect();
+    let final_u: Vec<f64> = r
+        .trace
+        .iter()
+        .rev()
+        .take(50)
+        .filter_map(|f| f.uncertainty)
+        .collect();
+    let early_u: Vec<f64> = r
+        .trace
+        .iter()
+        .take(200)
+        .filter_map(|f| f.uncertainty)
+        .collect();
+    println!("# mode switches at frames: {switches:?}");
+    println!(
+        "# mean uncertainty first 200 frames: {:.3}; last 50 frames: {:.3}",
+        early_u.iter().sum::<f64>() / early_u.len().max(1) as f64,
+        final_u.iter().sum::<f64>() / final_u.len().max(1) as f64,
+    );
+    let il_frames = r
+        .trace
+        .iter()
+        .filter(|f| f.mode == Some(ModeTag::Il))
+        .count();
+    println!(
+        "# IL-mode fraction {:.0}%; parked at {:.1} s",
+        100.0 * il_frames as f64 / r.trace.len() as f64,
+        r.parking_time
+    );
+}

@@ -1,0 +1,107 @@
+//! Shared helpers for the iCOIL benchmark harness.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it; this library holds what they share: the cached trained
+//! IL model, run-size knobs, and plain-text table/series printing.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use icoil_core::artifacts;
+use icoil_il::IlModel;
+use std::path::PathBuf;
+
+/// Environment knobs for run sizes, so CI can run small and a paper-scale
+/// reproduction can run big.
+///
+/// * `ICOIL_EPISODES` — episodes per table cell (default 20);
+/// * `ICOIL_TRAIN_EPISODES` — expert episodes in the training set
+///   (default 6);
+/// * `ICOIL_TRAIN_EPOCHS` — training epochs (default 15);
+/// * `ICOIL_DAGGER_ROUNDS` — DAgger aggregation rounds (default 2).
+#[derive(Debug, Clone, Copy)]
+pub struct RunSize {
+    /// Episodes per experimental cell.
+    pub episodes: u64,
+    /// Expert episodes collected for IL training.
+    pub train_episodes: u64,
+    /// IL training epochs.
+    pub train_epochs: usize,
+    /// DAgger aggregation rounds.
+    pub dagger_rounds: usize,
+}
+
+impl RunSize {
+    /// Reads the knobs from the environment.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        RunSize {
+            episodes: get("ICOIL_EPISODES", 20),
+            train_episodes: get("ICOIL_TRAIN_EPISODES", 6),
+            train_epochs: get("ICOIL_TRAIN_EPOCHS", 15) as usize,
+            dagger_rounds: get("ICOIL_DAGGER_ROUNDS", 2) as usize,
+        }
+    }
+}
+
+/// Path of the cached trained IL model.
+pub fn model_path() -> PathBuf {
+    PathBuf::from("artifacts/il_model.json")
+}
+
+/// Loads the shared trained model, training and caching it on first use.
+///
+/// # Panics
+///
+/// Panics when the artifact cannot be created (disk errors).
+pub fn shared_model(size: &RunSize) -> IlModel {
+    artifacts::load_or_train(
+        &model_path(),
+        size.train_episodes,
+        size.train_epochs,
+        size.dagger_rounds,
+    )
+    .expect("trained IL model artifact")
+}
+
+/// Prints a row of a fixed-width table.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Formats seconds with two decimals, rendering NaN as a dash.
+pub fn fmt_time(t: f64) -> String {
+    if t.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_size_defaults() {
+        let s = RunSize {
+            episodes: 20,
+            train_episodes: 6,
+            train_epochs: 15,
+            dagger_rounds: 2,
+        };
+        assert!(s.episodes > 0);
+        assert_eq!(fmt_time(f64::NAN), "-");
+        assert_eq!(fmt_time(26.02), "26.02");
+    }
+}

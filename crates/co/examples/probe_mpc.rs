@@ -1,0 +1,25 @@
+//! Developer probe: MPC behaviour vs SCP iteration count on a
+//! wall-ahead scenario (prints per-pass violation and endpoints).
+
+use icoil_co::{solve_mpc, CoConfig, MovingObstacle, RefState};
+use icoil_geom::{Obb, Pose2};
+use icoil_vehicle::{VehicleParams, VehicleState};
+
+fn main() {
+    let params = VehicleParams::default();
+    for scp in [1usize, 2, 3, 4] {
+        let config = CoConfig { scp_iterations: scp, ..CoConfig::default() };
+        let state = VehicleState::new(Pose2::default(), 1.5);
+        let reference: Vec<RefState> = (1..=config.horizon)
+            .map(|i| RefState { x: 1.5 * config.mpc_dt * i as f64, y: 0.0, theta: 0.0, v: 1.5 })
+            .collect();
+        let wall = Obb::from_pose(Pose2::new(6.0, 0.0, 0.0), 1.5, 6.0);
+        let sol = solve_mpc(&state, &reference, &[MovingObstacle::fixed(wall)], &params, &config);
+        let end = sol.predicted.last().unwrap();
+        println!("scp {scp}: viol {:.3} end ({:.2},{:.2},v{:.2}) qp_iters {} u0 {:?}",
+            sol.predicted_violation, end[0], end[1], end[3], sol.qp_iterations, sol.controls[0]);
+        for (h, s) in sol.predicted.iter().enumerate() {
+            if h % 4 == 0 { println!("   h{h}: x {:.2} y {:.2} v {:.2}", s[0], s[1], s[3]); }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Developer probe: frame-level CO introspection on the parallel
+//! parking map (tracks the endgame alignment).
+
+use icoil_co::{CoConfig, CoController};
+use icoil_world::episode::Observation;
+use icoil_world::{Difficulty, MapKind, ScenarioConfig, World};
+
+fn main() {
+    let scenario = ScenarioConfig::new(Difficulty::Easy, 1)
+        .with_map(MapKind::Parallel)
+        .build();
+    let params = scenario.vehicle_params;
+    println!("goal {:?}", scenario.map.goal_pose());
+    let mut world = World::new(scenario);
+    let mut co = CoController::new(CoConfig::default(), params);
+    for i in 0..1800 {
+        let boxes = world.obstacle_footprints();
+        let out = co.control(&Observation::new(&world), &boxes);
+        if i % 100 == 0 || (i > 500 && i % 25 == 0 && world.distance_to_goal() < 3.0) {
+            let e = world.ego();
+            println!(
+                "f{i:4} ({:5.2},{:5.2},{:+.2}) v{:+.2} dgoal {:.2} herr {:.2} act t{:.2} b{:.2} s{:+.2} r{} em{}",
+                e.pose.x, e.pose.y, e.pose.theta, e.velocity,
+                world.distance_to_goal(),
+                e.pose.heading_error(&world.map().goal_pose()),
+                out.action.throttle, out.action.brake, out.action.steer,
+                out.action.reverse as u8, out.emergency as u8
+            );
+        }
+        world.step(&out.action);
+        if world.at_goal() { println!("PARKED t={:.1}", world.time()); break; }
+        if world.in_collision() { println!("COLLIDED {:?}", world.collision_cause()); break; }
+    }
+}

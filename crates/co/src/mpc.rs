@@ -1,0 +1,589 @@
+//! The finite-horizon constrained optimization (6) solved by sequential
+//! convexification.
+//!
+//! States are `s = (x, y, θ, v)` and controls `u = (a, δ)` under the
+//! Ackermann model of §IV-B. Each SCP iteration linearizes the dynamics
+//! and the collision constraints around a nominal rollout, condenses the
+//! states onto the control vector (single shooting), and solves the
+//! resulting QP with the ADMM solver.
+
+use crate::config::CoConfig;
+use crate::tracker::MovingObstacle;
+use icoil_geom::Obb;
+use icoil_solver::{solve_qp, Mat, QpProblem, QpSettings};
+use icoil_vehicle::{VehicleParams, VehicleState};
+use serde::{Deserialize, Serialize};
+
+/// One reference waypoint `s*` of the tracking cost (4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefState {
+    /// Target x (meters).
+    pub x: f64,
+    /// Target y (meters).
+    pub y: f64,
+    /// Target heading (radians, unwrapped by the reference builder).
+    pub theta: f64,
+    /// Target signed speed (m/s).
+    pub v: f64,
+}
+
+/// Result of [`solve_mpc`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MpcSolution {
+    /// Optimal controls `(accel, steer)` over the horizon.
+    pub controls: Vec<[f64; 2]>,
+    /// Predicted states `(x, y, θ, v)` from the final nonlinear rollout,
+    /// length `horizon + 1` (starts at the current state).
+    pub predicted: Vec<[f64; 4]>,
+    /// Final tracking cost (4) along the predicted trajectory.
+    pub tracking_cost: f64,
+    /// Total ADMM iterations across all SCP passes.
+    pub qp_iterations: usize,
+    /// Worst predicted collision-constraint violation (meters; 0 = safe).
+    pub predicted_violation: f64,
+}
+
+const NX: usize = 4;
+const NU: usize = 2;
+
+/// Solves the MPC problem for the current state.
+///
+/// `obstacles` are the tracked boxes `z_i` with velocity estimates; the
+/// collision constraint (5) is enforced against each obstacle's
+/// constant-velocity *prediction* `o_{h+1,k}` at every horizon step,
+/// exactly as the paper's time-indexed formulation requires.
+///
+/// # Panics
+///
+/// Panics when `reference` is empty or the config is invalid.
+pub fn solve_mpc(
+    state: &VehicleState,
+    reference: &[RefState],
+    obstacles: &[MovingObstacle],
+    params: &VehicleParams,
+    config: &CoConfig,
+) -> MpcSolution {
+    assert!(!reference.is_empty(), "reference horizon must be non-empty");
+    config.validate().expect("valid CO config");
+    let h_len = reference.len();
+    let nz = NU * h_len;
+    let dt = config.mpc_dt;
+
+    let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
+    let mut nominal_u = vec![[0.0f64; NU]; h_len];
+    let mut qp_iters_total = 0usize;
+    let mut z_solution = vec![0.0f64; nz];
+
+    for _scp in 0..config.scp_iterations {
+        // --- nonlinear nominal rollout ---
+        let nominal_s = rollout(&s0, &nominal_u, params, dt);
+
+        // --- linearization and condensing: s_h = c_h + G_h · z ---
+        // G is stored per step as a flat NX × nz row-major matrix.
+        let mut c = vec![[0.0f64; NX]; h_len + 1];
+        let mut g = vec![vec![0.0f64; NX * nz]; h_len + 1];
+        c[0] = s0;
+        for h in 0..h_len {
+            let (a_mat, b_mat) = linearize(&nominal_s[h], &nominal_u[h], params, dt);
+            let f_nom = step_model(&nominal_s[h], &nominal_u[h], params, dt);
+            // c_{h+1} = f(s̄, ū) + A (c_h − s̄) − B ū
+            let mut c_next = f_nom;
+            for i in 0..NX {
+                for j in 0..NX {
+                    c_next[i] += a_mat[i][j] * (c[h][j] - nominal_s[h][j]);
+                }
+                for j in 0..NU {
+                    c_next[i] -= b_mat[i][j] * nominal_u[h][j];
+                }
+            }
+            c[h + 1] = c_next;
+            // G_{h+1} = A G_h; then add B into the u_h block
+            for i in 0..NX {
+                for col in 0..nz {
+                    let mut acc = 0.0;
+                    for j in 0..NX {
+                        acc += a_mat[i][j] * g[h][j * nz + col];
+                    }
+                    g[h + 1][i * nz + col] = acc;
+                }
+                for j in 0..NU {
+                    g[h + 1][i * nz + (h * NU + j)] += b_mat[i][j];
+                }
+            }
+        }
+
+        // --- quadratic cost assembly ---
+        let mut p = Mat::zeros(nz, nz);
+        let mut q = vec![0.0f64; nz];
+        for (h, r) in reference.iter().enumerate() {
+            let gh = &g[h + 1];
+            let e = [
+                c[h + 1][0] - r.x,
+                c[h + 1][1] - r.y,
+                c[h + 1][2] - r.theta,
+                c[h + 1][3] - r.v,
+            ];
+            for i in 0..NX {
+                let w = config.q_weights[i];
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &gh[i * nz..(i + 1) * nz];
+                for a in 0..nz {
+                    if row[a] == 0.0 {
+                        continue;
+                    }
+                    q[a] += 2.0 * w * row[a] * e[i];
+                    for b in 0..nz {
+                        *p.at_mut(a, b) += 2.0 * w * row[a] * row[b];
+                    }
+                }
+            }
+        }
+        for hh in 0..h_len {
+            for j in 0..NU {
+                let idx = hh * NU + j;
+                *p.at_mut(idx, idx) += 2.0 * config.r_weights[j];
+            }
+        }
+        // control-rate smoothing: Σ_h w_j (u_{h,j} − u_{h−1,j})²
+        for hh in 1..h_len {
+            for j in 0..NU {
+                let w = config.r_rate[j];
+                if w == 0.0 {
+                    continue;
+                }
+                let a = hh * NU + j;
+                let b = (hh - 1) * NU + j;
+                *p.at_mut(a, a) += 2.0 * w;
+                *p.at_mut(b, b) += 2.0 * w;
+                *p.at_mut(a, b) -= 2.0 * w;
+                *p.at_mut(b, a) -= 2.0 * w;
+            }
+        }
+
+        // --- constraint rows ---
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut lo: Vec<f64> = Vec::new();
+        let mut hi: Vec<f64> = Vec::new();
+
+        // control boxes
+        for hh in 0..h_len {
+            let mut row_a = vec![0.0; nz];
+            row_a[hh * NU] = 1.0;
+            rows.push(row_a);
+            lo.push(-params.max_brake);
+            hi.push(params.max_accel);
+            let mut row_d = vec![0.0; nz];
+            row_d[hh * NU + 1] = 1.0;
+            rows.push(row_d);
+            lo.push(-params.max_steer);
+            hi.push(params.max_steer);
+        }
+        // velocity bounds via the condensed map
+        for h in 1..=h_len {
+            let gh = &g[h];
+            rows.push(gh[3 * nz..4 * nz].to_vec());
+            lo.push(-params.max_reverse_speed - c[h][3]);
+            hi.push(params.max_speed - c[h][3]);
+        }
+        // collision constraints: the shared coverage circles per pose
+        let circles = params.coverage_circles();
+        let nominal_s_now = rollout(&s0, &nominal_u, params, dt);
+        for h in 1..=h_len {
+            let sbar = nominal_s_now[h];
+            for mo in obstacles {
+                let t_ahead = h as f64 * dt;
+                let inflation = if mo.velocity.norm() > 0.05 {
+                    config.prediction_inflation * t_ahead
+                } else {
+                    0.0
+                };
+                let obb = &mo.predicted(t_ahead).inflated(inflation);
+                // skip far-away obstacles (inactive constraints)
+                if obb.distance_to_point(icoil_geom::Vec2::new(sbar[0], sbar[1])) > 8.0 {
+                    continue;
+                }
+                for &(off, radius) in &circles {
+                    let circle_radius = radius + config.safety_margin;
+                    let (ct, st) = (sbar[2].cos(), sbar[2].sin());
+                    let pc = icoil_geom::Vec2::new(sbar[0] + off * ct, sbar[1] + off * st);
+                    let (cp, n_hat) = boundary_point_and_normal(obb, pc);
+                    if n_hat == icoil_geom::Vec2::ZERO {
+                        continue;
+                    }
+                    // row = n̂ᵀ Jc G_h over (x, y, θ)
+                    let gh = &g[h];
+                    let mut row = vec![0.0; nz];
+                    for a in 0..nz {
+                        let gx = gh[a];
+                        let gy = gh[nz + a];
+                        let gth = gh[2 * nz + a];
+                        row[a] = n_hat.x * (gx - off * st * gth)
+                            + n_hat.y * (gy + off * ct * gth);
+                    }
+                    // n̂ᵀ(p̄c − cp) + n̂ᵀ Jc (c_h − s̄_h) + row·z ≥ R
+                    let jc_dx = (c[h][0] - sbar[0]) - off * st * (c[h][2] - sbar[2]);
+                    let jc_dy = (c[h][1] - sbar[1]) + off * ct * (c[h][2] - sbar[2]);
+                    let base = n_hat.dot(pc - cp) + n_hat.x * jc_dx + n_hat.y * jc_dy;
+                    rows.push(row);
+                    lo.push(circle_radius - base);
+                    hi.push(1e9);
+                }
+            }
+        }
+
+        let m = rows.len();
+        let mut a_mat = Mat::zeros(m, nz);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    *a_mat.at_mut(i, j) = v;
+                }
+            }
+        }
+        // bounds may cross when the nominal deeply violates a constraint;
+        // relax the lower bound in that case (slack-like behaviour)
+        for i in 0..m {
+            if lo[i] > hi[i] {
+                lo[i] = hi[i];
+            }
+        }
+        let qp = QpProblem::new(p, q, a_mat, lo, hi).expect("well-formed MPC QP");
+        let settings = QpSettings {
+            max_iters: 1500,
+            eps_abs: 3e-4,
+            ..QpSettings::default()
+        };
+        let sol = solve_qp(&qp, &settings);
+        qp_iters_total += sol.iterations;
+        z_solution = sol.x;
+        for hh in 0..h_len {
+            nominal_u[hh] = [
+                z_solution[hh * NU].clamp(-params.max_brake, params.max_accel),
+                z_solution[hh * NU + 1].clamp(-params.max_steer, params.max_steer),
+            ];
+        }
+    }
+
+    // final nonlinear rollout and diagnostics
+    let predicted = rollout(&s0, &nominal_u, params, dt);
+    let mut tracking_cost = 0.0;
+    for (h, r) in reference.iter().enumerate() {
+        let s = predicted[h + 1];
+        let e = [s[0] - r.x, s[1] - r.y, s[2] - r.theta, s[3] - r.v];
+        for i in 0..NX {
+            tracking_cost += config.q_weights[i] * e[i] * e[i];
+        }
+    }
+    let circles = params.coverage_circles();
+    let mut violation = 0.0f64;
+    for (h, s) in predicted.iter().enumerate().skip(1) {
+        for mo in obstacles {
+            let obb = &mo.predicted(h as f64 * dt);
+            for &(off, radius) in &circles {
+                let pc = icoil_geom::Vec2::new(
+                    s[0] + off * s[2].cos(),
+                    s[1] + off * s[2].sin(),
+                );
+                let d = obb.distance_to_point(pc);
+                violation = violation.max(radius + config.safety_margin - d);
+            }
+        }
+    }
+
+    MpcSolution {
+        controls: nominal_u,
+        predicted,
+        tracking_cost,
+        qp_iterations: qp_iters_total,
+        predicted_violation: violation.max(0.0),
+    }
+}
+
+/// Closest boundary point and outward unit normal of an OBB for a query
+/// point. For points *inside* the box the nearest face is used, so the
+/// linearized constraint pushes a penetrating nominal back out through
+/// the closest face instead of deeper in.
+fn boundary_point_and_normal(obb: &Obb, p: icoil_geom::Vec2) -> (icoil_geom::Vec2, icoil_geom::Vec2) {
+    use icoil_geom::Vec2;
+    let local = (p - obb.center).rotated(-obb.theta);
+    let inside = local.x.abs() <= obb.half_length && local.y.abs() <= obb.half_width;
+    let (cp_local, n_local) = if inside {
+        // distance to each face; exit through the nearest one
+        let dx_pos = obb.half_length - local.x;
+        let dx_neg = local.x + obb.half_length;
+        let dy_pos = obb.half_width - local.y;
+        let dy_neg = local.y + obb.half_width;
+        let min = dx_pos.min(dx_neg).min(dy_pos).min(dy_neg);
+        if min == dx_pos {
+            (Vec2::new(obb.half_length, local.y), Vec2::new(1.0, 0.0))
+        } else if min == dx_neg {
+            (Vec2::new(-obb.half_length, local.y), Vec2::new(-1.0, 0.0))
+        } else if min == dy_pos {
+            (Vec2::new(local.x, obb.half_width), Vec2::new(0.0, 1.0))
+        } else {
+            (Vec2::new(local.x, -obb.half_width), Vec2::new(0.0, -1.0))
+        }
+    } else {
+        let cp = Vec2::new(
+            local.x.clamp(-obb.half_length, obb.half_length),
+            local.y.clamp(-obb.half_width, obb.half_width),
+        );
+        ((cp), (local - cp).normalized())
+    };
+    (
+        obb.center + cp_local.rotated(obb.theta),
+        n_local.rotated(obb.theta),
+    )
+}
+
+/// Discrete Ackermann step used inside the MPC (simple Euler on v, exact
+/// enough at `mpc_dt` because the controller re-solves every frame).
+fn step_model(s: &[f64; NX], u: &[f64; NU], params: &VehicleParams, dt: f64) -> [f64; NX] {
+    let v_next = (s[3] + u[0] * dt).clamp(-params.max_reverse_speed, params.max_speed);
+    let steer = u[1].clamp(-params.max_steer, params.max_steer);
+    let omega = s[3] * steer.tan() / params.wheelbase;
+    [
+        s[0] + s[3] * s[2].cos() * dt,
+        s[1] + s[3] * s[2].sin() * dt,
+        s[2] + omega * dt,
+        v_next,
+    ]
+}
+
+/// Jacobians `(A, B)` of [`step_model`] at `(s, u)`.
+fn linearize(
+    s: &[f64; NX],
+    u: &[f64; NU],
+    params: &VehicleParams,
+    dt: f64,
+) -> ([[f64; NX]; NX], [[f64; NU]; NX]) {
+    let (sin_t, cos_t) = s[2].sin_cos();
+    let steer = u[1].clamp(-params.max_steer, params.max_steer);
+    let tan_d = steer.tan();
+    let sec2 = 1.0 + tan_d * tan_d;
+    let l = params.wheelbase;
+    let a = [
+        [1.0, 0.0, -s[3] * sin_t * dt, cos_t * dt],
+        [0.0, 1.0, s[3] * cos_t * dt, sin_t * dt],
+        [0.0, 0.0, 1.0, tan_d * dt / l],
+        [0.0, 0.0, 0.0, 1.0],
+    ];
+    let b = [
+        [0.0, 0.0],
+        [0.0, 0.0],
+        [0.0, s[3] * sec2 * dt / l],
+        [dt, 0.0],
+    ];
+    (a, b)
+}
+
+/// Nonlinear rollout of the MPC model.
+fn rollout(s0: &[f64; NX], controls: &[[f64; NU]], params: &VehicleParams, dt: f64) -> Vec<[f64; NX]> {
+    let mut out = Vec::with_capacity(controls.len() + 1);
+    out.push(*s0);
+    let mut s = *s0;
+    for u in controls {
+        s = step_model(&s, u, params, dt);
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icoil_geom::{Pose2, Vec2};
+
+    fn straight_reference(h: usize, v: f64, dt: f64) -> Vec<RefState> {
+        (1..=h)
+            .map(|i| RefState {
+                x: v * dt * i as f64,
+                y: 0.0,
+                theta: 0.0,
+                v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_straight_reference() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.0);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        // first control accelerates forward with no steering
+        assert!(sol.controls[0][0] > 0.2, "accel {}", sol.controls[0][0]);
+        assert!(sol.controls[0][1].abs() < 0.1, "steer {}", sol.controls[0][1]);
+        assert_eq!(sol.predicted.len(), config.horizon + 1);
+    }
+
+    #[test]
+    fn steers_toward_lateral_offset() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        // reference displaced to the left (+y)
+        let state = VehicleState::new(Pose2::default(), 1.0);
+        let reference: Vec<RefState> = (1..=config.horizon)
+            .map(|i| RefState {
+                x: 1.0 * config.mpc_dt * i as f64,
+                y: 1.0,
+                theta: 0.0,
+                v: 1.0,
+            })
+            .collect();
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        assert!(sol.controls[0][1] > 0.05, "must steer left, got {}", sol.controls[0][1]);
+    }
+
+    #[test]
+    fn reverse_reference_produces_negative_accel() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.0);
+        let reference: Vec<RefState> = (1..=config.horizon)
+            .map(|i| RefState {
+                x: -0.8 * config.mpc_dt * i as f64,
+                y: 0.0,
+                theta: 0.0,
+                v: -0.8,
+            })
+            .collect();
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        assert!(sol.controls[0][0] < -0.1, "accel {}", sol.controls[0][0]);
+        assert!(sol.predicted.last().unwrap()[3] < 0.0);
+    }
+
+    #[test]
+    fn respects_control_bounds() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.0);
+        // absurd far reference to push the controls to their limits
+        let reference: Vec<RefState> = (1..=config.horizon)
+            .map(|i| RefState {
+                x: 50.0 * i as f64,
+                y: 50.0,
+                theta: 1.5,
+                v: params.max_speed,
+            })
+            .collect();
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        for u in &sol.controls {
+            assert!(u[0] <= params.max_accel + 1e-6 && u[0] >= -params.max_brake - 1e-6);
+            assert!(u[1].abs() <= params.max_steer + 1e-6);
+        }
+    }
+
+    #[test]
+    fn obstacle_ahead_deflects_or_slows() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 1.5);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let free = solve_mpc(&state, &reference, &[], &params, &config);
+        // wall ahead, clear of the car at t = 0 but reached by the horizon
+        let wall = Obb::from_pose(Pose2::new(6.0, 0.0, 0.0), 1.5, 6.0);
+        let blocked = solve_mpc(&state, &reference, &[MovingObstacle::fixed(wall)], &params, &config);
+        // with the wall the predicted end point stays short of it or dodges
+        let end_free = free.predicted.last().unwrap();
+        let end_blocked = blocked.predicted.last().unwrap();
+        let progressed = end_blocked[0] < end_free[0] - 0.2;
+        let dodged = end_blocked[1].abs() > 0.3;
+        assert!(
+            progressed || dodged,
+            "free end {end_free:?} vs blocked end {end_blocked:?}"
+        );
+        assert!(blocked.predicted_violation < 0.35, "violation {}", blocked.predicted_violation);
+    }
+
+    #[test]
+    fn prediction_matches_model_rollout() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::new(1.0, 2.0, 0.3), 0.5);
+        let reference = straight_reference(config.horizon, 1.0, config.mpc_dt);
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        let manual = rollout(
+            &[1.0, 2.0, 0.3, 0.5],
+            &sol.controls,
+            &params,
+            config.mpc_dt,
+        );
+        assert_eq!(sol.predicted, manual);
+    }
+
+    #[test]
+    fn tracking_cost_decreases_with_scp_iterations() {
+        let params = VehicleParams::default();
+        let state = VehicleState::new(Pose2::default(), 0.0);
+        let one = CoConfig {
+            scp_iterations: 1,
+            ..CoConfig::default()
+        };
+        let three = CoConfig {
+            scp_iterations: 3,
+            ..CoConfig::default()
+        };
+        // curved reference requires re-linearization to track well
+        let reference: Vec<RefState> = (1..=one.horizon)
+            .map(|i| {
+                let t = i as f64 * one.mpc_dt;
+                RefState {
+                    x: 1.5 * t,
+                    y: 0.3 * t * t,
+                    theta: (0.6 * t).atan(),
+                    v: 1.5,
+                }
+            })
+            .collect();
+        let c1 = solve_mpc(&state, &reference, &[], &params, &one).tracking_cost;
+        let c3 = solve_mpc(&state, &reference, &[], &params, &three).tracking_cost;
+        assert!(c3 <= c1 * 1.05, "SCP should not hurt: {c1} -> {c3}");
+    }
+
+    #[test]
+    fn predicted_mover_is_anticipated() {
+        // A mover approaching the ego's lane from the left: its *current*
+        // box never blocks the straight reference, but its prediction
+        // crosses it mid-horizon. With prediction the plan must differ
+        // (slow down or dodge) from the frozen-obstacle plan.
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 1.5);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let mover_box = Obb::from_pose(Pose2::new(6.0, 4.0, -std::f64::consts::FRAC_PI_2), 2.0, 2.0);
+        let frozen = solve_mpc(
+            &state,
+            &reference,
+            &[MovingObstacle::fixed(mover_box)],
+            &params,
+            &config,
+        );
+        let moving = solve_mpc(
+            &state,
+            &reference,
+            &[MovingObstacle { obb: mover_box, velocity: Vec2::new(0.0, -2.0) }],
+            &params,
+            &config,
+        );
+        // frozen: box sits 4 m to the left, never in the way → full speed
+        let end_frozen = frozen.predicted.last().unwrap();
+        let end_moving = moving.predicted.last().unwrap();
+        assert!(
+            end_moving[0] < end_frozen[0] - 0.2 || end_moving[1].abs() > 0.3,
+            "prediction must alter the plan: frozen {end_frozen:?} vs moving {end_moving:?}"
+        );
+        assert!(moving.predicted_violation < 0.3, "violation {}", moving.predicted_violation);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_reference_panics() {
+        let params = VehicleParams::default();
+        let state = VehicleState::new(Pose2::default(), 0.0);
+        let _ = solve_mpc(&state, &[], &[], &params, &CoConfig::default());
+    }
+}

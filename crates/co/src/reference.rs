@@ -1,0 +1,258 @@
+//! Reference-waypoint generation `{s*}` along the planned path.
+
+use crate::config::CoConfig;
+use crate::mpc::RefState;
+use icoil_geom::{angle_diff, Vec2};
+use icoil_planner::PlannedPath;
+
+/// Arc-length table over a planned path, used to walk the reference
+/// forward at the MPC rate.
+#[derive(Debug, Clone)]
+pub struct PathWalker {
+    cumulative: Vec<f64>,
+    cusps: Vec<f64>,
+    total: f64,
+}
+
+impl PathWalker {
+    /// Builds the arc-length table for a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a path with fewer than 2 poses.
+    pub fn new(path: &PlannedPath) -> Self {
+        assert!(path.poses.len() >= 2, "path needs at least two poses");
+        let mut cumulative = Vec::with_capacity(path.poses.len());
+        let mut acc = 0.0;
+        for (i, p) in path.poses.iter().enumerate() {
+            if i > 0 {
+                acc += p.position().distance(path.poses[i - 1].position());
+            }
+            cumulative.push(acc);
+        }
+        // gear-change arc positions (cusps) plus the terminal point
+        let mut cusps = Vec::new();
+        for i in 1..path.directions.len() {
+            if path.directions[i] != path.directions[i - 1] {
+                cusps.push(cumulative[i]);
+            }
+        }
+        cusps.push(acc);
+        PathWalker {
+            cumulative,
+            cusps,
+            total: acc,
+        }
+    }
+
+    /// Total path length.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Index of the pose at arc length `s` (clamped).
+    pub fn index_at(&self, s: f64) -> usize {
+        let s = s.clamp(0.0, self.total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+
+    /// Arc length of the pose with index `i`.
+    pub fn s_of(&self, i: usize) -> f64 {
+        self.cumulative[i.min(self.cumulative.len() - 1)]
+    }
+
+    /// Distance from `s` to the next cusp (gear change) or path end.
+    pub fn distance_to_stop(&self, s: f64) -> f64 {
+        for &c in &self.cusps {
+            if c > s + 1e-9 {
+                return c - s;
+            }
+        }
+        0.0
+    }
+
+    /// Arc length of the path pose closest to `position`, restricted to
+    /// the window `[s_lo, s_hi]`.
+    ///
+    /// Restricting the search keeps progress monotone across gear-change
+    /// cusps, where poses from both branches overlap spatially and an
+    /// unrestricted nearest-pose search would flip-flop between them.
+    pub fn nearest_s_in_window(
+        &self,
+        path: &PlannedPath,
+        position: Vec2,
+        s_lo: f64,
+        s_hi: f64,
+    ) -> f64 {
+        let lo = self.index_at(s_lo.max(0.0));
+        let hi = self.index_at(s_hi.min(self.total));
+        let mut best_i = lo;
+        let mut best_d = f64::INFINITY;
+        for i in lo..=hi.max(lo) {
+            let d = path.poses[i].position().distance_sq(position);
+            if d < best_d {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        self.cumulative[best_i]
+    }
+}
+
+/// Builds the `H` reference states for the MPC starting at arc length
+/// `s_start` along the path.
+///
+/// Reference speed ramps down approaching cusps and the goal; headings
+/// are unwrapped relative to the current heading so the MPC's θ tracking
+/// error never jumps by 2π.
+pub fn build_reference_at(
+    path: &PlannedPath,
+    walker: &PathWalker,
+    s_start: f64,
+    heading: f64,
+    config: &CoConfig,
+) -> Vec<RefState> {
+    let mut s = s_start.clamp(0.0, walker.total());
+    let mut reference = Vec::with_capacity(config.horizon);
+    let mut prev_theta = heading;
+    for _ in 0..config.horizon {
+        let d_stop = walker.distance_to_stop(s);
+        let v_mag = speed_profile(d_stop, config.v_cruise);
+        let idx = walker.index_at(s);
+        let dir = path.directions[idx.min(path.directions.len() - 1)];
+        // advance along the path by the distance covered in one MPC step
+        s = (s + v_mag * config.mpc_dt).min(walker.total());
+        let idx_next = walker.index_at(s);
+        let pose = path.poses[idx_next.min(path.poses.len() - 1)];
+        // unwrap heading w.r.t. the previous reference heading
+        let theta = prev_theta + angle_diff(pose.theta, prev_theta);
+        prev_theta = theta;
+        let d_stop_next = walker.distance_to_stop(s);
+        let v_ref = dir * speed_profile(d_stop_next, config.v_cruise);
+        reference.push(RefState {
+            x: pose.x,
+            y: pose.y,
+            theta,
+            v: v_ref,
+        });
+    }
+    reference
+}
+
+/// Convenience wrapper: builds the reference starting at the path pose
+/// nearest to `position` (no progress memory — single-shot uses only;
+/// the controller tracks progress explicitly via
+/// [`build_reference_at`]).
+pub fn build_reference(
+    path: &PlannedPath,
+    walker: &PathWalker,
+    position: Vec2,
+    heading: f64,
+    config: &CoConfig,
+) -> Vec<RefState> {
+    let s0 = walker.s_of(path.nearest_index(position));
+    build_reference_at(path, walker, s0, heading, config)
+}
+
+/// Speed magnitude given the remaining distance to the next stop point.
+fn speed_profile(distance_to_stop: f64, v_cruise: f64) -> f64 {
+    (0.15 + 0.7 * distance_to_stop).min(v_cruise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icoil_geom::Pose2;
+
+    fn straight_path(n: usize, spacing: f64) -> PlannedPath {
+        PlannedPath {
+            poses: (0..n)
+                .map(|i| Pose2::new(i as f64 * spacing, 0.0, 0.0))
+                .collect(),
+            directions: vec![1.0; n],
+        }
+    }
+
+    #[test]
+    fn walker_total_and_lookup() {
+        let p = straight_path(11, 1.0);
+        let w = PathWalker::new(&p);
+        assert!((w.total() - 10.0).abs() < 1e-12);
+        assert_eq!(w.index_at(0.0), 0);
+        assert_eq!(w.index_at(5.5), 5);
+        assert_eq!(w.index_at(100.0), 10);
+    }
+
+    #[test]
+    fn distance_to_stop_is_path_end_without_cusps() {
+        let p = straight_path(11, 1.0);
+        let w = PathWalker::new(&p);
+        assert!((w.distance_to_stop(4.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cusp_detection() {
+        let mut p = straight_path(11, 1.0);
+        // gear change at index 5
+        for d in p.directions.iter_mut().skip(5) {
+            *d = -1.0;
+        }
+        let w = PathWalker::new(&p);
+        assert!((w.distance_to_stop(2.0) - 3.0).abs() < 1e-12);
+        assert!((w.distance_to_stop(6.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_progresses_and_slows_at_end() {
+        let p = straight_path(21, 0.5);
+        let w = PathWalker::new(&p);
+        let config = CoConfig::default();
+        let r = build_reference(&p, &w, Vec2::new(0.0, 0.1), 0.0, &config);
+        assert_eq!(r.len(), config.horizon);
+        // x must be non-decreasing along the reference
+        for pair in r.windows(2) {
+            assert!(pair[1].x >= pair[0].x - 1e-9);
+        }
+        // reference speed near the end is lower than at the start
+        let r_end = build_reference(&p, &w, Vec2::new(9.5, 0.0), 0.0, &config);
+        assert!(r_end[0].v.abs() < r[0].v.abs());
+    }
+
+    #[test]
+    fn reverse_segment_gets_negative_reference_speed() {
+        let p = PlannedPath {
+            poses: (0..11)
+                .map(|i| Pose2::new(5.0 - i as f64 * 0.5, 0.0, 0.0))
+                .collect(),
+            directions: vec![-1.0; 11],
+        };
+        let w = PathWalker::new(&p);
+        let r = build_reference(&p, &w, Vec2::new(5.0, 0.0), 0.0, &CoConfig::default());
+        assert!(r.iter().all(|s| s.v <= 0.0));
+    }
+
+    #[test]
+    fn heading_unwrap_no_jump() {
+        // path crossing the ±π heading cut
+        let p = PlannedPath {
+            poses: (0..20)
+                .map(|i| {
+                    let th = 3.0 + i as f64 * 0.05; // wraps past π
+                    Pose2::new(i as f64 * 0.3, 0.0, th)
+                })
+                .collect(),
+            directions: vec![1.0; 20],
+        };
+        let w = PathWalker::new(&p);
+        let r = build_reference(&p, &w, Vec2::new(0.0, 0.0), 3.0, &CoConfig::default());
+        for pair in r.windows(2) {
+            assert!((pair[1].theta - pair[0].theta).abs() < 0.5, "theta jump");
+        }
+    }
+}

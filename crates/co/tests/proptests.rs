@@ -1,0 +1,87 @@
+//! Property tests for the CO crate: the MPC's internal linearization must
+//! agree with the nonlinear model, and solutions must respect bounds.
+
+use icoil_co::{solve_mpc, CoConfig, MovingObstacle, RefState};
+use icoil_geom::{Obb, Pose2, Vec2};
+use icoil_vehicle::{VehicleParams, VehicleState};
+use proptest::prelude::*;
+
+fn arb_state() -> impl Strategy<Value = VehicleState> {
+    (-10.0f64..10.0, -10.0f64..10.0, -3.0f64..3.0, -1.4f64..2.4)
+        .prop_map(|(x, y, t, v)| VehicleState::new(Pose2::new(x, y, t), v))
+}
+
+fn reference_from(state: &VehicleState, v: f64, config: &CoConfig) -> Vec<RefState> {
+    let (s, c) = (state.pose.theta.sin(), state.pose.theta.cos());
+    (1..=config.horizon)
+        .map(|i| {
+            let d = v * config.mpc_dt * i as f64;
+            RefState {
+                x: state.pose.x + d * c,
+                y: state.pose.y + d * s,
+                theta: state.pose.theta,
+                v,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn controls_always_within_bounds(state in arb_state(), v_ref in -1.2f64..2.0) {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let reference = reference_from(&state, v_ref, &config);
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        for u in &sol.controls {
+            prop_assert!(u[0] <= params.max_accel + 1e-6);
+            prop_assert!(u[0] >= -params.max_brake - 1e-6);
+            prop_assert!(u[1].abs() <= params.max_steer + 1e-6);
+        }
+        // predicted speeds respect the vehicle limits
+        for s in &sol.predicted {
+            prop_assert!(s[3] <= params.max_speed + 1e-6);
+            prop_assert!(s[3] >= -params.max_reverse_speed - 1e-6);
+        }
+    }
+
+    #[test]
+    fn free_space_tracking_moves_toward_reference(state in arb_state()) {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let reference = reference_from(&state, 1.2, &config);
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        // tracking must make progress: final predicted position closer to
+        // the final reference point than the start was (generous margin,
+        // since some sampled states start moving the wrong way)
+        let target = Vec2::new(reference.last().unwrap().x, reference.last().unwrap().y);
+        let start_d = state.pose.position().distance(target);
+        let end = sol.predicted.last().unwrap();
+        let end_d = Vec2::new(end[0], end[1]).distance(target);
+        prop_assert!(end_d < start_d + 0.5, "start {start_d:.2} end {end_d:.2}");
+    }
+
+    #[test]
+    fn far_obstacles_do_not_change_the_solution(state in arb_state()) {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let reference = reference_from(&state, 1.0, &config);
+        let free = solve_mpc(&state, &reference, &[], &params, &config);
+        // an obstacle 50 m away is outside the constraint activation radius
+        let far = Obb::from_pose(
+            Pose2::new(state.pose.x + 50.0, state.pose.y + 50.0, 0.3),
+            3.0,
+            3.0,
+        );
+        let with_far = solve_mpc(
+            &state,
+            &reference,
+            &[MovingObstacle::fixed(far)],
+            &params,
+            &config,
+        );
+        prop_assert_eq!(free.controls, with_far.controls);
+    }
+}

@@ -1,0 +1,111 @@
+//! Trained-model artifacts: train once, cache on disk, reuse everywhere.
+//!
+//! The benchmark binaries all need the same trained IL model; training it
+//! per binary would dominate their runtime. [`load_or_train`] persists
+//! the model JSON under `artifacts/` so the first caller pays and the
+//! rest load.
+
+use crate::config::ICoilConfig;
+use icoil_il::{collect_demonstrations, dagger_train, train, DaggerConfig, IlModel, TrainConfig};
+use icoil_vehicle::ActionCodec;
+use icoil_world::{Difficulty, ScenarioConfig};
+use std::path::Path;
+
+/// Trains an IL model on expert demonstrations from `episodes` easy-level
+/// scenarios for `epochs` epochs (the paper: 5 171 samples, 300 epochs;
+/// scale down for quick runs).
+pub fn train_default_model(episodes: u64, epochs: usize) -> IlModel {
+    let config = ICoilConfig::default();
+    let codec = ActionCodec::default();
+    let scenarios: Vec<ScenarioConfig> = (0..episodes)
+        .map(|s| ScenarioConfig::new(Difficulty::Easy, 1000 + s))
+        .collect();
+    let dataset = collect_demonstrations(&scenarios, &codec, &config.bev, 90.0);
+    assert!(
+        !dataset.is_empty(),
+        "expert produced no successful demonstrations"
+    );
+    let train_config = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    let (model, _) = train(&dataset, &codec, &config.bev, &train_config);
+    model
+}
+
+/// Trains the production IL model: DART-style demonstrations followed by
+/// `rounds` DAgger aggregation rounds (the covariate-shift fix the paper
+/// points at via HG-DAgger \[15\]).
+pub fn train_dagger_model(episodes: u64, epochs: usize, rounds: usize) -> IlModel {
+    let config = ICoilConfig::default();
+    let codec = ActionCodec::default();
+    let scenarios: Vec<ScenarioConfig> = (0..episodes)
+        .map(|s| ScenarioConfig::new(Difficulty::Easy, 1000 + s))
+        .collect();
+    let dataset = collect_demonstrations(&scenarios, &codec, &config.bev, 90.0);
+    assert!(
+        !dataset.is_empty(),
+        "expert produced no successful demonstrations"
+    );
+    let dagger_config = DaggerConfig {
+        rounds,
+        episodes_per_round: (episodes / 2).max(2),
+        max_time: 60.0,
+        train: TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+    };
+    let (model, _) = dagger_train(dataset, 2000, &codec, &config.bev, &dagger_config);
+    model
+}
+
+/// Loads a cached model from `path`, or trains one and writes the cache.
+///
+/// `dagger_rounds = 0` gives plain behavioral cloning; positive values
+/// run that many DAgger aggregation rounds on top.
+///
+/// # Errors
+///
+/// Returns an IO error when the cache cannot be read or written, or a
+/// JSON error (wrapped into `io::Error`) when the cache is corrupt.
+pub fn load_or_train(
+    path: &Path,
+    episodes: u64,
+    epochs: usize,
+    dagger_rounds: usize,
+) -> std::io::Result<IlModel> {
+    if path.exists() {
+        let json = std::fs::read_to_string(path)?;
+        return IlModel::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+    }
+    let model = if dagger_rounds == 0 {
+        train_default_model(episodes, epochs)
+    } else {
+        train_dagger_model(episodes, epochs, dagger_rounds)
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, model.to_json())?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_or_train_roundtrips_through_cache() {
+        let dir = std::env::temp_dir().join("icoil_test_artifacts");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("model.json");
+        // 1 episode, 1 epoch, no DAgger: fast but real
+        let m1 = load_or_train(&path, 1, 1, 0).unwrap();
+        assert!(path.exists());
+        let m2 = load_or_train(&path, 1, 1, 0).unwrap();
+        assert_eq!(m1.to_json(), m2.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

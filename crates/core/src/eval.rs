@@ -1,0 +1,143 @@
+//! Seeded batch evaluation: the statistics machinery behind Table II and
+//! the sensitivity figures.
+
+use crate::config::ICoilConfig;
+use crate::policies::{ICoilPolicy, PureCoPolicy, PureIlPolicy};
+use icoil_il::IlModel;
+use icoil_world::episode::{run_episode, EpisodeConfig, EpisodeResult, Policy};
+use icoil_world::{Difficulty, ParkingStats, Scenario, ScenarioConfig, World};
+use serde::{Deserialize, Serialize};
+
+/// The parking method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// The proposed hybrid (eq. 1).
+    ICoil,
+    /// The conventional-IL baseline \[2\].
+    Il,
+    /// Optimization-only reference.
+    Co,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::ICoil => write!(f, "iCOIL"),
+            Method::Il => write!(f, "IL"),
+            Method::Co => write!(f, "CO"),
+        }
+    }
+}
+
+/// Builds the policy for a method and scenario.
+///
+/// The IL model is cloned per episode so policies never share mutable
+/// state across seeds.
+pub fn make_policy(
+    method: Method,
+    config: &ICoilConfig,
+    model: &IlModel,
+    scenario: &Scenario,
+) -> Box<dyn Policy> {
+    match method {
+        Method::ICoil => Box::new(ICoilPolicy::new(config, model.clone(), scenario)),
+        Method::Il => Box::new(PureIlPolicy::new(config, model.clone(), scenario)),
+        Method::Co => Box::new(PureCoPolicy::new(config, scenario)),
+    }
+}
+
+/// Runs one seeded episode of `method` on a scenario config.
+pub fn run_one(
+    method: Method,
+    config: &ICoilConfig,
+    model: &IlModel,
+    scenario_config: &ScenarioConfig,
+    episode: &EpisodeConfig,
+) -> EpisodeResult {
+    let scenario = scenario_config.build();
+    let mut policy = make_policy(method, config, model, &scenario);
+    let mut world = World::new(scenario);
+    run_episode(&mut world, policy.as_mut(), episode)
+}
+
+/// Runs a batch of seeded episodes and returns the raw results.
+pub fn run_batch(
+    method: Method,
+    config: &ICoilConfig,
+    model: &IlModel,
+    scenario_configs: &[ScenarioConfig],
+    episode: &EpisodeConfig,
+) -> Vec<EpisodeResult> {
+    scenario_configs
+        .iter()
+        .map(|sc| run_one(method, config, model, sc, episode))
+        .collect()
+}
+
+/// Convenience wrapper: evaluates `method` on `difficulty` over a seed
+/// range with default configs, returning Table-II-style statistics.
+pub fn evaluate(
+    method: Method,
+    difficulty: Difficulty,
+    seeds: std::ops::Range<u64>,
+    model: &IlModel,
+) -> ParkingStats {
+    let config = ICoilConfig::default();
+    let scenario_configs: Vec<ScenarioConfig> = seeds
+        .map(|s| ScenarioConfig::new(difficulty, s))
+        .collect();
+    let results = run_batch(
+        method,
+        &config,
+        model,
+        &scenario_configs,
+        &EpisodeConfig {
+            max_time: 60.0,
+            record_trace: false,
+        },
+    );
+    ParkingStats::from_results(&results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icoil_vehicle::ActionCodec;
+
+    #[test]
+    fn run_batch_is_deterministic() {
+        let config = ICoilConfig::default();
+        let model = IlModel::untrained(ActionCodec::default(), config.bev, 3);
+        let scenario_configs =
+            vec![ScenarioConfig::new(Difficulty::Easy, 1), ScenarioConfig::new(Difficulty::Easy, 2)];
+        let episode = EpisodeConfig {
+            max_time: 3.0,
+            record_trace: false,
+        };
+        let a = run_batch(Method::Il, &config, &model, &scenario_configs, &episode);
+        let b = run_batch(Method::Il, &config, &model, &scenario_configs, &episode);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn co_method_beats_untrained_il() {
+        let config = ICoilConfig::default();
+        let model = IlModel::untrained(ActionCodec::default(), config.bev, 3);
+        let episode = EpisodeConfig {
+            max_time: 60.0,
+            record_trace: false,
+        };
+        let scenario_configs = vec![ScenarioConfig::new(Difficulty::Easy, 6)];
+        let co = run_batch(Method::Co, &config, &model, &scenario_configs, &episode);
+        let il = run_batch(Method::Il, &config, &model, &scenario_configs, &episode);
+        assert!(co[0].is_success());
+        assert!(!il[0].is_success(), "an untrained IL policy cannot park");
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::ICoil.to_string(), "iCOIL");
+        assert_eq!(Method::Il.to_string(), "IL");
+        assert_eq!(Method::Co.to_string(), "CO");
+    }
+}

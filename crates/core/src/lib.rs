@@ -1,0 +1,45 @@
+//! iCOIL: scenario-aware autonomous parking via integrated constrained
+//! optimization and imitation learning.
+//!
+//! This crate assembles the full system of the paper (Fig. 2): the
+//! perception pipeline feeds an IL policy, a CO planner and the HSA
+//! mode selector, which together implement the switched inference mapping
+//! of eq. (1):
+//!
+//! ```text
+//! f(x_i) = f_IL(g(x_i))        if U_i / C_i ≤ λ
+//!          f_CO(h(g(x_i)))     otherwise
+//! ```
+//!
+//! Three ready-made policies are provided:
+//!
+//! * [`ICoilPolicy`] — the paper's contribution;
+//! * [`PureIlPolicy`] — the conventional-IL baseline of Table II;
+//! * [`PureCoPolicy`] — an optimization-only reference;
+//!
+//! plus the [`eval`] harness that regenerates the paper's statistics
+//! (success rates, parking times) over seeded scenario batches.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use icoil_core::{eval, Method};
+//! use icoil_world::Difficulty;
+//!
+//! // Train a small IL model, then compare methods on the easy level.
+//! let model = icoil_core::artifacts::train_default_model(4, 8);
+//! let stats = eval::evaluate(Method::ICoil, Difficulty::Easy, 0..10, &model);
+//! println!("iCOIL success rate: {:.0}%", stats.success_ratio() * 100.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod artifacts;
+pub mod config;
+pub mod eval;
+pub mod policies;
+
+pub use config::ICoilConfig;
+pub use eval::Method;
+pub use policies::{ICoilPolicy, PureCoPolicy, PureIlPolicy};

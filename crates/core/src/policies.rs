@@ -1,0 +1,234 @@
+//! The iCOIL policy and its two single-mode baselines.
+
+use crate::config::ICoilConfig;
+use icoil_co::CoController;
+use icoil_hsa::{Hsa, Mode};
+use icoil_il::IlModel;
+use icoil_perception::Perception;
+use icoil_world::episode::{Decision, ModeTag, Observation, Policy};
+use icoil_world::Scenario;
+
+/// The full iCOIL policy: perception → {IL, CO} selected by HSA (eq. 1).
+///
+/// IL inference runs every frame (the HSA uncertainty needs the softmax
+/// distribution); the CO solve runs only in CO mode — exactly the
+/// division that makes mode switching worthwhile at runtime.
+pub struct ICoilPolicy {
+    perception: Perception,
+    model: IlModel,
+    co: CoController,
+    hsa: Hsa,
+}
+
+impl ICoilPolicy {
+    /// Assembles the policy for a scenario.
+    pub fn new(config: &ICoilConfig, model: IlModel, scenario: &Scenario) -> Self {
+        ICoilPolicy {
+            perception: Perception::new(config.bev, scenario),
+            model,
+            co: CoController::new(config.co, scenario.vehicle_params),
+            hsa: Hsa::new(config.hsa),
+        }
+    }
+
+    /// The HSA module (for inspection in experiments).
+    pub fn hsa(&self) -> &Hsa {
+        &self.hsa
+    }
+}
+
+impl Policy for ICoilPolicy {
+    fn begin_episode(&mut self, _obs: &Observation) {
+        self.co.reset();
+        self.hsa.reset();
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        let sensing = self.perception.observe(obs);
+        let il = self.model.infer(&sensing.bev);
+        self.hsa.set_ego_position(obs.ego().pose.position());
+        let hsa = self.hsa.update(&il.probs, &sensing.boxes);
+        let (action, tag) = match hsa.mode {
+            Mode::Il => (il.action, ModeTag::Il),
+            Mode::Co => {
+                let out = self.co.control(obs, &sensing.boxes);
+                (out.action, ModeTag::Co)
+            }
+        };
+        Decision {
+            action,
+            mode: Some(tag),
+            uncertainty: Some(hsa.uncertainty),
+            complexity: Some(hsa.complexity),
+        }
+    }
+}
+
+/// The conventional-IL baseline of Table II: the DNN drives everywhere.
+///
+/// The HSA module still *measures* uncertainty (it is cheap and useful
+/// for the figures) but never switches modes.
+pub struct PureIlPolicy {
+    perception: Perception,
+    model: IlModel,
+    hsa: Hsa,
+}
+
+impl PureIlPolicy {
+    /// Assembles the baseline for a scenario.
+    pub fn new(config: &ICoilConfig, model: IlModel, scenario: &Scenario) -> Self {
+        PureIlPolicy {
+            perception: Perception::new(config.bev, scenario),
+            model,
+            hsa: Hsa::new(config.hsa),
+        }
+    }
+}
+
+impl Policy for PureIlPolicy {
+    fn begin_episode(&mut self, _obs: &Observation) {
+        self.hsa.reset();
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        let sensing = self.perception.observe(obs);
+        let il = self.model.infer(&sensing.bev);
+        self.hsa.set_ego_position(obs.ego().pose.position());
+        let hsa = self.hsa.update(&il.probs, &sensing.boxes);
+        Decision {
+            action: il.action,
+            mode: Some(ModeTag::Il),
+            uncertainty: Some(hsa.uncertainty),
+            complexity: Some(hsa.complexity),
+        }
+    }
+}
+
+/// An optimization-only reference: the CO stack drives everywhere,
+/// consuming detected (possibly noisy) boxes.
+pub struct PureCoPolicy {
+    perception: Perception,
+    co: CoController,
+}
+
+impl PureCoPolicy {
+    /// Assembles the baseline for a scenario.
+    pub fn new(config: &ICoilConfig, scenario: &Scenario) -> Self {
+        PureCoPolicy {
+            perception: Perception::new(config.bev, scenario),
+            co: CoController::new(config.co, scenario.vehicle_params),
+        }
+    }
+}
+
+impl Policy for PureCoPolicy {
+    fn begin_episode(&mut self, _obs: &Observation) {
+        self.co.reset();
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Decision {
+        let sensing = self.perception.observe(obs);
+        let out = self.co.control(obs, &sensing.boxes);
+        Decision::tagged(out.action, ModeTag::Co)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icoil_vehicle::ActionCodec;
+    use icoil_world::episode::{run_episode, EpisodeConfig};
+    use icoil_world::{Difficulty, ScenarioConfig, World};
+
+    fn untrained_model(config: &ICoilConfig) -> IlModel {
+        IlModel::untrained(ActionCodec::default(), config.bev, 1)
+    }
+
+    #[test]
+    fn icoil_emits_tagged_decisions() {
+        let config = ICoilConfig::default();
+        let scenario = ScenarioConfig::new(Difficulty::Easy, 6).build();
+        let mut policy = ICoilPolicy::new(&config, untrained_model(&config), &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 2.0,
+                record_trace: true,
+            },
+        );
+        assert!(!result.trace.is_empty());
+        for f in &result.trace {
+            assert!(f.mode.is_some());
+            assert!(f.uncertainty.is_some());
+            assert!(f.complexity.is_some());
+            assert!(f.action.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn untrained_model_is_uncertain_so_icoil_uses_co() {
+        // an untrained DNN outputs near-uniform distributions → high
+        // entropy → the HSA must keep iCOIL in CO mode
+        let config = ICoilConfig::default();
+        let scenario = ScenarioConfig::new(Difficulty::Easy, 6).build();
+        let mut policy = ICoilPolicy::new(&config, untrained_model(&config), &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 5.0,
+                record_trace: true,
+            },
+        );
+        let co_frames = result
+            .trace
+            .iter()
+            .filter(|f| f.mode == Some(ModeTag::Co))
+            .count();
+        assert!(
+            co_frames as f64 > 0.9 * result.trace.len() as f64,
+            "CO frames {co_frames}/{}",
+            result.trace.len()
+        );
+    }
+
+    #[test]
+    fn pure_il_always_tags_il() {
+        let config = ICoilConfig::default();
+        let scenario = ScenarioConfig::new(Difficulty::Easy, 6).build();
+        let mut policy = PureIlPolicy::new(&config, untrained_model(&config), &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 1.0,
+                record_trace: true,
+            },
+        );
+        assert!(result
+            .trace
+            .iter()
+            .all(|f| f.mode == Some(ModeTag::Il)));
+    }
+
+    #[test]
+    fn pure_co_parks_on_easy() {
+        let config = ICoilConfig::default();
+        let scenario = ScenarioConfig::new(Difficulty::Easy, 6).build();
+        let mut policy = PureCoPolicy::new(&config, &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 90.0,
+                record_trace: false,
+            },
+        );
+        assert!(result.is_success(), "outcome {:?}", result.outcome);
+    }
+}

@@ -1,0 +1,209 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box, defined by its min/max corners.
+///
+/// Used for broad-phase collision rejection and for map extents.
+///
+/// # Example
+///
+/// ```
+/// use icoil_geom::{Aabb, Vec2};
+///
+/// let map = Aabb::new(Vec2::ZERO, Vec2::new(30.0, 20.0));
+/// assert!(map.contains(Vec2::new(5.0, 5.0)));
+/// assert!(!map.contains(Vec2::new(-1.0, 5.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// Creates a box from two corners (components are sorted).
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Creates a box centered at `center` with the given half-extents.
+    pub fn from_center(center: Vec2, half_width: f64, half_height: f64) -> Self {
+        let h = Vec2::new(half_width.abs(), half_height.abs());
+        Aabb {
+            min: center - h,
+            max: center + h,
+        }
+    }
+
+    /// The smallest box containing all `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for p in it {
+            min = min.min(p);
+            max = max.max(p);
+        }
+        Some(Aabb { min, max })
+    }
+
+    /// Box width (x extent).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y extent).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Area of the box.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when the two boxes overlap (including touching).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The box grown by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        let m = Vec2::new(margin, margin);
+        Aabb::new(self.min - m, self.max + m)
+    }
+
+    /// The union of two boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Clamps a point into the box.
+    pub fn clamp_point(&self, p: Vec2) -> Vec2 {
+        Vec2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Distance from the box to a point (zero when inside).
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        self.clamp_point(p).distance(p)
+    }
+
+    /// The four corner points, counter-clockwise from `min`.
+    pub fn corners(&self) -> [Vec2; 4] {
+        [
+            self.min,
+            Vec2::new(self.max.x, self.min.y),
+            self.max,
+            Vec2::new(self.min.x, self.max.y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_sorts_corners() {
+        let b = Aabb::new(Vec2::new(2.0, -1.0), Vec2::new(-2.0, 1.0));
+        assert_eq!(b.min, Vec2::new(-2.0, -1.0));
+        assert_eq!(b.max, Vec2::new(2.0, 1.0));
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.area(), 8.0);
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = vec![
+            Vec2::new(1.0, 1.0),
+            Vec2::new(-3.0, 2.0),
+            Vec2::new(0.0, -5.0),
+        ];
+        let b = Aabb::from_points(pts.clone()).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn containment_boundary_inclusive() {
+        let b = Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+        assert!(b.contains(Vec2::new(0.0, 0.0)));
+        assert!(b.contains(Vec2::new(1.0, 1.0)));
+        assert!(!b.contains(Vec2::new(1.0 + 1e-9, 1.0)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Aabb::new(Vec2::ZERO, Vec2::new(2.0, 2.0));
+        let b = Aabb::new(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0));
+        let c = Aabb::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0));
+        let d = Aabb::new(Vec2::new(2.0, 0.0), Vec2::new(4.0, 2.0)); // touching edge
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn inflate_and_union() {
+        let a = Aabb::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+        let g = a.inflated(0.5);
+        assert_eq!(g.min, Vec2::new(-0.5, -0.5));
+        let b = Aabb::new(Vec2::new(3.0, 3.0), Vec2::new(4.0, 4.0));
+        let u = a.union(&b);
+        assert!(u.contains(Vec2::ZERO) && u.contains(Vec2::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn distance_zero_inside_positive_outside() {
+        let b = Aabb::new(Vec2::ZERO, Vec2::new(2.0, 2.0));
+        assert_eq!(b.distance_to_point(Vec2::new(1.0, 1.0)), 0.0);
+        assert!((b.distance_to_point(Vec2::new(5.0, 1.0)) - 3.0).abs() < 1e-12);
+        assert!((b.distance_to_point(Vec2::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let b = Aabb::new(Vec2::ZERO, Vec2::new(1.0, 2.0));
+        let c = b.corners();
+        // shoelace area positive => counter-clockwise
+        let mut area = 0.0;
+        for i in 0..4 {
+            let p = c[i];
+            let q = c[(i + 1) % 4];
+            area += p.cross(q);
+        }
+        assert!(area > 0.0);
+    }
+}

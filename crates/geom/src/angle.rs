@@ -1,0 +1,107 @@
+//! Angle helpers.
+//!
+//! All angles in the workspace are radians. Headings are normalized to the
+//! half-open interval `(-π, π]`.
+
+use std::f64::consts::PI;
+
+/// Normalizes an angle to `(-π, π]`.
+///
+/// ```
+/// use icoil_geom::normalize_angle;
+/// use std::f64::consts::PI;
+///
+/// assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((normalize_angle(-0.5) + 0.5).abs() < 1e-12);
+/// ```
+pub fn normalize_angle(a: f64) -> f64 {
+    if !a.is_finite() {
+        return a;
+    }
+    let two_pi = 2.0 * PI;
+    let mut r = a % two_pi;
+    if r <= -PI {
+        r += two_pi;
+    } else if r > PI {
+        r -= two_pi;
+    }
+    r
+}
+
+/// Signed shortest angular difference `a - b`, normalized to `(-π, π]`.
+///
+/// ```
+/// use icoil_geom::angle_diff;
+/// use std::f64::consts::PI;
+///
+/// // Wrapping across ±π picks the short way round.
+/// assert!((angle_diff(PI - 0.1, -PI + 0.1) + 0.2).abs() < 1e-12);
+/// ```
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    normalize_angle(a - b)
+}
+
+/// Linear interpolation between two angles along the shortest arc.
+///
+/// `t = 0` returns `a` (normalized), `t = 1` returns `b` (normalized).
+pub fn angle_lerp(a: f64, b: f64, t: f64) -> f64 {
+    normalize_angle(a + angle_diff(b, a) * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_range() {
+        for k in -31..32 {
+            let a = k as f64 * 0.1;
+            if a > -PI && a <= PI {
+                assert!((normalize_angle(a) - a).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for k in -100..100 {
+            let a = k as f64 * 0.37;
+            let n = normalize_angle(a);
+            assert!((normalize_angle(n) - n).abs() < 1e-12);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn boundary_maps_to_pi() {
+        // -π is excluded from the canonical range; it maps to +π.
+        assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_antisymmetric_mod_2pi() {
+        let pairs = [(0.3, 2.9), (-3.0, 3.0), (1.0, 1.0), (-0.2, 0.2)];
+        for (a, b) in pairs {
+            let d1 = angle_diff(a, b);
+            let d2 = angle_diff(b, a);
+            assert!((normalize_angle(d1 + d2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = 3.0;
+        let b = -3.0; // shortest arc crosses ±π
+        assert!((angle_lerp(a, b, 0.0) - normalize_angle(a)).abs() < 1e-12);
+        assert!((angle_lerp(a, b, 1.0) - normalize_angle(b)).abs() < 1e-12);
+        // midpoint is on the short side (near π), not near 0
+        assert!(angle_lerp(a, b, 0.5).abs() > 3.0);
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        assert!(normalize_angle(f64::NAN).is_nan());
+        assert!(normalize_angle(f64::INFINITY).is_infinite());
+    }
+}

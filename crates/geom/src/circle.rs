@@ -1,0 +1,120 @@
+//! Circles (disc obstacles and safety radii).
+
+use crate::{Obb, Segment, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A circle given by center and radius.
+///
+/// # Example
+///
+/// ```
+/// use icoil_geom::{Circle, Vec2};
+///
+/// let c = Circle::new(Vec2::ZERO, 2.0);
+/// assert!(c.contains(Vec2::new(1.0, 1.0)));
+/// assert_eq!(c.distance_to_point(Vec2::new(5.0, 0.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center point.
+    pub center: Vec2,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or non-finite.
+    pub fn new(center: Vec2, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative"
+        );
+        Circle { center, radius }
+    }
+
+    /// Returns `true` when `p` lies inside or on the circle.
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius + crate::EPS
+    }
+
+    /// Distance from the circle boundary to a point (zero when inside).
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        (self.center.distance(p) - self.radius).max(0.0)
+    }
+
+    /// Returns `true` when two circles overlap (including touching).
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_sq(other.center) <= r * r + crate::EPS
+    }
+
+    /// Returns `true` when the circle overlaps an oriented box.
+    pub fn intersects_obb(&self, obb: &Obb) -> bool {
+        obb.distance_to_point(self.center) <= self.radius + crate::EPS
+    }
+
+    /// Returns `true` when the circle touches a segment.
+    pub fn intersects_segment(&self, seg: &Segment) -> bool {
+        seg.distance_to_point(self.center) <= self.radius + crate::EPS
+    }
+
+    /// Circle area.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pose2;
+
+    #[test]
+    fn containment() {
+        let c = Circle::new(Vec2::new(1.0, 1.0), 1.0);
+        assert!(c.contains(Vec2::new(1.0, 1.0)));
+        assert!(c.contains(Vec2::new(2.0, 1.0))); // boundary
+        assert!(!c.contains(Vec2::new(2.5, 1.0)));
+    }
+
+    #[test]
+    fn circle_circle() {
+        let a = Circle::new(Vec2::ZERO, 1.0);
+        let b = Circle::new(Vec2::new(1.9, 0.0), 1.0);
+        let c = Circle::new(Vec2::new(2.1, 0.0), 1.0);
+        let d = Circle::new(Vec2::new(5.0, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&d));
+        // touching within EPS tolerance
+        assert!(a.intersects(&Circle::new(Vec2::new(2.0, 0.0), 1.0)));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn circle_obb() {
+        let c = Circle::new(Vec2::new(3.0, 0.0), 1.0);
+        let near = Obb::from_pose(Pose2::new(0.0, 0.0, 0.0), 4.5, 1.0);
+        let far = Obb::from_pose(Pose2::new(-3.0, 0.0, 0.0), 2.0, 1.0);
+        assert!(c.intersects_obb(&near));
+        assert!(!c.intersects_obb(&far));
+    }
+
+    #[test]
+    fn circle_segment() {
+        let c = Circle::new(Vec2::ZERO, 1.0);
+        let hit = Segment::new(Vec2::new(-2.0, 0.5), Vec2::new(2.0, 0.5));
+        let miss = Segment::new(Vec2::new(-2.0, 1.5), Vec2::new(2.0, 1.5));
+        assert!(c.intersects_segment(&hit));
+        assert!(!c.intersects_segment(&miss));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let _ = Circle::new(Vec2::ZERO, -1.0);
+    }
+}

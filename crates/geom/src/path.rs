@@ -1,0 +1,286 @@
+//! Polyline paths with arc-length parametrization.
+
+use crate::{Pose2, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear path through 2-D space.
+///
+/// The global planner emits a `Polyline`, the CO module samples reference
+/// waypoints `{s*}` from it by arc length, and the evaluation harness uses
+/// it to measure driven path length.
+///
+/// # Example
+///
+/// ```
+/// use icoil_geom::{Polyline, Vec2};
+///
+/// let p = Polyline::new(vec![Vec2::ZERO, Vec2::new(3.0, 0.0), Vec2::new(3.0, 4.0)]);
+/// assert_eq!(p.length(), 7.0);
+/// assert_eq!(p.point_at(5.0), Vec2::new(3.0, 2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Vec2>,
+    cumulative: Vec<f64>,
+}
+
+impl Polyline {
+    /// Creates a polyline from an ordered point list.
+    ///
+    /// Consecutive duplicate points are collapsed.
+    pub fn new(points: Vec<Vec2>) -> Self {
+        let mut deduped: Vec<Vec2> = Vec::with_capacity(points.len());
+        for p in points {
+            if deduped.last().map_or(true, |q| q.distance(p) > crate::EPS) {
+                deduped.push(p);
+            }
+        }
+        let mut cumulative = Vec::with_capacity(deduped.len());
+        let mut acc = 0.0;
+        for (i, p) in deduped.iter().enumerate() {
+            if i > 0 {
+                acc += deduped[i - 1].distance(*p);
+            }
+            cumulative.push(acc);
+        }
+        Polyline {
+            points: deduped,
+            cumulative,
+        }
+    }
+
+    /// The points of the polyline.
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the polyline has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        self.cumulative.last().copied().unwrap_or(0.0)
+    }
+
+    /// Point at arc length `s` (clamped to `[0, length]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the polyline is empty.
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        assert!(!self.points.is_empty(), "point_at on empty polyline");
+        if self.points.len() == 1 {
+            return self.points[0];
+        }
+        let s = s.clamp(0.0, self.length());
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let i = i.min(self.points.len() - 2);
+        let seg_len = self.cumulative[i + 1] - self.cumulative[i];
+        if seg_len <= crate::EPS {
+            return self.points[i];
+        }
+        let t = (s - self.cumulative[i]) / seg_len;
+        self.points[i].lerp(self.points[i + 1], t)
+    }
+
+    /// Tangent heading (radians) at arc length `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the polyline has fewer than two points.
+    pub fn heading_at(&self, s: f64) -> f64 {
+        assert!(self.points.len() >= 2, "heading needs two or more points");
+        let s = s.clamp(0.0, self.length());
+        let i = self
+            .cumulative
+            .iter()
+            .rposition(|&c| c <= s + crate::EPS)
+            .unwrap_or(0)
+            .min(self.points.len() - 2);
+        (self.points[i + 1] - self.points[i]).angle()
+    }
+
+    /// Pose (point + tangent heading) at arc length `s`.
+    pub fn pose_at(&self, s: f64) -> Pose2 {
+        let p = self.point_at(s);
+        Pose2::from_parts(p, self.heading_at(s))
+    }
+
+    /// Arc length of the point on the path closest to `p`.
+    pub fn project(&self, p: Vec2) -> f64 {
+        let mut best_s = 0.0;
+        let mut best_d = f64::INFINITY;
+        for i in 0..self.points.len().saturating_sub(1) {
+            let a = self.points[i];
+            let b = self.points[i + 1];
+            let d = b - a;
+            let len_sq = d.norm_sq();
+            let t = if len_sq < crate::EPS {
+                0.0
+            } else {
+                ((p - a).dot(d) / len_sq).clamp(0.0, 1.0)
+            };
+            let q = a + d * t;
+            let dist = q.distance(p);
+            if dist < best_d {
+                best_d = dist;
+                best_s = self.cumulative[i] + t * (len_sq.sqrt());
+            }
+        }
+        best_s
+    }
+
+    /// Distance from `p` to the nearest point on the path.
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        if self.points.is_empty() {
+            return f64::INFINITY;
+        }
+        self.point_at(self.project(p)).distance(p)
+    }
+
+    /// Resamples the path so consecutive points are at most `step` apart.
+    ///
+    /// Original vertices are always kept, so corners (and therefore the
+    /// exact path length) are preserved — important when the result feeds
+    /// the CO reference-waypoint generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is not strictly positive.
+    pub fn resample(&self, step: f64) -> Polyline {
+        assert!(step > 0.0, "resample step must be positive");
+        if self.points.len() < 2 {
+            return self.clone();
+        }
+        let mut pts = vec![self.points[0]];
+        for i in 0..self.points.len() - 1 {
+            let a = self.points[i];
+            let b = self.points[i + 1];
+            let len = a.distance(b);
+            let n = (len / step).ceil().max(1.0) as usize;
+            for k in 1..=n {
+                pts.push(a.lerp(b, k as f64 / n as f64));
+            }
+        }
+        Polyline::new(pts)
+    }
+
+    /// Appends the points of another polyline.
+    pub fn extend_with(&mut self, other: &Polyline) {
+        let mut pts = std::mem::take(&mut self.points);
+        pts.extend_from_slice(other.points());
+        *self = Polyline::new(pts);
+    }
+}
+
+impl FromIterator<Vec2> for Polyline {
+    fn from_iter<I: IntoIterator<Item = Vec2>>(iter: I) -> Self {
+        Polyline::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_path() -> Polyline {
+        Polyline::new(vec![Vec2::ZERO, Vec2::new(3.0, 0.0), Vec2::new(3.0, 4.0)])
+    }
+
+    #[test]
+    fn length_and_dedup() {
+        let p = Polyline::new(vec![
+            Vec2::ZERO,
+            Vec2::ZERO,
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 0.0),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.length(), 1.0);
+    }
+
+    #[test]
+    fn point_at_interpolates_and_clamps() {
+        let p = l_path();
+        assert_eq!(p.point_at(0.0), Vec2::ZERO);
+        assert_eq!(p.point_at(1.5), Vec2::new(1.5, 0.0));
+        assert_eq!(p.point_at(3.0), Vec2::new(3.0, 0.0));
+        assert_eq!(p.point_at(5.0), Vec2::new(3.0, 2.0));
+        assert_eq!(p.point_at(100.0), Vec2::new(3.0, 4.0));
+        assert_eq!(p.point_at(-5.0), Vec2::ZERO);
+    }
+
+    #[test]
+    fn heading_follows_segments() {
+        let p = l_path();
+        assert!((p.heading_at(1.0) - 0.0).abs() < 1e-12);
+        assert!((p.heading_at(5.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_finds_closest() {
+        let p = l_path();
+        // Point near the middle of the second leg.
+        let s = p.project(Vec2::new(4.0, 2.0));
+        assert!((s - 5.0).abs() < 1e-9);
+        assert!((p.distance_to_point(Vec2::new(4.0, 2.0)) - 1.0).abs() < 1e-9);
+        // Before the path start.
+        assert_eq!(p.project(Vec2::new(-2.0, -1.0)), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_length() {
+        let p = l_path();
+        let r = p.resample(0.5);
+        assert_eq!(*r.points().first().unwrap(), Vec2::ZERO);
+        assert_eq!(*r.points().last().unwrap(), Vec2::new(3.0, 4.0));
+        assert!((r.length() - p.length()).abs() < 1e-9);
+        // step upper-bounds the spacing
+        for w in r.points().windows(2) {
+            assert!(w[0].distance(w[1]) <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_point_path() {
+        let p = Polyline::new(vec![Vec2::new(2.0, 2.0)]);
+        assert_eq!(p.length(), 0.0);
+        assert_eq!(p.point_at(3.0), Vec2::new(2.0, 2.0));
+        assert_eq!(p.resample(1.0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_point_at_panics() {
+        let p = Polyline::default();
+        let _ = p.point_at(0.0);
+    }
+
+    #[test]
+    fn extend_joins_paths() {
+        let mut p = Polyline::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)]);
+        let q = Polyline::new(vec![Vec2::new(1.0, 0.0), Vec2::new(1.0, 1.0)]);
+        p.extend_with(&q);
+        assert_eq!(p.len(), 3);
+        assert!((p.length() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Polyline = (0..5).map(|i| Vec2::new(i as f64, 0.0)).collect();
+        assert_eq!(p.length(), 4.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Convex polygons.
+
+use crate::{Obb, Segment, Vec2, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon with counter-clockwise vertices.
+///
+/// Used for irregular static obstacles (e.g. curb islands) in the parking
+/// map. Construction validates convexity and winding.
+///
+/// # Example
+///
+/// ```
+/// use icoil_geom::{ConvexPolygon, Vec2};
+///
+/// let tri = ConvexPolygon::new(vec![
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(2.0, 0.0),
+///     Vec2::new(1.0, 2.0),
+/// ]).unwrap();
+/// assert!(tri.contains(Vec2::new(1.0, 0.5)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Vec2>,
+}
+
+/// Error returned when a vertex list does not form a valid convex polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices,
+    /// The vertices are not in convex position or not counter-clockwise.
+    NotConvexCcw,
+}
+
+impl std::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least three vertices"),
+            PolygonError::NotConvexCcw => {
+                write!(f, "vertices are not convex in counter-clockwise order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+impl ConvexPolygon {
+    /// Builds a polygon from counter-clockwise vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolygonError::TooFewVertices`] for fewer than 3 vertices and
+    /// [`PolygonError::NotConvexCcw`] when any turn is clockwise.
+    pub fn new(vertices: Vec<Vec2>) -> Result<Self, PolygonError> {
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            let c = vertices[(i + 2) % n];
+            if (b - a).cross(c - b) < -EPS {
+                return Err(PolygonError::NotConvexCcw);
+            }
+        }
+        Ok(ConvexPolygon { vertices })
+    }
+
+    /// Builds the polygon of an oriented box.
+    pub fn from_obb(obb: &Obb) -> Self {
+        ConvexPolygon {
+            vertices: obb.corners().to_vec(),
+        }
+    }
+
+    /// The vertex list (counter-clockwise).
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    /// The polygon edges as segments.
+    pub fn edges(&self) -> Vec<Segment> {
+        let n = self.vertices.len();
+        (0..n)
+            .map(|i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+            .collect()
+    }
+
+    /// Signed area (positive because vertices are counter-clockwise).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut s = 0.0;
+        for i in 0..n {
+            s += self.vertices[i].cross(self.vertices[(i + 1) % n]);
+        }
+        s * 0.5
+    }
+
+    /// Centroid of the polygon.
+    pub fn centroid(&self) -> Vec2 {
+        let n = self.vertices.len();
+        let mut c = Vec2::ZERO;
+        let mut a = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            c += (p + q) * w;
+            a += w;
+        }
+        if a.abs() < EPS {
+            // Degenerate polygon: average the vertices.
+            let mut m = Vec2::ZERO;
+            for v in &self.vertices {
+                m += *v;
+            }
+            return m / n as f64;
+        }
+        c / (3.0 * a)
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if (b - a).cross(p - a) < -EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Distance from the polygon boundary to a point (zero when inside).
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.edges()
+            .iter()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// SAT overlap test against an oriented box.
+    pub fn intersects_obb(&self, obb: &Obb) -> bool {
+        let other = ConvexPolygon::from_obb(obb);
+        self.intersects(&other)
+    }
+
+    /// SAT overlap test against another convex polygon.
+    pub fn intersects(&self, other: &ConvexPolygon) -> bool {
+        sat_separated(&self.vertices, &other.vertices).is_none()
+            && sat_separated(&other.vertices, &self.vertices).is_none()
+    }
+}
+
+/// Returns `Some(axis index)` when an edge normal of `a` separates the hulls.
+fn sat_separated(a: &[Vec2], b: &[Vec2]) -> Option<usize> {
+    let n = a.len();
+    for i in 0..n {
+        let edge = a[(i + 1) % n] - a[i];
+        let axis = edge.perp().normalized();
+        if axis == Vec2::ZERO {
+            continue;
+        }
+        let (amin, amax) = project(a, axis);
+        let (bmin, bmax) = project(b, axis);
+        if amax < bmin - EPS || bmax < amin - EPS {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn project(pts: &[Vec2], axis: Vec2) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for p in pts {
+        let v = p.dot(axis);
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pose2;
+
+    fn square() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            ConvexPolygon::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)]),
+            Err(PolygonError::TooFewVertices)
+        );
+        // clockwise square rejected
+        assert_eq!(
+            ConvexPolygon::new(vec![
+                Vec2::new(0.0, 0.0),
+                Vec2::new(0.0, 2.0),
+                Vec2::new(2.0, 2.0),
+                Vec2::new(2.0, 0.0),
+            ]),
+            Err(PolygonError::NotConvexCcw)
+        );
+        // non-convex "arrow" rejected
+        assert!(ConvexPolygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.5, 0.5),
+            Vec2::new(0.0, 2.0),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let s = square();
+        assert!((s.area() - 4.0).abs() < 1e-12);
+        assert!(s.centroid().distance(Vec2::new(1.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn containment() {
+        let s = square();
+        assert!(s.contains(Vec2::new(1.0, 1.0)));
+        assert!(s.contains(Vec2::new(0.0, 0.0))); // vertex
+        assert!(s.contains(Vec2::new(1.0, 0.0))); // edge
+        assert!(!s.contains(Vec2::new(3.0, 1.0)));
+    }
+
+    #[test]
+    fn distance() {
+        let s = square();
+        assert_eq!(s.distance_to_point(Vec2::new(1.0, 1.0)), 0.0);
+        assert!((s.distance_to_point(Vec2::new(4.0, 1.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_polygon_overlap() {
+        let s = square();
+        let t = ConvexPolygon::new(vec![
+            Vec2::new(1.0, 1.0),
+            Vec2::new(3.0, 1.0),
+            Vec2::new(3.0, 3.0),
+            Vec2::new(1.0, 3.0),
+        ])
+        .unwrap();
+        let far = ConvexPolygon::new(vec![
+            Vec2::new(10.0, 10.0),
+            Vec2::new(11.0, 10.0),
+            Vec2::new(10.5, 11.0),
+        ])
+        .unwrap();
+        assert!(s.intersects(&t));
+        assert!(t.intersects(&s));
+        assert!(!s.intersects(&far));
+    }
+
+    #[test]
+    fn polygon_obb_overlap() {
+        let s = square();
+        let hit = Obb::from_pose(Pose2::new(2.5, 1.0, 0.78), 2.0, 1.0);
+        let miss = Obb::from_pose(Pose2::new(6.0, 6.0, 0.3), 2.0, 1.0);
+        assert!(s.intersects_obb(&hit));
+        assert!(!s.intersects_obb(&miss));
+    }
+}

@@ -1,0 +1,163 @@
+//! Planar rigid-body pose.
+
+use crate::{angle_diff, normalize_angle, Vec2};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A planar pose: position plus heading.
+///
+/// Used for the ego-vehicle state, obstacle placements and the goal bay.
+/// The heading is stored normalized to `(-π, π]`.
+///
+/// # Example
+///
+/// ```
+/// use icoil_geom::{Pose2, Vec2};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let p = Pose2::new(1.0, 2.0, FRAC_PI_2);
+/// // A point one meter ahead of the vehicle, expressed in world frame:
+/// let w = p.to_world(Vec2::new(1.0, 0.0));
+/// assert!((w.x - 1.0).abs() < 1e-12 && (w.y - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose2 {
+    /// World x coordinate (meters).
+    pub x: f64,
+    /// World y coordinate (meters).
+    pub y: f64,
+    /// Heading in radians, normalized to `(-π, π]`.
+    pub theta: f64,
+}
+
+impl Pose2 {
+    /// Creates a pose, normalizing the heading.
+    pub fn new(x: f64, y: f64, theta: f64) -> Self {
+        Pose2 {
+            x,
+            y,
+            theta: normalize_angle(theta),
+        }
+    }
+
+    /// Creates a pose from a position and heading.
+    pub fn from_parts(position: Vec2, theta: f64) -> Self {
+        Pose2::new(position.x, position.y, theta)
+    }
+
+    /// Position component.
+    pub fn position(&self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Unit heading vector.
+    pub fn heading(&self) -> Vec2 {
+        Vec2::from_angle(self.theta)
+    }
+
+    /// Transforms a point from this pose's local frame into the world frame.
+    pub fn to_world(&self, local: Vec2) -> Vec2 {
+        self.position() + local.rotated(self.theta)
+    }
+
+    /// Transforms a world-frame point into this pose's local frame.
+    pub fn to_local(&self, world: Vec2) -> Vec2 {
+        (world - self.position()).rotated(-self.theta)
+    }
+
+    /// Composes two poses: applies `other` in this pose's local frame.
+    pub fn compose(&self, other: Pose2) -> Pose2 {
+        let p = self.to_world(other.position());
+        Pose2::new(p.x, p.y, self.theta + other.theta)
+    }
+
+    /// Inverse pose, such that `p.compose(p.inverse())` is the identity.
+    pub fn inverse(&self) -> Pose2 {
+        let p = (-self.position()).rotated(-self.theta);
+        Pose2::new(p.x, p.y, -self.theta)
+    }
+
+    /// Euclidean distance between the positions of two poses.
+    pub fn distance(&self, other: &Pose2) -> f64 {
+        self.position().distance(other.position())
+    }
+
+    /// Absolute shortest heading difference to another pose, in `[0, π]`.
+    pub fn heading_error(&self, other: &Pose2) -> f64 {
+        angle_diff(self.theta, other.theta).abs()
+    }
+
+    /// Returns `true` when every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.theta.is_finite()
+    }
+}
+
+impl fmt::Display for Pose2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}; {:.3} rad)", self.x, self.y, self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn constructor_normalizes_heading() {
+        let p = Pose2::new(0.0, 0.0, 3.0 * PI);
+        assert!((p.theta - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_local_roundtrip() {
+        let p = Pose2::new(3.0, -2.0, 0.7);
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(-4.0, 0.5),
+        ];
+        for q in pts {
+            let w = p.to_world(q);
+            let back = p.to_local(w);
+            assert!(back.distance(q) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compose_inverse_is_identity() {
+        let p = Pose2::new(1.0, 2.0, -0.9);
+        let id = p.compose(p.inverse());
+        assert!(id.position().norm() < 1e-12);
+        assert!(id.theta.abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_matches_sequential_transform() {
+        let a = Pose2::new(1.0, 0.0, FRAC_PI_2);
+        let b = Pose2::new(2.0, 0.0, 0.0);
+        let c = a.compose(b);
+        // b's origin (2,0) rotated 90° around a then offset: (1, 2)
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 2.0).abs() < 1e-12);
+        assert!((c.theta - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heading_error_symmetric() {
+        let a = Pose2::new(0.0, 0.0, 3.0);
+        let b = Pose2::new(0.0, 0.0, -3.0);
+        assert!((a.heading_error(&b) - b.heading_error(&a)).abs() < 1e-12);
+        // short way across the ±π cut: |3 - (-3)| wraps to ~0.283
+        assert!(a.heading_error(&b) < 0.3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Pose2::new(1.5, -2.5, 0.25);
+        let s = serde_json::to_string(&p).unwrap();
+        let q: Pose2 = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,185 @@
+//! Line segments and segment-based distance/intersection predicates.
+
+use crate::{Vec2, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A line segment between two points.
+///
+/// # Example
+///
+/// ```
+/// use icoil_geom::{Segment, Vec2};
+///
+/// let s = Segment::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0));
+/// assert_eq!(s.distance_to_point(Vec2::new(1.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Vec2,
+    /// End point.
+    pub b: Vec2,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    pub const fn new(a: Vec2, b: Vec2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Direction vector `b - a` (not normalized).
+    pub fn direction(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Vec2 {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Point at parameter `t` (`0` → `a`, `1` → `b`); `t` is clamped.
+    pub fn point_at(&self, t: f64) -> Vec2 {
+        self.a.lerp(self.b, t.clamp(0.0, 1.0))
+    }
+
+    /// The closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Vec2) -> Vec2 {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq < EPS * EPS {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.a + d * t
+    }
+
+    /// Distance from the segment to a point.
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Returns `true` when the two segments intersect (including touching).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        orient_on_opposite_sides(self, other) && orient_on_opposite_sides(other, self)
+            || self.distance_to_segment(other) < EPS
+    }
+
+    /// Intersection point of two segments, if they cross at a single point.
+    ///
+    /// Returns `None` for parallel, collinear-overlapping or disjoint
+    /// segments.
+    pub fn intersection(&self, other: &Segment) -> Option<Vec2> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        if denom.abs() < EPS {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.a + r * t)
+        } else {
+            None
+        }
+    }
+
+    /// Minimum distance between two segments (zero when they intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersection(other).is_some() {
+            return 0.0;
+        }
+        let d1 = self.distance_to_point(other.a);
+        let d2 = self.distance_to_point(other.b);
+        let d3 = other.distance_to_point(self.a);
+        let d4 = other.distance_to_point(self.b);
+        d1.min(d2).min(d3).min(d4)
+    }
+}
+
+fn orient(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+    (b - a).cross(c - a)
+}
+
+fn orient_on_opposite_sides(s: &Segment, t: &Segment) -> bool {
+    let o1 = orient(s.a, s.b, t.a);
+    let o2 = orient(s.a, s.b, t.b);
+    (o1 > 0.0 && o2 < 0.0) || (o1 < 0.0 && o2 > 0.0) || o1.abs() < EPS || o2.abs() < EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Vec2::new(ax, ay), Vec2::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Vec2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        assert_eq!(s.closest_point(Vec2::new(-5.0, 3.0)), s.a);
+        assert_eq!(s.closest_point(Vec2::new(9.0, -2.0)), s.b);
+        assert_eq!(s.closest_point(Vec2::new(0.5, 2.0)), Vec2::new(0.5, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.distance_to_point(Vec2::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        let t = seg(0.0, 2.0, 2.0, 0.0);
+        let p = s.intersection(&t).expect("must cross");
+        assert!(p.distance(Vec2::new(1.0, 1.0)) < 1e-12);
+        assert!(s.intersects(&t));
+        assert_eq!(s.distance_to_segment(&t), 0.0);
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        let t = seg(0.0, 1.0, 2.0, 1.0);
+        assert!(s.intersection(&t).is_none());
+        assert!((s.distance_to_segment(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_collinear_distance() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(3.0, 0.0, 4.0, 0.0);
+        assert!((s.distance_to_segment(&t) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_at_endpoint() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(1.0, 0.0, 1.0, 1.0);
+        let p = s.intersection(&t).expect("touching endpoint counts");
+        assert!(p.distance(Vec2::new(1.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn near_miss_has_positive_distance() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(2.0, 0.5, 3.0, 0.5);
+        let d = s.distance_to_segment(&t);
+        assert!(d > 1.0 && d < 1.2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Hybrid scenario analysis (HSA) — the mode-selection brain of iCOIL
+//! (§IV-C).
+//!
+//! Per frame the HSA computes:
+//!
+//! * **scenario uncertainty** `U_i` (eq. 7): the windowed mean Shannon
+//!   entropy of the IL softmax output — high when the DNN is unsure;
+//! * **scenario complexity** `C_i` (eq. 8): the windowed mean of
+//!   `[H(Nₐ + Σ_k e^{-|D₀ − D_{i,k}|})]^{3.5}` — a model of the CO
+//!   module's computational delay, superlinear in the horizon and in the
+//!   number of *nearby* obstacles;
+//! * the **mode decision** (eq. 1): IL while `U_i · C_i⁻¹ ≤ λ`, CO
+//!   otherwise, debounced by a guard time (the paper uses 20 stamps) so
+//!   the system never chatters between modes.
+//!
+//! # Example
+//!
+//! ```
+//! use icoil_hsa::{Hsa, HsaConfig, Mode};
+//!
+//! let mut hsa = Hsa::new(HsaConfig::default());
+//! // A confident IL distribution over 7 actions, no obstacles near.
+//! // After the guard time elapses the system settles on IL mode:
+//! let mut probs = vec![0.002; 7];
+//! probs[3] = 0.988;
+//! let mut d = hsa.update(&probs, &[]);
+//! for _ in 0..30 {
+//!     d = hsa.update(&probs, &[]);
+//! }
+//! assert!(d.uncertainty < 0.5);
+//! assert_eq!(d.mode, Mode::Il);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod complexity;
+pub mod switch;
+pub mod uncertainty;
+
+pub use complexity::{instant_complexity, ComplexityParams};
+pub use switch::{Hsa, HsaConfig, HsaDecision, Mode};
+pub use uncertainty::SlidingMean;

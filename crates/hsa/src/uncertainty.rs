@@ -1,0 +1,198 @@
+//! Scenario uncertainty: windowed mean entropy (eq. 7).
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity sliding mean over the last `T` values — the
+/// `1/T Σ_{h=0}^{T-1}` windows of eqs. (7) and (8).
+///
+/// Before the window fills, the mean is taken over the values seen so
+/// far.
+///
+/// # Example
+///
+/// ```
+/// use icoil_hsa::SlidingMean;
+///
+/// let mut m = SlidingMean::new(3);
+/// assert_eq!(m.push(3.0), 3.0);
+/// assert_eq!(m.push(5.0), 4.0);
+/// assert_eq!(m.push(7.0), 5.0);
+/// assert_eq!(m.push(9.0), 7.0); // 3.0 dropped
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Creates a window of capacity `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingMean {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a value and returns the current windowed mean.
+    pub fn push(&mut self, value: f64) -> f64 {
+        if self.window.len() == self.capacity {
+            self.sum -= self.window.pop_front().expect("window non-empty");
+        }
+        self.window.push_back(value);
+        self.sum += value;
+        self.mean()
+    }
+
+    /// Current mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            f64::NAN
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+
+    /// Number of values currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns `true` when no value has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Clears the window (start of a new episode).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Instant scenario uncertainty `ω_i`: the Shannon entropy (nats) of the
+/// IL output distribution (§IV-C).
+///
+/// Zero-probability entries contribute zero, matching the `p log p → 0`
+/// limit.
+pub fn instant_uncertainty(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Alternative uncertainty measure: `1 − max_j p_j` (least-confidence).
+///
+/// Cheaper than entropy and often used in active learning; exposed for
+/// the HSA ablations. Ranges over `[0, 1 − 1/M]`.
+pub fn least_confidence(probs: &[f64]) -> f64 {
+    1.0 - probs.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Alternative uncertainty measure: `1 − (p₍₁₎ − p₍₂₎)`, one minus the
+/// margin between the two most likely actions.
+///
+/// High when the DNN hesitates between two actions even if each is far
+/// from uniform — a failure mode entropy under-weights.
+pub fn margin_uncertainty(probs: &[f64]) -> f64 {
+    let mut first = 0.0f64;
+    let mut second = 0.0f64;
+    for &p in probs {
+        if p > first {
+            second = first;
+            first = p;
+        } else if p > second {
+            second = p;
+        }
+    }
+    1.0 - (first - second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_mean_tracks_window() {
+        let mut m = SlidingMean::new(2);
+        assert!(m.is_empty());
+        m.push(1.0);
+        m.push(2.0);
+        assert_eq!(m.mean(), 1.5);
+        m.push(4.0); // drops 1.0
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut m = SlidingMean::new(3);
+        m.push(5.0);
+        m.reset();
+        assert!(m.is_empty());
+        assert!(m.mean().is_nan());
+    }
+
+    #[test]
+    fn uniform_distribution_maximizes_uncertainty() {
+        let m = 21;
+        let uniform = vec![1.0 / m as f64; m];
+        let u = instant_uncertainty(&uniform);
+        assert!((u - (m as f64).ln()).abs() < 1e-12);
+        // any non-uniform distribution has lower entropy
+        let mut peaked = vec![0.5 / (m as f64 - 1.0); m];
+        peaked[0] = 0.5;
+        assert!(instant_uncertainty(&peaked) < u);
+    }
+
+    #[test]
+    fn onehot_distribution_has_zero_uncertainty() {
+        let mut p = vec![0.0; 10];
+        p[4] = 1.0;
+        assert_eq!(instant_uncertainty(&p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = SlidingMean::new(0);
+    }
+
+    #[test]
+    fn least_confidence_bounds() {
+        assert_eq!(least_confidence(&[1.0, 0.0]), 0.0);
+        assert!((least_confidence(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        let m = 4;
+        let u = least_confidence(&vec![1.0 / m as f64; m]);
+        assert!((u - (1.0 - 1.0 / m as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_uncertainty_detects_two_way_ties() {
+        // near-tie between two actions: margin says "very uncertain"
+        // while entropy sees a fairly peaked distribution
+        let two_way = [0.49, 0.48, 0.01, 0.01, 0.01];
+        let peaked = [0.96, 0.01, 0.01, 0.01, 0.01];
+        assert!(margin_uncertainty(&two_way) > 0.9);
+        assert!(margin_uncertainty(&peaked) < 0.1);
+        assert!(instant_uncertainty(&two_way) < (5.0f64).ln());
+    }
+
+    #[test]
+    fn all_measures_agree_on_extremes() {
+        let onehot = [0.0, 1.0, 0.0];
+        let uniform = [1.0 / 3.0; 3];
+        for f in [instant_uncertainty, least_confidence, margin_uncertainty] {
+            assert!(f(&onehot) < f(&uniform));
+        }
+    }
+}

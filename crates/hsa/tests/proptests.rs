@@ -1,0 +1,86 @@
+//! Property tests for the HSA crate.
+
+use icoil_geom::{Obb, Pose2, Vec2};
+use icoil_hsa::{instant_complexity, ComplexityParams, Hsa, HsaConfig, Mode};
+use proptest::prelude::*;
+
+fn arb_probs(m: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, m).prop_map(|raw| {
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / sum).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn decision_fields_are_finite_and_consistent(
+        probs in arb_probs(21),
+        n_boxes in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut hsa = Hsa::new(HsaConfig::default());
+        hsa.set_ego_position(Vec2::new(seed as f64 % 10.0, 0.0));
+        let boxes: Vec<Obb> = (0..n_boxes)
+            .map(|i| Obb::from_pose(Pose2::new(i as f64 * 2.0, 1.0, 0.1), 2.0, 2.0))
+            .collect();
+        for _ in 0..5 {
+            let d = hsa.update(&probs, &boxes);
+            prop_assert!(d.uncertainty.is_finite() && d.uncertainty >= 0.0);
+            prop_assert!(d.uncertainty <= (21f64).ln() + 1e-9);
+            prop_assert!(d.complexity.is_finite() && d.complexity > 0.0);
+            prop_assert!(d.ratio >= 0.0);
+            // the debounced mode only changes through the raw mode
+            if d.mode != Mode::Co {
+                prop_assert_eq!(d.mode, Mode::Il);
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_monotone_in_obstacle_count(
+        k in 1usize..8,
+        d0 in 0.5f64..3.0,
+    ) {
+        let params = ComplexityParams { d0, ..ComplexityParams::default() };
+        let boxes: Vec<Obb> = (0..k)
+            .map(|i| Obb::from_pose(Pose2::new(3.0 + i as f64, 0.0, 0.0), 2.0, 2.0))
+            .collect();
+        let mut prev = instant_complexity(Vec2::ZERO, &[], &params);
+        for n in 1..=k {
+            let c = instant_complexity(Vec2::ZERO, &boxes[..n], &params);
+            prop_assert!(c >= prev - 1e-9, "adding an obstacle must not reduce complexity");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn guard_time_bounds_switch_rate(
+        flips in prop::collection::vec(any::<bool>(), 50..150),
+        guard in 2usize..20,
+    ) {
+        // arbitrary confident/uniform sequences: the number of mode
+        // switches can never exceed len / guard
+        let confident = {
+            let mut p = vec![0.001; 21];
+            p[0] = 1.0 - 0.02;
+            p
+        };
+        let uniform = vec![1.0 / 21.0; 21];
+        let mut hsa = Hsa::new(HsaConfig {
+            window: 1,
+            guard_time: guard,
+            ..HsaConfig::default()
+        });
+        let mut switches = 0;
+        let mut last = hsa.mode();
+        for f in &flips {
+            let d = hsa.update(if *f { &confident } else { &uniform }, &[]);
+            if d.mode != last {
+                switches += 1;
+                last = d.mode;
+            }
+        }
+        prop_assert!(switches <= flips.len() / guard + 1,
+            "switches {} exceeds bound for guard {}", switches, guard);
+    }
+}

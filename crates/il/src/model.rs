@@ -1,0 +1,165 @@
+//! The trained IL artifact and its inference path.
+
+use icoil_nn::{Network, Tensor};
+use icoil_perception::{BevConfig, BevImage};
+use icoil_vehicle::{Action, ActionCodec};
+use serde::{Deserialize, Serialize};
+
+/// Output of one IL inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResult {
+    /// The decoded action of the argmax class.
+    pub action: Action,
+    /// The chosen class index.
+    pub class: usize,
+    /// The full softmax distribution (input to the HSA uncertainty).
+    pub probs: Vec<f64>,
+}
+
+/// A trained IL model: network weights plus the action codec and the BEV
+/// geometry it was trained with.
+///
+/// # Example
+///
+/// ```
+/// use icoil_il::IlModel;
+/// use icoil_perception::BevConfig;
+/// use icoil_vehicle::ActionCodec;
+///
+/// let model = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 7);
+/// let json = model.to_json();
+/// let back = IlModel::from_json(&json).unwrap();
+/// assert_eq!(back.codec().num_classes(), 21);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IlModel {
+    network: Network,
+    codec: ActionCodec,
+    bev: BevConfig,
+}
+
+impl IlModel {
+    /// Wraps a trained network.
+    pub fn new(network: Network, codec: ActionCodec, bev: BevConfig) -> Self {
+        IlModel {
+            network,
+            codec,
+            bev,
+        }
+    }
+
+    /// A freshly-initialized (untrained) model with the paper's
+    /// architecture — useful for tests and as a training starting point.
+    pub fn untrained(codec: ActionCodec, bev: BevConfig, seed: u64) -> Self {
+        let network =
+            Network::il_architecture((BevImage::CHANNELS, bev.size, bev.size), codec.num_classes(), seed);
+        IlModel {
+            network,
+            codec,
+            bev,
+        }
+    }
+
+    /// The action codec.
+    pub fn codec(&self) -> &ActionCodec {
+        &self.codec
+    }
+
+    /// The BEV geometry the model expects.
+    pub fn bev_config(&self) -> &BevConfig {
+        &self.bev
+    }
+
+    /// Mutable access to the network (the trainer drives this).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Runs inference on one BEV image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image geometry differs from the model's
+    /// [`BevConfig`].
+    pub fn infer(&mut self, image: &BevImage) -> InferResult {
+        assert_eq!(
+            image.size, self.bev.size,
+            "BEV image size does not match the model"
+        );
+        let x = Tensor::from_vec(
+            vec![1, BevImage::CHANNELS, image.size, image.size],
+            image.data.clone(),
+        )
+        .expect("BEV image data matches its declared size");
+        let probs_t = self.network.predict_proba(&x);
+        let probs: Vec<f64> = probs_t.data().iter().map(|&v| v as f64).collect();
+        let class = probs_t.argmax_rows()[0];
+        InferResult {
+            action: self.codec.decode(class),
+            class,
+            probs,
+        }
+    }
+
+    /// Serializes weights + codec + geometry to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Restores a model from [`IlModel::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icoil_perception::BevImage;
+
+    fn blank_image(size: usize) -> BevImage {
+        BevImage {
+            size,
+            range: 12.0,
+            data: vec![0.0; BevImage::CHANNELS * size * size],
+        }
+    }
+
+    #[test]
+    fn infer_returns_distribution_on_simplex() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1);
+        let r = m.infer(&blank_image(32));
+        assert_eq!(r.probs.len(), 21);
+        let sum: f64 = r.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(r.class < 21);
+        assert!(r.action.validate().is_ok());
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 2);
+        let img = blank_image(32);
+        assert_eq!(m.infer(&img), m.infer(&img));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_inference() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 3);
+        let img = blank_image(32);
+        let before = m.infer(&img);
+        let mut back = IlModel::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.infer(&img), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "size does not match")]
+    fn wrong_image_size_panics() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 4);
+        let _ = m.infer(&blank_image(16));
+    }
+}

@@ -1,0 +1,241 @@
+//! In-memory classification datasets with seeded mini-batching.
+
+use crate::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled classification dataset of fixed-shape samples.
+///
+/// Samples are stored flat; `sample_shape` describes one sample (e.g.
+/// `[2, 32, 32]` for a two-channel BEV image).
+///
+/// # Example
+///
+/// ```
+/// use icoil_nn::Dataset;
+///
+/// let mut d = Dataset::new(vec![2]);
+/// d.push(&[0.0, 1.0], 0).unwrap();
+/// d.push(&[1.0, 0.0], 1).unwrap();
+/// assert_eq!(d.len(), 2);
+/// let (x, y) = d.batch(&[1, 0]);
+/// assert_eq!(x.shape(), &[2, 2]);
+/// assert_eq!(y, vec![1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    sample_shape: Vec<usize>,
+    sample_len: usize,
+    data: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+/// Error returned when a pushed sample has the wrong length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleLenError {
+    /// Expected per-sample element count.
+    pub expected: usize,
+    /// Supplied element count.
+    pub got: usize,
+}
+
+impl std::fmt::Display for SampleLenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sample has {} elements but the dataset stores {}-element samples",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SampleLenError {}
+
+impl Dataset {
+    /// Creates an empty dataset of samples shaped `sample_shape`.
+    pub fn new(sample_shape: Vec<usize>) -> Self {
+        let sample_len = sample_shape.iter().product();
+        Dataset {
+            sample_shape,
+            sample_len,
+            data: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleLenError`] when the sample length does not match.
+    pub fn push(&mut self, sample: &[f32], label: usize) -> Result<(), SampleLenError> {
+        if sample.len() != self.sample_len {
+            return Err(SampleLenError {
+                expected: self.sample_len,
+                got: sample.len(),
+            });
+        }
+        self.data.extend_from_slice(sample);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The shape of one sample.
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.sample_shape
+    }
+
+    /// The label list.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Class histogram over `classes` classes.
+    pub fn class_counts(&self, classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; classes];
+        for &l in &self.labels {
+            if l < classes {
+                counts[l] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Assembles a batch tensor `[indices.len(), …sample_shape]` plus
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.sample_shape);
+        let mut data = Vec::with_capacity(indices.len() * self.sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&self.data[i * self.sample_len..(i + 1) * self.sample_len]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(shape, data).expect("batch shape matches data"),
+            labels,
+        )
+    }
+
+    /// Seeded shuffled mini-batch index lists covering the whole dataset;
+    /// the final batch may be smaller.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero batch size.
+    pub fn shuffled_batches(&self, batch_size: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Splits into `(train, test)` by taking every `k`-th sample for test.
+    ///
+    /// Deterministic (no RNG): stable across runs and platforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k < 2`.
+    pub fn split_every_kth(&self, k: usize) -> (Dataset, Dataset) {
+        assert!(k >= 2, "split requires k >= 2");
+        let mut train = Dataset::new(self.sample_shape.clone());
+        let mut test = Dataset::new(self.sample_shape.clone());
+        for i in 0..self.len() {
+            let sample = &self.data[i * self.sample_len..(i + 1) * self.sample_len];
+            let dst = if i % k == 0 { &mut test } else { &mut train };
+            dst.push(sample, self.labels[i]).expect("same shape");
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_sample_dataset() -> Dataset {
+        let mut d = Dataset::new(vec![2]);
+        d.push(&[0.0, 1.0], 0).unwrap();
+        d.push(&[2.0, 3.0], 1).unwrap();
+        d.push(&[4.0, 5.0], 2).unwrap();
+        d
+    }
+
+    #[test]
+    fn push_validates_length() {
+        let mut d = Dataset::new(vec![3]);
+        assert!(d.push(&[1.0, 2.0], 0).is_err());
+        assert!(d.push(&[1.0, 2.0, 3.0], 0).is_ok());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let d = three_sample_dataset();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(y, vec![2, 0]);
+    }
+
+    #[test]
+    fn shuffled_batches_cover_everything() {
+        let mut d = Dataset::new(vec![1]);
+        for i in 0..10 {
+            d.push(&[i as f32], i).unwrap();
+        }
+        let batches = d.shuffled_batches(3, 42);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        // determinism
+        assert_eq!(d.shuffled_batches(3, 42), d.shuffled_batches(3, 42));
+        assert_ne!(d.shuffled_batches(3, 42), d.shuffled_batches(3, 43));
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = three_sample_dataset();
+        assert_eq!(d.class_counts(3), vec![1, 1, 1]);
+        assert_eq!(d.class_counts(2), vec![1, 1]); // out-of-range dropped
+    }
+
+    #[test]
+    fn split_every_kth_partitions() {
+        let mut d = Dataset::new(vec![1]);
+        for i in 0..10 {
+            d.push(&[i as f32], i % 2).unwrap();
+        }
+        let (train, test) = d.split_every_kth(5);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.len(), 8);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = three_sample_dataset();
+        let s = serde_json::to_string(&d).unwrap();
+        let e: Dataset = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, e);
+    }
+}

@@ -1,0 +1,71 @@
+//! Weight initialization.
+
+use crate::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// He (Kaiming) uniform initialization for layers followed by ReLU:
+/// samples from `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Example
+///
+/// ```
+/// use icoil_nn::init::he_uniform;
+///
+/// let w = he_uniform(vec![16, 8], 8, 42);
+/// assert_eq!(w.shape(), &[16, 8]);
+/// let bound = (6.0f32 / 8.0).sqrt();
+/// assert!(w.data().iter().all(|v| v.abs() <= bound));
+/// ```
+pub fn he_uniform(shape: Vec<usize>, fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan-in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan sizes must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Uniform initialization on `[lo, hi)`, seeded.
+pub fn uniform(shape: Vec<usize>, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("shape matches generated length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = he_uniform(vec![4, 4], 4, 7);
+        let b = he_uniform(vec![4, 4], 4, 7);
+        assert_eq!(a, b);
+        let c = he_uniform(vec![4, 4], 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let t = uniform(vec![1000], -0.5, 0.5, 3);
+        assert!(t.data().iter().all(|v| (-0.5..0.5).contains(v)));
+        // roughly centered
+        let mean: f32 = t.sum() / 1000.0;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn xavier_scales_with_fans() {
+        let small = xavier_uniform(vec![100], 10, 10, 1);
+        let large = xavier_uniform(vec![100], 1000, 1000, 1);
+        let amp = |t: &Tensor| t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(amp(&large) < amp(&small));
+    }
+}

@@ -1,0 +1,192 @@
+//! Classification metrics beyond plain accuracy.
+
+use crate::Tensor;
+
+/// A confusion matrix over `classes` classes.
+///
+/// Rows are true labels, columns are predictions.
+///
+/// # Example
+///
+/// ```
+/// use icoil_nn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.count(0, 1), 1);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "confusion matrix needs at least one class");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(true label, prediction)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range labels.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        assert!(
+            truth < self.classes && prediction < self.classes,
+            "label out of range"
+        );
+        self.counts[truth * self.classes + prediction] += 1;
+    }
+
+    /// Records a whole batch from logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions disagree.
+    pub fn record_batch(&mut self, logits: &Tensor, labels: &[usize]) {
+        let preds = logits.argmax_rows();
+        assert_eq!(preds.len(), labels.len(), "one label per row");
+        for (&t, &p) in labels.iter().zip(&preds) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count for `(truth, prediction)`.
+    pub fn count(&self, truth: usize, prediction: usize) -> usize {
+        self.counts[truth * self.classes + prediction]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (`NaN` when empty).
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            f64::NAN
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall of one class (`NaN` when the class never occurred).
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: usize = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            f64::NAN
+        } else {
+            self.count(class, class) as f64 / row as f64
+        }
+    }
+
+    /// Precision of one class (`NaN` when the class was never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let col: usize = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            f64::NAN
+        } else {
+            self.count(class, class) as f64 / col as f64
+        }
+    }
+
+    /// Macro-averaged recall over classes that occurred.
+    pub fn macro_recall(&self) -> f64 {
+        let vals: Vec<f64> = (0..self.classes)
+            .map(|c| self.recall(c))
+            .filter(|v| !v.is_nan())
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Renders a compact text table (rows = truth, cols = prediction).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                out.push_str(&format!("{:6}", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_metrics() {
+        let mut cm = ConfusionMatrix::new(2);
+        // 3 true class 0 (2 right), 2 true class 1 (1 right)
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(1, 0);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.macro_recall() - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_recording_matches_argmax() {
+        let logits = Tensor::from_vec(vec![3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_batch(&logits, &[0, 1, 1]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_nan() {
+        let cm = ConfusionMatrix::new(4);
+        assert!(cm.accuracy().is_nan());
+        assert!(cm.recall(0).is_nan());
+        assert!(cm.precision(0).is_nan());
+    }
+
+    #[test]
+    fn text_rendering_nonempty() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        assert!(cm.to_text().contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

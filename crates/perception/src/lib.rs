@@ -1,0 +1,42 @@
+//! Synthetic perception substrate: BEV transformer `g(·)` and object
+//! detector `h(·)`.
+//!
+//! The paper uses off-the-shelf camera → BEV and object-detection nodes;
+//! both are replaced here by ground-truth-driven synthetic equivalents
+//! that preserve the properties the iCOIL algorithm depends on:
+//!
+//! * [`BevRenderer`] — renders an **ego-centric** bird's-eye-view
+//!   occupancy image `y_i = g(x_i)` (obstacles/walls channel + goal-bay
+//!   channel). The IL DNN and the HSA uncertainty consume this image.
+//! * [`ObjectDetector`] — produces bounding boxes `z_i = h(y_i)` from the
+//!   ground-truth footprints, with configurable jitter, misses and
+//!   phantom boxes. The CO collision constraints consume these boxes.
+//! * [`Perception`] — bundles both with a deterministic per-frame noise
+//!   stream derived from the scenario seed, so hard-level noise
+//!   (§V-B) is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use icoil_perception::{BevConfig, Perception};
+//! use icoil_world::{Difficulty, ScenarioConfig, World};
+//! use icoil_world::episode::Observation;
+//!
+//! let scenario = ScenarioConfig::new(Difficulty::Easy, 3).build();
+//! let mut world = World::new(scenario);
+//! let mut perception = Perception::new(BevConfig::default(), world.scenario());
+//! let sensing = perception.observe(&Observation::new(&world));
+//! assert_eq!(sensing.bev.data.len(), 3 * 32 * 32);
+//! assert_eq!(sensing.boxes.len(), 3); // three static obstacles in range
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bev;
+pub mod detector;
+pub mod pipeline;
+
+pub use bev::{BevConfig, BevImage, BevRenderer};
+pub use detector::ObjectDetector;
+pub use pipeline::{Perception, Sensing};

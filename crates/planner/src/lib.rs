@@ -1,0 +1,44 @@
+//! Global path planning for iCOIL: Reeds-Shepp curves and hybrid A*.
+//!
+//! The paper's CO module tracks "the shortest path from the current
+//! position to the target parking space" (§IV-B). This crate produces
+//! that reference path:
+//!
+//! * [`reeds_shepp`] — shortest curvature-bounded forward/reverse curves
+//!   between two poses (used as the hybrid-A* analytic expansion and as an
+//!   admissible heuristic);
+//! * [`hybrid_astar`] — a kinematically-feasible lattice search over
+//!   `(x, y, θ)` with motion primitives, a holonomic-with-obstacles
+//!   heuristic from a grid distance map, and Reeds-Shepp analytic
+//!   expansion (the standard autonomous-parking planner, cf. Apollo).
+//!
+//! # Example
+//!
+//! ```
+//! use icoil_geom::{Aabb, Pose2, Vec2};
+//! use icoil_planner::{hybrid_astar, PlannerConfig, PlanningProblem};
+//! use icoil_vehicle::VehicleParams;
+//!
+//! let params = VehicleParams::default();
+//! let problem = PlanningProblem {
+//!     start: Pose2::new(4.0, 4.0, 0.0),
+//!     goal: Pose2::new(15.0, 7.0, 0.0),
+//!     bounds: Aabb::new(Vec2::ZERO, Vec2::new(20.0, 14.0)),
+//!     obstacles: &[],
+//!     vehicle: &params,
+//!     safety_margin: 0.2,
+//! };
+//! let path = hybrid_astar::plan(&problem, &PlannerConfig::default()).unwrap();
+//! assert!(path.length() >= 11.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod hybrid_astar;
+pub mod reeds_shepp;
+pub mod smooth;
+
+pub use hybrid_astar::{plan, PlanError, PlannedPath, PlannerConfig, PlanningProblem};
+pub use reeds_shepp::{RsPath, RsSegment, SegmentKind};
+pub use smooth::{heading_roughness, smooth_path, SmoothConfig};

@@ -1,0 +1,542 @@
+//! OSQP-style ADMM solver for box-constrained quadratic programs.
+//!
+//! Solves `min ½xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u` with the operator-splitting
+//! scheme of Stellato et al. (OSQP): one Cholesky factorization of
+//! `P + σI + ρAᵀA` up front, then cheap per-iteration triangular solves
+//! and projections. Equality constraints are expressed as `l = u` rows.
+
+use crate::linalg::{Cholesky, Mat};
+use serde::{Deserialize, Serialize};
+
+/// A quadratic program `min ½xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
+#[derive(Debug, Clone)]
+pub struct QpProblem {
+    /// Quadratic cost matrix (symmetric PSD), `n × n`.
+    pub p: Mat,
+    /// Linear cost vector, length `n`.
+    pub q: Vec<f64>,
+    /// Constraint matrix, `m × n`.
+    pub a: Mat,
+    /// Constraint lower bounds, length `m` (may contain `-∞`).
+    pub l: Vec<f64>,
+    /// Constraint upper bounds, length `m` (may contain `+∞`).
+    pub u: Vec<f64>,
+}
+
+/// Error returned by [`QpProblem::new`] for dimensionally-inconsistent or
+/// ill-ordered problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QpError {
+    /// `P` is not square or does not match `q`.
+    BadCost,
+    /// `A`, `l`, `u` dimensions are inconsistent.
+    BadConstraints,
+    /// Some `l[i] > u[i]`.
+    CrossedBounds,
+}
+
+impl std::fmt::Display for QpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpError::BadCost => write!(f, "cost dimensions are inconsistent"),
+            QpError::BadConstraints => write!(f, "constraint dimensions are inconsistent"),
+            QpError::CrossedBounds => write!(f, "some lower bound exceeds its upper bound"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+impl QpProblem {
+    /// Validates and assembles a QP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QpError`] describing the first inconsistency.
+    pub fn new(p: Mat, q: Vec<f64>, a: Mat, l: Vec<f64>, u: Vec<f64>) -> Result<Self, QpError> {
+        let n = q.len();
+        if p.rows() != n || p.cols() != n {
+            return Err(QpError::BadCost);
+        }
+        let m = a.rows();
+        if a.cols() != n || l.len() != m || u.len() != m {
+            return Err(QpError::BadConstraints);
+        }
+        if l.iter().zip(&u).any(|(lo, hi)| lo > hi) {
+            return Err(QpError::CrossedBounds);
+        }
+        Ok(QpProblem { p, q, a, l, u })
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.l.len()
+    }
+
+    /// Objective value `½xᵀPx + qᵀx` at `x`.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        let px = self.p.mul_vec(x);
+        0.5 * dot(x, &px) + dot(&self.q, x)
+    }
+
+    /// Worst constraint violation at `x` (zero when feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let ax = self.a.mul_vec(x);
+        ax.iter()
+            .zip(self.l.iter().zip(&self.u))
+            .map(|(v, (lo, hi))| (lo - v).max(v - hi).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// ADMM iteration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QpSettings {
+    /// Step size ρ (constraint weight).
+    pub rho: f64,
+    /// Regularization σ added to `P` for factorization robustness.
+    pub sigma: f64,
+    /// Over-relaxation α in `(0, 2)`.
+    pub alpha: f64,
+    /// Maximum ADMM iterations.
+    pub max_iters: usize,
+    /// Absolute primal/dual residual tolerance.
+    pub eps_abs: f64,
+}
+
+impl Default for QpSettings {
+    fn default() -> Self {
+        QpSettings {
+            rho: 0.1,
+            sigma: 1e-6,
+            alpha: 1.6,
+            max_iters: 4000,
+            eps_abs: 1e-6,
+        }
+    }
+}
+
+/// Termination status of [`solve_qp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QpStatus {
+    /// Residuals reached the tolerance.
+    Solved,
+    /// Iteration budget exhausted; `x` is the best iterate.
+    MaxIterations,
+}
+
+/// Result of [`solve_qp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QpSolution {
+    /// Primal solution (projected to be feasible for box rows).
+    pub x: Vec<f64>,
+    /// Dual variables for the constraint rows.
+    pub y: Vec<f64>,
+    /// Termination status.
+    pub status: QpStatus,
+    /// Number of ADMM iterations performed.
+    pub iterations: usize,
+    /// Final primal residual `‖Ax − z‖∞`.
+    pub primal_residual: f64,
+    /// Final dual residual `‖Px + q + Aᵀy‖∞`.
+    pub dual_residual: f64,
+}
+
+/// Solves a QP with ADMM.
+///
+/// The problem is first *equilibrated* (modified Ruiz scaling of rows and
+/// columns, as in OSQP §5.1): ADMM's convergence rate degrades badly when
+/// constraint rows or cost columns span orders of magnitude, which is the
+/// normal situation for condensed MPC problems. The returned solution is
+/// unscaled back to the original problem's variables and duals.
+///
+/// Never panics on a well-formed [`QpProblem`]; an indefinite `P` is
+/// handled by the σ-regularization (the solution then corresponds to the
+/// regularized problem, which is the standard OSQP behaviour).
+pub fn solve_qp(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
+    let (scaled, d, e) = equilibrate(problem);
+    let mut sol = solve_qp_raw(&scaled, settings);
+    // unscale: x = D·x̃, y = E·ỹ
+    for (x, di) in sol.x.iter_mut().zip(&d) {
+        *x *= di;
+    }
+    for (y, ei) in sol.y.iter_mut().zip(&e) {
+        *y *= ei;
+    }
+    // report residuals in original units (approximately): recompute
+    sol.primal_residual = problem.max_violation(&sol.x);
+    let px = problem.p.mul_vec(&sol.x);
+    let aty = problem.a.t_mul_vec(&sol.y);
+    sol.dual_residual = (0..problem.num_vars())
+        .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
+        .fold(0.0, f64::max);
+    sol
+}
+
+/// Modified Ruiz equilibration: returns the scaled problem plus the
+/// column scales `D` and row scales `E` such that the scaled problem is
+/// `min ½x̃ᵀ(DPD)x̃ + (Dq)ᵀx̃  s.t.  El ≤ (EAD)x̃ ≤ Eu` with `x = Dx̃`.
+fn equilibrate(problem: &QpProblem) -> (QpProblem, Vec<f64>, Vec<f64>) {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let mut d = vec![1.0f64; n];
+    let mut e = vec![1.0f64; m];
+    let mut p = problem.p.clone();
+    let mut a = problem.a.clone();
+    let clamp = |v: f64| v.clamp(1e-6, 1e6);
+    for _ in 0..8 {
+        // row norms of A
+        for i in 0..m {
+            let mut r = 0.0f64;
+            for j in 0..n {
+                r = r.max(a.at(i, j).abs());
+            }
+            if r > 0.0 {
+                let s = 1.0 / clamp(r).sqrt();
+                for j in 0..n {
+                    *a.at_mut(i, j) *= s;
+                }
+                e[i] *= s;
+            }
+        }
+        // column norms over A and P
+        for j in 0..n {
+            let mut c = 0.0f64;
+            for i in 0..m {
+                c = c.max(a.at(i, j).abs());
+            }
+            for k in 0..n {
+                c = c.max(p.at(k, j).abs());
+            }
+            if c > 0.0 {
+                let s = 1.0 / clamp(c).sqrt();
+                for i in 0..m {
+                    *a.at_mut(i, j) *= s;
+                }
+                // symmetric scaling of P: row and column j
+                for k in 0..n {
+                    *p.at_mut(k, j) *= s;
+                    *p.at_mut(j, k) *= s;
+                }
+                d[j] *= s;
+            }
+        }
+    }
+    let q: Vec<f64> = problem.q.iter().zip(&d).map(|(qi, di)| qi * di).collect();
+    let l: Vec<f64> = problem.l.iter().zip(&e).map(|(li, ei)| li * ei).collect();
+    let u: Vec<f64> = problem.u.iter().zip(&e).map(|(ui, ei)| ui * ei).collect();
+    (
+        QpProblem { p, q, a, l, u },
+        d,
+        e,
+    )
+}
+
+/// The core ADMM loop on an (already scaled) problem.
+fn solve_qp_raw(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let mut rho = settings.rho;
+
+    // KKT matrix M = P + σI + ρ AᵀA, factorized once per ρ value.
+    let gram = problem.a.gram();
+    let build_factor = |rho: f64| {
+        let mut kkt = problem.p.clone();
+        kkt.add_scaled(&Mat::identity(n), settings.sigma);
+        kkt.add_scaled(&gram, rho);
+        ensure_factor(kkt, n)
+    };
+    let mut factor = build_factor(rho);
+
+    let mut x = vec![0.0; n];
+    let mut z = vec![0.0; m];
+    let mut y = vec![0.0; m];
+
+    let mut primal_res = f64::INFINITY;
+    let mut dual_res = f64::INFINITY;
+    let mut iters = 0;
+
+    let alpha = settings.alpha;
+    for it in 0..settings.max_iters {
+        iters = it + 1;
+        // x̃-update: (P + σI + ρAᵀA) x̃ = σx − q + Aᵀ(ρz − y)
+        let mut rhs = vec![0.0; n];
+        let tmp: Vec<f64> = z.iter().zip(&y).map(|(zi, yi)| rho * zi - yi).collect();
+        let at_tmp = problem.a.t_mul_vec(&tmp);
+        for i in 0..n {
+            rhs[i] = settings.sigma * x[i] - problem.q[i] + at_tmp[i];
+        }
+        let x_tilde = factor.solve(&rhs);
+        let z_tilde = problem.a.mul_vec(&x_tilde);
+
+        // over-relaxation on both x and z (OSQP alg. 1)
+        for i in 0..n {
+            x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
+        }
+        let mut z_new = vec![0.0; m];
+        for i in 0..m {
+            let relaxed = alpha * z_tilde[i] + (1.0 - alpha) * z[i];
+            z_new[i] = (relaxed + y[i] / rho).clamp(problem.l[i], problem.u[i]);
+            y[i] += rho * (relaxed - z_new[i]);
+        }
+        z = z_new;
+
+        if it % 10 == 9 || it == settings.max_iters - 1 {
+            let ax = problem.a.mul_vec(&x);
+            primal_res = ax
+                .iter()
+                .zip(&z)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            let px = problem.p.mul_vec(&x);
+            let aty = problem.a.t_mul_vec(&y);
+            dual_res = (0..n)
+                .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
+                .fold(0.0, f64::max);
+            if primal_res < settings.eps_abs && dual_res < settings.eps_abs {
+                return QpSolution {
+                    x,
+                    y,
+                    status: QpStatus::Solved,
+                    iterations: iters,
+                    primal_residual: primal_res,
+                    dual_residual: dual_res,
+                };
+            }
+            // Adaptive ρ (OSQP §5.2): rebalance when the residuals diverge
+            // by more than an order of magnitude. Refactorization is cheap
+            // at MPC scale.
+            let scale = if primal_res > 10.0 * dual_res && primal_res > settings.eps_abs {
+                Some(rho * 5.0)
+            } else if dual_res > 10.0 * primal_res && dual_res > settings.eps_abs {
+                Some(rho / 5.0)
+            } else {
+                None
+            };
+            if let Some(new_rho) = scale {
+                let new_rho = new_rho.clamp(1e-6, 1e6);
+                if (new_rho - rho).abs() > f64::EPSILON {
+                    rho = new_rho;
+                    factor = build_factor(rho);
+                }
+            }
+        }
+    }
+
+    QpSolution {
+        x,
+        y,
+        status: QpStatus::MaxIterations,
+        iterations: iters,
+        primal_residual: primal_res,
+        dual_residual: dual_res,
+    }
+}
+
+/// Factorizes, escalating the regularization if the matrix is not PD.
+fn ensure_factor(mut kkt: Mat, n: usize) -> Cholesky {
+    let mut bump = 1e-9;
+    loop {
+        match kkt.cholesky() {
+            Ok(f) => return f,
+            Err(_) => {
+                kkt.add_scaled(&Mat::identity(n), bump);
+                bump *= 10.0;
+                assert!(
+                    bump < 1e6,
+                    "KKT matrix cannot be made positive definite — cost matrix is pathological"
+                );
+            }
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings() -> QpSettings {
+        QpSettings::default()
+    }
+
+    #[test]
+    fn unconstrained_minimum() {
+        // min (x-3)²  → x = 3; constraint row is vacuous
+        let qp = QpProblem::new(
+            Mat::diag(&[2.0]),
+            vec![-6.0],
+            Mat::identity(1),
+            vec![-1e9],
+            vec![1e9],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert_eq!(sol.status, QpStatus::Solved);
+        assert!((sol.x[0] - 3.0).abs() < 1e-4, "x = {}", sol.x[0]);
+    }
+
+    #[test]
+    fn active_box_constraint() {
+        // min (x-3)² s.t. x ≤ 1 → x = 1
+        let qp = QpProblem::new(
+            Mat::diag(&[2.0]),
+            vec![-6.0],
+            Mat::identity(1),
+            vec![-1e9],
+            vec![1.0],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert!((sol.x[0] - 1.0).abs() < 1e-4);
+        // KKT: gradient 2x-6 = -4 balanced by dual ≈ 4 on the upper bound
+        assert!((sol.y[0] + (2.0 * sol.x[0] - 6.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn equality_constraint_via_tight_bounds() {
+        // min x² + y² s.t. x + y = 2 → x = y = 1
+        let qp = QpProblem::new(
+            Mat::diag(&[2.0, 2.0]),
+            vec![0.0, 0.0],
+            Mat::from_rows(&[&[1.0, 1.0]]),
+            vec![2.0],
+            vec![2.0],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert!((sol.x[0] - 1.0).abs() < 1e-4);
+        assert!((sol.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn projection_onto_halfspace() {
+        // min ‖x − (2, 2)‖² s.t. x₀ + x₁ ≤ 2 → x = (1, 1)
+        let qp = QpProblem::new(
+            Mat::diag(&[2.0, 2.0]),
+            vec![-4.0, -4.0],
+            Mat::from_rows(&[&[1.0, 1.0]]),
+            vec![-1e9],
+            vec![2.0],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert!((sol.x[0] - 1.0).abs() < 1e-3);
+        assert!((sol.x[1] - 1.0).abs() < 1e-3);
+        assert!(qp.max_violation(&sol.x) < 1e-4);
+    }
+
+    #[test]
+    fn multi_constraint_qp_kkt_residuals() {
+        // a less trivial QP: coupled cost, two inequality rows, one box
+        let p = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.5, 2.0]]);
+        let q = vec![-1.0, 2.0, -3.0];
+        let a = Mat::from_rows(&[
+            &[1.0, 1.0, 1.0],
+            &[1.0, -1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let l = vec![-1.0, -2.0, -0.5];
+        let u = vec![1.5, 2.0, 0.5];
+        let qp = QpProblem::new(p, q, a, l, u).unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert_eq!(sol.status, QpStatus::Solved);
+        assert!(qp.max_violation(&sol.x) < 1e-4);
+        assert!(sol.primal_residual < 1e-5);
+        assert!(sol.dual_residual < 1e-5);
+        // objective below any feasible probe point
+        let probes = [
+            vec![0.0, 0.0, 0.0],
+            vec![0.5, -0.5, 0.5],
+            vec![-0.3, 0.2, -0.5],
+        ];
+        for probe in probes {
+            if qp.max_violation(&probe) < 1e-9 {
+                assert!(qp.objective(&sol.x) <= qp.objective(&probe) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            QpProblem::new(
+                Mat::zeros(2, 3),
+                vec![0.0, 0.0],
+                Mat::identity(2),
+                vec![0.0; 2],
+                vec![0.0; 2]
+            )
+            .unwrap_err(),
+            QpError::BadCost
+        );
+        assert_eq!(
+            QpProblem::new(
+                Mat::identity(2),
+                vec![0.0, 0.0],
+                Mat::identity(2),
+                vec![0.0; 3],
+                vec![0.0; 3]
+            )
+            .unwrap_err(),
+            QpError::BadConstraints
+        );
+        assert_eq!(
+            QpProblem::new(
+                Mat::identity(1),
+                vec![0.0],
+                Mat::identity(1),
+                vec![1.0],
+                vec![-1.0]
+            )
+            .unwrap_err(),
+            QpError::CrossedBounds
+        );
+    }
+
+    #[test]
+    fn indefinite_cost_is_regularized_not_fatal() {
+        // P has a negative eigenvalue; solver must still terminate.
+        let qp = QpProblem::new(
+            Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]),
+            vec![0.0, 0.0],
+            Mat::identity(2),
+            vec![-1.0, -1.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+        assert!(qp.max_violation(&sol.x) < 1e-3);
+    }
+
+    #[test]
+    fn mpc_scale_problem_solves_quickly() {
+        // tracking QP with 40 variables and 80 rows, diagonal-dominant
+        let n = 40;
+        let p = Mat::diag(&vec![2.0; n]);
+        let q: Vec<f64> = (0..n).map(|i| -((i % 7) as f64) * 0.1).collect();
+        let mut rows = Mat::zeros(2 * n, n);
+        for i in 0..n {
+            *rows.at_mut(i, i) = 1.0; // box
+            *rows.at_mut(n + i, i) = 1.0;
+            if i + 1 < n {
+                *rows.at_mut(n + i, i + 1) = -1.0; // rate limit
+            }
+        }
+        let l = vec![-1.0; 2 * n];
+        let u = vec![1.0; 2 * n];
+        let qp = QpProblem::new(p, q, rows, l, u).unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert_eq!(sol.status, QpStatus::Solved);
+        assert!(qp.max_violation(&sol.x) < 1e-4);
+    }
+}

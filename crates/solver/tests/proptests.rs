@@ -1,0 +1,89 @@
+//! Property-based tests for the solver crate: every solved QP must
+//! satisfy feasibility and first-order (KKT) conditions.
+
+use icoil_solver::{solve_qp, Mat, QpProblem, QpSettings, QpStatus};
+use proptest::prelude::*;
+
+/// Random strictly-convex diagonal QP with box constraints — the solution
+/// is known in closed form: clamp(-q_i / p_i, l_i, u_i).
+fn arb_box_qp() -> impl Strategy<Value = (QpProblem, Vec<f64>)> {
+    (2usize..8).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0.5f64..5.0, n),
+            prop::collection::vec(-3.0f64..3.0, n),
+            prop::collection::vec(-2.0f64..0.0, n),
+            prop::collection::vec(0.0f64..2.0, n),
+        )
+            .prop_map(|(pd, q, l, u)| {
+                let expected: Vec<f64> = pd
+                    .iter()
+                    .zip(&q)
+                    .zip(l.iter().zip(&u))
+                    .map(|((p, qi), (lo, hi))| (-qi / p).clamp(*lo, *hi))
+                    .collect();
+                let n = pd.len();
+                let qp = QpProblem::new(Mat::diag(&pd), q, Mat::identity(n), l, u).unwrap();
+                (qp, expected)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diagonal_box_qp_matches_closed_form((qp, expected) in arb_box_qp()) {
+        let sol = solve_qp(&qp, &QpSettings::default());
+        prop_assert_eq!(sol.status, QpStatus::Solved);
+        for (got, want) in sol.x.iter().zip(&expected) {
+            prop_assert!((got - want).abs() < 1e-3, "got {} want {}", got, want);
+        }
+    }
+
+    #[test]
+    fn solutions_are_feasible_and_stationary(
+        n in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        // random PSD P = GᵀG + I, random A, sorted bounds
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let g = Mat::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let mut p = g.gram();
+        p.add_scaled(&Mat::identity(n), 1.0);
+        let q: Vec<f64> = (0..n).map(|_| next()).collect();
+        let m = n + 1;
+        let a = Mat::from_vec(m, n, (0..m * n).map(|_| next()).collect());
+        // Bounds straddle a known point so the feasible set is non-empty
+        // (independent random slabs can otherwise have empty intersection).
+        let x0: Vec<f64> = (0..n).map(|_| next()).collect();
+        let ax0 = a.mul_vec(&x0);
+        let (l, u): (Vec<f64>, Vec<f64>) = ax0
+            .iter()
+            .map(|&c| {
+                let below = 0.1 + next().abs();
+                let above = 0.1 + next().abs();
+                (c - below, c + above)
+            })
+            .unzip();
+        let qp = QpProblem::new(p, q, a, l, u).unwrap();
+        let sol = solve_qp(&qp, &QpSettings::default());
+        // feasibility
+        prop_assert!(qp.max_violation(&sol.x) < 1e-3, "violation {}", qp.max_violation(&sol.x));
+        // stationarity: Px + q + Aᵀy ≈ 0
+        prop_assert!(sol.dual_residual < 1e-3, "dual residual {}", sol.dual_residual);
+    }
+
+    #[test]
+    fn objective_no_worse_than_origin_when_origin_feasible(
+        (qp, _) in arb_box_qp(),
+    ) {
+        // origin is feasible for these box QPs (l ≤ 0 ≤ u)
+        let sol = solve_qp(&qp, &QpSettings::default());
+        let zero = vec![0.0; qp.num_vars()];
+        prop_assert!(qp.objective(&sol.x) <= qp.objective(&zero) + 1e-6);
+    }
+}

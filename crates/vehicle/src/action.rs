@@ -1,0 +1,152 @@
+//! The driving-action vector.
+
+use serde::{Deserialize, Serialize};
+
+/// A CARLA-style control command: the action vector `a_i` of the paper,
+/// containing throttle, brake, steer and reverse elements (§III).
+///
+/// All continuous elements are normalized; the vehicle parameters scale
+/// them to physical quantities inside [`crate::kinematics`].
+///
+/// # Example
+///
+/// ```
+/// use icoil_vehicle::Action;
+///
+/// let a = Action { throttle: 0.6, brake: 0.0, steer: -0.3, reverse: true };
+/// assert!(a.validate().is_ok());
+/// assert!(Action::coast().is_coasting());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Action {
+    /// Drive command in `[0, 1]`.
+    pub throttle: f64,
+    /// Brake command in `[0, 1]`.
+    pub brake: f64,
+    /// Steering command in `[-1, 1]`; positive steers left
+    /// (counter-clockwise).
+    pub steer: f64,
+    /// Gear direction: `true` drives backwards.
+    pub reverse: bool,
+}
+
+impl Action {
+    /// An all-zero action (coasting, wheels straight).
+    pub fn coast() -> Self {
+        Action::default()
+    }
+
+    /// Full brake, wheels straight.
+    pub fn full_brake() -> Self {
+        Action {
+            brake: 1.0,
+            ..Action::default()
+        }
+    }
+
+    /// Forward drive at the given throttle and steer.
+    pub fn forward(throttle: f64, steer: f64) -> Self {
+        Action {
+            throttle,
+            brake: 0.0,
+            steer,
+            reverse: false,
+        }
+    }
+
+    /// Reverse drive at the given throttle and steer.
+    pub fn backward(throttle: f64, steer: f64) -> Self {
+        Action {
+            throttle,
+            brake: 0.0,
+            steer,
+            reverse: true,
+        }
+    }
+
+    /// Returns `true` when neither throttle nor brake is applied.
+    pub fn is_coasting(&self) -> bool {
+        self.throttle == 0.0 && self.brake == 0.0
+    }
+
+    /// Checks that every element is finite and within its normalized range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range element.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.throttle) || !self.throttle.is_finite() {
+            return Err(format!("throttle {} outside [0, 1]", self.throttle));
+        }
+        if !(0.0..=1.0).contains(&self.brake) || !self.brake.is_finite() {
+            return Err(format!("brake {} outside [0, 1]", self.brake));
+        }
+        if !(-1.0..=1.0).contains(&self.steer) || !self.steer.is_finite() {
+            return Err(format!("steer {} outside [-1, 1]", self.steer));
+        }
+        Ok(())
+    }
+
+    /// Returns the action with every element clamped into range.
+    pub fn clamped(&self) -> Action {
+        Action {
+            throttle: self.throttle.clamp(0.0, 1.0),
+            brake: self.brake.clamp(0.0, 1.0),
+            steer: self.steer.clamp(-1.0, 1.0),
+            reverse: self.reverse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(Action::coast().is_coasting());
+        assert_eq!(Action::full_brake().brake, 1.0);
+        let f = Action::forward(0.5, 0.2);
+        assert!(!f.reverse && f.throttle == 0.5);
+        let b = Action::backward(0.5, 0.0);
+        assert!(b.reverse);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Action::coast().validate().is_ok());
+        assert!(Action {
+            throttle: 1.5,
+            ..Action::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Action {
+            steer: -2.0,
+            ..Action::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Action {
+            brake: f64::NAN,
+            ..Action::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn clamping() {
+        let a = Action {
+            throttle: 3.0,
+            brake: -1.0,
+            steer: 9.0,
+            reverse: true,
+        }
+        .clamped();
+        assert_eq!(a.throttle, 1.0);
+        assert_eq!(a.brake, 0.0);
+        assert_eq!(a.steer, 1.0);
+        assert!(a.validate().is_ok());
+    }
+}

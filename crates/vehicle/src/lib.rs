@@ -1,0 +1,43 @@
+//! Ackermann vehicle model, action space and discretization for iCOIL.
+//!
+//! This crate defines the ego-vehicle vocabulary used across the workspace:
+//!
+//! * [`VehicleParams`] — geometric and dynamic limits of the car;
+//! * [`VehicleState`] — rear-axle pose plus signed longitudinal speed;
+//! * [`Action`] — the CARLA-style control vector of the paper
+//!   (throttle / brake / steer / reverse);
+//! * [`kinematics`] — the Ackermann (kinematic-bicycle) state-evolution
+//!   model `s_{i+1} = u(s_i, a_i)` of §IV-B, used both by the simulator and
+//!   by the CO module's linearization;
+//! * [`ActionCodec`] — the continuous↔discrete action conversion of §IV-A
+//!   that turns imitation learning into `M`-way classification.
+//!
+//! # Example
+//!
+//! ```
+//! use icoil_vehicle::{Action, VehicleParams, VehicleState, kinematics};
+//! use icoil_geom::Pose2;
+//!
+//! let params = VehicleParams::default();
+//! let mut state = VehicleState::new(Pose2::new(0.0, 0.0, 0.0), 0.0);
+//! let forward = Action { throttle: 1.0, brake: 0.0, steer: 0.0, reverse: false };
+//! for _ in 0..100 {
+//!     state = kinematics::step(&state, &forward, &params, 0.05);
+//! }
+//! assert!(state.pose.x > 1.0); // the car moved forward
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod action;
+pub mod codec;
+pub mod kinematics;
+pub mod params;
+pub mod state;
+
+pub use action::Action;
+pub use codec::{ActionCodec, SpeedMode};
+pub use kinematics::{step, step_continuous};
+pub use params::VehicleParams;
+pub use state::VehicleState;

@@ -1,0 +1,84 @@
+//! Property-based tests for the vehicle model.
+
+use icoil_geom::Pose2;
+use icoil_vehicle::{kinematics, Action, ActionCodec, VehicleParams, VehicleState};
+use proptest::prelude::*;
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    (0.0f64..1.0, 0.0f64..1.0, -1.0f64..1.0, any::<bool>()).prop_map(
+        |(throttle, brake, steer, reverse)| Action {
+            throttle,
+            brake,
+            steer,
+            reverse,
+        },
+    )
+}
+
+fn arb_state() -> impl Strategy<Value = VehicleState> {
+    (-20.0f64..20.0, -20.0f64..20.0, -4.0f64..4.0, -1.5f64..2.5)
+        .prop_map(|(x, y, t, v)| VehicleState::new(Pose2::new(x, y, t), v))
+}
+
+proptest! {
+    #[test]
+    fn step_keeps_state_finite_and_speed_bounded(s in arb_state(), a in arb_action()) {
+        let p = VehicleParams::default();
+        let mut st = s;
+        for _ in 0..50 {
+            st = kinematics::step(&st, &a, &p, 0.05);
+            prop_assert!(st.is_finite());
+            prop_assert!(st.velocity <= p.max_speed + 1e-9);
+            prop_assert!(st.velocity >= -p.max_reverse_speed - 1e-9);
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed_limit(s in arb_state(), a in arb_action()) {
+        let p = VehicleParams::default();
+        let dt = 0.05;
+        let next = kinematics::step(&s, &a, &p, dt);
+        let moved = next.pose.position().distance(s.pose.position());
+        let vmax = p.max_speed.max(p.max_reverse_speed).max(s.velocity.abs());
+        prop_assert!(moved <= vmax * dt + 1e-9);
+    }
+
+    #[test]
+    fn braking_never_flips_direction(v in 0.1f64..2.5, brake in 0.5f64..1.0) {
+        let p = VehicleParams::default();
+        let mut s = VehicleState::new(Pose2::default(), v);
+        let a = Action { throttle: 0.0, brake, steer: 0.0, reverse: false };
+        for _ in 0..500 {
+            s = kinematics::step(&s, &a, &p, 0.05);
+            prop_assert!(s.velocity >= 0.0);
+        }
+        prop_assert!(s.velocity.abs() < 1e-6);
+    }
+
+    #[test]
+    fn codec_encode_decode_identity(bins in prop::sample::select(vec![3usize, 5, 7, 9, 11]),
+                                    throttle in 0.1f64..1.0) {
+        let c = ActionCodec::new(bins, throttle).unwrap();
+        for class in 0..c.num_classes() {
+            prop_assert_eq!(c.encode(&c.decode(class)), class);
+        }
+    }
+
+    #[test]
+    fn codec_decode_within_bounds(a in arb_action()) {
+        let c = ActionCodec::default();
+        let q = c.decode(c.encode(&a));
+        prop_assert!(q.validate().is_ok());
+        // steer quantization error bounded by half a bin width
+        let bin_width = 2.0 / (c.steer_bins() - 1) as f64;
+        prop_assert!((q.steer - a.steer.clamp(-1.0, 1.0)).abs() <= bin_width / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn footprint_area_constant_under_motion(s in arb_state(), a in arb_action()) {
+        let p = VehicleParams::default();
+        let before = s.footprint(&p).area();
+        let after = kinematics::step(&s, &a, &p, 0.05).footprint(&p).area();
+        prop_assert!((before - after).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,415 @@
+//! The policy interface and episode runner.
+//!
+//! Policies are the "ROS nodes" of the paper collapsed into a trait: they
+//! receive an [`Observation`] of the world each frame and return a
+//! [`Decision`] (an action plus optional HSA telemetry). The runner
+//! terminates on success, collision or timeout and records a per-frame
+//! [`Trace`] from which every figure of the paper is regenerated.
+
+use crate::World;
+use icoil_geom::{Obb, Pose2};
+use icoil_vehicle::Action;
+use serde::{Deserialize, Serialize};
+
+/// Which iCOIL working mode produced an action (for trace coloring and
+/// the Fig. 6/7 mode-switching plots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModeTag {
+    /// Imitation-learning mode.
+    Il,
+    /// Constrained-optimization mode.
+    Co,
+}
+
+impl std::fmt::Display for ModeTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModeTag::Il => write!(f, "IL"),
+            ModeTag::Co => write!(f, "CO"),
+        }
+    }
+}
+
+/// What the policy sees each frame: a read-only view of the world.
+///
+/// Perception-based policies (in `icoil-core`) derive BEV images and noisy
+/// boxes from this ground truth via `icoil-perception`; the runner itself
+/// never exposes noise — noise is a property of sensing, not of the world.
+pub struct Observation<'a> {
+    world: &'a World,
+}
+
+impl<'a> Observation<'a> {
+    /// Wraps a world into an observation.
+    pub fn new(world: &'a World) -> Self {
+        Observation { world }
+    }
+
+    /// The underlying world (full ground truth).
+    pub fn world(&self) -> &'a World {
+        self.world
+    }
+
+    /// Current ego state.
+    pub fn ego(&self) -> icoil_vehicle::VehicleState {
+        *self.world.ego()
+    }
+
+    /// Ground-truth obstacle footprints at the current time.
+    pub fn obstacles(&self) -> Vec<Obb> {
+        self.world.obstacle_footprints()
+    }
+
+    /// The goal pose.
+    pub fn goal(&self) -> Pose2 {
+        self.world.map().goal_pose()
+    }
+
+    /// Simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.world.time()
+    }
+
+    /// Frame index.
+    pub fn frame(&self) -> usize {
+        self.world.frame()
+    }
+
+    /// Seconds per frame.
+    pub fn dt(&self) -> f64 {
+        self.world.dt()
+    }
+}
+
+/// A policy output: the action plus optional diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The control command to execute this frame.
+    pub action: Action,
+    /// Which mode produced the action (hybrid policies only).
+    pub mode: Option<ModeTag>,
+    /// HSA scenario uncertainty `U_i`, if computed.
+    pub uncertainty: Option<f64>,
+    /// HSA scenario complexity `C_i`, if computed.
+    pub complexity: Option<f64>,
+}
+
+impl Decision {
+    /// A decision carrying only an action.
+    pub fn plain(action: Action) -> Self {
+        Decision {
+            action,
+            mode: None,
+            uncertainty: None,
+            complexity: None,
+        }
+    }
+
+    /// A decision tagged with the producing mode.
+    pub fn tagged(action: Action, mode: ModeTag) -> Self {
+        Decision {
+            action,
+            mode: Some(mode),
+            uncertainty: None,
+            complexity: None,
+        }
+    }
+}
+
+/// A driving policy: the inference mapping `f: X → A` of §III.
+pub trait Policy {
+    /// Chooses the action for the current frame.
+    fn decide(&mut self, obs: &Observation) -> Decision;
+
+    /// Called once when an episode starts, before the first decision.
+    ///
+    /// Policies with per-episode state (reference paths, HSA windows)
+    /// reset themselves here. The default does nothing.
+    fn begin_episode(&mut self, _obs: &Observation) {}
+}
+
+/// Per-frame record of an episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceFrame {
+    /// Frame index.
+    pub frame: usize,
+    /// Simulation time (seconds).
+    pub time: f64,
+    /// Ego rear-axle pose.
+    pub pose: Pose2,
+    /// Signed ego speed (m/s).
+    pub velocity: f64,
+    /// The executed action.
+    pub action: Action,
+    /// Producing mode, if the policy reported one.
+    pub mode: Option<ModeTag>,
+    /// HSA uncertainty, if reported.
+    pub uncertainty: Option<f64>,
+    /// HSA complexity, if reported.
+    pub complexity: Option<f64>,
+}
+
+/// The full per-frame history of an episode.
+pub type Trace = Vec<TraceFrame>;
+
+/// How an episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Parked within tolerance.
+    Success,
+    /// Ego hit an obstacle or left the lot.
+    Collision,
+    /// The time budget ran out.
+    Timeout,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Success => write!(f, "success"),
+            Outcome::Collision => write!(f, "collision"),
+            Outcome::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// Episode-runner parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    /// Wall-clock budget in simulated seconds (the paper fails a task that
+    /// "cannot reach the goal within a given time").
+    pub max_time: f64,
+    /// Whether to keep the per-frame trace (figures need it; Table II
+    /// statistics do not).
+    pub record_trace: bool,
+}
+
+impl Default for EpisodeConfig {
+    fn default() -> Self {
+        EpisodeConfig {
+            max_time: 60.0,
+            record_trace: true,
+        }
+    }
+}
+
+/// Result of [`run_episode`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeResult {
+    /// How the episode ended.
+    pub outcome: Outcome,
+    /// What was hit, when the outcome is a collision.
+    pub collision_cause: Option<crate::CollisionCause>,
+    /// Time at termination (equals parking time on success).
+    pub parking_time: f64,
+    /// Number of simulated frames.
+    pub frames: usize,
+    /// Length of the driven path (meters).
+    pub path_length: f64,
+    /// Per-frame history (empty when recording was disabled).
+    pub trace: Trace,
+}
+
+impl EpisodeResult {
+    /// Returns `true` when the episode parked successfully.
+    pub fn is_success(&self) -> bool {
+        self.outcome == Outcome::Success
+    }
+}
+
+/// Runs one episode of `policy` in `world` until success, collision or
+/// timeout. The world is left at its terminal state (call
+/// [`World::reset`] to reuse it).
+pub fn run_episode(
+    world: &mut World,
+    policy: &mut dyn Policy,
+    config: &EpisodeConfig,
+) -> EpisodeResult {
+    let mut trace: Trace = Vec::new();
+    let mut path_length = 0.0;
+    let mut last_pos = world.ego().pose.position();
+
+    policy.begin_episode(&Observation::new(world));
+
+    // A scenario that spawns in collision fails immediately.
+    if let Some(cause) = world.collision_cause() {
+        return EpisodeResult {
+            outcome: Outcome::Collision,
+            collision_cause: Some(cause),
+            parking_time: 0.0,
+            frames: 0,
+            path_length: 0.0,
+            trace,
+        };
+    }
+
+    loop {
+        let decision = policy.decide(&Observation::new(world));
+        if config.record_trace {
+            trace.push(TraceFrame {
+                frame: world.frame(),
+                time: world.time(),
+                pose: world.ego().pose,
+                velocity: world.ego().velocity,
+                action: decision.action,
+                mode: decision.mode,
+                uncertainty: decision.uncertainty,
+                complexity: decision.complexity,
+            });
+        }
+        world.step(&decision.action);
+        let pos = world.ego().pose.position();
+        path_length += pos.distance(last_pos);
+        last_pos = pos;
+
+        if let Some(cause) = world.collision_cause() {
+            return EpisodeResult {
+                outcome: Outcome::Collision,
+                collision_cause: Some(cause),
+                parking_time: world.time(),
+                frames: world.frame(),
+                path_length,
+                trace,
+            };
+        }
+        if world.at_goal() {
+            return EpisodeResult {
+                outcome: Outcome::Success,
+                collision_cause: None,
+                parking_time: world.time(),
+                frames: world.frame(),
+                path_length,
+                trace,
+            };
+        }
+        if world.time() >= config.max_time {
+            return EpisodeResult {
+                outcome: Outcome::Timeout,
+                collision_cause: None,
+                parking_time: world.time(),
+                frames: world.frame(),
+                path_length,
+                trace,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Difficulty, ScenarioConfig};
+    use icoil_vehicle::VehicleState;
+
+    struct Constant(Action);
+    impl Policy for Constant {
+        fn decide(&mut self, _obs: &Observation) -> Decision {
+            Decision::plain(self.0)
+        }
+    }
+
+    fn easy_world(seed: u64) -> World {
+        World::new(ScenarioConfig::new(Difficulty::Easy, seed).build())
+    }
+
+    #[test]
+    fn braking_policy_times_out() {
+        let mut w = easy_world(1);
+        let mut p = Constant(Action::full_brake());
+        let r = run_episode(
+            &mut w,
+            &mut p,
+            &EpisodeConfig {
+                max_time: 1.0,
+                record_trace: true,
+            },
+        );
+        assert_eq!(r.outcome, Outcome::Timeout);
+        assert!(!r.is_success());
+        assert_eq!(r.trace.len(), r.frames);
+        assert!(r.path_length < 1e-9);
+    }
+
+    #[test]
+    fn driving_forward_eventually_collides() {
+        let mut w = easy_world(1);
+        let mut p = Constant(Action::forward(1.0, 0.0));
+        let r = run_episode(&mut w, &mut p, &EpisodeConfig::default());
+        assert_eq!(r.outcome, Outcome::Collision);
+        assert!(r.path_length > 1.0);
+    }
+
+    #[test]
+    fn spawning_at_goal_succeeds_quickly() {
+        let mut w = easy_world(1);
+        let goal = w.map().goal_pose();
+        w.set_ego(VehicleState::at_rest(goal));
+        let mut p = Constant(Action::full_brake());
+        let r = run_episode(&mut w, &mut p, &EpisodeConfig::default());
+        assert_eq!(r.outcome, Outcome::Success);
+        assert!(r.parking_time < 1.0);
+    }
+
+    #[test]
+    fn spawning_in_collision_fails_immediately() {
+        let mut w = easy_world(1);
+        // drop the ego onto the first static obstacle
+        let obstacle_pose = w.scenario().obstacles[0].pose;
+        w.set_ego(VehicleState::at_rest(obstacle_pose));
+        let mut p = Constant(Action::full_brake());
+        let r = run_episode(&mut w, &mut p, &EpisodeConfig::default());
+        assert_eq!(r.outcome, Outcome::Collision);
+        assert_eq!(r.frames, 0);
+    }
+
+    #[test]
+    fn trace_disabled_is_empty() {
+        let mut w = easy_world(1);
+        let mut p = Constant(Action::full_brake());
+        let r = run_episode(
+            &mut w,
+            &mut p,
+            &EpisodeConfig {
+                max_time: 0.5,
+                record_trace: false,
+            },
+        );
+        assert!(r.trace.is_empty());
+        assert!(r.frames > 0);
+    }
+
+    #[test]
+    fn trace_times_are_monotonic() {
+        let mut w = easy_world(2);
+        let mut p = Constant(Action::forward(0.5, 0.3));
+        let r = run_episode(
+            &mut w,
+            &mut p,
+            &EpisodeConfig {
+                max_time: 2.0,
+                record_trace: true,
+            },
+        );
+        for pair in r.trace.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+            assert_eq!(pair[1].frame, pair[0].frame + 1);
+        }
+    }
+
+    #[test]
+    fn trace_serializes() {
+        let mut w = easy_world(3);
+        let mut p = Constant(Action::forward(0.5, 0.0));
+        let r = run_episode(
+            &mut w,
+            &mut p,
+            &EpisodeConfig {
+                max_time: 1.0,
+                record_trace: true,
+            },
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: EpisodeResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,139 @@
+//! Aggregation of episode results into the paper's metrics.
+
+use crate::episode::EpisodeResult;
+use serde::{Deserialize, Serialize};
+
+/// Parking-time statistics over the *successful* episodes of a batch,
+/// plus the success ratio over all episodes — exactly the columns of
+/// Table II (Average / Max / Min / Success Ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParkingStats {
+    /// Number of episodes aggregated.
+    pub episodes: usize,
+    /// Number of successful episodes.
+    pub successes: usize,
+    /// Mean parking time over successes (seconds); `NaN` when none.
+    pub avg_time: f64,
+    /// Maximum parking time over successes (seconds); `NaN` when none.
+    pub max_time: f64,
+    /// Minimum parking time over successes (seconds); `NaN` when none.
+    pub min_time: f64,
+    /// Standard deviation of parking time over successes; `NaN` when none.
+    pub std_time: f64,
+}
+
+impl ParkingStats {
+    /// Aggregates a batch of episode results.
+    pub fn from_results<'a, I: IntoIterator<Item = &'a EpisodeResult>>(results: I) -> Self {
+        let mut episodes = 0;
+        let mut times = Vec::new();
+        for r in results {
+            episodes += 1;
+            if r.is_success() {
+                times.push(r.parking_time);
+            }
+        }
+        let successes = times.len();
+        if times.is_empty() {
+            return ParkingStats {
+                episodes,
+                successes,
+                avg_time: f64::NAN,
+                max_time: f64::NAN,
+                min_time: f64::NAN,
+                std_time: f64::NAN,
+            };
+        }
+        let avg = times.iter().sum::<f64>() / successes as f64;
+        let var = times.iter().map(|t| (t - avg) * (t - avg)).sum::<f64>() / successes as f64;
+        ParkingStats {
+            episodes,
+            successes,
+            avg_time: avg,
+            max_time: times.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            min_time: times.iter().cloned().fold(f64::INFINITY, f64::min),
+            std_time: var.sqrt(),
+        }
+    }
+
+    /// Success ratio in `[0, 1]`; `NaN` for an empty batch.
+    pub fn success_ratio(&self) -> f64 {
+        if self.episodes == 0 {
+            f64::NAN
+        } else {
+            self.successes as f64 / self.episodes as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ParkingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "avg {:.2}s  max {:.2}s  min {:.2}s  success {:.0}% ({}/{})",
+            self.avg_time,
+            self.max_time,
+            self.min_time,
+            self.success_ratio() * 100.0,
+            self.successes,
+            self.episodes
+        )
+    }
+}
+
+/// Convenience: success ratio of a result slice.
+pub fn success_rate(results: &[EpisodeResult]) -> f64 {
+    ParkingStats::from_results(results).success_ratio()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episode::Outcome;
+
+    fn result(outcome: Outcome, t: f64) -> EpisodeResult {
+        EpisodeResult {
+            outcome,
+            collision_cause: None,
+            parking_time: t,
+            frames: (t / 0.05) as usize,
+            path_length: t,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_only_successes() {
+        let rs = vec![
+            result(Outcome::Success, 20.0),
+            result(Outcome::Success, 30.0),
+            result(Outcome::Collision, 5.0),
+            result(Outcome::Timeout, 60.0),
+        ];
+        let s = ParkingStats::from_results(&rs);
+        assert_eq!(s.episodes, 4);
+        assert_eq!(s.successes, 2);
+        assert!((s.avg_time - 25.0).abs() < 1e-12);
+        assert_eq!(s.max_time, 30.0);
+        assert_eq!(s.min_time, 20.0);
+        assert!((s.std_time - 5.0).abs() < 1e-12);
+        assert!((s.success_ratio() - 0.5).abs() < 1e-12);
+        assert!((success_rate(&rs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_failed_batches() {
+        let s = ParkingStats::from_results(&[]);
+        assert!(s.success_ratio().is_nan());
+        let rs = vec![result(Outcome::Collision, 3.0)];
+        let s = ParkingStats::from_results(&rs);
+        assert_eq!(s.success_ratio(), 0.0);
+        assert!(s.avg_time.is_nan());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let rs = vec![result(Outcome::Success, 20.0)];
+        assert!(!ParkingStats::from_results(&rs).to_string().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Use the library pieces directly: build a custom lot, plan a maneuver
+//! with hybrid A*, and inspect the Reeds-Shepp endgame.
+//!
+//! ```text
+//! cargo run --release --example custom_lot
+//! ```
+
+use icoil_geom::{Aabb, Obb, Pose2, Vec2};
+use icoil_planner::{plan, reeds_shepp, PlannerConfig, PlanningProblem};
+use icoil_vehicle::VehicleParams;
+
+fn main() {
+    // a small private courtyard with two parked cars
+    let bounds = Aabb::new(Vec2::ZERO, Vec2::new(18.0, 12.0));
+    let obstacles = vec![
+        Obb::from_pose(Pose2::new(9.0, 3.0, 0.0), 4.2, 1.8),
+        Obb::from_pose(Pose2::new(9.0, 9.0, 0.0), 4.2, 1.8),
+    ];
+    let vehicle = VehicleParams::default();
+
+    // park nose-out between the two cars (goal heading faces the exit)
+    let problem = PlanningProblem {
+        start: Pose2::new(2.5, 6.0, 0.0),
+        goal: Pose2::new(13.0, 6.0, std::f64::consts::PI),
+        bounds,
+        obstacles: &obstacles,
+        vehicle: &vehicle,
+        safety_margin: 0.1,
+    };
+    let path = plan(&problem, &PlannerConfig::default()).expect("the maneuver is feasible");
+    println!(
+        "planned {:.1} m with {} gear change(s)",
+        path.length(),
+        path.direction_switches()
+    );
+    for (pose, dir) in path.poses.iter().zip(&path.directions).step_by(6) {
+        println!(
+            "  ({:5.2}, {:5.2})  heading {:+5.2}  {}",
+            pose.x,
+            pose.y,
+            pose.theta,
+            if *dir > 0.0 { "forward" } else { "reverse" }
+        );
+    }
+
+    // the curvature-bounded endgame as a raw Reeds-Shepp word
+    let rs = reeds_shepp::shortest_path(
+        Pose2::new(0.0, 0.0, 0.0),
+        Pose2::new(0.0, 2.2, 0.0),
+        vehicle.min_turning_radius(),
+    );
+    println!(
+        "\nparallel-shift Reeds-Shepp word ({} segments, {:.2} m):",
+        rs.segments.len(),
+        rs.length()
+    );
+    for seg in &rs.segments {
+        println!("  {:?} {:+.2} m", seg.kind, seg.length);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: park a car with the optimization-only (CO) stack.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the MoCAM-style lot with three static obstacles, runs the CO
+//! policy (hybrid A* + MPC) from a random spawn pose, and prints the
+//! episode outcome.
+
+use icoil_core::{ICoilConfig, PureCoPolicy};
+use icoil_world::episode::{run_episode, EpisodeConfig};
+use icoil_world::{Difficulty, ScenarioConfig, World};
+
+fn main() {
+    // 1. describe the task: easy level (static obstacles only), seed 7
+    let scenario = ScenarioConfig::new(Difficulty::Easy, 7).build();
+    println!(
+        "spawn at {}, goal at {}",
+        scenario.start_state.pose,
+        scenario.map.goal_pose()
+    );
+
+    // 2. build the world and the policy
+    let config = ICoilConfig::default();
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    let mut world = World::new(scenario);
+
+    // 3. run one episode
+    let result = run_episode(
+        &mut world,
+        &mut policy,
+        &EpisodeConfig {
+            max_time: 60.0,
+            record_trace: true,
+        },
+    );
+
+    println!(
+        "outcome: {} after {:.1} s ({} frames, {:.1} m driven)",
+        result.outcome, result.parking_time, result.frames, result.path_length
+    );
+    // print a sparse trajectory
+    for f in result.trace.iter().step_by(100) {
+        println!(
+            "  t={:5.1}s  pos=({:5.1}, {:5.1})  heading={:+.2}  v={:+.2}",
+            f.time, f.pose.x, f.pose.y, f.pose.theta, f.velocity
+        );
+    }
+    assert!(result.is_success(), "the CO stack parks on the easy level");
+}

@@ -1,0 +1,41 @@
+//! iCOIL — scenario-aware autonomous parking via integrated constrained
+//! optimization and imitation learning.
+//!
+//! This umbrella crate re-exports the whole workspace under one name, so
+//! downstream users can depend on `icoil` alone:
+//!
+//! * [`geom`] — 2-D geometry primitives;
+//! * [`vehicle`] — Ackermann model, actions, discretization;
+//! * [`world`] — the deterministic parking simulator;
+//! * [`perception`] — BEV rendering and object detection;
+//! * [`nn`] — the from-scratch neural-network library;
+//! * [`solver`] — dense linear algebra and the ADMM QP solver;
+//! * [`planner`] — Reeds-Shepp curves and hybrid A*;
+//! * [`il`] — imitation learning (expert, dataset, trainer, model);
+//! * [`co`] — the constrained-optimization MPC controller;
+//! * [`hsa`] — hybrid scenario analysis and mode switching;
+//! * [`core`] — the iCOIL policy, baselines and evaluation harness.
+//!
+//! # Example
+//!
+//! ```
+//! use icoil::world::{Difficulty, ScenarioConfig, World};
+//!
+//! let scenario = ScenarioConfig::new(Difficulty::Easy, 1).build();
+//! let world = World::new(scenario);
+//! assert!(!world.in_collision());
+//! ```
+
+#![deny(missing_docs)]
+
+pub use icoil_co as co;
+pub use icoil_core as core;
+pub use icoil_geom as geom;
+pub use icoil_hsa as hsa;
+pub use icoil_il as il;
+pub use icoil_nn as nn;
+pub use icoil_perception as perception;
+pub use icoil_planner as planner;
+pub use icoil_solver as solver;
+pub use icoil_vehicle as vehicle;
+pub use icoil_world as world;

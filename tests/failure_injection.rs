@@ -1,0 +1,111 @@
+//! Failure-injection tests: degraded sensing and adversarial scenes must
+//! degrade gracefully, never panic.
+
+use icoil_core::{ICoilConfig, PureCoPolicy};
+use icoil_perception::{BevConfig, Perception};
+use icoil_world::episode::{run_episode, EpisodeConfig, Observation};
+use icoil_world::{Difficulty, NoiseConfig, ScenarioConfig, World};
+
+#[test]
+fn co_parks_under_hard_sensing_noise() {
+    // easy map geometry + hard noise profile: the planner must still park
+    let scenario = ScenarioConfig::new(Difficulty::Easy, 11).build();
+    let config = ICoilConfig::default();
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    let mut world = World::new(scenario);
+    // manually crank the sensing noise beyond the scenario's own level
+    // (the policy owns its Perception; we emulate by running the hard
+    // scenario variant of the same seed instead)
+    let hard = ScenarioConfig::new(Difficulty::Hard, 11).build();
+    let mut hard_policy = PureCoPolicy::new(&config, &hard);
+    let mut hard_world = World::new(hard);
+    let cfg = EpisodeConfig {
+        max_time: 90.0,
+        record_trace: false,
+    };
+    let clean = run_episode(&mut world, &mut policy, &cfg);
+    let noisy = run_episode(&mut hard_world, &mut hard_policy, &cfg);
+    assert!(clean.is_success());
+    assert!(
+        noisy.is_success(),
+        "hard-level noise on this seed must still be manageable: {:?}",
+        noisy.outcome
+    );
+    // noise costs time, never correctness
+    assert!(noisy.parking_time >= clean.parking_time * 0.8);
+}
+
+#[test]
+fn extreme_detector_noise_does_not_panic() {
+    let scenario = ScenarioConfig::new(Difficulty::Normal, 5).build();
+    let mut perception = Perception::new(BevConfig::default(), &scenario);
+    perception.set_noise(NoiseConfig {
+        image_noise_std: 0.8,
+        pixel_dropout: 0.5,
+        box_jitter: 1.0,
+        heading_jitter: 0.5,
+        false_negative_rate: 0.5,
+        phantom_rate: 0.5,
+    });
+    let mut world = World::new(scenario);
+    for _ in 0..50 {
+        let sensing = perception.observe(&Observation::new(&world));
+        assert!(sensing.bev.data.iter().all(|v| v.is_finite()));
+        world.step(&icoil_vehicle::Action::forward(0.3, 0.1));
+    }
+}
+
+#[test]
+fn blocked_goal_times_out_gracefully() {
+    // surround the goal corridor with obstacles: CO cannot find a path
+    // and must keep braking/unsticking until the clock runs out, without
+    // panicking or colliding by its own motion
+    let mut scenario = ScenarioConfig::new(Difficulty::Easy, 11)
+        .with_n_static(0)
+        .build();
+    // wall off the bay entrance manually
+    for (i, y) in [7.0, 10.0, 13.0].iter().enumerate() {
+        scenario.obstacles.push(icoil_world::Obstacle::fixed(
+            100 + i,
+            icoil_geom::Pose2::new(22.5, *y, 0.0),
+            1.5,
+            3.2,
+        ));
+    }
+    let config = ICoilConfig::default();
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    let mut world = World::new(scenario);
+    let result = run_episode(
+        &mut world,
+        &mut policy,
+        &EpisodeConfig {
+            max_time: 20.0,
+            record_trace: false,
+        },
+    );
+    assert_ne!(
+        result.outcome,
+        icoil_world::Outcome::Success,
+        "a sealed bay cannot be reached"
+    );
+}
+
+#[test]
+fn phantom_heavy_sensing_keeps_actions_valid() {
+    let scenario = ScenarioConfig::new(Difficulty::Hard, 3).build();
+    let config = ICoilConfig::default();
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    let mut world = World::new(scenario);
+    let result = run_episode(
+        &mut world,
+        &mut policy,
+        &EpisodeConfig {
+            max_time: 10.0,
+            record_trace: true,
+        },
+    );
+    for f in &result.trace {
+        assert!(f.action.validate().is_ok());
+        assert!(f.pose.is_finite());
+    }
+}

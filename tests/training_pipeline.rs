@@ -1,0 +1,58 @@
+//! Integration tests for the demonstration → training → inference
+//! pipeline.
+
+use icoil_il::{collect_demonstrations, train, IlModel, TrainConfig};
+use icoil_perception::BevConfig;
+use icoil_vehicle::ActionCodec;
+use icoil_world::{Difficulty, ScenarioConfig};
+
+#[test]
+fn collect_train_infer_beats_chance() {
+    let codec = ActionCodec::default();
+    let bev = BevConfig::default();
+    let scenarios = vec![ScenarioConfig::new(Difficulty::Easy, 9100)];
+    let dataset = collect_demonstrations(&scenarios, &codec, &bev, 90.0);
+    assert!(dataset.len() > 200, "one episode yields hundreds of frames");
+
+    let config = TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    };
+    let (_, report) = train(&dataset, &codec, &bev, &config);
+    let chance = 1.0 / codec.num_classes() as f64;
+    assert!(
+        report.final_accuracy() > 4.0 * chance,
+        "accuracy {} vs chance {chance}",
+        report.final_accuracy()
+    );
+    assert!(report.final_loss() < report.losses[0], "loss must decrease");
+}
+
+#[test]
+fn dataset_contains_both_gears() {
+    // the paper's dataset has forward-moving and reverse-parking phases
+    let codec = ActionCodec::default();
+    let bev = BevConfig::default();
+    let scenarios = vec![ScenarioConfig::new(Difficulty::Easy, 9200)];
+    let dataset = collect_demonstrations(&scenarios, &codec, &bev, 90.0);
+    let counts = dataset.class_counts(codec.num_classes());
+    let reverse: usize = counts[..codec.steer_bins()].iter().sum();
+    let forward: usize = counts[2 * codec.steer_bins()..].iter().sum();
+    assert!(reverse > 0, "reverse-parking samples present");
+    assert!(forward > 0, "forward-moving samples present");
+}
+
+#[test]
+fn model_artifact_roundtrip_preserves_behavior() {
+    let bev = BevConfig::default();
+    let mut model = IlModel::untrained(ActionCodec::default(), bev, 5);
+    let image = icoil_perception::BevImage {
+        size: bev.size,
+        range: bev.range,
+        data: vec![0.25; icoil_perception::BevImage::CHANNELS * bev.size * bev.size],
+    };
+    let before = model.infer(&image);
+    let mut restored = IlModel::from_json(&model.to_json()).expect("valid JSON");
+    let after = restored.infer(&image);
+    assert_eq!(before, after);
+}
