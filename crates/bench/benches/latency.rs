@@ -3,19 +3,24 @@
 //!
 //! * `il_inference` — one forward pass of the IL CNN (paper: 75 Hz);
 //! * `co_solve` — one full MPC solve with obstacles (paper: 18 Hz);
+//! * `co_solve_warm` — the same solve reusing the previous frame's
+//!   [`MpcMemory`] (the deployed receding-horizon path);
 //! * `qp_solve` — the inner ADMM QP alone;
+//! * `qp_solve_warm` — the QP with a warm iterate + cached workspace;
 //! * `hybrid_astar` — one global plan (amortized over replans);
 //! * `bev_render` + `detect` — the perception substrate;
 //! * `hsa_update` — the mode-switching overhead (must be negligible).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use icoil_co::{solve_mpc, CoConfig, MovingObstacle, RefState};
+use icoil_co::{solve_mpc, solve_mpc_warm, CoConfig, MovingObstacle, MpcMemory, RefState};
 use icoil_geom::{Obb, Pose2};
 use icoil_hsa::{Hsa, HsaConfig};
 use icoil_il::IlModel;
 use icoil_perception::{BevConfig, BevRenderer, ObjectDetector};
 use icoil_planner::{plan, PlannerConfig, PlanningProblem};
-use icoil_solver::{solve_qp, Mat, QpProblem, QpSettings};
+use icoil_solver::{
+    solve_qp, solve_qp_warm, Mat, QpProblem, QpSettings, QpWarmStart, QpWorkspace,
+};
 use icoil_vehicle::{ActionCodec, VehicleParams, VehicleState};
 use icoil_world::{Difficulty, NoiseConfig, ScenarioConfig};
 use rand::SeedableRng;
@@ -63,6 +68,41 @@ fn bench_co_solve(c: &mut Criterion) {
     });
 }
 
+fn bench_co_solve_warm(c: &mut Criterion) {
+    let params = VehicleParams::default();
+    let config = CoConfig::default();
+    let scenario = ScenarioConfig::new(Difficulty::Normal, 1).build();
+    let state = VehicleState::new(Pose2::new(10.0, 10.0, 0.0), 1.0);
+    let obstacles: Vec<MovingObstacle> = scenario
+        .obstacle_footprints(0.0)
+        .into_iter()
+        .map(MovingObstacle::fixed)
+        .collect();
+    let reference: Vec<RefState> = (1..=config.horizon)
+        .map(|i| RefState {
+            x: 10.0 + 1.5 * config.mpc_dt * i as f64,
+            y: 10.0,
+            theta: 0.0,
+            v: 1.5,
+        })
+        .collect();
+    let mut memory = MpcMemory::new();
+    // Prime the memory with one frame, as the receding-horizon loop does.
+    let _ = solve_mpc_warm(&state, &reference, &obstacles, &params, &config, &mut memory);
+    c.bench_function("co_solve_warm", |b| {
+        b.iter(|| {
+            std::hint::black_box(solve_mpc_warm(
+                &state,
+                &reference,
+                &obstacles,
+                &params,
+                &config,
+                &mut memory,
+            ))
+        })
+    });
+}
+
 fn bench_qp_solve(c: &mut Criterion) {
     // MPC-scale QP: 24 vars, 60 rows
     let n = 24;
@@ -78,6 +118,16 @@ fn bench_qp_solve(c: &mut Criterion) {
     let settings = QpSettings::default();
     c.bench_function("qp_solve", |b| {
         b.iter(|| std::hint::black_box(solve_qp(&qp, &settings)))
+    });
+
+    // Warm variant: previous-solution iterate plus cached Ruiz scaling
+    // and Cholesky factor, as the MPC loop uses across SCP passes.
+    let cold = solve_qp(&qp, &settings);
+    let warm = QpWarmStart::from_solution(&cold);
+    let mut workspace = QpWorkspace::new();
+    let _ = solve_qp_warm(&qp, &settings, Some(&warm), &mut workspace);
+    c.bench_function("qp_solve_warm", |b| {
+        b.iter(|| std::hint::black_box(solve_qp_warm(&qp, &settings, Some(&warm), &mut workspace)))
     });
 }
 
@@ -144,7 +194,8 @@ fn bench_hsa_update(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_il_inference, bench_co_solve, bench_qp_solve,
-              bench_hybrid_astar, bench_perception, bench_hsa_update
+    targets = bench_il_inference, bench_co_solve, bench_co_solve_warm,
+              bench_qp_solve, bench_hybrid_astar, bench_perception,
+              bench_hsa_update
 }
 criterion_main!(benches);

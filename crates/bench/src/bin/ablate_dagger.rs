@@ -36,7 +36,7 @@ fn main() {
             artifacts::train_dagger_model(size.train_episodes, size.train_epochs, rounds)
         };
         let results =
-            eval::run_batch(Method::Il, &config, &model, &scenario_configs, &episode);
+            eval::run_batch_with(Method::Il, &config, &model, &scenario_configs, &episode, &size.eval_config());
         let stats = ParkingStats::from_results(&results);
         println!(
             "{name:18}  {:6.0}%  {:.2}",

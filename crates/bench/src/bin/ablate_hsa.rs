@@ -40,7 +40,7 @@ fn main() {
         let mut config = ICoilConfig::default();
         config.hsa.lambda = lambda;
         let results =
-            eval::run_batch(Method::ICoil, &config, &model, &scenario_configs, &episode);
+            eval::run_batch_with(Method::ICoil, &config, &model, &scenario_configs, &episode, &size.eval_config());
         let stats = ParkingStats::from_results(&results);
         println!(
             "{name:20} {:>6}  {:.0}%",
@@ -51,7 +51,7 @@ fn main() {
     // never switch: pure baselines
     let config = ICoilConfig::default();
     for (name, method) in [("always IL", Method::Il), ("always CO", Method::Co)] {
-        let results = eval::run_batch(method, &config, &model, &scenario_configs, &episode);
+        let results = eval::run_batch_with(method, &config, &model, &scenario_configs, &episode, &size.eval_config());
         let stats = ParkingStats::from_results(&results);
         println!(
             "{name:20} {:>6}  {:.0}%",

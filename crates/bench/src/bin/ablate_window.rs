@@ -32,7 +32,7 @@ fn main() {
         let mut config = ICoilConfig::default();
         config.hsa.window = window;
         let results =
-            eval::run_batch(Method::ICoil, &config, &model, &scenario_configs, &episode);
+            eval::run_batch_with(Method::ICoil, &config, &model, &scenario_configs, &episode, &size.eval_config());
         let switches: usize = results
             .iter()
             .map(|r| {

@@ -39,7 +39,7 @@ fn main() {
                 })
                 .collect();
             let results =
-                eval::run_batch(Method::ICoil, &config, &model, &scenario_configs, &episode);
+                eval::run_batch_with(Method::ICoil, &config, &model, &scenario_configs, &episode, &size.eval_config());
             let stats = ParkingStats::from_results(&results);
             println!(
                 "{name:8} {n_obs:5}  {:>6}  {:>6}  {:.0}%",

@@ -32,7 +32,7 @@ fn main() {
                     ScenarioConfig::new(Difficulty::Easy, 500 + s).with_n_static(n_obs)
                 })
                 .collect();
-            let results = eval::run_batch(method, &config, &model, &scenario_configs, &episode);
+            let results = eval::run_batch_with(method, &config, &model, &scenario_configs, &episode, &size.eval_config());
             let stats = ParkingStats::from_results(&results);
             println!(
                 "{:7} {n_obs:5}  {:>6}  {:>6}  {:.0}%",

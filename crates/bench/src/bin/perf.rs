@@ -1,0 +1,145 @@
+//! Emits `BENCH_perf.json` — the repo's performance trajectory tracker.
+//!
+//! Measures four throughput numbers so future changes can be compared
+//! against a recorded baseline:
+//!
+//! * `episodes_per_sec` — closed-loop CO evaluation throughput through
+//!   `icoil-core::eval::run_batch_with` at the configured parallelism;
+//! * `il_hz` — IL CNN inference rate on a live BEV image (the paper's
+//!   §V-E reports 75 Hz);
+//! * `co_hz` / `co_hz_cold` — CO solve rate along an actual drive with
+//!   the deployed warm-start memory vs. with the memory cleared every
+//!   frame (paper: 18 Hz);
+//! * `mean_admm_iters_warm` / `mean_admm_iters_cold` — mean ADMM
+//!   iterations per MPC step, the number the QP warm start exists to cut.
+//!
+//! The file lands in the working directory (the repo root under
+//! `cargo run`). Run sizes honor `ICOIL_EPISODES` and
+//! `ICOIL_PARALLELISM`:
+//!
+//! ```text
+//! cargo run --release -p icoil-bench --bin perf
+//! ```
+//!
+//! An untrained IL model is used throughout: inference cost does not
+//! depend on the weight values, and it keeps the bin self-contained.
+
+use icoil_bench::RunSize;
+use icoil_co::{CoConfig, CoController};
+use icoil_core::{eval, ICoilConfig, Method};
+use icoil_il::IlModel;
+use icoil_perception::Perception;
+use icoil_vehicle::ActionCodec;
+use icoil_world::episode::{EpisodeConfig, Observation};
+use icoil_world::{Difficulty, ScenarioConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct PerfReport {
+    episodes_per_sec: f64,
+    il_hz: f64,
+    co_hz: f64,
+    co_hz_cold: f64,
+    mean_admm_iters_warm: f64,
+    mean_admm_iters_cold: f64,
+    il_over_co_ratio: f64,
+    parallelism: usize,
+    episodes: u64,
+}
+
+/// Drives `frames` control steps in a fresh world; returns
+/// `(frames/sec, mean ADMM iterations per solved frame)`.
+fn drive(seed: u64, frames: usize, cold: bool) -> (f64, f64) {
+    let scenario = ScenarioConfig::new(Difficulty::Normal, seed).build();
+    let params = scenario.vehicle_params;
+    let mut perception = Perception::new(ICoilConfig::default().bev, &scenario);
+    let mut world = icoil_world::World::new(scenario);
+    let mut co = CoController::new(CoConfig::default(), params);
+    // Plan the global path outside the timed region.
+    let s = perception.observe(&Observation::new(&world));
+    let _ = co.control(&Observation::new(&world), &s.boxes);
+
+    let mut iters = 0usize;
+    let mut solves = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..frames {
+        if cold {
+            co.reset_warm_start();
+        }
+        let s = perception.observe(&Observation::new(&world));
+        let out = co.control(&Observation::new(&world), &s.boxes);
+        if let Some(mpc) = &out.mpc {
+            iters += mpc.qp_iterations;
+            solves += 1;
+        }
+        world.step(&out.action);
+    }
+    let hz = frames as f64 / t0.elapsed().as_secs_f64();
+    (hz, iters as f64 / solves.max(1) as f64)
+}
+
+fn main() {
+    let size = RunSize::from_env();
+    let config = ICoilConfig::default();
+    let mut model = IlModel::untrained(ActionCodec::default(), config.bev, 1);
+
+    // 1) closed-loop evaluation throughput at the configured parallelism
+    let scenarios: Vec<ScenarioConfig> = (0..size.episodes)
+        .map(|s| ScenarioConfig::new(Difficulty::Easy, s))
+        .collect();
+    let episode = EpisodeConfig {
+        max_time: 30.0,
+        record_trace: false,
+    };
+    let t0 = Instant::now();
+    let results = eval::run_batch_with(
+        Method::Co,
+        &config,
+        &model,
+        &scenarios,
+        &episode,
+        &size.eval_config(),
+    );
+    let episodes_per_sec = results.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // 2) IL inference rate on a live BEV image
+    let scenario = ScenarioConfig::new(Difficulty::Normal, 3).build();
+    let mut perception = Perception::new(config.bev, &scenario);
+    let world = icoil_world::World::new(scenario);
+    let sensing = perception.observe(&Observation::new(&world));
+    let il_iters = 200;
+    let t0 = Instant::now();
+    for _ in 0..il_iters {
+        let _ = model.infer(&sensing.bev);
+    }
+    let il_hz = il_iters as f64 / t0.elapsed().as_secs_f64();
+
+    // 3) CO solve rate and ADMM iteration counts, warm vs. cold
+    let frames = 60;
+    let (co_hz, mean_admm_iters_warm) = drive(3, frames, false);
+    let (co_hz_cold, mean_admm_iters_cold) = drive(3, frames, true);
+
+    let report = PerfReport {
+        episodes_per_sec,
+        il_hz,
+        co_hz,
+        co_hz_cold,
+        mean_admm_iters_warm,
+        mean_admm_iters_cold,
+        il_over_co_ratio: il_hz / co_hz,
+        parallelism: size.parallelism,
+        episodes: size.episodes,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+
+    println!("# performance trajectory (wrote BENCH_perf.json)");
+    println!("episodes/sec ({} workers): {episodes_per_sec:8.2}", size.parallelism);
+    println!("IL inference:  {il_hz:8.1} Hz");
+    println!(
+        "CO solve:      {co_hz:8.1} Hz warm ({mean_admm_iters_warm:.0} ADMM iters) \
+         vs {co_hz_cold:.1} Hz cold ({mean_admm_iters_cold:.0} iters)"
+    );
+    println!("ratio IL/CO:   {:8.1}x (paper shape: >= 4x)", il_hz / co_hz);
+}

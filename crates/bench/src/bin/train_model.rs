@@ -66,7 +66,7 @@ fn main() {
     let held_out: Vec<ScenarioConfig> = (0..8)
         .map(|s| ScenarioConfig::new(Difficulty::Easy, s))
         .collect();
-    let results = eval::run_batch(Method::Il, &config, &model, &held_out, &episode);
+    let results = eval::run_batch_with(Method::Il, &config, &model, &held_out, &episode, &size.eval_config());
     let stats = ParkingStats::from_results(&results);
     println!(
         "# held-out IL closed-loop: success {:.0}% avg {:.1}s",

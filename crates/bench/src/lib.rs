@@ -8,6 +8,7 @@
 #![deny(unsafe_code)]
 
 use icoil_core::artifacts;
+use icoil_core::EvalConfig;
 use icoil_il::IlModel;
 use std::path::PathBuf;
 
@@ -18,7 +19,9 @@ use std::path::PathBuf;
 /// * `ICOIL_TRAIN_EPISODES` — expert episodes in the training set
 ///   (default 6);
 /// * `ICOIL_TRAIN_EPOCHS` — training epochs (default 15);
-/// * `ICOIL_DAGGER_ROUNDS` — DAgger aggregation rounds (default 2).
+/// * `ICOIL_DAGGER_ROUNDS` — DAgger aggregation rounds (default 2);
+/// * `ICOIL_PARALLELISM` — evaluation worker threads (default: available
+///   cores); per-seed results are bit-identical at any setting.
 #[derive(Debug, Clone, Copy)]
 pub struct RunSize {
     /// Episodes per experimental cell.
@@ -29,6 +32,8 @@ pub struct RunSize {
     pub train_epochs: usize,
     /// DAgger aggregation rounds.
     pub dagger_rounds: usize,
+    /// Worker threads for multi-episode evaluation.
+    pub parallelism: usize,
 }
 
 impl RunSize {
@@ -45,7 +50,13 @@ impl RunSize {
             train_episodes: get("ICOIL_TRAIN_EPISODES", 6),
             train_epochs: get("ICOIL_TRAIN_EPOCHS", 15) as usize,
             dagger_rounds: get("ICOIL_DAGGER_ROUNDS", 2) as usize,
+            parallelism: EvalConfig::from_env().parallelism,
         }
+    }
+
+    /// The [`EvalConfig`] matching this run size.
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig::with_parallelism(self.parallelism)
     }
 }
 
@@ -99,8 +110,10 @@ mod tests {
             train_episodes: 6,
             train_epochs: 15,
             dagger_rounds: 2,
+            parallelism: 4,
         };
         assert!(s.episodes > 0);
+        assert_eq!(s.eval_config().parallelism, 4);
         assert_eq!(fmt_time(f64::NAN), "-");
         assert_eq!(fmt_time(26.02), "26.02");
     }

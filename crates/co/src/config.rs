@@ -63,10 +63,10 @@ impl CoConfig {
         if self.horizon == 0 {
             return Err("horizon must be at least 1".into());
         }
-        if !(self.mpc_dt > 0.0) {
+        if self.mpc_dt.is_nan() || self.mpc_dt <= 0.0 {
             return Err("mpc_dt must be positive".into());
         }
-        if !(self.v_cruise > 0.0) {
+        if self.v_cruise.is_nan() || self.v_cruise <= 0.0 {
             return Err("v_cruise must be positive".into());
         }
         if self.scp_iterations == 0 {

@@ -1,7 +1,7 @@
 //! The per-frame CO controller: global path + MPC + action conversion.
 
 use crate::config::CoConfig;
-use crate::mpc::{solve_mpc, MpcSolution};
+use crate::mpc::{solve_mpc_warm, MpcMemory, MpcSolution};
 use crate::reference::{build_reference_at, PathWalker};
 use crate::tracker::BoxTracker;
 use icoil_geom::Obb;
@@ -46,6 +46,10 @@ pub struct CoController {
     /// Frame-to-frame box tracker feeding obstacle predictions to the
     /// MPC's time-indexed collision constraints.
     tracker: BoxTracker,
+    /// Warm-start state carried between MPC frames (previous solution,
+    /// QP iterate, solver workspace). Cleared on replans, where the
+    /// reference — and with it the previous solution's meaning — jumps.
+    memory: MpcMemory,
 }
 
 impl CoController {
@@ -66,6 +70,7 @@ impl CoController {
             stalled_frames: 0,
             last_progress: 0.0,
             tracker: BoxTracker::new(),
+            memory: MpcMemory::new(),
         }
     }
 
@@ -83,6 +88,12 @@ impl CoController {
         self.stalled_frames = 0;
         self.last_progress = 0.0;
         self.tracker.reset();
+        self.memory.reset();
+    }
+
+    /// Drops only the carried MPC warm start; the next frame solves cold.
+    pub fn reset_warm_start(&mut self) {
+        self.memory.reset();
     }
 
     /// The current global path, if planned.
@@ -120,6 +131,7 @@ impl CoController {
                     self.frames_since_replan = 0;
                     self.progress = 0.0;
                     self.stalled_frames = 0;
+                    self.memory.reset();
                     return Ok(());
                 }
                 Err(e) => last_err = e,
@@ -158,14 +170,15 @@ impl CoController {
             .as_ref()
             .map(|w| w.total() - self.progress)
             .unwrap_or(f64::INFINITY);
-        let misaligned_at_end = self.path.as_ref().and_then(|p| p.poses.last()).map_or(
-            false,
-            |end| {
+        let misaligned_at_end = self
+            .path
+            .as_ref()
+            .and_then(|p| p.poses.last())
+            .is_some_and(|end| {
                 remaining <= 0.5
                     && (ego.pose.heading_error(end) > 0.12
                         || ego.pose.distance(end) > 0.25)
-            },
-        );
+            });
         if self.progress > self.last_progress + 0.2 {
             self.last_progress = self.progress;
             self.stalled_frames = 0;
@@ -229,7 +242,14 @@ impl CoController {
             ego.pose.theta,
             &self.config,
         );
-        let mpc = solve_mpc(&ego, &reference, &tracked, &self.params, &self.config);
+        let mpc = solve_mpc_warm(
+            &ego,
+            &reference,
+            &tracked,
+            &self.params,
+            &self.config,
+            &mut self.memory,
+        );
         let action = self.to_action(&ego, mpc.controls[0]);
         CoOutput {
             action,

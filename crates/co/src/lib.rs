@@ -42,5 +42,5 @@ pub mod tracker;
 
 pub use config::CoConfig;
 pub use controller::{CoController, CoOutput};
-pub use mpc::{solve_mpc, MpcSolution, RefState};
+pub use mpc::{solve_mpc, solve_mpc_warm, MpcMemory, MpcSolution, RefState};
 pub use tracker::{BoxTracker, MovingObstacle};

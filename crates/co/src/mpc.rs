@@ -10,7 +10,7 @@
 use crate::config::CoConfig;
 use crate::tracker::MovingObstacle;
 use icoil_geom::Obb;
-use icoil_solver::{solve_qp, Mat, QpProblem, QpSettings};
+use icoil_solver::{solve_qp_warm, Mat, QpProblem, QpSettings, QpWarmStart, QpWorkspace};
 use icoil_vehicle::{VehicleParams, VehicleState};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,65 @@ pub struct MpcSolution {
 const NX: usize = 4;
 const NU: usize = 2;
 
+/// Warm-start state carried across MPC frames and SCP iterations.
+///
+/// Receding-horizon MPC re-solves a nearly-identical problem every frame,
+/// so three kinds of state are worth keeping:
+///
+/// * the previous frame's optimal controls, *shifted* one step forward
+///   (and the last step repeated) as the next frame's SCP nominal — the
+///   classic shift-and-extend initialization;
+/// * the previous QP iterate, warm-starting ADMM both across SCP
+///   iterations within a frame and across frames;
+/// * the QP solver's [`QpWorkspace`] (cached Ruiz scaling, Cholesky
+///   factor, adapted ρ).
+///
+/// A fresh (or [`reset`](MpcMemory::reset)) memory reproduces the cold
+/// [`solve_mpc`] behaviour exactly.
+#[derive(Debug, Clone, Default)]
+pub struct MpcMemory {
+    controls: Option<Vec<[f64; NU]>>,
+    warm: Option<QpWarmStart>,
+    workspace: QpWorkspace,
+}
+
+impl MpcMemory {
+    /// A fresh memory: the next solve starts cold.
+    pub fn new() -> Self {
+        MpcMemory::default()
+    }
+
+    /// Drops all carried state (controls, QP iterate, solver workspace).
+    ///
+    /// Call after discontinuities — a reference switch, a gear change in
+    /// the maneuver plan, or a large state jump — where the previous
+    /// solution stops being a useful prediction.
+    pub fn reset(&mut self) {
+        self.controls = None;
+        self.warm = None;
+        self.workspace.clear();
+    }
+
+    /// Whether a previous solution is being carried.
+    pub fn is_warm(&self) -> bool {
+        self.controls.is_some()
+    }
+
+    /// Shift-and-extend initialization: previous controls advanced one
+    /// step, final step repeated. Falls back to zeros on a horizon
+    /// mismatch or a cold memory.
+    fn seeded_nominal(&self, h_len: usize) -> Vec<[f64; NU]> {
+        match &self.controls {
+            Some(prev) if prev.len() == h_len => {
+                let mut u: Vec<[f64; NU]> = prev[1..].to_vec();
+                u.push(*prev.last().expect("non-empty horizon"));
+                u
+            }
+            _ => vec![[0.0; NU]; h_len],
+        }
+    }
+}
+
 /// Solves the MPC problem for the current state.
 ///
 /// `obstacles` are the tracked boxes `z_i` with velocity estimates; the
@@ -63,6 +122,27 @@ pub fn solve_mpc(
     params: &VehicleParams,
     config: &CoConfig,
 ) -> MpcSolution {
+    solve_mpc_warm(state, reference, obstacles, params, config, &mut MpcMemory::new())
+}
+
+/// Solves the MPC problem, carrying warm-start state in `memory`.
+///
+/// Equivalent to [`solve_mpc`] when `memory` is fresh; on subsequent
+/// frames the previous solution seeds the SCP nominal (shift-and-extend)
+/// and the QP iterate, which typically cuts ADMM iterations severalfold
+/// at identical solution tolerances.
+///
+/// # Panics
+///
+/// Panics when `reference` is empty or the config is invalid.
+pub fn solve_mpc_warm(
+    state: &VehicleState,
+    reference: &[RefState],
+    obstacles: &[MovingObstacle],
+    params: &VehicleParams,
+    config: &CoConfig,
+    memory: &mut MpcMemory,
+) -> MpcSolution {
     assert!(!reference.is_empty(), "reference horizon must be non-empty");
     config.validate().expect("valid CO config");
     let h_len = reference.len();
@@ -70,7 +150,15 @@ pub fn solve_mpc(
     let dt = config.mpc_dt;
 
     let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
-    let mut nominal_u = vec![[0.0f64; NU]; h_len];
+    let mut nominal_u = memory.seeded_nominal(h_len);
+    // the shifted controls are also the best primal guess for the QP
+    if memory.is_warm() {
+        let x: Vec<f64> = nominal_u.iter().flatten().copied().collect();
+        match memory.warm.as_mut() {
+            Some(w) => w.x = x,
+            None => memory.warm = Some(QpWarmStart { x, y: Vec::new() }),
+        }
+    }
     let mut qp_iters_total = 0usize;
     let mut z_solution = vec![0.0f64; nz];
 
@@ -255,8 +343,15 @@ pub fn solve_mpc(
             eps_abs: 3e-4,
             ..QpSettings::default()
         };
-        let sol = solve_qp(&qp, &settings);
+        let sol = solve_qp_warm(&qp, &settings, memory.warm.as_ref(), &mut memory.workspace);
         qp_iters_total += sol.iterations;
+        // Carry the primal only: the dual belongs to *this* linearization's
+        // constraint rows, and re-linearized collision rows next pass can
+        // make a stale dual misleading enough to cost solution quality.
+        memory.warm = Some(QpWarmStart {
+            x: sol.x.clone(),
+            y: Vec::new(),
+        });
         z_solution = sol.x;
         for hh in 0..h_len {
             nominal_u[hh] = [
@@ -265,6 +360,7 @@ pub fn solve_mpc(
             ];
         }
     }
+    memory.controls = Some(nominal_u.clone());
 
     // final nonlinear rollout and diagnostics
     let predicted = rollout(&s0, &nominal_u, params, dt);
@@ -272,8 +368,8 @@ pub fn solve_mpc(
     for (h, r) in reference.iter().enumerate() {
         let s = predicted[h + 1];
         let e = [s[0] - r.x, s[1] - r.y, s[2] - r.theta, s[3] - r.v];
-        for i in 0..NX {
-            tracking_cost += config.q_weights[i] * e[i] * e[i];
+        for (w, ev) in config.q_weights.iter().zip(&e) {
+            tracking_cost += w * ev * ev;
         }
     }
     let circles = params.coverage_circles();
@@ -585,5 +681,89 @@ mod tests {
         let params = VehicleParams::default();
         let state = VehicleState::new(Pose2::default(), 0.0);
         let _ = solve_mpc(&state, &[], &[], &params, &CoConfig::default());
+    }
+
+    #[test]
+    fn fresh_memory_reproduces_cold_solve() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.5);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let cold = solve_mpc(&state, &reference, &[], &params, &config);
+        let warm = solve_mpc_warm(
+            &state,
+            &reference,
+            &[],
+            &params,
+            &config,
+            &mut MpcMemory::new(),
+        );
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn warm_frames_cut_admm_iterations() {
+        // simulate a receding-horizon run: apply the first control, step
+        // the model, re-solve. Warm memory must spend fewer total ADMM
+        // iterations than per-frame cold solves, with matching controls.
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let dt = config.mpc_dt;
+        let mut memory = MpcMemory::new();
+
+        let mut s_warm = [0.0, 0.0, 0.0, 0.5];
+        let mut s_cold = s_warm;
+        let mut warm_iters = 0usize;
+        let mut cold_iters = 0usize;
+        for frame in 0..6 {
+            let reference: Vec<RefState> = (1..=config.horizon)
+                .map(|i| RefState {
+                    x: s_warm[0] + 1.5 * dt * i as f64,
+                    y: 0.0,
+                    theta: 0.0,
+                    v: 1.5,
+                })
+                .collect();
+            let warm_state =
+                VehicleState::new(Pose2::new(s_warm[0], s_warm[1], s_warm[2]), s_warm[3]);
+            let warm = solve_mpc_warm(&warm_state, &reference, &[], &params, &config, &mut memory);
+            let cold_state =
+                VehicleState::new(Pose2::new(s_cold[0], s_cold[1], s_cold[2]), s_cold[3]);
+            let cold = solve_mpc(&cold_state, &reference, &[], &params, &config);
+            if frame > 0 {
+                warm_iters += warm.qp_iterations;
+                cold_iters += cold.qp_iterations;
+                // both land on essentially the same control
+                assert!(
+                    (warm.controls[0][0] - cold.controls[0][0]).abs() < 0.05
+                        && (warm.controls[0][1] - cold.controls[0][1]).abs() < 0.05,
+                    "frame {frame}: warm {:?} vs cold {:?}",
+                    warm.controls[0],
+                    cold.controls[0]
+                );
+            }
+            s_warm = step_model(&s_warm, &warm.controls[0], &params, dt);
+            s_cold = step_model(&s_cold, &cold.controls[0], &params, dt);
+        }
+        assert!(memory.is_warm());
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} vs cold {cold_iters} total ADMM iterations"
+        );
+    }
+
+    #[test]
+    fn memory_reset_restores_cold_behaviour() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.5);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let mut memory = MpcMemory::new();
+        let first = solve_mpc_warm(&state, &reference, &[], &params, &config, &mut memory);
+        assert!(memory.is_warm());
+        memory.reset();
+        assert!(!memory.is_warm());
+        let again = solve_mpc_warm(&state, &reference, &[], &params, &config, &mut memory);
+        assert_eq!(first, again);
     }
 }

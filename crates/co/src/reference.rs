@@ -32,9 +32,14 @@ impl PathWalker {
         }
         // gear-change arc positions (cusps) plus the terminal point
         let mut cusps = Vec::new();
-        for i in 1..path.directions.len() {
-            if path.directions[i] != path.directions[i - 1] {
-                cusps.push(cumulative[i]);
+        for ((prev, next), cum) in path
+            .directions
+            .iter()
+            .zip(&path.directions[1..])
+            .zip(&cumulative[1..])
+        {
+            if next != prev {
+                cusps.push(*cum);
             }
         }
         cusps.push(acc);

@@ -108,7 +108,7 @@ impl BoxTracker {
                     continue;
                 }
                 let d = t.smoothed_center.distance(obb.center);
-                if d < self.gate && best.map_or(true, |(_, bd)| d < bd) {
+                if d < self.gate && best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
                 }
             }

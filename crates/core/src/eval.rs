@@ -1,5 +1,11 @@
 //! Seeded batch evaluation: the statistics machinery behind Table II and
 //! the sensitivity figures.
+//!
+//! Batches fan out across OS threads (see [`EvalConfig::parallelism`]):
+//! each seeded episode is a pure function of its `ScenarioConfig` plus a
+//! private clone of the IL model, so workers pull episode indices from a
+//! shared atomic counter and the reassembled result vector is bit-identical
+//! to a serial run regardless of worker count or scheduling.
 
 use crate::config::ICoilConfig;
 use crate::policies::{ICoilPolicy, PureCoPolicy, PureIlPolicy};
@@ -7,6 +13,44 @@ use icoil_il::IlModel;
 use icoil_world::episode::{run_episode, EpisodeConfig, EpisodeResult, Policy};
 use icoil_world::{Difficulty, ParkingStats, Scenario, ScenarioConfig, World};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execution knobs for batch evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Worker threads episodes are fanned across; `1` runs serially on the
+    /// calling thread. Results are bit-identical at any setting.
+    pub parallelism: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { parallelism: 1 }
+    }
+}
+
+impl EvalConfig {
+    /// A config with the given worker count (`0` is clamped to `1`).
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        EvalConfig {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// Reads `ICOIL_PARALLELISM` from the environment, defaulting to the
+    /// number of available cores.
+    pub fn from_env() -> Self {
+        let parallelism = std::env::var("ICOIL_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        EvalConfig::with_parallelism(parallelism)
+    }
+}
 
 /// The parking method under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -60,7 +104,10 @@ pub fn run_one(
     run_episode(&mut world, policy.as_mut(), episode)
 }
 
-/// Runs a batch of seeded episodes and returns the raw results.
+/// Runs a batch of seeded episodes serially and returns the raw results.
+///
+/// Equivalent to [`run_batch_with`] at `parallelism = 1`; batch regenerators
+/// should prefer `run_batch_with(.., &EvalConfig::from_env())`.
 pub fn run_batch(
     method: Method,
     config: &ICoilConfig,
@@ -68,25 +115,95 @@ pub fn run_batch(
     scenario_configs: &[ScenarioConfig],
     episode: &EpisodeConfig,
 ) -> Vec<EpisodeResult> {
-    scenario_configs
-        .iter()
-        .map(|sc| run_one(method, config, model, sc, episode))
+    run_batch_with(
+        method,
+        config,
+        model,
+        scenario_configs,
+        episode,
+        &EvalConfig::default(),
+    )
+}
+
+/// Runs a batch of seeded episodes across `eval.parallelism` workers.
+///
+/// Workers steal episode indices from a shared counter and return
+/// `(index, result)` pairs, which are reassembled in seed order — so the
+/// output is bit-identical to the serial path for every worker count.
+pub fn run_batch_with(
+    method: Method,
+    config: &ICoilConfig,
+    model: &IlModel,
+    scenario_configs: &[ScenarioConfig],
+    episode: &EpisodeConfig,
+    eval: &EvalConfig,
+) -> Vec<EpisodeResult> {
+    let workers = eval.parallelism.max(1).min(scenario_configs.len());
+    if workers <= 1 {
+        return scenario_configs
+            .iter()
+            .map(|sc| run_one(method, config, model, sc, episode))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<EpisodeResult>> = Vec::new();
+    slots.resize_with(scenario_configs.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(sc) = scenario_configs.get(idx) else {
+                            break;
+                        };
+                        local.push((idx, run_one(method, config, model, sc, episode)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, result) in handle.join().expect("episode worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every episode index was claimed by a worker"))
         .collect()
 }
 
 /// Convenience wrapper: evaluates `method` on `difficulty` over a seed
 /// range with default configs, returning Table-II-style statistics.
+///
+/// Episodes run across the worker count given by [`EvalConfig::from_env`]
+/// (the `ICOIL_PARALLELISM` knob); the statistics are unaffected by the
+/// worker count because per-seed results are bit-identical.
 pub fn evaluate(
     method: Method,
     difficulty: Difficulty,
     seeds: std::ops::Range<u64>,
     model: &IlModel,
 ) -> ParkingStats {
+    evaluate_with(method, difficulty, seeds, model, &EvalConfig::from_env())
+}
+
+/// [`evaluate`] with an explicit [`EvalConfig`].
+pub fn evaluate_with(
+    method: Method,
+    difficulty: Difficulty,
+    seeds: std::ops::Range<u64>,
+    model: &IlModel,
+    eval: &EvalConfig,
+) -> ParkingStats {
     let config = ICoilConfig::default();
     let scenario_configs: Vec<ScenarioConfig> = seeds
         .map(|s| ScenarioConfig::new(difficulty, s))
         .collect();
-    let results = run_batch(
+    let results = run_batch_with(
         method,
         &config,
         model,
@@ -95,6 +212,7 @@ pub fn evaluate(
             max_time: 60.0,
             record_trace: false,
         },
+        eval,
     );
     ParkingStats::from_results(&results)
 }
@@ -132,6 +250,45 @@ mod tests {
         let il = run_batch(Method::Il, &config, &model, &scenario_configs, &episode);
         assert!(co[0].is_success());
         assert!(!il[0].is_success(), "an untrained IL policy cannot park");
+    }
+
+    #[test]
+    fn parallel_run_batch_matches_serial() {
+        let config = ICoilConfig::default();
+        let model = IlModel::untrained(ActionCodec::default(), config.bev, 3);
+        let scenario_configs: Vec<ScenarioConfig> = (0..6)
+            .map(|s| ScenarioConfig::new(Difficulty::Easy, s))
+            .collect();
+        let episode = EpisodeConfig {
+            max_time: 2.0,
+            record_trace: false,
+        };
+        let serial = run_batch_with(
+            Method::ICoil,
+            &config,
+            &model,
+            &scenario_configs,
+            &episode,
+            &EvalConfig::with_parallelism(1),
+        );
+        for workers in [2, 4, 8] {
+            let parallel = run_batch_with(
+                Method::ICoil,
+                &config,
+                &model,
+                &scenario_configs,
+                &episode,
+                &EvalConfig::with_parallelism(workers),
+            );
+            assert_eq!(serial, parallel, "parallelism={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn eval_config_clamps_and_defaults() {
+        assert_eq!(EvalConfig::default().parallelism, 1);
+        assert_eq!(EvalConfig::with_parallelism(0).parallelism, 1);
+        assert_eq!(EvalConfig::with_parallelism(7).parallelism, 7);
     }
 
     #[test]

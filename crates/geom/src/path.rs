@@ -31,7 +31,7 @@ impl Polyline {
     pub fn new(points: Vec<Vec2>) -> Self {
         let mut deduped: Vec<Vec2> = Vec::with_capacity(points.len());
         for p in points {
-            if deduped.last().map_or(true, |q| q.distance(p) > crate::EPS) {
+            if deduped.last().is_none_or(|q| q.distance(p) > crate::EPS) {
                 deduped.push(p);
             }
         }

@@ -1,6 +1,6 @@
 //! The trained IL artifact and its inference path.
 
-use icoil_nn::{Network, Tensor};
+use icoil_nn::{InferBuffers, Network, Tensor};
 use icoil_perception::{BevConfig, BevImage};
 use icoil_vehicle::{Action, ActionCodec};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,13 @@ pub struct IlModel {
     network: Network,
     codec: ActionCodec,
     bev: BevConfig,
+    /// Reusable input tensor for the hot inference path (not persisted).
+    #[serde(skip)]
+    input: Tensor,
+    /// Reusable activation buffers: after the first frame, inference
+    /// performs no heap allocation (not persisted).
+    #[serde(skip)]
+    buffers: InferBuffers,
 }
 
 impl IlModel {
@@ -45,6 +52,8 @@ impl IlModel {
             network,
             codec,
             bev,
+            input: Tensor::default(),
+            buffers: InferBuffers::new(),
         }
     }
 
@@ -53,11 +62,7 @@ impl IlModel {
     pub fn untrained(codec: ActionCodec, bev: BevConfig, seed: u64) -> Self {
         let network =
             Network::il_architecture((BevImage::CHANNELS, bev.size, bev.size), codec.num_classes(), seed);
-        IlModel {
-            network,
-            codec,
-            bev,
-        }
+        IlModel::new(network, codec, bev)
     }
 
     /// The action codec.
@@ -77,6 +82,10 @@ impl IlModel {
 
     /// Runs inference on one BEV image.
     ///
+    /// The forward pass reuses the model's internal buffers, so after the
+    /// first frame it performs no heap allocation (only the returned
+    /// [`InferResult`] is freshly allocated).
+    ///
     /// # Panics
     ///
     /// Panics when the image geometry differs from the model's
@@ -86,14 +95,18 @@ impl IlModel {
             image.size, self.bev.size,
             "BEV image size does not match the model"
         );
-        let x = Tensor::from_vec(
-            vec![1, BevImage::CHANNELS, image.size, image.size],
-            image.data.clone(),
-        )
-        .expect("BEV image data matches its declared size");
-        let probs_t = self.network.predict_proba(&x);
+        self.input
+            .resize(&[1, BevImage::CHANNELS, image.size, image.size]);
+        self.input.data_mut().copy_from_slice(&image.data);
+        let probs_t = self.network.infer_proba(&self.input, &mut self.buffers);
         let probs: Vec<f64> = probs_t.data().iter().map(|&v| v as f64).collect();
-        let class = probs_t.argmax_rows()[0];
+        // Last maximal index, matching `Tensor::argmax_rows` tie-breaking.
+        let mut class = 0;
+        for (i, &p) in probs_t.data().iter().enumerate() {
+            if p >= probs_t.data()[class] {
+                class = i;
+            }
+        }
         InferResult {
             action: self.codec.decode(class),
             class,

@@ -9,6 +9,36 @@ use crate::init;
 use crate::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Reusable per-layer buffers for the allocation-free inference path
+/// ([`LayerKind::infer_into`]).
+///
+/// The buffers grow to the largest size any layer needs and are then
+/// reused verbatim, so repeated inference through the same network
+/// performs no heap allocation after the first call.
+#[derive(Debug, Clone)]
+pub struct InferScratch {
+    /// im2col patch matrix for [`Conv2d`].
+    cols: Tensor,
+    /// Per-sample convolution output (`[out_ch, oh·ow]`).
+    conv_y: Tensor,
+}
+
+impl InferScratch {
+    /// Creates empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        InferScratch {
+            cols: Tensor::zeros(vec![0]),
+            conv_y: Tensor::zeros(vec![0]),
+        }
+    }
+}
+
+impl Default for InferScratch {
+    fn default() -> Self {
+        InferScratch::new()
+    }
+}
+
 /// A sequential network layer.
 ///
 /// The enum (rather than a trait object) keeps layers `Serialize`-able and
@@ -71,6 +101,34 @@ impl LayerKind {
             LayerKind::ReLU(l) => l.forward(x, train),
             LayerKind::Flatten(l) => l.forward(x, train),
             LayerKind::Dropout(l) => l.forward(x, train),
+        }
+    }
+
+    /// Inference-only forward pass writing into `out`, reusing `scratch`
+    /// buffers instead of allocating. Produces results bit-identical to
+    /// `forward(x, false)` while caching nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`LayerKind::forward`].
+    pub fn infer_into(&self, x: &Tensor, out: &mut Tensor, scratch: &mut InferScratch) {
+        match self {
+            LayerKind::Dense(l) => l.infer_into(x, out),
+            LayerKind::Conv2d(l) => l.infer_into(x, out, scratch),
+            LayerKind::MaxPool2d(l) => l.infer_into(x, out),
+            LayerKind::ReLU(_) => {
+                out.copy_from(x);
+                for v in out.data_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            LayerKind::Flatten(_) => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                out.resize(&[n, rest]);
+                out.data_mut().copy_from_slice(x.data());
+            }
+            LayerKind::Dropout(_) => out.copy_from(x),
         }
     }
 
@@ -166,6 +224,16 @@ impl Dense {
             self.cache_input = Some(x.clone());
         }
         y
+    }
+
+    fn infer_into(&self, x: &Tensor, out: &mut Tensor) {
+        x.matmul_nt_into(&self.weight, out);
+        let out_dim = self.bias.len();
+        for row in out.data_mut().chunks_mut(out_dim) {
+            for (v, b) in row.iter_mut().zip(self.bias.data()) {
+                *v += b;
+            }
+        }
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -334,10 +402,52 @@ impl Conv2d {
         dx
     }
 
+    fn infer_into(&self, x: &Tensor, out: &mut Tensor, scratch: &mut InferScratch) {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "Conv2d expects [n, c, h, w]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.in_ch, "Conv2d channel mismatch");
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        out.resize(&[n, self.out_ch, oh, ow]);
+        let sample_len = c * h * w;
+        let out_sample_len = self.out_ch * oh * ow;
+        for i in 0..n {
+            let sample = &x.data()[i * sample_len..(i + 1) * sample_len];
+            self.im2col_into(sample, h, w, oh, ow, &mut scratch.cols);
+            self.weight.matmul_into(&scratch.cols, &mut scratch.conv_y);
+            for (ch, b) in self.bias.data().iter().enumerate() {
+                let row = &mut scratch.conv_y.data_mut()[ch * oh * ow..(ch + 1) * oh * ow];
+                for v in row {
+                    *v += b;
+                }
+            }
+            out.data_mut()[i * out_sample_len..(i + 1) * out_sample_len]
+                .copy_from_slice(scratch.conv_y.data());
+        }
+    }
+
     fn im2col(&self, sample: &[f32], h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
+        let mut cols = Tensor::zeros(vec![0]);
+        self.im2col_into(sample, h, w, oh, ow, &mut cols);
+        cols
+    }
+
+    fn im2col_into(
+        &self,
+        sample: &[f32],
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        out: &mut Tensor,
+    ) {
         let k = self.kernel;
         let rows = self.in_ch * k * k;
-        let mut cols = vec![0.0f32; rows * oh * ow];
+        out.resize(&[rows, oh * ow]);
+        // Padded positions are skipped below, so the buffer must start
+        // zeroed on every use (it is reused across calls).
+        out.data_mut().fill(0.0);
+        let cols = out.data_mut();
         for c in 0..self.in_ch {
             let plane = &sample[c * h * w..(c + 1) * h * w];
             for ky in 0..k {
@@ -361,7 +471,6 @@ impl Conv2d {
                 }
             }
         }
-        Tensor::from_vec(vec![rows, oh * ow], cols).expect("im2col shape")
     }
 
     fn col2im(&self, dcols: &Tensor, dst: &mut [f32], h: usize, w: usize, oh: usize, ow: usize) {
@@ -455,6 +564,37 @@ impl MaxPool2d {
             });
         }
         out
+    }
+
+    fn infer_into(&self, x: &Tensor, out: &mut Tensor) {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "MaxPool2d expects [n, c, h, w]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let s = self.size;
+        let (oh, ow) = (h / s, w / s);
+        out.resize(&[n, c, oh, ow]);
+        let data = x.data();
+        let out_data = out.data_mut();
+        for i in 0..n {
+            for ch in 0..c {
+                let plane = (i * c + ch) * h * w;
+                let out_plane = (i * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                let idx = plane + (oy * s + dy) * w + (ox * s + dx);
+                                if data[idx] > best {
+                                    best = data[idx];
+                                }
+                            }
+                        }
+                        out_data[out_plane + oy * ow + ox] = best;
+                    }
+                }
+            }
+        }
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

@@ -57,5 +57,6 @@ pub mod optim;
 pub mod tensor;
 
 pub use data::Dataset;
-pub use network::Network;
+pub use layer::InferScratch;
+pub use network::{InferBuffers, Network};
 pub use tensor::Tensor;

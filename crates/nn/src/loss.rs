@@ -40,6 +40,31 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     Tensor::from_vec(vec![n, c], out).expect("softmax preserves shape")
 }
 
+/// In-place variant of [`softmax`]: replaces a logits matrix with its
+/// row-wise softmax without allocating. Produces bit-identical results.
+///
+/// # Panics
+///
+/// Panics unless the input is a 2-D tensor.
+pub fn softmax_in_place(logits: &mut Tensor) {
+    let shape = logits.shape();
+    assert_eq!(shape.len(), 2, "softmax expects [n, classes]");
+    let (n, c) = (shape[0], shape[1]);
+    let data = logits.data_mut();
+    for i in 0..n {
+        let row = &mut data[i * c..(i + 1) * c];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row {
+            *v /= sum;
+        }
+    }
+}
+
 /// Mean softmax cross-entropy loss over a batch, plus its gradient with
 /// respect to the logits.
 ///

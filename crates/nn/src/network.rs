@@ -1,9 +1,30 @@
 //! Sequential network container.
 
-use crate::layer::LayerKind;
-use crate::loss::softmax;
+use crate::layer::{InferScratch, LayerKind};
+use crate::loss::{softmax, softmax_in_place};
 use crate::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// Reusable activation buffers for the allocation-free inference path
+/// ([`Network::infer_logits`] / [`Network::infer_proba`]).
+///
+/// Holds two ping-pong activation tensors plus per-layer scratch. The
+/// buffers grow to the largest activation the network produces during the
+/// first call and are reused verbatim afterwards, so steady-state
+/// inference performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct InferBuffers {
+    ping: Tensor,
+    pong: Tensor,
+    scratch: InferScratch,
+}
+
+impl InferBuffers {
+    /// Creates empty buffers; they are sized lazily on first use.
+    pub fn new() -> Self {
+        InferBuffers::default()
+    }
+}
 
 /// A sequential feed-forward network: the paper's IL DNN is an instance
 /// (three conv+ReLU+pool blocks, flatten, four dense layers).
@@ -96,6 +117,47 @@ impl Network {
     pub fn predict_proba(&mut self, x: &Tensor) -> Tensor {
         let logits = self.forward(x, false);
         softmax(&logits)
+    }
+
+    /// Runs the inference-only pipeline; returns `true` when the result
+    /// landed in `buf.ping`, `false` for `buf.pong`.
+    fn run_infer(&self, x: &Tensor, buf: &mut InferBuffers) -> bool {
+        buf.ping.copy_from(x);
+        let mut in_ping = true;
+        for layer in &self.layers {
+            if in_ping {
+                layer.infer_into(&buf.ping, &mut buf.pong, &mut buf.scratch);
+            } else {
+                layer.infer_into(&buf.pong, &mut buf.ping, &mut buf.scratch);
+            }
+            in_ping = !in_ping;
+        }
+        in_ping
+    }
+
+    /// Inference-only forward pass producing logits into reusable
+    /// buffers: bit-identical to `forward(x, false)` but performs no heap
+    /// allocation once `buf` has warmed up (and caches nothing, so it
+    /// takes `&self`).
+    pub fn infer_logits<'a>(&self, x: &Tensor, buf: &'a mut InferBuffers) -> &'a Tensor {
+        if self.run_infer(x, buf) {
+            &buf.ping
+        } else {
+            &buf.pong
+        }
+    }
+
+    /// [`Network::infer_logits`] followed by an in-place row-wise
+    /// softmax — the allocation-free counterpart of
+    /// [`Network::predict_proba`].
+    pub fn infer_proba<'a>(&self, x: &Tensor, buf: &'a mut InferBuffers) -> &'a Tensor {
+        if self.run_infer(x, buf) {
+            softmax_in_place(&mut buf.ping);
+            &buf.ping
+        } else {
+            softmax_in_place(&mut buf.pong);
+            &buf.pong
+        }
     }
 
     /// Predicted class per batch row.
@@ -217,6 +279,23 @@ mod tests {
         let (loss1, _) = loss::cross_entropy(&net.forward(&x, false), &ys);
         assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
         assert_eq!(loss::accuracy(&net.forward(&x, false), &ys), 1.0);
+    }
+
+    #[test]
+    fn infer_path_matches_forward_bitwise() {
+        let mut net = Network::il_architecture((2, 16, 16), 21, 4);
+        let x = crate::init::uniform(vec![2, 2, 16, 16], 0.0, 1.0, 5);
+        let logits = net.forward(&x, false);
+        let mut buf = InferBuffers::new();
+        assert_eq!(logits.data(), net.infer_logits(&x, &mut buf).data());
+        let probs = net.predict_proba(&x);
+        assert_eq!(probs.data(), net.infer_proba(&x, &mut buf).data());
+        // warm buffers must not change the result
+        assert_eq!(probs.data(), net.infer_proba(&x, &mut buf).data());
+        // and a different input through the same buffers stays correct
+        let x2 = crate::init::uniform(vec![1, 2, 16, 16], -1.0, 1.0, 6);
+        let probs2 = net.predict_proba(&x2);
+        assert_eq!(probs2.data(), net.infer_proba(&x2, &mut buf).data());
     }
 
     #[test]

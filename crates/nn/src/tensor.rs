@@ -47,6 +47,14 @@ impl std::fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+impl Default for Tensor {
+    /// An empty `[0]` tensor — a lazily-sized buffer for the `*_into`
+    /// methods.
+    fn default() -> Self {
+        Tensor::zeros(vec![0])
+    }
+}
+
 impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Vec<usize>) -> Self {
@@ -148,6 +156,23 @@ impl Tensor {
         self.data[r * self.shape[1] + c]
     }
 
+    /// Resizes the tensor in place, reusing the existing allocation when
+    /// the capacity suffices. Element values are unspecified afterwards;
+    /// callers are expected to overwrite them.
+    pub fn resize(&mut self, shape: &[usize]) {
+        let n = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(n, 0.0);
+    }
+
+    /// Makes this tensor an element-wise copy of `other`, reusing the
+    /// existing allocation when the capacity suffices.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.resize(&other.shape);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Matrix product `self · other` for 2-D tensors.
     ///
     /// # Panics
@@ -155,27 +180,48 @@ impl Tensor {
     /// Panics unless both tensors are 2-D with compatible inner
     /// dimensions.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided tensor, which is
+    /// resized as needed: repeated products of the same dimensions reuse
+    /// the allocation. Results are bit-identical to [`Tensor::matmul`].
+    ///
+    /// The kernel is column-blocked: a panel of `other` columns stays in
+    /// cache across all rows of `self`, while each output element still
+    /// accumulates over `k` in ascending order (so blocking cannot change
+    /// the floating-point result).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with compatible inner
+    /// dimensions.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = self.matrix_dims();
         let (k2, n) = other.matrix_dims();
         assert_eq!(k, k2, "matmul inner dimensions must agree");
-        let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: streams through `other` rows, cache-friendly.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        const BLOCK: usize = 128;
+        out.resize(&[m, n]);
+        out.data.fill(0.0);
+        let mut jb = 0;
+        while jb < n {
+            let je = (jb + BLOCK).min(n);
+            for i in 0..m {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut out.data[i * n + jb..i * n + je];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n + jb..kk * n + je];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
+            jb = je;
         }
     }
 
@@ -214,10 +260,24 @@ impl Tensor {
     ///
     /// Panics unless both tensors are 2-D with matching column counts.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] writing into a caller-provided tensor, which
+    /// is resized as needed (no allocation once warm). Each output element
+    /// is an independent dot product, so results are bit-identical to
+    /// [`Tensor::matmul_nt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching column counts.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
         let (m, k) = self.matrix_dims();
         let (n, k2) = other.matrix_dims();
         assert_eq!(k, k2, "matmul_nt column counts must agree");
-        let mut out = vec![0.0f32; m * n];
+        out.resize(&[m, n]);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             for j in 0..n {
@@ -226,12 +286,8 @@ impl Tensor {
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out[i * n + j] = acc;
+                out.data[i * n + j] = acc;
             }
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
         }
     }
 
@@ -350,6 +406,66 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), &[2, 1]);
         assert_eq!(c.data(), &[6., 15.]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_dirty_buffer_and_matches() {
+        // irrational-ish values so accumulation-order bugs show up in bits
+        let a = t(
+            vec![3, 4],
+            (0..12).map(|i| ((i * 7 + 3) as f32 * 0.137).sin()).collect(),
+        );
+        let b = t(
+            vec![4, 5],
+            (0..20).map(|i| ((i * 5 + 1) as f32 * 0.219).cos()).collect(),
+        );
+        let expected = a.matmul(&b);
+        // wrong-shaped buffer full of garbage must be fully overwritten
+        let mut out = Tensor::full(vec![7, 2], 3.5);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, expected);
+
+        let expected_nt = a.matmul_nt(&b.transposed());
+        let mut out_nt = Tensor::full(vec![1, 1], -9.0);
+        a.matmul_nt_into(&b.transposed(), &mut out_nt);
+        assert_eq!(out_nt, expected_nt);
+        // plain and transposed-B products agree bitwise
+        assert_eq!(expected.data(), expected_nt.data());
+    }
+
+    #[test]
+    fn matmul_blocking_spans_wide_outputs() {
+        // wider than one 128-column block so the tiled loop crosses a
+        // block boundary; compare against a naive triple loop
+        let (m, k, n) = (3, 5, 300);
+        let a = t(
+            vec![m, k],
+            (0..m * k).map(|i| (i as f32 * 0.31).sin()).collect(),
+        );
+        let b = t(
+            vec![k, n],
+            (0..k * n).map(|i| (i as f32 * 0.17).cos()).collect(),
+        );
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.at(i, kk) * b.at(kk, j);
+                }
+                assert_eq!(c.at(i, j), acc, "element ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn resize_and_copy_from_reuse_capacity() {
+        let mut buf = Tensor::default();
+        buf.resize(&[4, 4]);
+        assert_eq!(buf.shape(), &[4, 4]);
+        let src = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        buf.copy_from(&src);
+        assert_eq!(buf, src);
     }
 
     #[test]

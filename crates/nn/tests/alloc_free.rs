@@ -1,0 +1,60 @@
+//! Proves the inference hot path is allocation-free after warm-up.
+//!
+//! A counting global allocator wraps the system allocator; after two
+//! warm-up calls size the [`InferBuffers`], repeated inference through
+//! the full IL architecture must perform zero heap allocations.
+
+use icoil_nn::{init, InferBuffers, Network};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn il_inference_is_allocation_free_after_warmup() {
+    // The paper's IL architecture at the BEV input size used in-sim.
+    let net = Network::il_architecture((2, 32, 32), 21, 0);
+    let x = init::uniform(vec![1, 2, 32, 32], 0.0, 1.0, 1);
+    let mut buf = InferBuffers::new();
+
+    // Warm-up: first call sizes every buffer, second call confirms the
+    // sizes are stable before counting starts.
+    let _ = net.infer_proba(&x, &mut buf);
+    let _ = net.infer_proba(&x, &mut buf);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut checksum = 0.0f32;
+    for _ in 0..10 {
+        let p = net.infer_proba(&x, &mut buf);
+        checksum += p.data()[0];
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "inference allocated {} times over 10 frames",
+        after - before
+    );
+}

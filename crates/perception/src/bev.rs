@@ -90,7 +90,7 @@ impl BevRenderer {
     /// positive.
     pub fn new(config: BevConfig) -> Self {
         assert!(
-            config.size > 0 && config.size % 8 == 0,
+            config.size > 0 && config.size.is_multiple_of(8),
             "BEV size must be a positive multiple of 8"
         );
         assert!(config.range > 0.0, "BEV range must be positive");

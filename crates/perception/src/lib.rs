@@ -22,7 +22,7 @@
 //! use icoil_world::{Difficulty, ScenarioConfig, World};
 //! use icoil_world::episode::Observation;
 //!
-//! let scenario = ScenarioConfig::new(Difficulty::Easy, 3).build();
+//! let scenario = ScenarioConfig::new(Difficulty::Easy, 2).build();
 //! let mut world = World::new(scenario);
 //! let mut perception = Perception::new(BevConfig::default(), world.scenario());
 //! let sensing = perception.observe(&Observation::new(&world));

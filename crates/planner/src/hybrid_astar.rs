@@ -281,7 +281,7 @@ pub fn plan(problem: &PlanningProblem, config: &PlannerConfig) -> Result<Planned
         }
 
         // analytic expansion
-        if expansions % config.analytic_period == 0 {
+        if expansions.is_multiple_of(config.analytic_period) {
             let rs = reeds_shepp::shortest_path(pose, problem.goal, radius);
             if rs_collision_free(problem, &rs, pose, config) {
                 return Ok(extract(&nodes, index, config, Some(rs), problem));

@@ -34,4 +34,6 @@ pub mod linalg;
 pub mod qp;
 
 pub use linalg::{Cholesky, Mat};
-pub use qp::{solve_qp, QpProblem, QpSettings, QpSolution, QpStatus};
+pub use qp::{
+    solve_qp, solve_qp_warm, QpProblem, QpSettings, QpSolution, QpStatus, QpWarmStart, QpWorkspace,
+};

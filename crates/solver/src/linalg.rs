@@ -187,8 +187,8 @@ impl Mat {
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..self.cols {
-                    out.data[i * self.cols + j] += a * row[j];
+                for (j, &b) in row.iter().enumerate() {
+                    out.data[i * self.cols + j] += a * b;
                 }
             }
         }

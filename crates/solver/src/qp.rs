@@ -147,7 +147,82 @@ pub struct QpSolution {
     pub dual_residual: f64,
 }
 
-/// Solves a QP with ADMM.
+/// A primal/dual iterate carried between related solves (OSQP-style warm
+/// starting). MPC re-solves nearly-identical problems every frame; starting
+/// ADMM from the previous optimum typically cuts iterations severalfold.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QpWarmStart {
+    /// Primal iterate from a previous solve (length `n`).
+    pub x: Vec<f64>,
+    /// Dual iterate from a previous solve (length `m`).
+    pub y: Vec<f64>,
+}
+
+impl QpWarmStart {
+    /// Captures the iterates of a finished solve.
+    pub fn from_solution(sol: &QpSolution) -> Self {
+        QpWarmStart {
+            x: sol.x.clone(),
+            y: sol.y.clone(),
+        }
+    }
+
+    /// Whether this warm start fits a problem with `n` variables and `m`
+    /// constraint rows.
+    pub fn fits(&self, n: usize, m: usize) -> bool {
+        self.x.len() == n && self.y.len() == m
+    }
+}
+
+/// Reusable setup state cached across solves of structurally-similar
+/// problems (same variable/constraint counts).
+///
+/// Caches, in the spirit of OSQP's setup/update split:
+///
+/// * the Ruiz scaling vectors `D`, `E` — equilibration is a change of
+///   variables, so reusing the previous scaling on slightly-changed data
+///   stays exact and skips the iterative scaling passes;
+/// * the Gram matrix `AᵀA` and Cholesky factor of `P + σI + ρAᵀA`, reused
+///   only while the scaled `P`/`A` data, σ, and ρ are bit-identical;
+/// * the adapted step size ρ from the previous solve, so later solves
+///   start from the rebalanced value instead of re-learning it.
+#[derive(Debug, Clone, Default)]
+pub struct QpWorkspace {
+    scaling: Option<(Vec<f64>, Vec<f64>)>,
+    factor: Option<FactorCache>,
+    rho: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct FactorCache {
+    p_data: Vec<f64>,
+    a_data: Vec<f64>,
+    sigma: f64,
+    rho: f64,
+    gram: Mat,
+    factor: Cholesky,
+}
+
+impl QpWorkspace {
+    /// A fresh workspace (first solve runs the full setup).
+    pub fn new() -> Self {
+        QpWorkspace::default()
+    }
+
+    /// Drops all cached state (scaling, factor, adapted ρ).
+    pub fn clear(&mut self) {
+        self.scaling = None;
+        self.factor = None;
+        self.rho = None;
+    }
+
+    /// The adapted ρ carried from the previous solve, if any.
+    pub fn carried_rho(&self) -> Option<f64> {
+        self.rho
+    }
+}
+
+/// Solves a QP with ADMM (cold start, no state reuse).
 ///
 /// The problem is first *equilibrated* (modified Ruiz scaling of rows and
 /// columns, as in OSQP §5.1): ADMM's convergence rate degrades badly when
@@ -159,13 +234,58 @@ pub struct QpSolution {
 /// handled by the σ-regularization (the solution then corresponds to the
 /// regularized problem, which is the standard OSQP behaviour).
 pub fn solve_qp(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
-    let (scaled, d, e) = equilibrate(problem);
-    let mut sol = solve_qp_raw(&scaled, settings);
+    solve_qp_warm(problem, settings, None, &mut QpWorkspace::new())
+}
+
+/// Solves a QP with ADMM, warm-starting from a previous iterate and
+/// reusing cached setup work from `workspace` where valid.
+///
+/// `warm` is ignored unless its dimensions fit the problem. Scaling reuse
+/// keys on dimensions; factorization reuse additionally keys on the exact
+/// scaled data, σ and ρ, so the result always corresponds to the problem
+/// actually passed in.
+pub fn solve_qp_warm(
+    problem: &QpProblem,
+    settings: &QpSettings,
+    warm: Option<&QpWarmStart>,
+    workspace: &mut QpWorkspace,
+) -> QpSolution {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let reuse_scaling = matches!(
+        &workspace.scaling,
+        Some((d, e)) if d.len() == n && e.len() == m
+    );
+    if !reuse_scaling {
+        workspace.scaling = Some(compute_scaling(problem));
+        workspace.factor = None;
+        workspace.rho = None;
+    }
+    let (d, e) = workspace.scaling.as_ref().expect("scaling just ensured");
+    let scaled = apply_scaling(problem, d, e);
+
+    // scale the warm start into the equilibrated coordinates:
+    // x = D·x̃ → x̃ = D⁻¹x; y = E·ỹ → ỹ = E⁻¹y. A primal of the right
+    // length is useful even when the constraint rows changed (the dual
+    // then restarts at zero), which is the common MPC re-solve case.
+    let start = warm.filter(|w| w.x.len() == n).map(|w| {
+        let x: Vec<f64> = w.x.iter().zip(d).map(|(xi, di)| xi / di).collect();
+        let y: Vec<f64> = if w.y.len() == m {
+            w.y.iter().zip(e).map(|(yi, ei)| yi / ei).collect()
+        } else {
+            vec![0.0; m]
+        };
+        let z = scaled.a.mul_vec(&x);
+        (x, y, z)
+    });
+
+    let mut sol = solve_qp_scaled(&scaled, settings, start, workspace);
+    let (d, e) = workspace.scaling.as_ref().expect("scaling retained");
     // unscale: x = D·x̃, y = E·ỹ
-    for (x, di) in sol.x.iter_mut().zip(&d) {
+    for (x, di) in sol.x.iter_mut().zip(d) {
         *x *= di;
     }
-    for (y, ei) in sol.y.iter_mut().zip(&e) {
+    for (y, ei) in sol.y.iter_mut().zip(e) {
         *y *= ei;
     }
     // report residuals in original units (approximately): recompute
@@ -178,10 +298,9 @@ pub fn solve_qp(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
     sol
 }
 
-/// Modified Ruiz equilibration: returns the scaled problem plus the
-/// column scales `D` and row scales `E` such that the scaled problem is
-/// `min ½x̃ᵀ(DPD)x̃ + (Dq)ᵀx̃  s.t.  El ≤ (EAD)x̃ ≤ Eu` with `x = Dx̃`.
-fn equilibrate(problem: &QpProblem) -> (QpProblem, Vec<f64>, Vec<f64>) {
+/// Modified Ruiz equilibration passes: returns the column scales `D` and
+/// row scales `E` such that `DPD` / `EAD` have near-unit row/column norms.
+fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
     let n = problem.num_vars();
     let m = problem.num_constraints();
     let mut d = vec![1.0f64; n];
@@ -191,7 +310,7 @@ fn equilibrate(problem: &QpProblem) -> (QpProblem, Vec<f64>, Vec<f64>) {
     let clamp = |v: f64| v.clamp(1e-6, 1e6);
     for _ in 0..8 {
         // row norms of A
-        for i in 0..m {
+        for (i, ei) in e.iter_mut().enumerate() {
             let mut r = 0.0f64;
             for j in 0..n {
                 r = r.max(a.at(i, j).abs());
@@ -201,11 +320,11 @@ fn equilibrate(problem: &QpProblem) -> (QpProblem, Vec<f64>, Vec<f64>) {
                 for j in 0..n {
                     *a.at_mut(i, j) *= s;
                 }
-                e[i] *= s;
+                *ei *= s;
             }
         }
         // column norms over A and P
-        for j in 0..n {
+        for (j, dj) in d.iter_mut().enumerate() {
             let mut c = 0.0f64;
             for i in 0..m {
                 c = c.max(a.at(i, j).abs());
@@ -223,43 +342,72 @@ fn equilibrate(problem: &QpProblem) -> (QpProblem, Vec<f64>, Vec<f64>) {
                     *p.at_mut(k, j) *= s;
                     *p.at_mut(j, k) *= s;
                 }
-                d[j] *= s;
+                *dj *= s;
             }
         }
     }
-    let q: Vec<f64> = problem.q.iter().zip(&d).map(|(qi, di)| qi * di).collect();
-    let l: Vec<f64> = problem.l.iter().zip(&e).map(|(li, ei)| li * ei).collect();
-    let u: Vec<f64> = problem.u.iter().zip(&e).map(|(ui, ei)| ui * ei).collect();
-    (
-        QpProblem { p, q, a, l, u },
-        d,
-        e,
-    )
+    (d, e)
 }
 
-/// The core ADMM loop on an (already scaled) problem.
-fn solve_qp_raw(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
+/// Applies scaling vectors to a problem: the scaled program is
+/// `min ½x̃ᵀ(DPD)x̃ + (Dq)ᵀx̃  s.t.  El ≤ (EAD)x̃ ≤ Eu` with `x = Dx̃`.
+fn apply_scaling(problem: &QpProblem, d: &[f64], e: &[f64]) -> QpProblem {
+    let mut p = problem.p.clone();
+    for (i, di) in d.iter().enumerate() {
+        for (j, dj) in d.iter().enumerate() {
+            *p.at_mut(i, j) *= di * dj;
+        }
+    }
+    let mut a = problem.a.clone();
+    for (i, ei) in e.iter().enumerate() {
+        for (j, dj) in d.iter().enumerate() {
+            *a.at_mut(i, j) *= ei * dj;
+        }
+    }
+    let q: Vec<f64> = problem.q.iter().zip(d).map(|(qi, di)| qi * di).collect();
+    let l: Vec<f64> = problem.l.iter().zip(e).map(|(li, ei)| li * ei).collect();
+    let u: Vec<f64> = problem.u.iter().zip(e).map(|(ui, ei)| ui * ei).collect();
+    QpProblem { p, q, a, l, u }
+}
+
+/// The core ADMM loop on an (already scaled) problem, reusing the cached
+/// Gram matrix and Cholesky factor from `workspace` when the scaled data,
+/// σ and ρ all match.
+fn solve_qp_scaled(
+    problem: &QpProblem,
+    settings: &QpSettings,
+    start: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    workspace: &mut QpWorkspace,
+) -> QpSolution {
     let n = problem.num_vars();
     let m = problem.num_constraints();
-    let mut rho = settings.rho;
+    let mut rho = settings.rho.clamp(1e-6, 1e6);
 
     // KKT matrix M = P + σI + ρ AᵀA, factorized once per ρ value.
-    let gram = problem.a.gram();
-    let build_factor = |rho: f64| {
-        let mut kkt = problem.p.clone();
-        kkt.add_scaled(&Mat::identity(n), settings.sigma);
-        kkt.add_scaled(&gram, rho);
-        ensure_factor(kkt, n)
+    let cache_valid = matches!(
+        &workspace.factor,
+        Some(c) if c.sigma == settings.sigma
+            && c.p_data.as_slice() == problem.p.data()
+            && c.a_data.as_slice() == problem.a.data()
+    );
+    let (gram, mut factor) = if cache_valid {
+        // identical scaled data: the previously-adapted ρ applies, so the
+        // cached factor can be reused verbatim
+        let cache = workspace.factor.as_ref().expect("cache just validated");
+        rho = cache.rho;
+        (cache.gram.clone(), cache.factor.clone())
+    } else {
+        let gram = problem.a.gram();
+        let factor = build_factor(problem, &gram, settings.sigma, rho);
+        (gram, factor)
     };
-    let mut factor = build_factor(rho);
 
-    let mut x = vec![0.0; n];
-    let mut z = vec![0.0; m];
-    let mut y = vec![0.0; m];
+    let (mut x, mut y, mut z) = start.unwrap_or_else(|| (vec![0.0; n], vec![0.0; m], vec![0.0; m]));
 
     let mut primal_res = f64::INFINITY;
     let mut dual_res = f64::INFINITY;
     let mut iters = 0;
+    let mut status = QpStatus::MaxIterations;
 
     let alpha = settings.alpha;
     for it in 0..settings.max_iters {
@@ -299,14 +447,8 @@ fn solve_qp_raw(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
                 .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
                 .fold(0.0, f64::max);
             if primal_res < settings.eps_abs && dual_res < settings.eps_abs {
-                return QpSolution {
-                    x,
-                    y,
-                    status: QpStatus::Solved,
-                    iterations: iters,
-                    primal_residual: primal_res,
-                    dual_residual: dual_res,
-                };
+                status = QpStatus::Solved;
+                break;
             }
             // Adaptive ρ (OSQP §5.2): rebalance when the residuals diverge
             // by more than an order of magnitude. Refactorization is cheap
@@ -322,20 +464,39 @@ fn solve_qp_raw(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
                 let new_rho = new_rho.clamp(1e-6, 1e6);
                 if (new_rho - rho).abs() > f64::EPSILON {
                     rho = new_rho;
-                    factor = build_factor(rho);
+                    factor = build_factor(problem, &gram, settings.sigma, rho);
                 }
             }
         }
     }
 
+    workspace.rho = Some(rho);
+    workspace.factor = Some(FactorCache {
+        p_data: problem.p.data().to_vec(),
+        a_data: problem.a.data().to_vec(),
+        sigma: settings.sigma,
+        rho,
+        gram,
+        factor,
+    });
+
     QpSolution {
         x,
         y,
-        status: QpStatus::MaxIterations,
+        status,
         iterations: iters,
         primal_residual: primal_res,
         dual_residual: dual_res,
     }
+}
+
+/// Builds and factorizes the KKT matrix `P + σI + ρ AᵀA`.
+fn build_factor(problem: &QpProblem, gram: &Mat, sigma: f64, rho: f64) -> Cholesky {
+    let n = problem.num_vars();
+    let mut kkt = problem.p.clone();
+    kkt.add_scaled(&Mat::identity(n), sigma);
+    kkt.add_scaled(gram, rho);
+    ensure_factor(kkt, n)
 }
 
 /// Factorizes, escalating the regularization if the matrix is not PD.
@@ -538,5 +699,109 @@ mod tests {
         let sol = solve_qp(&qp, &settings());
         assert_eq!(sol.status, QpStatus::Solved);
         assert!(qp.max_violation(&sol.x) < 1e-4);
+    }
+
+    /// MPC-like tracking QP with `n` variables, a perturbable linear
+    /// term, boxes and rate limits — stands in for consecutive frames.
+    fn tracking_qp(n: usize, drift: f64) -> QpProblem {
+        let p = Mat::diag(&vec![2.0; n]);
+        // strong pull so many boxes and rate limits are active: the cold
+        // solve has to discover the active set, the warm one starts on it
+        let q: Vec<f64> = (0..n)
+            .map(|i| -((i % 7) as f64) * 1.5 + drift * (1.0 + (i % 3) as f64))
+            .collect();
+        let mut rows = Mat::zeros(2 * n, n);
+        for i in 0..n {
+            *rows.at_mut(i, i) = 1.0;
+            *rows.at_mut(n + i, i) = 1.0;
+            if i + 1 < n {
+                *rows.at_mut(n + i, i + 1) = -1.0;
+            }
+        }
+        QpProblem::new(p, q, rows, vec![-1.0; 2 * n], vec![1.0; 2 * n]).unwrap()
+    }
+
+    #[test]
+    fn warm_start_meets_kkt_tolerances_with_fewer_iterations() {
+        // frame 2 is a small perturbation of frame 1: warm-started ADMM
+        // must hit the same KKT tolerances in (strictly) fewer iterations
+        let frame1 = tracking_qp(40, 0.0);
+        let frame2 = tracking_qp(40, 0.01);
+        let s = settings();
+
+        let cold = solve_qp(&frame2, &s);
+        assert_eq!(cold.status, QpStatus::Solved);
+
+        let mut ws = QpWorkspace::new();
+        let first = solve_qp_warm(&frame1, &s, None, &mut ws);
+        let warm = QpWarmStart::from_solution(&first);
+        let second = solve_qp_warm(&frame2, &s, Some(&warm), &mut ws);
+
+        assert_eq!(second.status, QpStatus::Solved);
+        // KKT quality is as good as the cold solve's tolerances …
+        assert!(frame2.max_violation(&second.x) < 1e-4);
+        assert!(second.primal_residual < 1e-4);
+        // … with measurably fewer ADMM iterations
+        assert!(
+            second.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            second.iterations,
+            cold.iterations
+        );
+        // and the two solves agree on the optimum
+        for (a, b) in second.x.iter().zip(&cold.x) {
+            assert!((a - b).abs() < 1e-3, "warm {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn workspace_factor_reuse_is_exact() {
+        // solving the identical problem twice through one workspace must
+        // reproduce the cold solution (cache reuse changes no results)
+        let qp = tracking_qp(12, 0.0);
+        let s = settings();
+        let cold = solve_qp(&qp, &s);
+        let mut ws = QpWorkspace::new();
+        let first = solve_qp_warm(&qp, &s, None, &mut ws);
+        assert_eq!(first.x, cold.x);
+        assert!(ws.carried_rho().is_some());
+        let warm = QpWarmStart::from_solution(&first);
+        let again = solve_qp_warm(&qp, &s, Some(&warm), &mut ws);
+        assert_eq!(again.status, QpStatus::Solved);
+        assert!(again.iterations <= first.iterations);
+        for (a, b) in again.x.iter().zip(&cold.x) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn warm_start_with_stale_dual_dimensions_still_solves() {
+        // constraint rows changed between frames (MPC collision rows come
+        // and go): the primal is reused, the dual restarts at zero
+        let frame1 = tracking_qp(10, 0.0);
+        let s = settings();
+        let mut ws = QpWorkspace::new();
+        let first = solve_qp_warm(&frame1, &s, None, &mut ws);
+        let warm = QpWarmStart::from_solution(&first);
+
+        // same variables, one extra constraint row
+        let mut rows = Mat::zeros(21, 10);
+        for i in 0..10 {
+            *rows.at_mut(i, i) = 1.0;
+            *rows.at_mut(10 + i, i) = 1.0;
+        }
+        *rows.at_mut(20, 0) = 1.0;
+        *rows.at_mut(20, 1) = 1.0;
+        let frame2 = QpProblem::new(
+            Mat::diag(&vec![2.0; 10]),
+            frame1.q.clone(),
+            rows,
+            vec![-1.0; 21],
+            vec![1.0; 21],
+        )
+        .unwrap();
+        let sol = solve_qp_warm(&frame2, &s, Some(&warm), &mut ws);
+        assert_eq!(sol.status, QpStatus::Solved);
+        assert!(frame2.max_violation(&sol.x) < 1e-4);
     }
 }

@@ -88,7 +88,7 @@ impl ActionCodec {
     /// Returns [`InvalidCodecError`] when `steer_bins` is even or below 3,
     /// or `throttle` is outside `(0, 1]`.
     pub fn new(steer_bins: usize, throttle: f64) -> Result<Self, InvalidCodecError> {
-        if steer_bins < 3 || steer_bins % 2 == 0 || !(0.0..=1.0).contains(&throttle) || throttle == 0.0
+        if steer_bins < 3 || steer_bins.is_multiple_of(2) || !(0.0..=1.0).contains(&throttle) || throttle == 0.0
         {
             return Err(InvalidCodecError);
         }

@@ -64,7 +64,7 @@ impl DynamicRoute {
         if path.length() <= 0.0 {
             return Err(RouteError::DegeneratePath);
         }
-        if !(speed > 0.0) {
+        if speed.is_nan() || speed <= 0.0 {
             return Err(RouteError::NonPositiveSpeed);
         }
         Ok(DynamicRoute { path, speed })

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The repo's tier-1 gate plus lints, in one command:
+#
+#   scripts/check.sh
+#
+# Fails on the first broken step. Clippy runs with warnings denied so the
+# tree stays lint-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "all checks passed"

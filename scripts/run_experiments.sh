@@ -4,9 +4,16 @@
 # a longer, tighter-confidence run.
 set -uo pipefail
 
-EPISODES_TABLE="${EPISODES_TABLE:-12}"
-EPISODES_SWEEP="${EPISODES_SWEEP:-4}"
-EPISODES_ABLATION="${EPISODES_ABLATION:-6}"
+# A global ICOIL_EPISODES overrides every per-section size; otherwise each
+# section keeps its own default.
+EPISODES_TABLE="${ICOIL_EPISODES:-${EPISODES_TABLE:-12}}"
+EPISODES_SWEEP="${ICOIL_EPISODES:-${EPISODES_SWEEP:-4}}"
+EPISODES_ABLATION="${ICOIL_EPISODES:-${EPISODES_ABLATION:-6}}"
+
+# Multi-episode binaries fan episodes across this many worker threads;
+# per-seed results are bit-identical at any setting.
+export ICOIL_PARALLELISM="${ICOIL_PARALLELISM:-$(nproc 2>/dev/null || echo 1)}"
+echo "episodes: table=$EPISODES_TABLE sweep=$EPISODES_SWEEP ablation=$EPISODES_ABLATION; workers=$ICOIL_PARALLELISM"
 
 mkdir -p results
 run() {
@@ -23,6 +30,7 @@ ICOIL_EPISODES=$EPISODES_SWEEP  run fig7 cargo run --release -q -p icoil-bench -
 ICOIL_EPISODES=$EPISODES_SWEEP  run fig8 cargo run --release -q -p icoil-bench --bin fig8
 ICOIL_EPISODES=$EPISODES_SWEEP  run fig9 cargo run --release -q -p icoil-bench --bin fig9
 run freq cargo run --release -q -p icoil-bench --bin freq
+ICOIL_EPISODES=$EPISODES_SWEEP  run perf cargo run --release -q -p icoil-bench --bin perf
 run fig3 cargo run --release -q -p icoil-bench --bin fig3
 
 # ablations (small training knobs: these train their own models)

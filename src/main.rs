@@ -49,6 +49,7 @@ USAGE:
   icoil run      --method co|il|icoil --difficulty easy|normal|hard --seed N
                  [--map mocam|compact|parallel] [--model FILE] [--max-time SECS] [--ascii]
   icoil evaluate --method co|il|icoil --difficulty D --episodes N [--model FILE]
+                 [--parallelism W]  (default: ICOIL_PARALLELISM or core count)
   icoil train    [--episodes N] [--epochs E] [--rounds R] [--out FILE]
   icoil plan     --difficulty D --seed N";
 
@@ -162,12 +163,23 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
     let difficulty = get_difficulty(options)?;
     let method = get_method(options)?;
     let episodes = get_u64(options, "episodes", 20)?;
+    // --parallelism overrides ICOIL_PARALLELISM / the detected core count;
+    // results are bit-identical at any setting.
+    let eval_config = match options.get("parallelism") {
+        None => eval::EvalConfig::from_env(),
+        Some(v) => {
+            let workers: usize = v
+                .parse()
+                .map_err(|_| "`--parallelism` expects an integer".to_string())?;
+            eval::EvalConfig::with_parallelism(workers)
+        }
+    };
     let model = load_model(options, method)?;
     let config = ICoilConfig::default();
     let scenario_configs: Vec<ScenarioConfig> = (0..episodes)
         .map(|s| ScenarioConfig::new(difficulty, s))
         .collect();
-    let results = eval::run_batch(
+    let results = eval::run_batch_with(
         method,
         &config,
         &model,
@@ -176,9 +188,13 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
             max_time: 60.0,
             record_trace: false,
         },
+        &eval_config,
     );
     let stats = ParkingStats::from_results(&results);
-    println!("{method} on {difficulty} ({episodes} episodes): {stats}");
+    println!(
+        "{method} on {difficulty} ({episodes} episodes, {} worker(s)): {stats}",
+        eval_config.parallelism
+    );
     Ok(())
 }
 

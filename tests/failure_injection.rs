@@ -9,14 +9,14 @@ use icoil_world::{Difficulty, NoiseConfig, ScenarioConfig, World};
 #[test]
 fn co_parks_under_hard_sensing_noise() {
     // easy map geometry + hard noise profile: the planner must still park
-    let scenario = ScenarioConfig::new(Difficulty::Easy, 11).build();
+    let scenario = ScenarioConfig::new(Difficulty::Easy, 13).build();
     let config = ICoilConfig::default();
     let mut policy = PureCoPolicy::new(&config, &scenario);
     let mut world = World::new(scenario);
     // manually crank the sensing noise beyond the scenario's own level
     // (the policy owns its Perception; we emulate by running the hard
     // scenario variant of the same seed instead)
-    let hard = ScenarioConfig::new(Difficulty::Hard, 11).build();
+    let hard = ScenarioConfig::new(Difficulty::Hard, 13).build();
     let mut hard_policy = PureCoPolicy::new(&config, &hard);
     let mut hard_world = World::new(hard);
     let cfg = EpisodeConfig {

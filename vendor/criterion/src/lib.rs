@@ -1,0 +1,160 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal wall-clock harness with the same surface the workspace benches
+//! use: `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::
+//! iter`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros. Each benchmark is auto-calibrated to a per-sample time budget and
+//! reports min / mean / max over the samples.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent per sample after calibration.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+/// An opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // calibration pass: how many iterations fill the sample budget?
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{id:<28} time: [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_secs(min),
+            fmt_secs(mean),
+            fmt_secs(max),
+            times.len(),
+        );
+        self
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Times a closure for a driver-chosen number of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs and times `f` for the sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); accept and
+            // ignore them, but honor a filter substring if one is given.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("noop", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    black_box(calls)
+                })
+            });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" µs"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of `rand` the workspace actually uses: [`Rng::gen_range`] /
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::SmallRng`]
+//! (xoshiro256++, the same generator family the real crate uses on 64-bit
+//! targets, seeded via SplitMix64), and [`seq::SliceRandom::shuffle`].
+//!
+//! It is deterministic across platforms and releases of this repository; it
+//! does not promise bit-compatibility with upstream `rand` streams.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Convenience sampling methods layered on [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (empty ranges panic).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding support; only `seed_from_u64` is exposed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps 64 random bits to a uniform `f32` in `[0, 1)` (24-bit mantissa).
+fn unit_f32(word: u64) -> f32 {
+    (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Uniform sampling from range types, mirroring `rand::distributions::uniform`.
+pub mod distributions {
+    /// Range-sampling traits.
+    pub mod uniform {
+        use super::super::{unit_f32, unit_f64, Range, RangeInclusive, RngCore};
+
+        /// Types uniformly sampleable from ranges. Mirroring upstream, the
+        /// blanket `SampleRange` impls below are generic over this trait so
+        /// a range literal's element type unifies with the requested sample
+        /// type during inference.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// One uniform draw from `[lo, hi)` (or `[lo, hi]` when
+            /// `inclusive`).
+            fn sample_range<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+        }
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one sample using `rng`.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_range(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                T::sample_range(lo, hi, true, rng)
+            }
+        }
+
+        macro_rules! float_uniform {
+            ($t:ty, $unit:ident) => {
+                impl SampleUniform for $t {
+                    fn sample_range<R: RngCore>(
+                        lo: Self,
+                        hi: Self,
+                        _inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        lo + $unit(rng.next_u64()) * (hi - lo)
+                    }
+                }
+            };
+        }
+        float_uniform!(f64, unit_f64);
+        float_uniform!(f32, unit_f32);
+
+        macro_rules! int_uniform {
+            ($t:ty) => {
+                impl SampleUniform for $t {
+                    fn sample_range<R: RngCore>(
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span = hi.wrapping_sub(lo) as u64;
+                        if inclusive {
+                            if span == u64::MAX {
+                                return rng.next_u64() as $t;
+                            }
+                            lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                        } else {
+                            lo.wrapping_add((rng.next_u64() % span) as $t)
+                        }
+                    }
+                }
+            };
+        }
+        int_uniform!(usize);
+        int_uniform!(u64);
+        int_uniform!(u32);
+        int_uniform!(i64);
+        int_uniform!(i32);
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast xoshiro256++ generator (the family upstream `rand`
+    /// uses for `SmallRng` on 64-bit targets).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling support for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        let zs: Vec<f64> = (0..8).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.5..4.0);
+            assert!((-2.5..4.0).contains(&f));
+            let i = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&i));
+            let k = rng.gen_range(0u64..=5);
+            assert!(k <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted);
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The build environment has no crates.io access (no `syn`/`quote`), so the
+//! item is parsed directly from the token stream and the generated impls are
+//! emitted as source strings. Supported shapes — the ones this workspace
+//! uses — are named-field structs, unit enums, and enums mixing unit and
+//! newtype variants, with `#[serde(skip)]` and
+//! `#[serde(skip, default = "path")]` field attributes. Generic types are
+//! rejected with a compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => serialize_struct(&item.name, fields),
+        Shape::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    let code = format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{\n{}\n    }}\n}}\n",
+        item.name, body
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct(&item.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    let code = format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{}\n    }}\n}}\n",
+        item.name, body
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + [...]
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1;
+                // `pub(crate)`-style restriction group
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    };
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, found {other}"),
+    };
+    i += 1;
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream().into_iter().collect::<Vec<_>>()
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic type `{name}`")
+            }
+            Some(_) => i += 1,
+            None => panic!("vendored serde_derive: `{name}` has no braced body (tuple/unit types unsupported)"),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_fields(&body))
+    } else {
+        Shape::Enum(parse_variants(&body))
+    };
+    Item { name, shape }
+}
+
+/// Parses `#[serde(...)]` content out of one attribute's bracket group.
+fn parse_serde_attr(group: &proc_macro::Group, skip: &mut bool, default_path: &mut Option<String>) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                *skip = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                // `default = "path"`
+                if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                    let raw = lit.to_string();
+                    *default_path = Some(raw.trim_matches('"').to_string());
+                }
+                j += 3;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+fn parse_fields(body: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let mut skip = false;
+        let mut default_path = None;
+        while let TokenTree::Punct(p) = &body[i] {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let TokenTree::Group(g) = &body[i + 1] {
+                parse_serde_attr(g, &mut skip, &mut default_path);
+            }
+            i += 2;
+        }
+        if let TokenTree::Ident(id) = &body[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 2; // name + `:`
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default_path,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while let TokenTree::Punct(p) = &body[i] {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = body.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    newtype = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("vendored serde_derive does not support struct variants ({name})")
+                }
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn serialize_struct(_name: &str, fields: &[Field]) -> String {
+    let mut out = String::from(
+        "        let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "        m.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    out.push_str("        ::serde::Value::Map(m)");
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut out = format!("        ::std::result::Result::Ok({name} {{\n");
+    for f in fields {
+        if f.skip {
+            match &f.default_path {
+                Some(path) => out.push_str(&format!("            {}: {}(),\n", f.name, path)),
+                None => out.push_str(&format!(
+                    "            {}: ::std::default::Default::default(),\n",
+                    f.name
+                )),
+            }
+        } else {
+            out.push_str(&format!(
+                "            {0}: ::serde::Deserialize::from_value(v.get(\"{0}\").ok_or_else(|| ::serde::DeError::missing_field(\"{1}\", \"{0}\"))?)?,\n",
+                f.name, name
+            ));
+        }
+    }
+    out.push_str("        })");
+    out
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("        match self {\n");
+    for v in variants {
+        if v.newtype {
+            out.push_str(&format!(
+                "            {name}::{0}(inner) => ::serde::Value::Map(vec![(\"{0}\".to_string(), ::serde::Serialize::to_value(inner))]),\n",
+                v.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "            {name}::{0} => ::serde::Value::Str(\"{0}\".to_string()),\n",
+                v.name
+            ));
+        }
+    }
+    out.push_str("        }");
+    out
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::new();
+    if variants.iter().any(|v| !v.newtype) {
+        out.push_str("        if let ::std::option::Option::Some(s) = v.as_str() {\n            return match s {\n");
+        for v in variants.iter().filter(|v| !v.newtype) {
+            out.push_str(&format!(
+                "                \"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                v.name
+            ));
+        }
+        out.push_str(&format!(
+            "                other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n            }};\n        }}\n"
+        ));
+    }
+    if variants.iter().any(|v| v.newtype) {
+        out.push_str("        if let ::std::option::Option::Some(m) = v.as_map() {\n            if m.len() == 1 {\n                let (key, inner) = &m[0];\n                return match key.as_str() {\n");
+        for v in variants.iter().filter(|v| v.newtype) {
+            out.push_str(&format!(
+                "                    \"{0}\" => ::std::result::Result::Ok({name}::{0}(::serde::Deserialize::from_value(inner)?)),\n",
+                v.name
+            ));
+        }
+        out.push_str(&format!(
+            "                    other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n                }};\n            }}\n        }}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "        ::std::result::Result::Err(::serde::DeError::expected(\"variant representation\", \"{name}\"))"
+    ));
+    out
+}
