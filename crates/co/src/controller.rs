@@ -1,9 +1,9 @@
 //! The per-frame CO controller: global path + MPC + action conversion.
 
 use crate::config::CoConfig;
-use crate::mpc::{solve_mpc_warm, MpcMemory, MpcSolution};
+use crate::mpc::{solve_mpc_warm, MpcMemory, MpcSolution, RefState};
 use crate::reference::{build_reference_at, PathWalker};
-use crate::tracker::BoxTracker;
+use crate::tracker::{BoxTracker, MovingObstacle};
 use icoil_geom::Obb;
 use icoil_planner::{plan, PlanError, PlannedPath, PlannerConfig, PlanningProblem};
 use icoil_vehicle::{Action, VehicleParams, VehicleState};
@@ -19,6 +19,28 @@ pub struct CoOutput {
     /// `true` when the controller fell back to an emergency brake
     /// (no path, or planner failure).
     pub emergency: bool,
+}
+
+/// One MPC solve as it happened in an episode: the exact inputs plus the
+/// warm-started solution, captured by [`CoController::enable_solve_log`].
+///
+/// Re-solving the recorded inputs through [`crate::solve_mpc`] (the cold
+/// path) and comparing against `warm` reproduces the warm-vs-cold
+/// question outside the closed loop — the hook behind conformance
+/// checking, where comparing *episodes* would compound per-frame
+/// differences through the plant dynamics. Logging the solution (rather
+/// than replaying a warm chain offline) keeps the production memory
+/// lifecycle — including resets at replan boundaries — authoritative.
+#[derive(Debug, Clone)]
+pub struct SolveRecord {
+    /// Ego state at the solve.
+    pub state: VehicleState,
+    /// Reference horizon handed to the MPC.
+    pub reference: Vec<RefState>,
+    /// Tracked obstacles with velocity estimates.
+    pub tracked: Vec<MovingObstacle>,
+    /// The warm-started solution the episode actually used.
+    pub warm: MpcSolution,
 }
 
 /// The CO working mode `f_CO`: hybrid-A* reference path + SCP MPC.
@@ -50,6 +72,8 @@ pub struct CoController {
     /// QP iterate, solver workspace). Cleared on replans, where the
     /// reference — and with it the previous solution's meaning — jumps.
     memory: MpcMemory,
+    /// When `Some`, every MPC solve (inputs + solution) is appended here.
+    solve_log: Option<Vec<SolveRecord>>,
 }
 
 impl CoController {
@@ -71,6 +95,20 @@ impl CoController {
             last_progress: 0.0,
             tracker: BoxTracker::new(),
             memory: MpcMemory::new(),
+            solve_log: None,
+        }
+    }
+
+    /// Starts recording every MPC solve (conformance probe).
+    pub fn enable_solve_log(&mut self) {
+        self.solve_log = Some(Vec::new());
+    }
+
+    /// Drains the recorded solves (empty when logging is off).
+    pub fn take_solve_log(&mut self) -> Vec<SolveRecord> {
+        match self.solve_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -250,6 +288,14 @@ impl CoController {
             &self.config,
             &mut self.memory,
         );
+        if let Some(log) = self.solve_log.as_mut() {
+            log.push(SolveRecord {
+                state: ego,
+                reference: reference.clone(),
+                tracked,
+                warm: mpc.clone(),
+            });
+        }
         let action = self.to_action(&ego, mpc.controls[0]);
         CoOutput {
             action,

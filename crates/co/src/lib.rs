@@ -41,6 +41,9 @@ pub mod reference;
 pub mod tracker;
 
 pub use config::CoConfig;
-pub use controller::{CoController, CoOutput};
-pub use mpc::{solve_mpc, solve_mpc_warm, MpcMemory, MpcSolution, RefState};
+pub use controller::{CoController, CoOutput, SolveRecord};
+pub use mpc::{
+    solve_mpc, solve_mpc_warm, MpcMemory, MpcSolution, RefState, MPC_QP_MAX_ITERS,
+    MPC_REPLAN_VIOLATION,
+};
 pub use tracker::{BoxTracker, MovingObstacle};

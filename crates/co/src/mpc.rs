@@ -46,6 +46,25 @@ pub struct MpcSolution {
 const NX: usize = 4;
 const NU: usize = 2;
 
+/// Per-SCP-pass ADMM iteration budget of the inner QP.
+///
+/// Public so conformance checks can tell a *converged* solve from one
+/// that ran out of budget: a solve whose total [`MpcSolution::qp_iterations`]
+/// reaches `scp_iterations * MPC_QP_MAX_ITERS` never converged in any pass.
+pub const MPC_QP_MAX_ITERS: usize = 1500;
+
+/// Predicted safety-margin penetration (meters) above which a
+/// warm-started solve is not trusted without a second opinion.
+///
+/// SCP multi-modality means a warm seed can settle in a cheaper but
+/// *less safe* basin than a cold solve of the same frame would find.
+/// Whenever the warm plan predicts more than this much violation,
+/// [`solve_mpc_warm`] re-solves the frame cold and keeps the safer
+/// (then cheaper) of the two plans. Conformance checks reuse the
+/// constant as their divergence slack so the contract and the fallback
+/// trigger stay aligned.
+pub const MPC_REPLAN_VIOLATION: f64 = 0.1;
+
 /// Warm-start state carried across MPC frames and SCP iterations.
 ///
 /// Receding-horizon MPC re-solves a nearly-identical problem every frame,
@@ -150,6 +169,12 @@ pub fn solve_mpc_warm(
     let dt = config.mpc_dt;
 
     let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
+    let was_warm = memory.is_warm();
+    let settings = QpSettings {
+        max_iters: MPC_QP_MAX_ITERS,
+        eps_abs: 3e-4,
+        ..QpSettings::default()
+    };
     let mut nominal_u = memory.seeded_nominal(h_len);
     // the shifted controls are also the best primal guess for the QP
     if memory.is_warm() {
@@ -338,11 +363,6 @@ pub fn solve_mpc_warm(
             }
         }
         let qp = QpProblem::new(p, q, a_mat, lo, hi).expect("well-formed MPC QP");
-        let settings = QpSettings {
-            max_iters: 1500,
-            eps_abs: 3e-4,
-            ..QpSettings::default()
-        };
         let sol = solve_qp_warm(&qp, &settings, memory.warm.as_ref(), &mut memory.workspace);
         qp_iters_total += sol.iterations;
         // Carry the primal only: the dual belongs to *this* linearization's
@@ -388,13 +408,52 @@ pub fn solve_mpc_warm(
         }
     }
 
-    MpcSolution {
+    let warm_solution = MpcSolution {
         controls: nominal_u,
         predicted,
         tracking_cost,
         qp_iterations: qp_iters_total,
         predicted_violation: violation.max(0.0),
+    };
+
+    // Two warm-start pathologies call for a second opinion:
+    //  * every SCP pass burned its full ADMM budget without converging —
+    //    the seed may have stranded the solver in a bad basin (e.g.
+    //    carried across a reference discontinuity the caller didn't
+    //    reset for), leaving a near-garbage capped iterate; or the frame
+    //    is genuinely hard and the warm iterate is the best available;
+    //  * the converged warm plan predicts meaningful safety-margin
+    //    penetration — SCP multi-modality can put the warm seed in a
+    //    cheaper but less safe basin than a cold solve would find.
+    // Telling a bad basin from a hard frame needs a reference, so
+    // re-solve the frame cold and keep whichever solution is better —
+    // safer first, cheaper on a tie — charging both solves' iterations
+    // to the result for honest accounting.
+    let capped = qp_iters_total >= config.scp_iterations * settings.max_iters;
+    if was_warm && (capped || warm_solution.predicted_violation > MPC_REPLAN_VIOLATION) {
+        let warm_iterate = memory.warm.clone();
+        memory.reset();
+        let cold_solution = solve_mpc_warm(state, reference, obstacles, params, config, memory);
+        let cold_better = cold_solution.predicted_violation
+            < warm_solution.predicted_violation - 1e-9
+            || (cold_solution.predicted_violation <= warm_solution.predicted_violation + 1e-9
+                && cold_solution.tracking_cost <= warm_solution.tracking_cost);
+        if cold_better {
+            let mut sol = cold_solution;
+            sol.qp_iterations += warm_solution.qp_iterations;
+            return sol;
+        }
+        // the warm iterate stands: restore the memory the cold re-solve
+        // overwrote (the workspace keeps the cold scaling — it is a
+        // cache revalidated against the problem data on every solve)
+        memory.controls = Some(warm_solution.controls.clone());
+        memory.warm = warm_iterate;
+        let mut sol = warm_solution;
+        sol.qp_iterations += cold_solution.qp_iterations;
+        return sol;
     }
+
+    warm_solution
 }
 
 /// Closest boundary point and outward unit normal of an OBB for a query

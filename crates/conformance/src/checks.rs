@@ -1,0 +1,619 @@
+//! The differential checks: each one runs a generated scenario through a
+//! pair of implementation paths that must agree.
+//!
+//! Check functions are pure with respect to their inputs — the same
+//! [`ProcScenario`] always produces the same verdict — which is what lets
+//! the fuzz loop shrink a failing spec by re-running the check on
+//! candidate simplifications.
+
+use icoil_co::{solve_mpc, CoConfig, SolveRecord, MPC_QP_MAX_ITERS, MPC_REPLAN_VIOLATION};
+use icoil_core::{run_scenarios_with, EvalConfig, ICoilConfig, PureCoPolicy};
+use icoil_hsa::{
+    instant_complexity, instant_uncertainty, ComplexityParams, Hsa, HsaConfig, Mode,
+};
+use icoil_il::IlModel;
+use icoil_nn::Tensor;
+use icoil_perception::Perception;
+use icoil_solver::{
+    solve_qp, solve_qp_warm, Mat, QpProblem, QpSettings, QpStatus, QpWarmStart, QpWorkspace,
+};
+use icoil_vehicle::ActionCodec;
+use icoil_world::episode::{run_episode, EpisodeConfig, Observation, Policy};
+use icoil_world::{ProcScenario, Scenario, World};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifies one differential check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckKind {
+    /// Warm-started MPC vs a cold solve on identical per-frame inputs.
+    WarmColdMpc,
+    /// Warm-started ADMM vs a cold solve on random strictly convex QPs.
+    QpWarmCold,
+    /// `parallelism = 1` vs `parallelism = N` batch evaluation.
+    Parallelism,
+    /// `InferBuffers` inference vs the reference `forward()` pass.
+    Inference,
+    /// HSA eq. 7/8 window arithmetic vs a naive reference window.
+    HsaWindow,
+    /// Guard-time invariant: ≥ `guard_time` frames between mode flips.
+    HsaGuard,
+    /// The same episode run twice must be bit-identical.
+    Determinism,
+    /// A deliberately-failing canary used to exercise shrinking.
+    InjectedCanary,
+}
+
+impl CheckKind {
+    /// Every real check (the canary is opt-in via `--inject`).
+    pub const ALL: [CheckKind; 7] = [
+        CheckKind::WarmColdMpc,
+        CheckKind::QpWarmCold,
+        CheckKind::Parallelism,
+        CheckKind::Inference,
+        CheckKind::HsaWindow,
+        CheckKind::HsaGuard,
+        CheckKind::Determinism,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckKind::WarmColdMpc => "warm_cold_mpc",
+            CheckKind::QpWarmCold => "qp_warm_cold",
+            CheckKind::Parallelism => "parallelism",
+            CheckKind::Inference => "inference",
+            CheckKind::HsaWindow => "hsa_window",
+            CheckKind::HsaGuard => "hsa_guard",
+            CheckKind::Determinism => "determinism",
+            CheckKind::InjectedCanary => "injected_canary",
+        }
+    }
+}
+
+/// Tunables shared by all checks.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckSettings {
+    /// Simulated seconds driven per episode-based check.
+    pub episode_time: f64,
+    /// Cold re-solve stride in the warm/cold MPC check (every `k`-th
+    /// logged solve is re-run cold).
+    pub cold_stride: usize,
+    /// Per-component tolerance on the first MPC control between the
+    /// warm-chained and cold solutions of identical inputs.
+    pub mpc_tolerance: f64,
+    /// Relative tracking-cost *excess* of the warm solution over the
+    /// cold one tolerated from a warm solve that never converged (every
+    /// SCP pass hit its ADMM budget). Converged worse-cost solutions are
+    /// SCP multi-modality and accepted at any gap as long as they are
+    /// not less safe — see `check_warm_cold_mpc`.
+    pub mpc_cost_slack: f64,
+    /// Accepted *excess* of warm predicted constraint violation over
+    /// cold. Defaults to [`MPC_REPLAN_VIOLATION`] so the contract stays
+    /// aligned with the MPC's own fallback trigger: a warm plan
+    /// predicting more violation than this re-solves cold in-product,
+    /// so a larger gap surviving to the check is a fallback regression.
+    pub mpc_violation_slack: f64,
+    /// Tolerance on QP primal iterates between warm and cold solves.
+    pub qp_tolerance: f64,
+    /// Batch width of the parallelism check.
+    pub batch: usize,
+}
+
+impl Default for CheckSettings {
+    fn default() -> Self {
+        CheckSettings {
+            episode_time: 12.0,
+            cold_stride: 4,
+            mpc_tolerance: 0.05,
+            mpc_cost_slack: 0.25,
+            mpc_violation_slack: MPC_REPLAN_VIOLATION,
+            qp_tolerance: 1e-4,
+            batch: 3,
+        }
+    }
+}
+
+impl CheckSettings {
+    /// Reduced-cost settings for CI smoke runs.
+    pub fn smoke() -> Self {
+        CheckSettings {
+            episode_time: 6.0,
+            cold_stride: 8,
+            batch: 2,
+            ..CheckSettings::default()
+        }
+    }
+}
+
+/// Runs one check on one scenario spec.
+///
+/// Returns `Err(detail)` on divergence; the detail string is what lands
+/// in the triage report. A panic anywhere under the check (the fuzzer's
+/// whole point is reaching states no test reached before — the solver
+/// panicking on a generated scenario *is* a finding) is caught and
+/// reported as a divergence too, so one crash cannot kill a campaign
+/// and the shrinker can minimize crashing scenarios like any other.
+///
+/// # Errors
+///
+/// An `Err` is a genuine conformance divergence, not an I/O-style error.
+pub fn run_check(
+    kind: CheckKind,
+    spec: &ProcScenario,
+    settings: &CheckSettings,
+) -> Result<(), String> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match kind {
+        CheckKind::WarmColdMpc => check_warm_cold_mpc(spec, settings),
+        CheckKind::QpWarmCold => check_qp_warm_cold(spec, settings),
+        CheckKind::Parallelism => check_parallelism(spec, settings),
+        CheckKind::Inference => check_inference(spec),
+        CheckKind::HsaWindow => check_hsa_window(spec),
+        CheckKind::HsaGuard => check_hsa_guard(spec),
+        CheckKind::Determinism => check_determinism(spec, settings),
+        CheckKind::InjectedCanary => check_injected_canary(spec),
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+fn episode_config(settings: &CheckSettings) -> EpisodeConfig {
+    EpisodeConfig {
+        max_time: settings.episode_time,
+        record_trace: false,
+    }
+}
+
+/// Drives one CO episode with the solve log enabled, then re-solves a
+/// stride of the recorded per-frame inputs cold (fresh memory, no warm
+/// start) and compares each cold first control against the warm-started
+/// solution the episode actually used.
+///
+/// Re-solving *identical inputs* is the point: comparing whole warm vs
+/// cold episodes would feed tiny numeric differences back through the
+/// plant dynamics and compound them chaotically, making any tolerance
+/// either vacuous or flaky. Here divergence means the warm start itself
+/// changed the answer.
+fn check_warm_cold_mpc(spec: &ProcScenario, settings: &CheckSettings) -> Result<(), String> {
+    let scenario = spec.build();
+    let config = ICoilConfig::default();
+    let params = scenario.vehicle_params;
+    let co_config: CoConfig = config.co;
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    policy.co_mut().enable_solve_log();
+    let mut world = World::new(scenario);
+    let _ = run_episode(&mut world, &mut policy, &episode_config(settings));
+    let log = policy.co_mut().take_solve_log();
+
+    for (i, record) in log.iter().enumerate() {
+        if i % settings.cold_stride != 0 {
+            continue;
+        }
+        let SolveRecord {
+            state,
+            reference,
+            tracked,
+            warm,
+        } = record;
+        let cold = solve_mpc(state, reference, tracked, &params, &co_config);
+        let da = (warm.controls[0][0] - cold.controls[0][0]).abs();
+        let ds = (warm.controls[0][1] - cold.controls[0][1]).abs();
+        if da > settings.mpc_tolerance || ds > settings.mpc_tolerance {
+            // The SCP linearizes around a nominal seeded from the warm
+            // solution, so warm and cold runs may settle in different
+            // local solutions — routinely with the warm one *better*
+            // (that is the point of warm-starting), and sometimes in a
+            // *worse-cost* basin. A converged worse-cost solution with
+            // equal-or-better predicted safety is inherent SCP
+            // multi-modality, not a defect: neither basin is "the"
+            // answer, and the closed loop re-plans next frame. What the
+            // contract does forbid:
+            //  * the warm solution being meaningfully *less safe* than
+            //    the cold reference, regardless of cost;
+            //  * a worse-cost, not-safer solution produced by a solve
+            //    that never converged (every SCP pass burned its full
+            //    ADMM budget) — the MPC's own best-of-warm-and-cold
+            //    fallback must have caught that, so seeing one here is
+            //    a real regression in the fallback.
+            let cost_gap =
+                (warm.tracking_cost - cold.tracking_cost) / cold.tracking_cost.abs().max(1e-9);
+            let viol_gap = warm.predicted_violation - cold.predicted_violation;
+            let capped = warm.qp_iterations >= co_config.scp_iterations * MPC_QP_MAX_ITERS;
+            let pathological_cost =
+                capped && cost_gap > settings.mpc_cost_slack && viol_gap > -1e-9;
+            if pathological_cost || viol_gap > settings.mpc_violation_slack {
+                return Err(format!(
+                    "solve {i}: warm {:?} vs cold {:?} (|da|={da:.2e}, |ds|={ds:.2e}, \
+                     cost {:.4} vs {:.4} (gap {cost_gap:.2e}), violation gap {viol_gap:.2e}, \
+                     warm iters {}, cold iters {})",
+                    warm.controls[0],
+                    cold.controls[0],
+                    warm.tracking_cost,
+                    cold.tracking_cost,
+                    warm.qp_iterations,
+                    cold.qp_iterations
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves seeded random strictly convex QPs cold, then warm-started from
+/// their own solutions: the warm solve must land on the same optimum.
+fn check_qp_warm_cold(spec: &ProcScenario, settings: &CheckSettings) -> Result<(), String> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9e3779b97f4a7c15));
+    for trial in 0..4 {
+        let n = 4 + (trial % 3) * 2;
+        let m = n + 4;
+        // P = MᵀM + 0.1 I is symmetric positive definite
+        let mut mdata = vec![0.0; n * n];
+        for v in mdata.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mmat = Mat::from_vec(n, n, mdata);
+        let mut p = mmat.gram();
+        for i in 0..n {
+            *p.at_mut(i, i) += 0.1;
+        }
+        let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut adata = vec![0.0; m * n];
+        for v in adata.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let a = Mat::from_vec(m, n, adata);
+        let l: Vec<f64> = (0..m).map(|_| rng.gen_range(-2.0..0.0)).collect();
+        let u: Vec<f64> = l.iter().map(|lo| lo + rng.gen_range(0.5..3.0)).collect();
+        let problem = QpProblem::new(p, q, a, l, u).expect("consistent random QP");
+        // generous budget: the warm-start contract needs a *converged*
+        // cold optimum to anchor to
+        let qp_settings = QpSettings {
+            max_iters: 20_000,
+            ..QpSettings::default()
+        };
+
+        let cold = solve_qp(&problem, &qp_settings);
+        if cold.status != QpStatus::Solved {
+            // no optimum to compare against — ADMM on a random
+            // ill-conditioned QP can legitimately outlast any fixed
+            // budget, and warm-starting from a non-optimum then running
+            // further proves nothing either way
+            continue;
+        }
+        let warm_start = QpWarmStart::from_solution(&cold);
+        let mut workspace = QpWorkspace::new();
+        let warm = solve_qp_warm(&problem, &qp_settings, Some(&warm_start), &mut workspace);
+        let worst = cold
+            .x
+            .iter()
+            .zip(&warm.x)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        if worst > settings.qp_tolerance {
+            return Err(format!(
+                "trial {trial}: warm-started primal drifted {worst:.2e} from the cold optimum \
+                 (n={n}, m={m}, cold iters {}, warm iters {})",
+                cold.iterations, warm.iterations
+            ));
+        }
+        if warm.iterations > cold.iterations {
+            return Err(format!(
+                "trial {trial}: warm start made ADMM slower ({} > {} iterations)",
+                warm.iterations, cold.iterations
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a small batch of generated scenarios at `parallelism = 1` and
+/// `parallelism = batch` and demands bit-identical result vectors.
+fn check_parallelism(spec: &ProcScenario, settings: &CheckSettings) -> Result<(), String> {
+    let gen = icoil_world::ProcGen::default();
+    let mut scenarios: Vec<Scenario> = vec![spec.build()];
+    for i in 1..settings.batch as u64 {
+        scenarios.push(gen.generate(spec.seed.wrapping_add(i * 7919)).build());
+    }
+    let config = ICoilConfig::default();
+    let episode = EpisodeConfig {
+        // parallel workers only pay off over full episodes; keep these short
+        max_time: (settings.episode_time * 0.5).max(3.0),
+        record_trace: false,
+    };
+    let factory = |s: &Scenario| -> Box<dyn Policy> { Box::new(PureCoPolicy::new(&config, s)) };
+    let serial = run_scenarios_with(&scenarios, factory, &episode, &EvalConfig::with_parallelism(1));
+    let parallel = run_scenarios_with(
+        &scenarios,
+        factory,
+        &episode,
+        &EvalConfig::with_parallelism(settings.batch.max(2)),
+    );
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        if s != p {
+            return Err(format!(
+                "episode {i}: serial {:?}/{} frames vs parallel {:?}/{} frames",
+                s.outcome, s.frames, p.outcome, p.frames
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Feeds real sensing frames from the scenario through both inference
+/// paths ([`IlModel::infer`] with `InferBuffers` vs
+/// [`IlModel::infer_reference`] through the allocating `forward()`),
+/// plus one random-tensor probe at the network level — all bit-exact.
+fn check_inference(spec: &ProcScenario) -> Result<(), String> {
+    let scenario = spec.build();
+    let config = ICoilConfig::default();
+    let mut model = IlModel::untrained(ActionCodec::default(), config.bev, spec.seed ^ 0xA5A5);
+    let mut perception = Perception::new(config.bev, &scenario);
+    let mut world = World::new(scenario);
+    for frame in 0..3 {
+        let sensing = perception.observe(&Observation::new(&world));
+        let fast = model.infer(&sensing.bev);
+        let reference = model.infer_reference(&sensing.bev);
+        if fast != reference {
+            return Err(format!(
+                "frame {frame}: buffered class {} probs[0..3] {:?} vs reference class {} \
+                 probs[0..3] {:?}",
+                fast.class,
+                &fast.probs[..3.min(fast.probs.len())],
+                reference.class,
+                &reference.probs[..3.min(reference.probs.len())]
+            ));
+        }
+        for _ in 0..10 {
+            world.step(&icoil_vehicle::Action::forward(0.3, 0.05));
+        }
+    }
+    // network-level probe on a random tensor, away from BEV statistics
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5A5A);
+    let size = config.bev.size;
+    let mut x = Tensor::zeros(vec![1, icoil_perception::BevImage::CHANNELS, size, size]);
+    for v in x.data_mut() {
+        *v = rng.gen_range(-1.0_f64..1.0) as f32;
+    }
+    let mut buffers = icoil_nn::InferBuffers::new();
+    let network = model.network_mut();
+    let buffered = network.infer_logits(&x, &mut buffers).data().to_vec();
+    let forward = network.forward(&x, false);
+    if buffered.as_slice() != forward.data() {
+        return Err("network-level infer_logits differs from forward()".to_string());
+    }
+    Ok(())
+}
+
+/// Replays a seeded synthetic stream of softmax distributions and
+/// obstacle sets through [`Hsa`] and through a naive reference
+/// implementation of eqs. 7–8 (explicit window vectors, no running
+/// sums), comparing every decision's uncertainty/complexity values.
+fn check_hsa_window(spec: &ProcScenario) -> Result<(), String> {
+    let scenario = spec.build();
+    let hsa_config = HsaConfig::default();
+    let mut hsa = Hsa::new(hsa_config);
+    let cx = ComplexityParams::default();
+    let mut u_window: Vec<f64> = Vec::new();
+    let mut c_window: Vec<f64> = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xC0FFEE);
+    let ego = scenario.start_state.pose.position();
+    for frame in 0..120 {
+        // random but normalized probability vector
+        let mut probs: Vec<f64> = (0..21).map(|_| rng.gen_range(0.01..1.0)).collect();
+        let sum: f64 = probs.iter().sum();
+        for p in probs.iter_mut() {
+            *p /= sum;
+        }
+        // obstacle boxes from the scenario at a crawling timestamp
+        let boxes = scenario.obstacle_footprints(frame as f64 * 0.05);
+
+        hsa.set_ego_position(ego);
+        let decision = hsa.update(&probs, &boxes);
+
+        u_window.push(instant_uncertainty(&probs));
+        c_window.push(instant_complexity(ego, &boxes, &cx));
+        if u_window.len() > hsa_config.window {
+            u_window.remove(0);
+            c_window.remove(0);
+        }
+        let u_ref = u_window.iter().sum::<f64>() / u_window.len() as f64;
+        let c_ref = c_window.iter().sum::<f64>() / c_window.len() as f64;
+        let u_err = (decision.uncertainty - u_ref).abs() / u_ref.abs().max(1e-12);
+        let c_err = (decision.complexity - c_ref).abs() / c_ref.abs().max(1e-12);
+        if u_err > 1e-9 || c_err > 1e-9 {
+            return Err(format!(
+                "frame {frame}: window means drifted from the naive reference \
+                 (U {:.12e} vs {u_ref:.12e}, C {:.12e} vs {c_ref:.12e})",
+                decision.uncertainty, decision.complexity
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drives [`Hsa`] with an adversarial alternating stream engineered to
+/// request a flip every frame, and checks that committed mode changes
+/// stay at least `guard_time` frames apart.
+fn check_hsa_guard(spec: &ProcScenario) -> Result<(), String> {
+    let scenario = spec.build();
+    let hsa_config = HsaConfig::default();
+    let mut hsa = Hsa::new(hsa_config);
+    let ego = scenario.start_state.pose.position();
+    let boxes = scenario.obstacle_footprints(0.0);
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xBADCAFE);
+    // near-one-hot distribution → tiny entropy → IL requested;
+    // uniform → large entropy → CO requested
+    let confident: Vec<f64> = {
+        let mut p = vec![1e-12; 21];
+        p[3] = 1.0 - 20e-12;
+        p
+    };
+    let uniform: Vec<f64> = vec![1.0 / 21.0; 21];
+
+    let mut last_mode: Option<Mode> = None;
+    let mut last_flip: Option<usize> = None;
+    for frame in 0..600 {
+        // random phase lengths keep the stream from syncing to the guard
+        let probs = if rng.gen_range(0.0..1.0) < 0.5 {
+            &confident
+        } else {
+            &uniform
+        };
+        hsa.set_ego_position(ego);
+        let decision = hsa.update(probs, &boxes);
+        if let Some(prev) = last_mode {
+            if decision.mode != prev {
+                if let Some(prev_flip) = last_flip {
+                    let gap = frame - prev_flip;
+                    if gap < hsa_config.guard_time {
+                        return Err(format!(
+                            "mode flipped after {gap} frames at frame {frame} \
+                             (guard_time = {})",
+                            hsa_config.guard_time
+                        ));
+                    }
+                }
+                last_flip = Some(frame);
+            }
+        }
+        last_mode = Some(decision.mode);
+    }
+    Ok(())
+}
+
+/// Runs the same scenario twice through fresh policies; the results must
+/// be bit-identical (no hidden global state, no address-dependent math).
+fn check_determinism(spec: &ProcScenario, settings: &CheckSettings) -> Result<(), String> {
+    let config = ICoilConfig::default();
+    let episode = EpisodeConfig {
+        max_time: (settings.episode_time * 0.5).max(3.0),
+        record_trace: true,
+    };
+    let run = || {
+        let scenario = spec.build();
+        let mut policy = PureCoPolicy::new(&config, &scenario);
+        let mut world = World::new(scenario);
+        run_episode(&mut world, &mut policy, &episode)
+    };
+    let first = run();
+    let second = run();
+    if first != second {
+        return Err(format!(
+            "re-running the episode diverged: {:?}/{} frames vs {:?}/{} frames",
+            first.outcome, first.frames, second.outcome, second.frames
+        ));
+    }
+    Ok(())
+}
+
+/// The canary "fails" whenever the scenario has a dynamic obstacle —
+/// a deliberately scenario-dependent defect that exercises the full
+/// report-and-shrink path without touching any real subsystem.
+fn check_injected_canary(spec: &ProcScenario) -> Result<(), String> {
+    if spec.routes.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "canary: scenario carries {} dynamic route(s)",
+            spec.routes.len()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icoil_world::ProcGen;
+
+    #[test]
+    fn cheap_checks_pass_on_generated_scenarios() {
+        let gen = ProcGen::default();
+        for seed in 0..3 {
+            let spec = gen.generate(seed);
+            assert_eq!(check_qp_warm_cold(&spec, &CheckSettings::default()), Ok(()));
+            assert_eq!(check_inference(&spec), Ok(()));
+            assert_eq!(check_hsa_window(&spec), Ok(()));
+            assert_eq!(check_hsa_guard(&spec), Ok(()));
+        }
+    }
+
+    #[test]
+    fn canary_fires_only_with_dynamics() {
+        let gen = ProcGen::default();
+        let with = (0..100)
+            .map(|s| gen.generate(s))
+            .find(|s| !s.routes.is_empty())
+            .expect("a dynamic spec exists");
+        let without = (0..100)
+            .map(|s| gen.generate(s))
+            .find(|s| s.routes.is_empty())
+            .expect("a static spec exists");
+        assert!(check_injected_canary(&with).is_err());
+        assert_eq!(check_injected_canary(&without), Ok(()));
+    }
+
+    /// Regression for fuzzer seed 182: a warm seed carried across this
+    /// scenario's reference strands ADMM (both SCP passes capped) and
+    /// used to return a feasible solution 60x costlier than the cold
+    /// solve of the same frame. The MPC's cold-restart fallback now
+    /// re-solves such frames from scratch, so the differential check
+    /// must come back clean on the campaign's minimized repro.
+    #[test]
+    fn warm_capped_solves_fall_back_to_cold_on_fuzzer_seed_182() {
+        use icoil_geom::{Pose2, Vec2};
+        use icoil_world::{BayStyle, RouteSpec, StaticSpec};
+        let spec = ProcScenario {
+            seed: 182,
+            lot_w: 30.0,
+            lot_h: 18.875938917286458,
+            bay_style: BayStyle::ParallelCurb,
+            bay_frac: 0.5,
+            statics: vec![StaticSpec {
+                pose: Pose2::new(8.95577114397386, 7.470088871181514, -2.687110353761553),
+                length: 2.8396619358472193,
+                width: 2.5529059057700385,
+            }],
+            routes: vec![RouteSpec {
+                waypoints: vec![
+                    Vec2::new(3.0301300666644395, 9.105537526822438),
+                    Vec2::new(19.55843279652683, 9.105537526822438),
+                ],
+                speed: 0.7420768441962187,
+            }],
+            start: Pose2::new(3.1766061701633737, 6.231569360154387, 0.10085374526121449),
+            noise_scale: 0.0,
+        };
+        // the original divergence fired at solve 140 (t = 7.0 s)
+        let settings = CheckSettings {
+            episode_time: 8.0,
+            ..CheckSettings::default()
+        };
+        assert_eq!(run_check(CheckKind::WarmColdMpc, &spec, &settings), Ok(()));
+    }
+
+    #[test]
+    fn check_names_are_stable() {
+        let names: Vec<&str> = CheckKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "warm_cold_mpc",
+                "qp_warm_cold",
+                "parallelism",
+                "inference",
+                "hsa_window",
+                "hsa_guard",
+                "determinism"
+            ]
+        );
+    }
+}

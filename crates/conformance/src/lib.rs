@@ -1,0 +1,31 @@
+//! Differential conformance harness for the iCOIL stack.
+//!
+//! The repo carries several optimized implementation paths whose whole
+//! value rests on being *equivalent* to a simpler reference: warm-started
+//! ADMM/MPC vs cold solves, work-stealing parallel evaluation vs serial,
+//! buffer-reusing NN inference vs the allocating `forward()` pass, and
+//! the HSA's running-sum window arithmetic vs eqs. 7–8 spelled out
+//! naively. Each equivalence is asserted here as a *differential check*
+//! executed over procedurally generated parking scenarios
+//! ([`icoil_world::procedural`]) rather than the three fixed lots.
+//!
+//! The flow ([`run_fuzz`]):
+//!
+//! 1. generate a seeded, validated scenario spec;
+//! 2. run each [`CheckKind`] on it (episode-heavy checks are strided);
+//! 3. on divergence, shrink the spec with [`icoil_world::shrink`] until
+//!    no obstacle, noise level or geometry knob can be removed while the
+//!    check still fails;
+//! 4. emit a [`TriageReport`] (JSON) with tallies and minimized repros.
+//!
+//! The `conformance` binary (in `icoil-bench`) drives this from the
+//! command line; `scripts/check.sh` runs the smoke campaign on every
+//! check-in.
+
+pub mod checks;
+pub mod fuzz;
+pub mod report;
+
+pub use checks::{run_check, CheckKind, CheckSettings};
+pub use fuzz::{run_fuzz, run_fuzz_with_progress, FuzzConfig};
+pub use report::{CheckStats, DivergenceRecord, TriageReport};

@@ -1,0 +1,112 @@
+//! The JSON triage report the fuzz run emits.
+
+use icoil_world::ProcScenario;
+use serde::{Deserialize, Serialize};
+
+/// Per-check tally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Check name (snake_case, see `CheckKind::name`).
+    pub check: String,
+    /// How many scenarios this check ran on.
+    pub runs: usize,
+    /// How many of those diverged.
+    pub divergences: usize,
+}
+
+/// One recorded divergence, with the original scenario and its shrunken
+/// minimal reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceRecord {
+    /// Which check diverged (snake_case name).
+    pub check: String,
+    /// The generator seed of the failing case.
+    pub seed: u64,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+    /// `true` for the `--inject` canary: expected, excluded from the
+    /// exit status.
+    pub injected: bool,
+    /// The full failing spec as generated.
+    pub scenario: ProcScenario,
+    /// The deterministically minimized spec that still diverges.
+    pub minimized: ProcScenario,
+    /// Obstacle counts dropped by shrinking: `(statics, routes)` removed.
+    pub shrunk_away: (usize, usize),
+}
+
+/// The complete triage report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriageReport {
+    /// Scenarios fuzzed.
+    pub cases: usize,
+    /// First generator seed (cases use `seed0..seed0 + cases`).
+    pub seed0: u64,
+    /// Whether the run used the reduced smoke settings.
+    pub smoke: bool,
+    /// Per-check run/divergence tallies, in check order.
+    pub checks: Vec<CheckStats>,
+    /// Every divergence, injected or not.
+    pub divergences: Vec<DivergenceRecord>,
+    /// Count of non-injected divergences — the pass/fail signal.
+    pub unexplained: usize,
+}
+
+impl TriageReport {
+    /// `true` when no *unexplained* divergence was found.
+    pub fn passed(&self) -> bool {
+        self.unexplained == 0
+    }
+
+    /// Serializes the report as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// The tally for `check`, creating it on first use.
+    pub fn tally_mut(&mut self, check: &str) -> &mut CheckStats {
+        if let Some(i) = self.checks.iter().position(|s| s.check == check) {
+            return &mut self.checks[i];
+        }
+        self.checks.push(CheckStats {
+            check: check.to_string(),
+            runs: 0,
+            divergences: 0,
+        });
+        self.checks.last_mut().expect("just pushed")
+    }
+
+    /// One-line summary for terminal output.
+    pub fn summary(&self) -> String {
+        let total_runs: usize = self.checks.iter().map(|s| s.runs).sum();
+        format!(
+            "{} scenarios, {} check runs, {} divergence(s) ({} injected, {} unexplained)",
+            self.cases,
+            total_runs,
+            self.divergences.len(),
+            self.divergences.iter().filter(|d| d.injected).count(),
+            self.unexplained
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = TriageReport {
+            cases: 2,
+            seed0: 0,
+            smoke: true,
+            checks: Vec::new(),
+            divergences: Vec::new(),
+            unexplained: 0,
+        };
+        let back: TriageReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!(back.passed());
+        assert!(back.summary().contains("2 scenarios"));
+    }
+}

@@ -138,16 +138,54 @@ pub fn run_batch_with(
     episode: &EpisodeConfig,
     eval: &EvalConfig,
 ) -> Vec<EpisodeResult> {
-    let workers = eval.parallelism.max(1).min(scenario_configs.len());
+    fan_out(scenario_configs.len(), eval.parallelism, |idx| {
+        run_one(method, config, model, &scenario_configs[idx], episode)
+    })
+}
+
+/// Runs prebuilt scenarios (e.g. procedurally generated ones that exist
+/// outside the `ScenarioConfig` seed space) across workers, constructing
+/// each episode's policy with `policy_for`.
+///
+/// Same determinism contract as [`run_batch_with`]: results are
+/// reassembled in input order and bit-identical for every worker count,
+/// provided `policy_for` is a pure function of the scenario.
+pub fn run_scenarios_with<F>(
+    scenarios: &[Scenario],
+    policy_for: F,
+    episode: &EpisodeConfig,
+    eval: &EvalConfig,
+) -> Vec<EpisodeResult>
+where
+    F: Fn(&Scenario) -> Box<dyn Policy> + Sync,
+{
+    fan_out(scenarios.len(), eval.parallelism, |idx| {
+        let scenario = scenarios[idx].clone();
+        let mut policy = policy_for(&scenario);
+        let mut world = World::new(scenario);
+        run_episode(&mut world, policy.as_mut(), episode)
+    })
+}
+
+/// Fans `n` independent jobs across `workers` threads.
+///
+/// Workers steal job indices from a shared counter and return
+/// `(index, result)` pairs, which are reassembled in job order — so the
+/// output is bit-identical to a serial run for every worker count and
+/// any scheduling. `workers <= 1` (or a single job) runs inline on the
+/// calling thread with no thread machinery at all.
+fn fan_out<T, F>(n: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
-        return scenario_configs
-            .iter()
-            .map(|sc| run_one(method, config, model, sc, episode))
-            .collect();
+        return (0..n).map(job).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<EpisodeResult>> = Vec::new();
-    slots.resize_with(scenario_configs.len(), || None);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -155,10 +193,10 @@ pub fn run_batch_with(
                     let mut local = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(sc) = scenario_configs.get(idx) else {
+                        if idx >= n {
                             break;
-                        };
-                        local.push((idx, run_one(method, config, model, sc, episode)));
+                        }
+                        local.push((idx, job(idx)));
                     }
                     local
                 })
@@ -172,7 +210,7 @@ pub fn run_batch_with(
     });
     slots
         .into_iter()
-        .map(|r| r.expect("every episode index was claimed by a worker"))
+        .map(|r| r.expect("every job index was claimed by a worker"))
         .collect()
 }
 

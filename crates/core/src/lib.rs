@@ -41,5 +41,5 @@ pub mod eval;
 pub mod policies;
 
 pub use config::ICoilConfig;
-pub use eval::{EvalConfig, Method};
+pub use eval::{run_scenarios_with, EvalConfig, Method};
 pub use policies::{ICoilPolicy, PureCoPolicy, PureIlPolicy};

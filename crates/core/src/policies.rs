@@ -119,6 +119,11 @@ impl PureCoPolicy {
             co: CoController::new(config.co, scenario.vehicle_params),
         }
     }
+
+    /// The inner CO controller (conformance probes attach here).
+    pub fn co_mut(&mut self) -> &mut CoController {
+        &mut self.co
+    }
 }
 
 impl Policy for PureCoPolicy {

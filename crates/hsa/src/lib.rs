@@ -40,4 +40,4 @@ pub mod uncertainty;
 
 pub use complexity::{instant_complexity, ComplexityParams};
 pub use switch::{Hsa, HsaConfig, HsaDecision, Mode};
-pub use uncertainty::SlidingMean;
+pub use uncertainty::{instant_uncertainty, SlidingMean};

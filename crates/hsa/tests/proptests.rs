@@ -1,7 +1,9 @@
 //! Property tests for the HSA crate.
 
 use icoil_geom::{Obb, Pose2, Vec2};
-use icoil_hsa::{instant_complexity, ComplexityParams, Hsa, HsaConfig, Mode};
+use icoil_hsa::{
+    instant_complexity, instant_uncertainty, ComplexityParams, Hsa, HsaConfig, Mode, SlidingMean,
+};
 use proptest::prelude::*;
 
 fn arb_probs(m: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -82,5 +84,130 @@ proptest! {
         }
         prop_assert!(switches <= flips.len() / guard + 1,
             "switches {} exceeds bound for guard {}", switches, guard);
+    }
+
+    #[test]
+    fn window_mean_stays_within_value_extremes(
+        values in prop::collection::vec(-50.0f64..50.0, 1..60),
+        capacity in 1usize..10,
+    ) {
+        // the 1/T Σ windows of eqs. (7)/(8) are means: never outside the
+        // extremes of the values currently in the window
+        let mut mean = SlidingMean::new(capacity);
+        for (i, &v) in values.iter().enumerate() {
+            let m = mean.push(v);
+            let lo = i.saturating_sub(capacity - 1);
+            let tail = &values[lo..=i];
+            let min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= min - 1e-9 && m <= max + 1e-9,
+                "mean {m} outside window extremes [{min}, {max}]");
+        }
+    }
+
+    #[test]
+    fn windowed_averages_match_naive_reference(
+        frames in prop::collection::vec(arb_probs(21), 5..30),
+        window in 1usize..8,
+        n_boxes in 0usize..4,
+    ) {
+        // eqs. (7)/(8): the decision's U_i and C_i must equal explicit
+        // means of the instant values over the last `window` frames
+        let config = HsaConfig { window, ..HsaConfig::default() };
+        let mut hsa = Hsa::new(config);
+        hsa.set_ego_position(Vec2::ZERO);
+        let boxes: Vec<Obb> = (0..n_boxes)
+            .map(|i| Obb::from_pose(Pose2::new(2.5 + i as f64, 1.0, 0.2), 2.0, 2.0))
+            .collect();
+        let c_inst = instant_complexity(Vec2::ZERO, &boxes, &config.complexity);
+        let mut u_insts = Vec::new();
+        for probs in &frames {
+            u_insts.push(instant_uncertainty(probs));
+            let d = hsa.update(probs, &boxes);
+            let lo = u_insts.len().saturating_sub(window);
+            let tail = &u_insts[lo..];
+            let u_ref = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert!((d.uncertainty - u_ref).abs() <= 1e-9 * u_ref.abs().max(1.0),
+                "windowed U {} vs naive {}", d.uncertainty, u_ref);
+            // the complexity stream is constant here, so its mean is too
+            prop_assert!((d.complexity - c_inst).abs() <= 1e-9 * c_inst,
+                "windowed C {} vs instant {}", d.complexity, c_inst);
+            prop_assert!(d.uncertainty >= -1e-12 && d.uncertainty <= (21f64).ln() + 1e-9);
+            prop_assert!(d.complexity >= config.complexity.min_value() - 1e-6);
+            prop_assert!(d.complexity <= config.complexity.max_for(n_boxes) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn complexity_monotone_in_obstacle_proximity(
+        d0 in 0.5f64..3.0,
+        near in 0.0f64..5.0,
+        gap in 0.1f64..6.0,
+    ) {
+        // beyond D0, a closer obstacle always constrains the planner
+        // more (eq. 8's e^{-|D0 - D|} influence decays with distance)
+        let params = ComplexityParams { d0, ..ComplexityParams::default() };
+        let d_near = d0 + near;
+        let d_far = d_near + gap;
+        // boundary distance d ⇒ obstacle center at d + half-extent
+        let at = |d: f64| Obb::from_pose(Pose2::new(d + 1.0, 0.0, 0.0), 2.0, 2.0);
+        let c_near = instant_complexity(Vec2::ZERO, &[at(d_near)], &params);
+        let c_far = instant_complexity(Vec2::ZERO, &[at(d_far)], &params);
+        prop_assert!(c_near >= c_far - 1e-9,
+            "complexity {c_near} at {d_near} m < {c_far} at {d_far} m");
+    }
+
+    #[test]
+    fn raw_mode_matches_threshold_exactly(
+        probs in arb_probs(21),
+        n_boxes in 0usize..5,
+        lambda_exp in -8.0f64..-3.0,
+    ) {
+        // eq. (1): the un-debounced decision is IL iff U/C ≤ λ
+        let lambda = 10f64.powf(lambda_exp);
+        let mut hsa = Hsa::new(HsaConfig { lambda, ..HsaConfig::default() });
+        hsa.set_ego_position(Vec2::ZERO);
+        let boxes: Vec<Obb> = (0..n_boxes)
+            .map(|i| Obb::from_pose(Pose2::new(3.0 + i as f64, -1.0, 0.0), 2.0, 2.0))
+            .collect();
+        for _ in 0..4 {
+            let d = hsa.update(&probs, &boxes);
+            let expect = if d.ratio <= lambda { Mode::Il } else { Mode::Co };
+            prop_assert_eq!(d.raw_mode, expect,
+                "raw mode disagrees with ratio {} vs λ {}", d.ratio, lambda);
+        }
+    }
+
+    #[test]
+    fn committed_switches_are_guard_time_apart(
+        flips in prop::collection::vec(any::<bool>(), 60..200),
+        guard in 2usize..12,
+    ) {
+        // a committed mode change requires `guard` consecutive opposing
+        // raw frames, so two commits can never be closer than that
+        let confident = {
+            let mut p = vec![0.001; 21];
+            p[0] = 1.0 - 0.02;
+            p
+        };
+        let uniform = vec![1.0 / 21.0; 21];
+        let mut hsa = Hsa::new(HsaConfig {
+            window: 1,
+            guard_time: guard,
+            ..HsaConfig::default()
+        });
+        let mut last_mode = hsa.mode();
+        let mut last_switch: Option<usize> = None;
+        for (i, f) in flips.iter().enumerate() {
+            let d = hsa.update(if *f { &confident } else { &uniform }, &[]);
+            if d.mode != last_mode {
+                if let Some(prev) = last_switch {
+                    prop_assert!(i - prev >= guard,
+                        "switches at frames {prev} and {i} violate guard {guard}");
+                }
+                last_switch = Some(i);
+                last_mode = d.mode;
+            }
+        }
     }
 }

@@ -114,6 +114,40 @@ impl IlModel {
         }
     }
 
+    /// Runs inference through the reference (allocating) forward pass.
+    ///
+    /// Numerically this must agree with [`IlModel::infer`] bit-for-bit —
+    /// the buffered path is an allocation optimization, not an
+    /// approximation — and the conformance harness holds the two paths to
+    /// exactly that standard on every fuzzed scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image geometry differs from the model's
+    /// [`BevConfig`].
+    pub fn infer_reference(&mut self, image: &BevImage) -> InferResult {
+        assert_eq!(
+            image.size, self.bev.size,
+            "BEV image size does not match the model"
+        );
+        let mut input = Tensor::zeros(vec![1, BevImage::CHANNELS, image.size, image.size]);
+        input.data_mut().copy_from_slice(&image.data);
+        let probs_t = self.network.predict_proba(&input);
+        let probs: Vec<f64> = probs_t.data().iter().map(|&v| v as f64).collect();
+        // Last maximal index, matching `Tensor::argmax_rows` tie-breaking.
+        let mut class = 0;
+        for (i, &p) in probs_t.data().iter().enumerate() {
+            if p >= probs_t.data()[class] {
+                class = i;
+            }
+        }
+        InferResult {
+            action: self.codec.decode(class),
+            class,
+            probs,
+        }
+    }
+
     /// Serializes weights + codec + geometry to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serializes")
@@ -167,6 +201,18 @@ mod tests {
         let before = m.infer(&img);
         let mut back = IlModel::from_json(&m.to_json()).unwrap();
         assert_eq!(back.infer(&img), before);
+    }
+
+    #[test]
+    fn reference_path_matches_buffered_path_bitwise() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 5);
+        let mut img = blank_image(32);
+        for (i, v) in img.data.iter_mut().enumerate() {
+            *v = ((i * 2654435761) % 1000) as f32 / 1000.0;
+        }
+        let fast = m.infer(&img);
+        let reference = m.infer_reference(&img);
+        assert_eq!(fast, reference);
     }
 
     #[test]

@@ -43,18 +43,28 @@ fn il_inference_is_allocation_free_after_warmup() {
     let _ = net.infer_proba(&x, &mut buf);
     let _ = net.infer_proba(&x, &mut buf);
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    // The counter is process-wide and the libtest controller thread can
+    // allocate concurrently (e.g. its slow-test watchdog under CPU
+    // load), so measure several 10-frame windows and require one clean
+    // window: a genuine per-frame allocation in the hot path taints
+    // every window, harness noise does not.
     let mut checksum = 0.0f32;
-    for _ in 0..10 {
-        let p = net.infer_proba(&x, &mut buf);
-        checksum += p.data()[0];
+    let mut cleanest = usize::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            let p = net.infer_proba(&x, &mut buf);
+            checksum += p.data()[0];
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert!(checksum.is_finite());
     assert_eq!(
-        after - before,
-        0,
-        "inference allocated {} times over 10 frames",
-        after - before
+        cleanest, 0,
+        "inference allocated at least {cleanest} times in every 10-frame window"
     );
 }

@@ -308,6 +308,14 @@ fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
     let mut p = problem.p.clone();
     let mut a = problem.a.clone();
     let clamp = |v: f64| v.clamp(1e-6, 1e6);
+    // The *cumulative* scale per row/column is bounded (OSQP's
+    // MIN_SCALING/MAX_SCALING): per-pass clamps alone still compound
+    // across passes, and a near-zero constraint row can otherwise pick
+    // up a ~1e24 scale. The workspace reuses scaling vectors on
+    // changed data of the same shape (an exact change of variables),
+    // which is only safe because this bound caps how badly a stale
+    // scale can condition new rows.
+    let bound = |v: f64| v.clamp(1e-4, 1e4);
     for _ in 0..8 {
         // row norms of A
         for (i, ei) in e.iter_mut().enumerate() {
@@ -316,7 +324,7 @@ fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
                 r = r.max(a.at(i, j).abs());
             }
             if r > 0.0 {
-                let s = 1.0 / clamp(r).sqrt();
+                let s = bound(*ei / clamp(r).sqrt()) / *ei;
                 for j in 0..n {
                     *a.at_mut(i, j) *= s;
                 }
@@ -333,7 +341,7 @@ fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
                 c = c.max(p.at(k, j).abs());
             }
             if c > 0.0 {
-                let s = 1.0 / clamp(c).sqrt();
+                let s = bound(*dj / clamp(c).sqrt()) / *dj;
                 for i in 0..m {
                     *a.at_mut(i, j) *= s;
                 }
@@ -803,5 +811,46 @@ mod tests {
         let sol = solve_qp_warm(&frame2, &s, Some(&warm), &mut ws);
         assert_eq!(sol.status, QpStatus::Solved);
         assert!(frame2.max_violation(&sol.x) < 1e-4);
+    }
+
+    #[test]
+    fn scaling_reuse_survives_degenerate_then_regular_rows() {
+        // Regression (conformance fuzzer, seed 114): frame 1 has a
+        // near-zero constraint row, whose Ruiz scale must stay bounded;
+        // frame 2 reuses the cached scaling vectors on a same-shape
+        // problem where that row is regular. Unbounded cumulative
+        // scaling (~1e24) made the reused-scaling KKT matrix so ill-
+        // conditioned that Cholesky failed at every regularization and
+        // the solver panicked.
+        let n = 6;
+        let s = settings();
+        let make = |row_scale: f64| {
+            let mut rows = Mat::zeros(n + 1, n);
+            for i in 0..n {
+                *rows.at_mut(i, i) = 1.0;
+            }
+            // the troublesome row: near-zero in frame 1, regular in frame 2
+            *rows.at_mut(n, 0) = row_scale;
+            *rows.at_mut(n, 1) = row_scale;
+            let mut l = vec![-1.0; n + 1];
+            let mut u = vec![1.0; n + 1];
+            l[n] = -1e9;
+            u[n] = 1e9;
+            QpProblem::new(Mat::diag(&vec![2.0; n]), vec![-1.0; n], rows, l, u).unwrap()
+        };
+        let frame1 = make(1e-30);
+        let frame2 = make(1.0);
+
+        let mut ws = QpWorkspace::new();
+        let first = solve_qp_warm(&frame1, &s, None, &mut ws);
+        assert_eq!(first.status, QpStatus::Solved);
+        let warm = QpWarmStart::from_solution(&first);
+        let second = solve_qp_warm(&frame2, &s, Some(&warm), &mut ws);
+        assert_eq!(second.status, QpStatus::Solved);
+        assert!(frame2.max_violation(&second.x) < 1e-4);
+        // both frames share the unconstrained optimum x_i = 0.5
+        for v in &second.x {
+            assert!((v - 0.5).abs() < 1e-3, "x = {v}");
+        }
     }
 }

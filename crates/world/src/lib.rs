@@ -49,6 +49,7 @@ pub mod map;
 pub mod metrics;
 pub mod obstacle;
 pub mod persist;
+pub mod procedural;
 pub mod render;
 pub mod scenario;
 pub mod world;
@@ -59,5 +60,8 @@ pub use render::{render_trace, AsciiCanvas};
 pub use map::ParkingMap;
 pub use metrics::{success_rate, ParkingStats};
 pub use obstacle::{DynamicRoute, Obstacle, ObstacleKind};
+pub use procedural::{
+    shrink, BayStyle, InvalidScenario, ProcGen, ProcGenConfig, ProcScenario, RouteSpec, StaticSpec,
+};
 pub use scenario::{Difficulty, MapKind, NoiseConfig, Scenario, ScenarioConfig, StartRegion};
 pub use world::{CollisionCause, World};

@@ -1,0 +1,829 @@
+//! Procedural scenario generation beyond the three fixed lots.
+//!
+//! [`ScenarioConfig`](crate::ScenarioConfig) draws seeded variations of the
+//! paper's §V-B difficulty tiers on three *fixed* maps. This module composes
+//! whole lots procedurally — lot dimensions, slot pose, obstacle counts and
+//! placements, dynamic patrol routes and sensing-noise level are all sampled
+//! from a seed — so the verification surface is not limited to layouts a
+//! human wrote down.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. [`ProcGen::generate`] samples a [`ProcScenario`]: a fully *concrete*
+//!    declarative spec (every obstacle pose is explicit, no hidden RNG
+//!    downstream). Candidates failing [`ProcScenario::validity`] are
+//!    resampled, so every returned spec builds a solvable-looking episode.
+//! 2. [`ProcScenario::build`] expands the spec into an ordinary
+//!    [`Scenario`] accepted by the episode runner and every policy.
+//! 3. [`shrink`] minimizes a spec that makes some property fail: it
+//!    deterministically drops obstacles, zeroes noise and snaps geometry to
+//!    defaults while the caller's predicate keeps failing — the smallest
+//!    reproducing form is what lands in a triage report.
+//!
+//! # Example
+//!
+//! ```
+//! use icoil_world::procedural::{ProcGen, ProcGenConfig};
+//!
+//! let gen = ProcGen::new(ProcGenConfig::default());
+//! let spec = gen.generate(7);
+//! assert!(spec.validity().is_ok());
+//! let scenario = spec.build();
+//! assert!(scenario.map.bounds().contains(scenario.start_state.pose.position()));
+//! // Same seed, same scenario:
+//! assert_eq!(gen.generate(7), spec);
+//! ```
+
+use crate::{
+    DynamicRoute, NoiseConfig, Obstacle, ParkingMap, Scenario,
+};
+use icoil_geom::{Aabb, Obb, OccupancyGrid, Pose2, Vec2};
+use icoil_vehicle::{VehicleParams, VehicleState};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the goal slot is oriented relative to the lot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BayStyle {
+    /// A reverse-in bay recessed into the right wall (MoCAM-style).
+    ReverseIn,
+    /// A curbside gap between two parked cars along the top edge,
+    /// entered with the pull-past-and-reverse maneuver.
+    ParallelCurb,
+}
+
+/// Sampling ranges for [`ProcGen`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcGenConfig {
+    /// Lot width range (meters).
+    pub lot_width: (f64, f64),
+    /// Lot height range (meters).
+    pub lot_height: (f64, f64),
+    /// Static-obstacle count range (inclusive).
+    pub n_static: (usize, usize),
+    /// Dynamic-obstacle count range (inclusive).
+    pub n_dynamic: (usize, usize),
+    /// Whether parallel-curb slots are sampled alongside reverse-in bays.
+    pub allow_parallel: bool,
+    /// Probability that a scenario carries sensing noise; the level is
+    /// then drawn uniformly in `(0, 1]` × the hard-tier profile.
+    pub noise_prob: f64,
+}
+
+impl Default for ProcGenConfig {
+    fn default() -> Self {
+        ProcGenConfig {
+            lot_width: (22.0, 36.0),
+            lot_height: (13.0, 24.0),
+            n_static: (0, 5),
+            n_dynamic: (0, 2),
+            allow_parallel: true,
+            noise_prob: 0.4,
+        }
+    }
+}
+
+/// A concrete static-obstacle placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticSpec {
+    /// Box center pose.
+    pub pose: Pose2,
+    /// Box length (meters).
+    pub length: f64,
+    /// Box width (meters).
+    pub width: f64,
+}
+
+/// A concrete dynamic-obstacle patrol route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteSpec {
+    /// Waypoints looped back and forth.
+    pub waypoints: Vec<Vec2>,
+    /// Patrol speed (m/s).
+    pub speed: f64,
+}
+
+/// A fully-concrete procedural scenario spec.
+///
+/// Everything an episode needs is explicit, which is what makes
+/// [`shrink`] possible: removing an entry from `statics` or `routes`
+/// produces a strictly simpler scenario with no other change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcScenario {
+    /// The seed that produced this spec (carried for triage reports).
+    pub seed: u64,
+    /// Lot width (meters).
+    pub lot_w: f64,
+    /// Lot height (meters).
+    pub lot_h: f64,
+    /// Slot style.
+    pub bay_style: BayStyle,
+    /// Slot position as a fraction of the usable wall span (0–1).
+    pub bay_frac: f64,
+    /// Static obstacles.
+    pub statics: Vec<StaticSpec>,
+    /// Dynamic obstacles.
+    pub routes: Vec<RouteSpec>,
+    /// Ego start pose (at rest).
+    pub start: Pose2,
+    /// Sensing-noise level: 0 = clean, 1 = the hard-tier profile.
+    pub noise_scale: f64,
+}
+
+/// Why a candidate spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvalidScenario {
+    /// Lot dimensions too small to hold spawn area and slot.
+    LotTooSmall,
+    /// The slot or goal pose falls outside the lot.
+    SlotOutsideLot,
+    /// The ego start footprint is outside the lot or overlaps an obstacle.
+    SpawnBlocked,
+    /// A static obstacle blocks the corridor in front of the slot.
+    CorridorBlocked,
+    /// A dynamic route leaves the lot interior.
+    RouteOutsideLot,
+    /// No drivable grid path connects the start to the slot approach.
+    SlotUnreachable,
+}
+
+impl std::fmt::Display for InvalidScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InvalidScenario::LotTooSmall => "lot too small",
+            InvalidScenario::SlotOutsideLot => "slot outside lot",
+            InvalidScenario::SpawnBlocked => "spawn blocked",
+            InvalidScenario::CorridorBlocked => "goal corridor blocked",
+            InvalidScenario::RouteOutsideLot => "dynamic route outside lot",
+            InvalidScenario::SlotUnreachable => "slot unreachable from start",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Smallest lot the generator will emit (width, height).
+const MIN_LOT: (f64, f64) = (20.0, 11.0);
+/// Bay geometry shared with the fixed maps.
+const BAY_DEPTH: f64 = 5.4;
+const BAY_WIDTH: f64 = 3.0;
+const CURB_GAP: f64 = 7.0;
+const CURB_LANE_INSET: f64 = 1.6;
+/// Grid resolution of the reachability check (meters per cell).
+const REACH_RESOLUTION: f64 = 0.5;
+
+impl ProcScenario {
+    /// The lot geometry this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid ([`ProcScenario::validity`] guards
+    /// every construction path).
+    pub fn map(&self) -> ParkingMap {
+        let bounds = Aabb::new(Vec2::ZERO, Vec2::new(self.lot_w, self.lot_h));
+        match self.bay_style {
+            BayStyle::ReverseIn => {
+                let y = bay_center_reverse_in(self.lot_h, self.bay_frac);
+                let bay = Obb::from_pose(
+                    Pose2::new(self.lot_w - BAY_DEPTH * 0.5 - 0.5, y, 0.0),
+                    BAY_DEPTH,
+                    BAY_WIDTH,
+                );
+                let goal = Pose2::new(bay.center.x + 1.3, y, std::f64::consts::PI);
+                ParkingMap::new(bounds, spawn_region(self.lot_w, self.lot_h), goal, bay)
+            }
+            BayStyle::ParallelCurb => {
+                let x = bay_center_parallel(self.lot_w, self.bay_frac);
+                let y = self.lot_h - CURB_LANE_INSET;
+                let bay = Obb::from_pose(Pose2::new(x, y, 0.0), CURB_GAP, 1.9);
+                let goal = Pose2::new(x - 1.3, y, 0.0);
+                ParkingMap::new(bounds, spawn_region(self.lot_w, self.lot_h), goal, bay)
+            }
+        }
+    }
+
+    /// Expands the spec into a runnable [`Scenario`].
+    ///
+    /// Obstacle ids are assigned positionally (statics first, then the
+    /// parallel-curb framing cars, then dynamics), so equal specs build
+    /// bit-identical scenarios.
+    pub fn build(&self) -> Scenario {
+        let map = self.map();
+        let mut obstacles = Vec::new();
+        for s in &self.statics {
+            obstacles.push(Obstacle::fixed(obstacles.len(), s.pose, s.length, s.width));
+        }
+        if self.bay_style == BayStyle::ParallelCurb {
+            // the two parked cars framing the curb gap
+            let bay = map.bay();
+            let y = bay.center.y;
+            for dx in [-(CURB_GAP * 0.5 + 2.4), CURB_GAP * 0.5 + 2.4] {
+                obstacles.push(Obstacle::fixed(
+                    obstacles.len(),
+                    Pose2::new(bay.center.x + dx, y, 0.0),
+                    4.2,
+                    1.8,
+                ));
+            }
+        }
+        for r in &self.routes {
+            obstacles.push(Obstacle::moving(
+                obstacles.len(),
+                DynamicRoute::new(r.waypoints.clone(), r.speed).expect("valid route"),
+                3.6,
+                1.6,
+            ));
+        }
+        let hard = NoiseConfig::hard();
+        let k = self.noise_scale.clamp(0.0, 1.0);
+        let noise = NoiseConfig {
+            image_noise_std: hard.image_noise_std * k,
+            pixel_dropout: hard.pixel_dropout * k,
+            box_jitter: hard.box_jitter * k,
+            heading_jitter: hard.heading_jitter * k,
+            false_negative_rate: hard.false_negative_rate * k,
+            phantom_rate: hard.phantom_rate * k,
+        };
+        Scenario {
+            map,
+            obstacles,
+            start_state: VehicleState::at_rest(self.start),
+            noise,
+            vehicle_params: VehicleParams::default(),
+            difficulty: crate::Difficulty::Normal,
+            seed: self.seed,
+            dt: 0.05,
+        }
+    }
+
+    /// Checks that the spec describes a well-posed, plausibly-solvable
+    /// episode: geometry inside the lot, clear spawn, clear slot corridor,
+    /// in-bounds patrol routes and a drivable grid path from the start to
+    /// the slot approach.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition.
+    pub fn validity(&self) -> Result<(), InvalidScenario> {
+        if self.lot_w < MIN_LOT.0 || self.lot_h < MIN_LOT.1 {
+            return Err(InvalidScenario::LotTooSmall);
+        }
+        if !(0.0..=1.0).contains(&self.bay_frac) || !(0.0..=1.0).contains(&self.noise_scale) {
+            return Err(InvalidScenario::SlotOutsideLot);
+        }
+        let bounds = Aabb::new(Vec2::ZERO, Vec2::new(self.lot_w, self.lot_h));
+        let map = self.map();
+        if !bounds.contains(map.goal_pose().position()) || !bounds.contains(map.bay().center) {
+            return Err(InvalidScenario::SlotOutsideLot);
+        }
+        let params = VehicleParams::default();
+
+        // every obstacle footprint at t = 0
+        let scenario = self.build();
+        let footprints: Vec<Obb> = scenario
+            .obstacles
+            .iter()
+            .map(|o| o.footprint_at(0.0))
+            .collect();
+
+        // spawn: inside the lot, clear of everything with margin
+        let fp = scenario.start_state.footprint(&params).inflated(0.3);
+        if !map.contains_footprint(&fp) || footprints.iter().any(|o| o.intersects(&fp)) {
+            return Err(InvalidScenario::SpawnBlocked);
+        }
+
+        // statics must stay out of the slot approach corridor
+        let corridor = slot_corridor(&map, self.bay_style);
+        let n_fixed = scenario.obstacles.iter().filter(|o| !o.is_dynamic()).count();
+        // the parallel framing cars legitimately touch the corridor edge;
+        // only the sampled statics are constrained
+        for o in footprints.iter().take(self.statics.len().min(n_fixed)) {
+            if corridor.intersects(&o.aabb()) {
+                return Err(InvalidScenario::CorridorBlocked);
+            }
+        }
+
+        // routes stay inside the lot (body inset by the vehicle half-diagonal)
+        let inset = 2.0;
+        let interior = Aabb::new(
+            bounds.min + Vec2::new(inset, inset),
+            bounds.max - Vec2::new(inset, inset),
+        );
+        for r in &self.routes {
+            if r.waypoints.len() < 2 || r.speed <= 0.0 {
+                return Err(InvalidScenario::RouteOutsideLot);
+            }
+            if r.waypoints.iter().any(|w| !interior.contains(*w)) {
+                return Err(InvalidScenario::RouteOutsideLot);
+            }
+        }
+
+        // coarse reachability: BFS over a grid with statics inflated by
+        // the vehicle half-width; dynamics are ignored (they move away)
+        let statics: Vec<Obb> = footprints
+            .iter()
+            .take(n_fixed)
+            .copied()
+            .collect();
+        let approach = corridor.center();
+        if !grid_reachable(&map, &statics, self.start.position(), approach, &params) {
+            return Err(InvalidScenario::SlotUnreachable);
+        }
+        Ok(())
+    }
+}
+
+fn spawn_region(lot_w: f64, lot_h: f64) -> Aabb {
+    Aabb::new(
+        Vec2::new(2.0, 3.0),
+        Vec2::new((0.28 * lot_w).max(5.0), lot_h - 3.0),
+    )
+}
+
+fn bay_center_reverse_in(lot_h: f64, frac: f64) -> f64 {
+    let margin = BAY_WIDTH * 0.5 + 1.6;
+    margin + frac * (lot_h - 2.0 * margin)
+}
+
+fn bay_center_parallel(lot_w: f64, frac: f64) -> f64 {
+    // leave room for the framing cars on both sides
+    let margin = CURB_GAP * 0.5 + 5.2;
+    margin + frac * (lot_w - 2.0 * margin)
+}
+
+/// The region in front of the slot that must stay clear of sampled
+/// statics so the approach maneuver has room.
+fn slot_corridor(map: &ParkingMap, style: BayStyle) -> Aabb {
+    let bay = map.bay().center;
+    match style {
+        BayStyle::ReverseIn => Aabb::new(
+            Vec2::new(bay.x - 5.8, bay.y - 2.8),
+            Vec2::new(map.bounds().max.x, bay.y + 2.8),
+        ),
+        BayStyle::ParallelCurb => Aabb::new(
+            Vec2::new(bay.x - 8.5, bay.y - 4.5),
+            Vec2::new(bay.x + 8.5, map.bounds().max.y),
+        ),
+    }
+}
+
+/// Coarse grid-BFS drivability check from `from` to `to`.
+fn grid_reachable(
+    map: &ParkingMap,
+    statics: &[Obb],
+    from: Vec2,
+    to: Vec2,
+    params: &VehicleParams,
+) -> bool {
+    let mut grid = OccupancyGrid::covering(&map.bounds(), REACH_RESOLUTION);
+    let inflation = params.width * 0.5 + 0.1;
+    let (cols, rows) = (grid.cols(), grid.rows());
+    for r in 0..rows {
+        for c in 0..cols {
+            let cell = icoil_geom::Cell {
+                col: c as i64,
+                row: r as i64,
+            };
+            let p = grid.cell_to_world(cell);
+            let blocked = statics
+                .iter()
+                .any(|o| o.distance_to_point(p) < inflation)
+                || p.x < map.bounds().min.x + inflation
+                || p.y < map.bounds().min.y + inflation
+                || p.x > map.bounds().max.x - inflation
+                || p.y > map.bounds().max.y - inflation;
+            if blocked {
+                grid.set(cell, 255);
+            }
+        }
+    }
+    let start = grid.world_to_cell(from);
+    let goal = grid.world_to_cell(to);
+    if !grid.in_bounds(start) || !grid.in_bounds(goal) {
+        return false;
+    }
+    // the goal cell may fall inside the (recessed) bay clearance band;
+    // accept reaching any cell within one resolution step of it
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = vec![false; cols * rows];
+    let idx = |c: icoil_geom::Cell| c.row as usize * cols + c.col as usize;
+    if grid.is_occupied(start, 128) {
+        return false;
+    }
+    queue.push_back(start);
+    seen[idx(start)] = true;
+    while let Some(cell) = queue.pop_front() {
+        if (cell.col - goal.col).abs() <= 1 && (cell.row - goal.row).abs() <= 1 {
+            return true;
+        }
+        for (dc, dr) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+            let next = icoil_geom::Cell {
+                col: cell.col + dc,
+                row: cell.row + dr,
+            };
+            if !grid.in_bounds(next) || grid.is_occupied(next, 128) {
+                continue;
+            }
+            let i = idx(next);
+            if !seen[i] {
+                seen[i] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+/// The seeded lot composer.
+#[derive(Debug, Clone)]
+pub struct ProcGen {
+    config: ProcGenConfig,
+}
+
+impl ProcGen {
+    /// Creates a generator with the given sampling ranges.
+    pub fn new(config: ProcGenConfig) -> Self {
+        ProcGen { config }
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> &ProcGenConfig {
+        &self.config
+    }
+
+    /// Generates a valid scenario spec for `seed`.
+    ///
+    /// Candidates are sampled from seeds derived from `(seed, attempt)`
+    /// and the first one passing [`ProcScenario::validity`] is returned —
+    /// deterministic for a given seed. After 64 failed attempts the
+    /// obstacle-free fallback lot (always valid) is returned.
+    pub fn generate(&self, seed: u64) -> ProcScenario {
+        for attempt in 0..64u64 {
+            let mut spec = self.sample(seed, attempt);
+            if spec.validity().is_ok() {
+                spec.seed = seed;
+                return spec;
+            }
+        }
+        let mut fallback = ProcScenario {
+            seed,
+            lot_w: 30.0,
+            lot_h: 20.0,
+            bay_style: BayStyle::ReverseIn,
+            bay_frac: 0.5,
+            statics: Vec::new(),
+            routes: Vec::new(),
+            start: Pose2::new(5.0, 10.0, 0.0),
+            noise_scale: 0.0,
+        };
+        fallback.start = Pose2::new(5.0, bay_center_reverse_in(20.0, 0.5), 0.0);
+        debug_assert!(fallback.validity().is_ok());
+        fallback
+    }
+
+    /// One unchecked candidate draw.
+    fn sample(&self, seed: u64, attempt: u64) -> ProcScenario {
+        let c = &self.config;
+        let mut rng = SmallRng::seed_from_u64(seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15));
+        let lot_w = rng.gen_range(c.lot_width.0..c.lot_width.1);
+        let lot_h = rng.gen_range(c.lot_height.0..c.lot_height.1);
+        let bay_style = if c.allow_parallel && rng.gen_range(0.0..1.0) < 0.35 {
+            BayStyle::ParallelCurb
+        } else {
+            BayStyle::ReverseIn
+        };
+        let bay_frac = rng.gen_range(0.0..1.0);
+        // lot must be wide enough for the curb gap plus framing cars
+        let bay_style = if bay_style == BayStyle::ParallelCurb && lot_w < 2.0 * (CURB_GAP * 0.5 + 5.2) + 1.0
+        {
+            BayStyle::ReverseIn
+        } else {
+            bay_style
+        };
+
+        let spec_wo_obstacles = ProcScenario {
+            seed,
+            lot_w,
+            lot_h,
+            bay_style,
+            bay_frac,
+            statics: Vec::new(),
+            routes: Vec::new(),
+            start: Pose2::new(0.0, 0.0, 0.0),
+            noise_scale: 0.0,
+        };
+        let map = spec_wo_obstacles.map();
+        let corridor = slot_corridor(&map, bay_style);
+        let bounds = map.bounds();
+
+        // statics in the mid-lot band, clear of the corridor and each other
+        let n_static = rng.gen_range(c.n_static.0..=c.n_static.1);
+        let band = Aabb::new(
+            Vec2::new(bounds.min.x + 0.3 * lot_w, bounds.min.y + 2.0),
+            Vec2::new(bounds.min.x + 0.78 * lot_w, bounds.max.y - 2.0),
+        );
+        let mut statics: Vec<StaticSpec> = Vec::new();
+        let mut tries = 0;
+        while statics.len() < n_static && tries < 400 {
+            tries += 1;
+            let pose = Pose2::new(
+                rng.gen_range(band.min.x..band.max.x),
+                rng.gen_range(band.min.y..band.max.y),
+                rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+            );
+            let length = rng.gen_range(1.8..3.2);
+            let width = rng.gen_range(1.8..3.2);
+            let obb = Obb::from_pose(pose, length, width);
+            if corridor.intersects(&obb.aabb()) {
+                continue;
+            }
+            if statics
+                .iter()
+                .any(|s| Obb::from_pose(s.pose, s.length, s.width).distance_to_obb(&obb) < 2.4)
+            {
+                continue;
+            }
+            statics.push(StaticSpec { pose, length, width });
+        }
+
+        // dynamic patrols: straight two-point routes in the interior
+        let n_dynamic = rng.gen_range(c.n_dynamic.0..=c.n_dynamic.1);
+        let mut routes = Vec::new();
+        for _ in 0..n_dynamic {
+            let vertical = rng.gen_range(0.0..1.0) < 0.5;
+            let (a, b) = if vertical {
+                let x = rng.gen_range(bounds.min.x + 0.3 * lot_w..bounds.min.x + 0.7 * lot_w);
+                (
+                    Vec2::new(x, bounds.min.y + rng.gen_range(2.2..3.5)),
+                    Vec2::new(x, bounds.max.y - rng.gen_range(2.2..3.5)),
+                )
+            } else {
+                let y = rng.gen_range(bounds.min.y + 0.3 * lot_h..bounds.min.y + 0.7 * lot_h);
+                (
+                    Vec2::new(bounds.min.x + rng.gen_range(2.2..3.5), y),
+                    Vec2::new(bounds.min.x + 0.75 * lot_w, y),
+                )
+            };
+            routes.push(RouteSpec {
+                waypoints: vec![a, b],
+                speed: rng.gen_range(0.4..1.0),
+            });
+        }
+
+        // start pose in the spawn strip, roughly facing the lot interior
+        let spawn = spawn_region(lot_w, lot_h);
+        let start = Pose2::new(
+            rng.gen_range(spawn.min.x..spawn.max.x),
+            rng.gen_range(spawn.min.y..spawn.max.y),
+            rng.gen_range(-0.5..0.5),
+        );
+
+        let noise_scale = if rng.gen_range(0.0..1.0) < c.noise_prob {
+            rng.gen_range(0.1..1.0)
+        } else {
+            0.0
+        };
+
+        ProcScenario {
+            seed,
+            lot_w,
+            lot_h,
+            bay_style,
+            bay_frac,
+            statics,
+            routes,
+            start,
+            noise_scale,
+        }
+    }
+}
+
+impl Default for ProcGen {
+    fn default() -> Self {
+        ProcGen::new(ProcGenConfig::default())
+    }
+}
+
+/// Deterministically minimizes a failing spec.
+///
+/// `still_failing` must return `true` while the property under test still
+/// fails for a candidate. The shrinker greedily applies simplifications —
+/// drop a dynamic route, drop a static obstacle, zero the noise, snap the
+/// lot and slot to canonical values, center the start pose — keeping each
+/// one only when the candidate is still *valid* and still failing, and
+/// repeats until a fixpoint. The result reproduces the failure with the
+/// fewest moving parts.
+pub fn shrink<F>(spec: &ProcScenario, mut still_failing: F) -> ProcScenario
+where
+    F: FnMut(&ProcScenario) -> bool,
+{
+    let mut current = spec.clone();
+    let accepts = |cand: &ProcScenario, f: &mut F| cand.validity().is_ok() && f(cand);
+    for _pass in 0..8 {
+        let mut changed = false;
+
+        // drop dynamic routes, last first (stable indices)
+        let mut i = current.routes.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = current.clone();
+            cand.routes.remove(i);
+            if accepts(&cand, &mut still_failing) {
+                current = cand;
+                changed = true;
+            }
+        }
+
+        // drop static obstacles
+        let mut i = current.statics.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = current.clone();
+            cand.statics.remove(i);
+            if accepts(&cand, &mut still_failing) {
+                current = cand;
+                changed = true;
+            }
+        }
+
+        // zero the sensing noise
+        if current.noise_scale > 0.0 {
+            let mut cand = current.clone();
+            cand.noise_scale = 0.0;
+            if accepts(&cand, &mut still_failing) {
+                current = cand;
+                changed = true;
+            }
+        }
+
+        // snap geometry to canonical values, one knob at a time
+        let snaps: [fn(&mut ProcScenario); 4] = [
+            |c| c.lot_w = 30.0,
+            |c| c.lot_h = 20.0,
+            |c| c.bay_frac = 0.5,
+            |c| {
+                let center = spawn_region(c.lot_w, c.lot_h).center();
+                c.start = Pose2::new(center.x, center.y, 0.0);
+            },
+        ];
+        for snap in snaps {
+            let mut cand = current.clone();
+            snap(&mut cand);
+            if cand != current && accepts(&cand, &mut still_failing) {
+                current = cand;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let gen = ProcGen::default();
+        for seed in 0..40 {
+            let a = gen.generate(seed);
+            let b = gen.generate(seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(a.validity(), Ok(()), "seed {seed}");
+            assert_eq!(a.build(), b.build(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeds_explore_the_space() {
+        let gen = ProcGen::default();
+        let specs: Vec<ProcScenario> = (0..60).map(|s| gen.generate(s)).collect();
+        let widths: std::collections::BTreeSet<u64> =
+            specs.iter().map(|s| s.lot_w as u64).collect();
+        assert!(widths.len() > 5, "lot widths barely vary: {widths:?}");
+        assert!(specs.iter().any(|s| s.bay_style == BayStyle::ParallelCurb));
+        assert!(specs.iter().any(|s| s.bay_style == BayStyle::ReverseIn));
+        assert!(specs.iter().any(|s| !s.routes.is_empty()));
+        assert!(specs.iter().any(|s| s.noise_scale > 0.0));
+        assert!(specs.iter().any(|s| s.statics.len() >= 3));
+    }
+
+    #[test]
+    fn built_scenarios_run_in_the_world() {
+        let gen = ProcGen::default();
+        for seed in 0..10 {
+            let scenario = gen.generate(seed).build();
+            let mut world = crate::World::new(scenario);
+            assert!(!world.in_collision(), "seed {seed} spawns in collision");
+            for _ in 0..20 {
+                world.step(&icoil_vehicle::Action::forward(0.2, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn validity_rejects_blocked_spawn() {
+        let gen = ProcGen::default();
+        let mut spec = gen.generate(1);
+        spec.statics.push(StaticSpec {
+            pose: spec.start,
+            length: 3.0,
+            width: 3.0,
+        });
+        assert_eq!(spec.validity(), Err(InvalidScenario::SpawnBlocked));
+    }
+
+    #[test]
+    fn validity_rejects_walled_off_slot() {
+        let gen = ProcGen::default();
+        let mut spec = gen.generate(2);
+        spec.statics.clear();
+        spec.routes.clear();
+        assert_eq!(spec.validity(), Ok(()));
+        // wall the lot in half between spawn and slot
+        let map = spec.map();
+        let x = spec.lot_w * 0.5;
+        let mut y = 1.0;
+        while y < spec.lot_h {
+            spec.statics.push(StaticSpec {
+                pose: Pose2::new(x, y, 0.0),
+                length: 1.5,
+                width: 3.4,
+            });
+            y += 3.0;
+        }
+        let r = spec.validity();
+        assert!(
+            r == Err(InvalidScenario::SlotUnreachable)
+                || r == Err(InvalidScenario::CorridorBlocked)
+                || r == Err(InvalidScenario::SpawnBlocked),
+            "a bisected lot must be rejected, got {r:?} (map bounds {:?})",
+            map.bounds()
+        );
+    }
+
+    #[test]
+    fn shrink_minimizes_to_smallest_failing_form() {
+        let gen = ProcGen::default();
+        // find a busy spec: several statics plus at least one route
+        let spec = (0..200)
+            .map(|s| gen.generate(s))
+            .find(|s| s.statics.len() >= 3 && !s.routes.is_empty() && s.noise_scale > 0.0)
+            .expect("a busy spec exists");
+        // property that "fails" whenever any dynamic obstacle is present
+        let minimized = shrink(&spec, |s| !s.routes.is_empty());
+        assert_eq!(minimized.routes.len(), 1, "exactly one route remains");
+        assert!(minimized.statics.is_empty(), "statics dropped");
+        assert_eq!(minimized.noise_scale, 0.0, "noise dropped");
+        assert_eq!(minimized.validity(), Ok(()));
+        assert_eq!(minimized.lot_w, 30.0);
+        assert_eq!(minimized.lot_h, 20.0);
+    }
+
+    #[test]
+    fn shrink_keeps_spec_intact_when_nothing_helps() {
+        let gen = ProcGen::default();
+        let spec = gen.generate(3);
+        // a predicate failing only for the exact original spec
+        let orig = spec.clone();
+        let out = shrink(&spec, |s| *s == orig);
+        assert_eq!(out, orig);
+    }
+
+    #[test]
+    fn parallel_curb_specs_have_framing_cars() {
+        let gen = ProcGen::default();
+        let spec = (0..100)
+            .map(|s| gen.generate(s))
+            .find(|s| s.bay_style == BayStyle::ParallelCurb)
+            .expect("a curb spec exists");
+        let scenario = spec.build();
+        let fixed = scenario
+            .obstacles
+            .iter()
+            .filter(|o| !o.is_dynamic())
+            .count();
+        assert_eq!(fixed, spec.statics.len() + 2);
+        let goal = scenario.map.goal_pose();
+        for o in &scenario.obstacles {
+            assert!(!o.footprint_at(0.0).contains(goal.position()));
+        }
+    }
+
+    #[test]
+    fn noise_scale_interpolates_the_hard_profile() {
+        let gen = ProcGen::default();
+        let mut spec = gen.generate(0);
+        spec.noise_scale = 0.0;
+        assert!(spec.build().noise.is_none());
+        spec.noise_scale = 1.0;
+        assert_eq!(spec.build().noise, NoiseConfig::hard());
+        spec.noise_scale = 0.5;
+        let n = spec.build().noise;
+        assert!((n.box_jitter - NoiseConfig::hard().box_jitter * 0.5).abs() < 1e-12);
+    }
+}

@@ -4,11 +4,16 @@
 #   scripts/check.sh
 #
 # Fails on the first broken step. Clippy runs with warnings denied so the
-# tree stays lint-clean.
+# tree stays lint-clean. The conformance smoke fuzzes a small batch of
+# procedurally generated scenarios through the differential harness
+# (crates/conformance); override the case count with ICOIL_FUZZ_CASES,
+# e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
+    cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
 echo "all checks passed"

