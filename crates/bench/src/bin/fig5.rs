@@ -42,7 +42,7 @@ fn main() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
         let image = renderer.render(&ego, &truth, world.map(), &NoiseConfig::none(), &mut rng);
         let il = model.infer(&image);
-        if world.frame() % 5 == 0 {
+        if world.frame().is_multiple_of(5) {
             println!(
                 "{:5}  {:6.2}  {:+.4}  {:+.4}  {}",
                 world.frame(),

@@ -10,8 +10,15 @@
 //! * `co_hz` / `co_hz_cold` — CO solve rate along an actual drive with
 //!   the deployed warm-start memory vs. with the memory cleared every
 //!   frame (paper: 18 Hz);
+//! * `co_hz_sparse` — same warm drive with the sparse KKT backend
+//!   forced, to keep the backend comparison visible even if the
+//!   auto-selection rule changes;
 //! * `mean_admm_iters_warm` / `mean_admm_iters_cold` — mean ADMM
-//!   iterations per MPC step, the number the QP warm start exists to cut.
+//!   iterations per MPC step, the number the QP warm start exists to cut;
+//! * `kkt_factor_us_dense` / `kkt_factor_us_sparse` / `kkt_nnz_ratio` —
+//!   per-factorization microseconds for dense Cholesky vs the cached
+//!   symbolic + numeric-refactor sparse LDLᵀ on the *actual* MPC KKT
+//!   matrix of a mid-episode frame, plus that matrix's fill ratio.
 //!
 //! The file lands in the working directory (the repo root under
 //! `cargo run`). Run sizes honor `ICOIL_EPISODES` and
@@ -25,8 +32,9 @@
 //! depend on the weight values, and it keeps the bin self-contained.
 
 use icoil_bench::RunSize;
-use icoil_co::{CoConfig, CoController};
+use icoil_co::{build_mpc_qp, CoConfig, CoController};
 use icoil_core::{eval, ICoilConfig, Method};
+use icoil_solver::{Backend, SparseKkt, SparseLdl, SymbolicLdl};
 use icoil_il::IlModel;
 use icoil_perception::Perception;
 use icoil_vehicle::ActionCodec;
@@ -41,21 +49,29 @@ struct PerfReport {
     il_hz: f64,
     co_hz: f64,
     co_hz_cold: f64,
+    co_hz_sparse: f64,
     mean_admm_iters_warm: f64,
     mean_admm_iters_cold: f64,
     il_over_co_ratio: f64,
+    kkt_factor_us_dense: f64,
+    kkt_factor_us_sparse: f64,
+    kkt_nnz_ratio: f64,
     parallelism: usize,
     episodes: u64,
 }
 
 /// Drives `frames` control steps in a fresh world; returns
 /// `(frames/sec, mean ADMM iterations per solved frame)`.
-fn drive(seed: u64, frames: usize, cold: bool) -> (f64, f64) {
+fn drive(seed: u64, frames: usize, cold: bool, backend: Backend) -> (f64, f64) {
     let scenario = ScenarioConfig::new(Difficulty::Normal, seed).build();
     let params = scenario.vehicle_params;
     let mut perception = Perception::new(ICoilConfig::default().bev, &scenario);
     let mut world = icoil_world::World::new(scenario);
-    let mut co = CoController::new(CoConfig::default(), params);
+    let co_config = CoConfig {
+        qp_backend: backend,
+        ..CoConfig::default()
+    };
+    let mut co = CoController::new(co_config, params);
     // Plan the global path outside the timed region.
     let s = perception.observe(&Observation::new(&world));
     let _ = co.control(&Observation::new(&world), &s.boxes);
@@ -77,6 +93,64 @@ fn drive(seed: u64, frames: usize, cold: bool) -> (f64, f64) {
     }
     let hz = frames as f64 / t0.elapsed().as_secs_f64();
     (hz, iters as f64 / solves.max(1) as f64)
+}
+
+/// Times one KKT factorization per frame for both backends on the real
+/// MPC KKT matrix (`P + σI + ρAᵀA`) of a mid-episode frame: dense
+/// Cholesky from scratch vs sparse LDLᵀ numeric refactorization over the
+/// cached symbolic analysis — exactly the work each backend repeats when
+/// ADMM adapts ρ. Returns `(dense_us, sparse_us, kkt_fill_ratio)`.
+fn kkt_microbench() -> (f64, f64, f64) {
+    // Drive a few frames so the logged solve carries a real reference
+    // horizon and tracked obstacles, then rebuild that frame's QP.
+    let scenario = ScenarioConfig::new(Difficulty::Normal, 3).build();
+    let params = scenario.vehicle_params;
+    let mut perception = Perception::new(ICoilConfig::default().bev, &scenario);
+    let mut world = icoil_world::World::new(scenario);
+    let co_config = CoConfig::default();
+    let mut co = CoController::new(co_config, params);
+    co.enable_solve_log();
+    for _ in 0..10 {
+        let s = perception.observe(&Observation::new(&world));
+        let out = co.control(&Observation::new(&world), &s.boxes);
+        world.step(&out.action);
+    }
+    let log = co.take_solve_log();
+    let record = log.last().expect("drive produced MPC solves");
+    let nominal_u = vec![[0.0_f64; 2]; record.reference.len()];
+    let qp = build_mpc_qp(
+        &record.state,
+        &nominal_u,
+        &record.reference,
+        &record.tracked,
+        &params,
+        &co_config,
+    );
+
+    let gram = qp.a().gram();
+    let mut kkt = SparseKkt::new(qp.p(), &gram);
+    let matrix = kkt.assemble(qp.p(), &gram, 1e-6, 0.1).clone();
+    let fill = matrix.fill_ratio();
+
+    let reps = 2000;
+    let dense = matrix.to_dense();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let factor = dense.cholesky().expect("MPC KKT is positive definite");
+        std::hint::black_box(&factor);
+    }
+    let dense_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    let sym = SymbolicLdl::analyze(&matrix);
+    let mut factor = SparseLdl::factor(sym, &matrix).expect("MPC KKT is quasidefinite");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        factor.refactor(&matrix).expect("refactor succeeds");
+        std::hint::black_box(&factor);
+    }
+    let sparse_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    (dense_us, sparse_us, fill)
 }
 
 fn main() {
@@ -115,19 +189,29 @@ fn main() {
     }
     let il_hz = il_iters as f64 / t0.elapsed().as_secs_f64();
 
-    // 3) CO solve rate and ADMM iteration counts, warm vs. cold
+    // 3) CO solve rate and ADMM iteration counts, warm vs. cold, plus a
+    //    forced-sparse warm drive for the backend comparison
     let frames = 60;
-    let (co_hz, mean_admm_iters_warm) = drive(3, frames, false);
-    let (co_hz_cold, mean_admm_iters_cold) = drive(3, frames, true);
+    let (co_hz, mean_admm_iters_warm) = drive(3, frames, false, Backend::Auto);
+    let (co_hz_cold, mean_admm_iters_cold) = drive(3, frames, true, Backend::Auto);
+    let (co_hz_sparse, _) = drive(3, frames, false, Backend::Sparse);
+
+    // 4) per-frame KKT factorization microbenchmark on the actual MPC
+    //    KKT matrix of a mid-episode frame
+    let (kkt_factor_us_dense, kkt_factor_us_sparse, kkt_nnz_ratio) = kkt_microbench();
 
     let report = PerfReport {
         episodes_per_sec,
         il_hz,
         co_hz,
         co_hz_cold,
+        co_hz_sparse,
         mean_admm_iters_warm,
         mean_admm_iters_cold,
         il_over_co_ratio: il_hz / co_hz,
+        kkt_factor_us_dense,
+        kkt_factor_us_sparse,
+        kkt_nnz_ratio,
         parallelism: size.parallelism,
         episodes: size.episodes,
     };
@@ -142,4 +226,9 @@ fn main() {
          vs {co_hz_cold:.1} Hz cold ({mean_admm_iters_cold:.0} iters)"
     );
     println!("ratio IL/CO:   {:8.1}x (paper shape: >= 4x)", il_hz / co_hz);
+    println!("CO sparse:     {co_hz_sparse:8.1} Hz warm (backend forced)");
+    println!(
+        "KKT factor:    {kkt_factor_us_dense:8.1} us dense vs {kkt_factor_us_sparse:.1} us \
+         sparse refactor (fill {kkt_nnz_ratio:.3})"
+    );
 }

@@ -1,5 +1,6 @@
 //! CO-module configuration.
 
+use icoil_solver::Backend;
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters of the CO module.
@@ -33,6 +34,11 @@ pub struct CoConfig {
     pub replan_deviation: f64,
     /// Minimum frames between global replans.
     pub replan_cooldown: usize,
+    /// KKT factorization backend for the inner QP solver. `Auto` (the
+    /// default) picks sparse/dense from the problem structure; forcing a
+    /// backend is for benchmarks and differential conformance checks.
+    #[serde(default)]
+    pub qp_backend: Backend,
 }
 
 impl Default for CoConfig {
@@ -49,6 +55,7 @@ impl Default for CoConfig {
             scp_iterations: 2,
             replan_deviation: 2.0,
             replan_cooldown: 40,
+            qp_backend: Backend::Auto,
         }
     }
 }
@@ -87,14 +94,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = CoConfig::default();
-        c.horizon = 0;
+        let c = CoConfig {
+            horizon: 0,
+            ..CoConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CoConfig::default();
-        c.mpc_dt = 0.0;
+        let c = CoConfig {
+            mpc_dt: 0.0,
+            ..CoConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CoConfig::default();
-        c.scp_iterations = 0;
+        let c = CoConfig {
+            scp_iterations: 0,
+            ..CoConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

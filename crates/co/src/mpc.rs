@@ -3,14 +3,29 @@
 //!
 //! States are `s = (x, y, θ, v)` and controls `u = (a, δ)` under the
 //! Ackermann model of §IV-B. Each SCP iteration linearizes the dynamics
-//! and the collision constraints around a nominal rollout, condenses the
-//! states onto the control vector (single shooting), and solves the
+//! and the collision constraints around a nominal rollout and solves the
 //! resulting QP with the ADMM solver.
+//!
+//! The QP is posed in the **simultaneous** (multiple-shooting) form: the
+//! decision vector is `z = [u_0 … u_{H−1}, s_1 … s_H]` with the
+//! linearized dynamics as equality rows, rather than condensing the
+//! states onto the controls. Condensing makes the cost Hessian fully
+//! dense (and costs an `O(H²)` sensitivity propagation per SCP pass);
+//! the simultaneous form keeps every matrix block-banded along the
+//! horizon, which is exactly the structure the solver's sparse KKT
+//! backend exploits. Constraints are emitted directly as sparse
+//! triplets with a *structural* pattern — every coefficient that can be
+//! nonzero for some linearization point is present (as an explicit zero
+//! if need be), so the KKT sparsity pattern, and with it the solver's
+//! cached symbolic factorization, is stable across SCP passes and
+//! frames.
 
 use crate::config::CoConfig;
 use crate::tracker::MovingObstacle;
 use icoil_geom::Obb;
-use icoil_solver::{solve_qp_warm, Mat, QpProblem, QpSettings, QpWarmStart, QpWorkspace};
+use icoil_solver::{
+    solve_qp_warm, QpProblem, QpSettings, QpWarmStart, QpWorkspace, TripletBuilder,
+};
 use icoil_vehicle::{VehicleParams, VehicleState};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +61,39 @@ pub struct MpcSolution {
 const NX: usize = 4;
 const NU: usize = 2;
 
+/// Index of control component `j` of step `h` in the decision vector.
+#[inline]
+fn ui(h: usize, j: usize) -> usize {
+    h * NU + j
+}
+
+/// Index of state component `i` of step `h ∈ 1..=H` in the decision
+/// vector (states follow the `H` control pairs).
+#[inline]
+fn si(h_len: usize, h: usize, i: usize) -> usize {
+    h_len * NU + (h - 1) * NX + i
+}
+
+/// Structural pattern of the Ackermann state Jacobian `A` ([`linearize`]):
+/// every entry that is nonzero for *some* linearization point. Emitting
+/// the full pattern (explicit zeros at, e.g., `v = 0`) keeps the
+/// constraint sparsity — and the solver's cached symbolic factorization —
+/// stable across SCP passes.
+const A_PATTERN: [[bool; NX]; NX] = [
+    [true, false, true, true],
+    [false, true, true, true],
+    [false, false, true, true],
+    [false, false, false, true],
+];
+
+/// Structural pattern of the control Jacobian `B` ([`linearize`]).
+const B_PATTERN: [[bool; NU]; NX] = [
+    [false, false],
+    [false, false],
+    [false, true],
+    [true, false],
+];
+
 /// Per-SCP-pass ADMM iteration budget of the inner QP.
 ///
 /// Public so conformance checks can tell a *converged* solve from one
@@ -75,8 +123,10 @@ pub const MPC_REPLAN_VIOLATION: f64 = 0.1;
 ///   classic shift-and-extend initialization;
 /// * the previous QP iterate, warm-starting ADMM both across SCP
 ///   iterations within a frame and across frames;
-/// * the QP solver's [`QpWorkspace`] (cached Ruiz scaling, Cholesky
-///   factor, adapted ρ).
+/// * the QP solver's [`QpWorkspace`] (cached Ruiz scaling, KKT
+///   factorization — including the sparse backend's symbolic analysis,
+///   which keys on the KKT pattern and survives every value change —
+///   and adapted ρ).
 ///
 /// A fresh (or [`reset`](MpcMemory::reset)) memory reproduces the cold
 /// [`solve_mpc`] behaviour exactly.
@@ -165,7 +215,6 @@ pub fn solve_mpc_warm(
     assert!(!reference.is_empty(), "reference horizon must be non-empty");
     config.validate().expect("valid CO config");
     let h_len = reference.len();
-    let nz = NU * h_len;
     let dt = config.mpc_dt;
 
     let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
@@ -176,209 +225,36 @@ pub fn solve_mpc_warm(
         ..QpSettings::default()
     };
     let mut nominal_u = memory.seeded_nominal(h_len);
-    // the shifted controls are also the best primal guess for the QP
+    // the shifted controls (with their rollout states) are also the best
+    // primal guess for the QP
     if memory.is_warm() {
-        let x: Vec<f64> = nominal_u.iter().flatten().copied().collect();
+        let x = pack_primal(&s0, &nominal_u, params, dt);
         match memory.warm.as_mut() {
             Some(w) => w.x = x,
             None => memory.warm = Some(QpWarmStart { x, y: Vec::new() }),
         }
     }
     let mut qp_iters_total = 0usize;
-    let mut z_solution = vec![0.0f64; nz];
 
     for _scp in 0..config.scp_iterations {
-        // --- nonlinear nominal rollout ---
+        // nonlinear nominal rollout, then one linearized QP around it
         let nominal_s = rollout(&s0, &nominal_u, params, dt);
-
-        // --- linearization and condensing: s_h = c_h + G_h · z ---
-        // G is stored per step as a flat NX × nz row-major matrix.
-        let mut c = vec![[0.0f64; NX]; h_len + 1];
-        let mut g = vec![vec![0.0f64; NX * nz]; h_len + 1];
-        c[0] = s0;
-        for h in 0..h_len {
-            let (a_mat, b_mat) = linearize(&nominal_s[h], &nominal_u[h], params, dt);
-            let f_nom = step_model(&nominal_s[h], &nominal_u[h], params, dt);
-            // c_{h+1} = f(s̄, ū) + A (c_h − s̄) − B ū
-            let mut c_next = f_nom;
-            for i in 0..NX {
-                for j in 0..NX {
-                    c_next[i] += a_mat[i][j] * (c[h][j] - nominal_s[h][j]);
-                }
-                for j in 0..NU {
-                    c_next[i] -= b_mat[i][j] * nominal_u[h][j];
-                }
-            }
-            c[h + 1] = c_next;
-            // G_{h+1} = A G_h; then add B into the u_h block
-            for i in 0..NX {
-                for col in 0..nz {
-                    let mut acc = 0.0;
-                    for j in 0..NX {
-                        acc += a_mat[i][j] * g[h][j * nz + col];
-                    }
-                    g[h + 1][i * nz + col] = acc;
-                }
-                for j in 0..NU {
-                    g[h + 1][i * nz + (h * NU + j)] += b_mat[i][j];
-                }
-            }
-        }
-
-        // --- quadratic cost assembly ---
-        let mut p = Mat::zeros(nz, nz);
-        let mut q = vec![0.0f64; nz];
-        for (h, r) in reference.iter().enumerate() {
-            let gh = &g[h + 1];
-            let e = [
-                c[h + 1][0] - r.x,
-                c[h + 1][1] - r.y,
-                c[h + 1][2] - r.theta,
-                c[h + 1][3] - r.v,
-            ];
-            for i in 0..NX {
-                let w = config.q_weights[i];
-                if w == 0.0 {
-                    continue;
-                }
-                let row = &gh[i * nz..(i + 1) * nz];
-                for a in 0..nz {
-                    if row[a] == 0.0 {
-                        continue;
-                    }
-                    q[a] += 2.0 * w * row[a] * e[i];
-                    for b in 0..nz {
-                        *p.at_mut(a, b) += 2.0 * w * row[a] * row[b];
-                    }
-                }
-            }
-        }
-        for hh in 0..h_len {
-            for j in 0..NU {
-                let idx = hh * NU + j;
-                *p.at_mut(idx, idx) += 2.0 * config.r_weights[j];
-            }
-        }
-        // control-rate smoothing: Σ_h w_j (u_{h,j} − u_{h−1,j})²
-        for hh in 1..h_len {
-            for j in 0..NU {
-                let w = config.r_rate[j];
-                if w == 0.0 {
-                    continue;
-                }
-                let a = hh * NU + j;
-                let b = (hh - 1) * NU + j;
-                *p.at_mut(a, a) += 2.0 * w;
-                *p.at_mut(b, b) += 2.0 * w;
-                *p.at_mut(a, b) -= 2.0 * w;
-                *p.at_mut(b, a) -= 2.0 * w;
-            }
-        }
-
-        // --- constraint rows ---
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut lo: Vec<f64> = Vec::new();
-        let mut hi: Vec<f64> = Vec::new();
-
-        // control boxes
-        for hh in 0..h_len {
-            let mut row_a = vec![0.0; nz];
-            row_a[hh * NU] = 1.0;
-            rows.push(row_a);
-            lo.push(-params.max_brake);
-            hi.push(params.max_accel);
-            let mut row_d = vec![0.0; nz];
-            row_d[hh * NU + 1] = 1.0;
-            rows.push(row_d);
-            lo.push(-params.max_steer);
-            hi.push(params.max_steer);
-        }
-        // velocity bounds via the condensed map
-        for h in 1..=h_len {
-            let gh = &g[h];
-            rows.push(gh[3 * nz..4 * nz].to_vec());
-            lo.push(-params.max_reverse_speed - c[h][3]);
-            hi.push(params.max_speed - c[h][3]);
-        }
-        // collision constraints: the shared coverage circles per pose
-        let circles = params.coverage_circles();
-        let nominal_s_now = rollout(&s0, &nominal_u, params, dt);
-        for h in 1..=h_len {
-            let sbar = nominal_s_now[h];
-            for mo in obstacles {
-                let t_ahead = h as f64 * dt;
-                let inflation = if mo.velocity.norm() > 0.05 {
-                    config.prediction_inflation * t_ahead
-                } else {
-                    0.0
-                };
-                let obb = &mo.predicted(t_ahead).inflated(inflation);
-                // skip far-away obstacles (inactive constraints)
-                if obb.distance_to_point(icoil_geom::Vec2::new(sbar[0], sbar[1])) > 8.0 {
-                    continue;
-                }
-                for &(off, radius) in &circles {
-                    let circle_radius = radius + config.safety_margin;
-                    let (ct, st) = (sbar[2].cos(), sbar[2].sin());
-                    let pc = icoil_geom::Vec2::new(sbar[0] + off * ct, sbar[1] + off * st);
-                    let (cp, n_hat) = boundary_point_and_normal(obb, pc);
-                    if n_hat == icoil_geom::Vec2::ZERO {
-                        continue;
-                    }
-                    // row = n̂ᵀ Jc G_h over (x, y, θ)
-                    let gh = &g[h];
-                    let mut row = vec![0.0; nz];
-                    for a in 0..nz {
-                        let gx = gh[a];
-                        let gy = gh[nz + a];
-                        let gth = gh[2 * nz + a];
-                        row[a] = n_hat.x * (gx - off * st * gth)
-                            + n_hat.y * (gy + off * ct * gth);
-                    }
-                    // n̂ᵀ(p̄c − cp) + n̂ᵀ Jc (c_h − s̄_h) + row·z ≥ R
-                    let jc_dx = (c[h][0] - sbar[0]) - off * st * (c[h][2] - sbar[2]);
-                    let jc_dy = (c[h][1] - sbar[1]) + off * ct * (c[h][2] - sbar[2]);
-                    let base = n_hat.dot(pc - cp) + n_hat.x * jc_dx + n_hat.y * jc_dy;
-                    rows.push(row);
-                    lo.push(circle_radius - base);
-                    hi.push(1e9);
-                }
-            }
-        }
-
-        let m = rows.len();
-        let mut a_mat = Mat::zeros(m, nz);
-        for (i, row) in rows.iter().enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                if v != 0.0 {
-                    *a_mat.at_mut(i, j) = v;
-                }
-            }
-        }
-        // bounds may cross when the nominal deeply violates a constraint;
-        // relax the lower bound in that case (slack-like behaviour)
-        for i in 0..m {
-            if lo[i] > hi[i] {
-                lo[i] = hi[i];
-            }
-        }
-        let qp = QpProblem::new(p, q, a_mat, lo, hi).expect("well-formed MPC QP");
+        let qp = assemble_qp(&nominal_u, &nominal_s, reference, obstacles, params, config);
         let sol = solve_qp_warm(&qp, &settings, memory.warm.as_ref(), &mut memory.workspace);
         qp_iters_total += sol.iterations;
+        for (hh, u) in nominal_u.iter_mut().enumerate().take(h_len) {
+            *u = [
+                sol.x[ui(hh, 0)].clamp(-params.max_brake, params.max_accel),
+                sol.x[ui(hh, 1)].clamp(-params.max_steer, params.max_steer),
+            ];
+        }
         // Carry the primal only: the dual belongs to *this* linearization's
         // constraint rows, and re-linearized collision rows next pass can
         // make a stale dual misleading enough to cost solution quality.
         memory.warm = Some(QpWarmStart {
-            x: sol.x.clone(),
+            x: sol.x,
             y: Vec::new(),
         });
-        z_solution = sol.x;
-        for hh in 0..h_len {
-            nominal_u[hh] = [
-                z_solution[hh * NU].clamp(-params.max_brake, params.max_accel),
-                z_solution[hh * NU + 1].clamp(-params.max_steer, params.max_steer),
-            ];
-        }
     }
     memory.controls = Some(nominal_u.clone());
 
@@ -454,6 +330,220 @@ pub fn solve_mpc_warm(
     }
 
     warm_solution
+}
+
+/// Packs controls and their nonlinear rollout into the simultaneous
+/// decision vector `z = [u_0 … u_{H−1}, s_1 … s_H]`.
+fn pack_primal(s0: &[f64; NX], controls: &[[f64; NU]], params: &VehicleParams, dt: f64) -> Vec<f64> {
+    let h_len = controls.len();
+    let states = rollout(s0, controls, params, dt);
+    let mut z = vec![0.0f64; h_len * (NU + NX)];
+    for (h, u) in controls.iter().enumerate() {
+        for (j, &uj) in u.iter().enumerate() {
+            z[ui(h, j)] = uj;
+        }
+    }
+    for h in 1..=h_len {
+        for i in 0..NX {
+            z[si(h_len, h, i)] = states[h][i];
+        }
+    }
+    z
+}
+
+/// Assembles the QP of one SCP pass around the nominal trajectory
+/// `(nominal_u, nominal_s)` — `nominal_s` must be the rollout of
+/// `nominal_u` from the current state (its entry 0).
+///
+/// Decision vector: `z = [u_0 … u_{H−1}, s_1 … s_H]`. Blocks:
+///
+/// * cost — tracking weights on the state variables and effort/rate
+///   weights on the controls (block-diagonal `P`, pattern fixed per
+///   config);
+/// * dynamics — `s_{h+1} − A_h·s_h − B_h·u_h = f(s̄_h, ū_h) − A_h·s̄_h −
+///   B_h·ū_h` as equality rows (`l = u`), with the *structural* Jacobian
+///   patterns [`A_PATTERN`]/[`B_PATTERN`] emitted in full;
+/// * bounds — single-entry rows for control boxes and velocity limits;
+/// * collision — for each active (step, obstacle, coverage-circle)
+///   triple, a 3-entry row on `(x, y, θ)` of `s_h` (the linearized
+///   signed-distance constraint (5)).
+fn assemble_qp(
+    nominal_u: &[[f64; NU]],
+    nominal_s: &[[f64; NX]],
+    reference: &[RefState],
+    obstacles: &[MovingObstacle],
+    params: &VehicleParams,
+    config: &CoConfig,
+) -> QpProblem {
+    let h_len = reference.len();
+    let nz = h_len * (NU + NX);
+    let dt = config.mpc_dt;
+
+    // --- quadratic cost: block-diagonal, pattern fixed per config ---
+    let mut p = TripletBuilder::with_capacity(nz, nz, nz + 4 * NU * h_len);
+    let mut q = vec![0.0f64; nz];
+    for (h, r) in reference.iter().enumerate() {
+        let target = [r.x, r.y, r.theta, r.v];
+        for (i, &t) in target.iter().enumerate() {
+            let w = config.q_weights[i];
+            let idx = si(h_len, h + 1, i);
+            p.push(idx, idx, 2.0 * w);
+            q[idx] = -2.0 * w * t;
+        }
+    }
+    for hh in 0..h_len {
+        for j in 0..NU {
+            p.push(ui(hh, j), ui(hh, j), 2.0 * config.r_weights[j]);
+        }
+    }
+    // control-rate smoothing: Σ_h w_j (u_{h,j} − u_{h−1,j})²
+    for hh in 1..h_len {
+        for j in 0..NU {
+            let w = config.r_rate[j];
+            let a = ui(hh, j);
+            let b = ui(hh - 1, j);
+            p.push(a, a, 2.0 * w);
+            p.push(b, b, 2.0 * w);
+            p.push(a, b, -2.0 * w);
+            p.push(b, a, -2.0 * w);
+        }
+    }
+
+    // --- constraint rows, emitted as triplets ---
+    let mut entries: Vec<(usize, usize, f64)> = Vec::with_capacity(10 * NX * h_len);
+    let mut lo: Vec<f64> = Vec::with_capacity((NX + NU + 1) * h_len);
+    let mut hi: Vec<f64> = Vec::with_capacity((NX + NU + 1) * h_len);
+    let mut row = 0usize;
+
+    // dynamics equalities: s_{h+1} − A_h·s_h − B_h·u_h = rhs_h. The
+    // nominal starts at the current state (s̄_0 = s_0 exactly), so the
+    // first step has no state columns — s_1 relates to u_0 alone.
+    for h in 0..h_len {
+        let (a_lin, b_lin) = linearize(&nominal_s[h], &nominal_u[h], params, dt);
+        let f_nom = step_model(&nominal_s[h], &nominal_u[h], params, dt);
+        for i in 0..NX {
+            entries.push((row, si(h_len, h + 1, i), 1.0));
+            let mut rhs = f_nom[i];
+            if h > 0 {
+                for j in 0..NX {
+                    if A_PATTERN[i][j] {
+                        entries.push((row, si(h_len, h, j), -a_lin[i][j]));
+                    }
+                    rhs -= a_lin[i][j] * nominal_s[h][j];
+                }
+            }
+            for j in 0..NU {
+                if B_PATTERN[i][j] {
+                    entries.push((row, ui(h, j), -b_lin[i][j]));
+                }
+                rhs -= b_lin[i][j] * nominal_u[h][j];
+            }
+            lo.push(rhs);
+            hi.push(rhs);
+            row += 1;
+        }
+    }
+    // control boxes
+    for hh in 0..h_len {
+        entries.push((row, ui(hh, 0), 1.0));
+        lo.push(-params.max_brake);
+        hi.push(params.max_accel);
+        row += 1;
+        entries.push((row, ui(hh, 1), 1.0));
+        lo.push(-params.max_steer);
+        hi.push(params.max_steer);
+        row += 1;
+    }
+    // velocity bounds: direct bounds on the state variables
+    for h in 1..=h_len {
+        entries.push((row, si(h_len, h, 3), 1.0));
+        lo.push(-params.max_reverse_speed);
+        hi.push(params.max_speed);
+        row += 1;
+    }
+    // collision constraints: the shared coverage circles per pose
+    let circles = params.coverage_circles();
+    for (h, &sbar) in nominal_s.iter().enumerate().take(h_len + 1).skip(1) {
+        for mo in obstacles {
+            let t_ahead = h as f64 * dt;
+            let inflation = if mo.velocity.norm() > 0.05 {
+                config.prediction_inflation * t_ahead
+            } else {
+                0.0
+            };
+            let obb = &mo.predicted(t_ahead).inflated(inflation);
+            // skip far-away obstacles (inactive constraints)
+            if obb.distance_to_point(icoil_geom::Vec2::new(sbar[0], sbar[1])) > 8.0 {
+                continue;
+            }
+            for &(off, radius) in &circles {
+                let circle_radius = radius + config.safety_margin;
+                let (ct, st) = (sbar[2].cos(), sbar[2].sin());
+                let pc = icoil_geom::Vec2::new(sbar[0] + off * ct, sbar[1] + off * st);
+                let (cp, n_hat) = boundary_point_and_normal(obb, pc);
+                if n_hat == icoil_geom::Vec2::ZERO {
+                    continue;
+                }
+                // n̂·pc(s_h) ≥ n̂·cp + R, linearized around s̄_h: the
+                // circle center depends on (x, y, θ) of s_h only
+                let coeff = [
+                    n_hat.x,
+                    n_hat.y,
+                    -n_hat.x * off * st + n_hat.y * off * ct,
+                ];
+                for (i, &c) in coeff.iter().enumerate() {
+                    entries.push((row, si(h_len, h, i), c));
+                }
+                let base = n_hat.dot(pc - cp);
+                let nominal_term =
+                    coeff[0] * sbar[0] + coeff[1] * sbar[1] + coeff[2] * sbar[2];
+                lo.push(circle_radius - base + nominal_term);
+                hi.push(1e9);
+                row += 1;
+            }
+        }
+    }
+
+    let m = row;
+    let mut a = TripletBuilder::with_capacity(m, nz, entries.len());
+    for (r, c, v) in entries {
+        a.push(r, c, v);
+    }
+    // bounds may cross when the nominal deeply violates a constraint;
+    // relax the lower bound in that case (slack-like behaviour)
+    for (l, h) in lo.iter_mut().zip(&hi) {
+        if *l > *h {
+            *l = *h;
+        }
+    }
+    QpProblem::from_sparse(p.build(), q, a.build(), lo, hi)
+        .expect("well-formed MPC QP")
+        .with_backend(config.qp_backend)
+}
+
+/// Assembles (without solving) the QP of one SCP pass around the given
+/// nominal controls — the exact problem [`solve_mpc`] hands to the ADMM
+/// solver when seeded with those controls. Exposed for benchmarks and
+/// conformance tooling that probe the KKT structure of the MPC problem.
+///
+/// # Panics
+///
+/// Panics when `nominal_u` and `reference` lengths differ, the reference
+/// is empty, or the config is invalid.
+pub fn build_mpc_qp(
+    state: &VehicleState,
+    nominal_u: &[[f64; 2]],
+    reference: &[RefState],
+    obstacles: &[MovingObstacle],
+    params: &VehicleParams,
+    config: &CoConfig,
+) -> QpProblem {
+    assert!(!reference.is_empty(), "reference horizon must be non-empty");
+    assert_eq!(nominal_u.len(), reference.len(), "one control per reference step");
+    config.validate().expect("valid CO config");
+    let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
+    let nominal_s = rollout(&s0, nominal_u, params, config.mpc_dt);
+    assemble_qp(nominal_u, &nominal_s, reference, obstacles, params, config)
 }
 
 /// Closest boundary point and outward unit normal of an OBB for a query

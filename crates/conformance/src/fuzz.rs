@@ -46,6 +46,7 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
         | CheckKind::HsaGuard
         | CheckKind::InjectedCanary => 1,
         CheckKind::WarmColdMpc => 2,
+        CheckKind::DenseSparseQp => 2,
         CheckKind::Determinism => 5,
         CheckKind::Parallelism => 5,
     };

@@ -340,7 +340,7 @@ mod tests {
         };
         // probe the first few entries of each parameter tensor
         for (pi, grads) in analytic.iter().enumerate() {
-            for k in 0..grads.len().min(3) {
+            for (k, &analytic_g) in grads.iter().take(3).enumerate() {
                 {
                     let mut pg = net.params_grads();
                     pg[pi].0.data_mut()[k] += eps;
@@ -357,9 +357,8 @@ mod tests {
                 }
                 let num = (fp - fm) / (2.0 * eps);
                 assert!(
-                    (num - grads[k]).abs() < 2e-2,
-                    "param {pi}[{k}]: numeric {num} vs analytic {}",
-                    grads[k]
+                    (num - analytic_g).abs() < 2e-2,
+                    "param {pi}[{k}]: numeric {num} vs analytic {analytic_g}"
                 );
             }
         }

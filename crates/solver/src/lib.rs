@@ -30,10 +30,15 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod ldl;
 pub mod linalg;
 pub mod qp;
+pub mod sparse;
 
+pub use ldl::{LdlError, SparseLdl, SymbolicLdl};
 pub use linalg::{Cholesky, Mat};
 pub use qp::{
-    solve_qp, solve_qp_warm, QpProblem, QpSettings, QpSolution, QpStatus, QpWarmStart, QpWorkspace,
+    solve_qp, solve_qp_warm, Backend, QpProblem, QpSettings, QpSolution, QpStatus, QpWarmStart,
+    QpWorkspace,
 };
+pub use sparse::{SparseKkt, SparseMatrix, TripletBuilder};

@@ -266,25 +266,37 @@ impl Cholesky {
     ///
     /// Panics when `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Allocation-free solve `out = A⁻¹·b`; `out` doubles as the
+    /// substitution scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` or `out.len()` differ from the matrix
+    /// dimension.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
         assert_eq!(b.len(), self.n, "dimension mismatch");
+        assert_eq!(out.len(), self.n, "output dimension mismatch");
         let n = self.n;
+        out.copy_from_slice(b);
         // forward: L y = b
-        let mut y = b.to_vec();
         for i in 0..n {
             for k in 0..i {
-                y[i] -= self.l[i * n + k] * y[k];
+                out[i] -= self.l[i * n + k] * out[k];
             }
-            y[i] /= self.l[i * n + i];
+            out[i] /= self.l[i * n + i];
         }
         // backward: Lᵀ x = y
-        let mut x = y;
         for i in (0..n).rev() {
             for k in i + 1..n {
-                x[i] -= self.l[k * n + i] * x[k];
+                out[i] -= self.l[k * n + i] * out[k];
             }
-            x[i] /= self.l[i * n + i];
+            out[i] /= self.l[i * n + i];
         }
-        x
     }
 }
 

@@ -1,26 +1,84 @@
 //! OSQP-style ADMM solver for box-constrained quadratic programs.
 //!
 //! Solves `min ½xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u` with the operator-splitting
-//! scheme of Stellato et al. (OSQP): one Cholesky factorization of
-//! `P + σI + ρAᵀA` up front, then cheap per-iteration triangular solves
-//! and projections. Equality constraints are expressed as `l = u` rows.
+//! scheme of Stellato et al. (OSQP): one factorization of the KKT matrix
+//! `P + σI + AᵀRA` up front, then cheap per-iteration triangular solves
+//! and projections. Equality constraints are expressed as `l = u` rows
+//! and get a ×1000-stiffer entry in the penalty matrix `R = diag(ρ_i)`
+//! (OSQP's equality boost): a scalar ρ tuned for inequality rows would
+//! leave equalities — the MPC's dynamics rows — enforced so loosely at
+//! practical tolerances that collision constraints written on the state
+//! variables stop protecting the actual rollout.
+//!
+//! Problem data is held in CSC sparse form ([`SparseMatrix`]) and the
+//! KKT matrix can be factorized by either of two interchangeable
+//! [`Backend`]s:
+//!
+//! * **Dense** — the KKT matrix is densified and factorized with
+//!   [`Cholesky`]; right for small or genuinely dense problems.
+//! * **Sparse** — a sparse LDLᵀ ([`SparseLdl`]) whose symbolic phase
+//!   (fill-reducing ordering + elimination tree) is computed once per
+//!   sparsity pattern, cached in the [`QpWorkspace`], and reused across
+//!   every ρ-adaptation and re-solve; only the `O(|L|)` numeric
+//!   refactorization runs when values change. Right for the block-banded
+//!   KKT systems that simultaneous-form MPC produces.
+//!
+//! `Backend::Auto` (the default) picks per problem from the dimension and
+//! the KKT fill ratio; both backends run the identical ADMM iteration, so
+//! they agree to factorization rounding (checked differentially by the
+//! conformance harness).
 
+use crate::ldl::{SparseLdl, SymbolicLdl};
 use crate::linalg::{Cholesky, Mat};
+use crate::sparse::{SparseKkt, SparseMatrix};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// KKT factorization backend selection for a [`QpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Backend {
+    /// Pick per problem: sparse when the problem is large enough and the
+    /// KKT fill ratio low enough to pay off, dense otherwise.
+    #[default]
+    Auto,
+    /// Always densify and use dense Cholesky.
+    Dense,
+    /// Always use the sparse LDLᵀ with the cached symbolic phase.
+    Sparse,
+}
+
+/// The `Auto` rule: sparse pays off once the problem is big enough that
+/// the O(n³) dense factor dominates and the KKT pattern actually is
+/// sparse. Thresholds sized for this codebase's MPC problems (dense
+/// factor ≈ n³/3 flops vs sparse ≈ Σ lnz² — at n ≥ 30 and ≤ 35 % fill
+/// the sparse path wins on every profile measured).
+fn choose_sparse(backend: Backend, n: usize, kkt_fill: f64) -> bool {
+    match backend {
+        Backend::Dense => false,
+        Backend::Sparse => true,
+        Backend::Auto => n >= 30 && kkt_fill <= 0.35,
+    }
+}
 
 /// A quadratic program `min ½xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
+///
+/// `P` and `A` are stored in CSC sparse form regardless of how the
+/// problem was constructed; [`QpProblem::new`] accepts dense matrices for
+/// convenience (and keeps exactly their nonzero entries), while
+/// [`QpProblem::from_sparse`] takes pre-assembled sparse matrices whose
+/// *structural* pattern (explicit zeros included) is preserved — which is
+/// what keeps the cached symbolic factorization valid across MPC frames.
 #[derive(Debug, Clone)]
 pub struct QpProblem {
-    /// Quadratic cost matrix (symmetric PSD), `n × n`.
-    pub p: Mat,
+    p: SparseMatrix,
     /// Linear cost vector, length `n`.
     pub q: Vec<f64>,
-    /// Constraint matrix, `m × n`.
-    pub a: Mat,
+    a: SparseMatrix,
     /// Constraint lower bounds, length `m` (may contain `-∞`).
     pub l: Vec<f64>,
     /// Constraint upper bounds, length `m` (may contain `+∞`).
     pub u: Vec<f64>,
+    backend: Backend,
 }
 
 /// Error returned by [`QpProblem::new`] for dimensionally-inconsistent or
@@ -48,12 +106,29 @@ impl std::fmt::Display for QpError {
 impl std::error::Error for QpError {}
 
 impl QpProblem {
-    /// Validates and assembles a QP.
+    /// Validates and assembles a QP from dense matrices (nonzero entries
+    /// are kept; zeros are dropped from the pattern).
     ///
     /// # Errors
     ///
     /// Returns a [`QpError`] describing the first inconsistency.
     pub fn new(p: Mat, q: Vec<f64>, a: Mat, l: Vec<f64>, u: Vec<f64>) -> Result<Self, QpError> {
+        Self::from_sparse(SparseMatrix::from_dense(&p), q, SparseMatrix::from_dense(&a), l, u)
+    }
+
+    /// Validates and assembles a QP from sparse matrices, preserving
+    /// their structural patterns (explicit zeros included).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QpError`] describing the first inconsistency.
+    pub fn from_sparse(
+        p: SparseMatrix,
+        q: Vec<f64>,
+        a: SparseMatrix,
+        l: Vec<f64>,
+        u: Vec<f64>,
+    ) -> Result<Self, QpError> {
         let n = q.len();
         if p.rows() != n || p.cols() != n {
             return Err(QpError::BadCost);
@@ -65,7 +140,35 @@ impl QpProblem {
         if l.iter().zip(&u).any(|(lo, hi)| lo > hi) {
             return Err(QpError::CrossedBounds);
         }
-        Ok(QpProblem { p, q, a, l, u })
+        Ok(QpProblem {
+            p,
+            q,
+            a,
+            l,
+            u,
+            backend: Backend::Auto,
+        })
+    }
+
+    /// Overrides the KKT factorization backend (default [`Backend::Auto`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured backend selection.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The quadratic cost matrix `P` (CSC).
+    pub fn p(&self) -> &SparseMatrix {
+        &self.p
+    }
+
+    /// The constraint matrix `A` (CSC).
+    pub fn a(&self) -> &SparseMatrix {
+        &self.a
     }
 
     /// Number of decision variables.
@@ -145,6 +248,10 @@ pub struct QpSolution {
     pub primal_residual: f64,
     /// Final dual residual `‖Px + q + Aᵀy‖∞`.
     pub dual_residual: f64,
+    /// Backend actually used for the KKT factorization (resolved — never
+    /// [`Backend::Auto`]).
+    #[serde(default)]
+    pub backend: Backend,
 }
 
 /// A primal/dual iterate carried between related solves (OSQP-style warm
@@ -182,25 +289,76 @@ impl QpWarmStart {
 /// * the Ruiz scaling vectors `D`, `E` — equilibration is a change of
 ///   variables, so reusing the previous scaling on slightly-changed data
 ///   stays exact and skips the iterative scaling passes;
-/// * the Gram matrix `AᵀA` and Cholesky factor of `P + σI + ρAᵀA`, reused
-///   only while the scaled `P`/`A` data, σ, and ρ are bit-identical;
+/// * the ρ-weighted Gram matrix `AᵀRA`, the KKT assembly maps and the
+///   factorization of `P + σI + AᵀRA`, reused only while the scaled
+///   `P`/`A` data, the equality-row pattern and σ are bit-identical;
+/// * the **symbolic** sparse analysis (fill-reducing permutation +
+///   elimination tree), which keys only on the KKT *pattern* and therefore
+///   survives every value change — across ADMM ρ-adaptations, SCP passes,
+///   and warm/cold re-solves of a frame only the numeric refactorization
+///   runs;
 /// * the adapted step size ρ from the previous solve, so later solves
 ///   start from the rebalanced value instead of re-learning it.
 #[derive(Debug, Clone, Default)]
 pub struct QpWorkspace {
     scaling: Option<(Vec<f64>, Vec<f64>)>,
     factor: Option<FactorCache>,
+    symbolic: Option<Arc<SymbolicLdl>>,
     rho: Option<f64>,
+}
+
+/// A factorization bound to one of the two backends; both expose the same
+/// allocation-free `solve_into`. One value lives per cache entry (never in
+/// an array), so the variant size gap costs nothing and boxing would only
+/// add a pointer chase to the hot solve path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Factor {
+    Dense(Cholesky),
+    Sparse(SparseLdl),
+}
+
+impl Factor {
+    fn solve_into(&mut self, b: &[f64], out: &mut [f64]) {
+        match self {
+            Factor::Dense(c) => c.solve_into(b, out),
+            Factor::Sparse(f) => f.solve_into(b, out),
+        }
+    }
+
+    fn is_sparse(&self) -> bool {
+        matches!(self, Factor::Sparse(_))
+    }
 }
 
 #[derive(Debug, Clone)]
 struct FactorCache {
-    p_data: Vec<f64>,
-    a_data: Vec<f64>,
+    p: SparseMatrix,
+    a: SparseMatrix,
+    eq: Vec<bool>,
     sigma: f64,
     rho: f64,
-    gram: Mat,
-    factor: Cholesky,
+    gram: SparseMatrix,
+    kkt: SparseKkt,
+    factor: Factor,
+}
+
+/// Stiffness multiplier applied to the ADMM penalty of equality rows
+/// (`l = u`), as in OSQP.
+const RHO_EQ_SCALE: f64 = 1e3;
+/// Clamp range of every per-constraint penalty ρ_i.
+const RHO_MIN: f64 = 1e-6;
+/// See [`RHO_MIN`].
+const RHO_MAX: f64 = 1e6;
+
+/// Expands the scalar ρ into the per-constraint penalty vector: equality
+/// rows get `ρ·RHO_EQ_SCALE`, everything clamped to `[RHO_MIN, RHO_MAX]`.
+fn fill_rho_vec(rho: f64, eq: &[bool], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(eq.iter().map(|&is_eq| {
+        let r = if is_eq { rho * RHO_EQ_SCALE } else { rho };
+        r.clamp(RHO_MIN, RHO_MAX)
+    }));
 }
 
 impl QpWorkspace {
@@ -209,16 +367,24 @@ impl QpWorkspace {
         QpWorkspace::default()
     }
 
-    /// Drops all cached state (scaling, factor, adapted ρ).
+    /// Drops all cached state (scaling, factor, symbolic analysis,
+    /// adapted ρ).
     pub fn clear(&mut self) {
         self.scaling = None;
         self.factor = None;
+        self.symbolic = None;
         self.rho = None;
     }
 
     /// The adapted ρ carried from the previous solve, if any.
     pub fn carried_rho(&self) -> Option<f64> {
         self.rho
+    }
+
+    /// The cached symbolic LDLᵀ analysis, if a sparse-backend solve has
+    /// run through this workspace.
+    pub fn symbolic(&self) -> Option<&Arc<SymbolicLdl>> {
+        self.symbolic.as_ref()
     }
 }
 
@@ -242,8 +408,9 @@ pub fn solve_qp(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
 ///
 /// `warm` is ignored unless its dimensions fit the problem. Scaling reuse
 /// keys on dimensions; factorization reuse additionally keys on the exact
-/// scaled data, σ and ρ, so the result always corresponds to the problem
-/// actually passed in.
+/// scaled data, σ and ρ (the symbolic sparse analysis keys only on the
+/// KKT pattern), so the result always corresponds to the problem actually
+/// passed in.
 pub fn solve_qp_warm(
     problem: &QpProblem,
     settings: &QpSettings,
@@ -300,6 +467,10 @@ pub fn solve_qp_warm(
 
 /// Modified Ruiz equilibration passes: returns the column scales `D` and
 /// row scales `E` such that `DPD` / `EAD` have near-unit row/column norms.
+///
+/// Each pass computes all row (then column) norms of the current scaled
+/// data before applying the updates, so the result is independent of
+/// storage order — both backends see the identical equilibration.
 fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
     let n = problem.num_vars();
     let m = problem.num_constraints();
@@ -316,43 +487,41 @@ fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
     // which is only safe because this bound caps how badly a stale
     // scale can condition new rows.
     let bound = |v: f64| v.clamp(1e-4, 1e4);
+    let mut row_norm = vec![0.0f64; m];
+    let mut col_a = vec![0.0f64; n];
+    let mut col_p = vec![0.0f64; n];
+    let mut row_s = vec![1.0f64; m];
+    let mut col_s = vec![1.0f64; n];
     for _ in 0..8 {
         // row norms of A
-        for (i, ei) in e.iter_mut().enumerate() {
-            let mut r = 0.0f64;
-            for j in 0..n {
-                r = r.max(a.at(i, j).abs());
-            }
-            if r > 0.0 {
-                let s = bound(*ei / clamp(r).sqrt()) / *ei;
-                for j in 0..n {
-                    *a.at_mut(i, j) *= s;
-                }
-                *ei *= s;
-            }
+        a.row_abs_max_into(&mut row_norm);
+        for i in 0..m {
+            row_s[i] = if row_norm[i] > 0.0 {
+                let s = bound(e[i] / clamp(row_norm[i]).sqrt()) / e[i];
+                e[i] *= s;
+                s
+            } else {
+                1.0
+            };
         }
+        a.scale_rows(&row_s);
         // column norms over A and P
-        for (j, dj) in d.iter_mut().enumerate() {
-            let mut c = 0.0f64;
-            for i in 0..m {
-                c = c.max(a.at(i, j).abs());
-            }
-            for k in 0..n {
-                c = c.max(p.at(k, j).abs());
-            }
-            if c > 0.0 {
-                let s = bound(*dj / clamp(c).sqrt()) / *dj;
-                for i in 0..m {
-                    *a.at_mut(i, j) *= s;
-                }
-                // symmetric scaling of P: row and column j
-                for k in 0..n {
-                    *p.at_mut(k, j) *= s;
-                    *p.at_mut(j, k) *= s;
-                }
-                *dj *= s;
-            }
+        a.col_abs_max_into(&mut col_a);
+        p.col_abs_max_into(&mut col_p);
+        for j in 0..n {
+            let c = col_a[j].max(col_p[j]);
+            col_s[j] = if c > 0.0 {
+                let s = bound(d[j] / clamp(c).sqrt()) / d[j];
+                d[j] *= s;
+                s
+            } else {
+                1.0
+            };
         }
+        a.scale_cols(&col_s);
+        // symmetric scaling of P: rows and columns
+        p.scale_rows(&col_s);
+        p.scale_cols(&col_s);
     }
     (d, e)
 }
@@ -361,26 +530,27 @@ fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
 /// `min ½x̃ᵀ(DPD)x̃ + (Dq)ᵀx̃  s.t.  El ≤ (EAD)x̃ ≤ Eu` with `x = Dx̃`.
 fn apply_scaling(problem: &QpProblem, d: &[f64], e: &[f64]) -> QpProblem {
     let mut p = problem.p.clone();
-    for (i, di) in d.iter().enumerate() {
-        for (j, dj) in d.iter().enumerate() {
-            *p.at_mut(i, j) *= di * dj;
-        }
-    }
+    p.scale_rows(d);
+    p.scale_cols(d);
     let mut a = problem.a.clone();
-    for (i, ei) in e.iter().enumerate() {
-        for (j, dj) in d.iter().enumerate() {
-            *a.at_mut(i, j) *= ei * dj;
-        }
-    }
+    a.scale_rows(e);
+    a.scale_cols(d);
     let q: Vec<f64> = problem.q.iter().zip(d).map(|(qi, di)| qi * di).collect();
     let l: Vec<f64> = problem.l.iter().zip(e).map(|(li, ei)| li * ei).collect();
     let u: Vec<f64> = problem.u.iter().zip(e).map(|(ui, ei)| ui * ei).collect();
-    QpProblem { p, q, a, l, u }
+    QpProblem {
+        p,
+        q,
+        a,
+        l,
+        u,
+        backend: problem.backend,
+    }
 }
 
 /// The core ADMM loop on an (already scaled) problem, reusing the cached
-/// Gram matrix and Cholesky factor from `workspace` when the scaled data,
-/// σ and ρ all match.
+/// Gram matrix, KKT assembly and factorization from `workspace` when the
+/// scaled data, σ and ρ all match.
 fn solve_qp_scaled(
     problem: &QpProblem,
     settings: &QpSettings,
@@ -389,26 +559,51 @@ fn solve_qp_scaled(
 ) -> QpSolution {
     let n = problem.num_vars();
     let m = problem.num_constraints();
-    let mut rho = settings.rho.clamp(1e-6, 1e6);
+    let mut rho = settings.rho.clamp(RHO_MIN, RHO_MAX);
+    // equality rows (l = u) get the stiffer penalty; scaling multiplies
+    // both bounds by the same row scale, so the pattern is scale-invariant
+    let eq: Vec<bool> = problem.l.iter().zip(&problem.u).map(|(lo, hi)| lo == hi).collect();
+    let mut rho_v: Vec<f64> = Vec::with_capacity(m);
 
-    // KKT matrix M = P + σI + ρ AᵀA, factorized once per ρ value.
-    let cache_valid = matches!(
-        &workspace.factor,
-        Some(c) if c.sigma == settings.sigma
-            && c.p_data.as_slice() == problem.p.data()
-            && c.a_data.as_slice() == problem.a.data()
-    );
-    let (gram, mut factor) = if cache_valid {
-        // identical scaled data: the previously-adapted ρ applies, so the
-        // cached factor can be reused verbatim
-        let cache = workspace.factor.as_ref().expect("cache just validated");
-        rho = cache.rho;
-        (cache.gram.clone(), cache.factor.clone())
-    } else {
-        let gram = problem.a.gram();
-        let factor = build_factor(problem, &gram, settings.sigma, rho);
-        (gram, factor)
+    // KKT matrix M = P + σI + AᵀRA with R = diag(ρ_i), factorized once
+    // per ρ value. The full setup (weighted Gram, assembly maps, factor)
+    // is reused verbatim when the scaled data and equality pattern are
+    // bit-identical; the backend choice is part of the cache (it depends
+    // only on problem shape + pattern, which the data equality implies).
+    let cached = workspace.factor.take();
+    let (mut gram, mut kkt, mut factor) = match cached {
+        Some(c)
+            if c.sigma == settings.sigma
+                && c.p == problem.p
+                && c.a == problem.a
+                && c.eq == eq
+                && c.factor.is_sparse()
+                    == choose_sparse(problem.backend, n, c.kkt.matrix().fill_ratio()) =>
+        {
+            // identical scaled data: the previously-adapted ρ applies, so
+            // the cached factor can be reused verbatim
+            rho = c.rho;
+            fill_rho_vec(rho, &eq, &mut rho_v);
+            (c.gram, c.kkt, c.factor)
+        }
+        _ => {
+            fill_rho_vec(rho, &eq, &mut rho_v);
+            let gram = problem.a.gram_weighted(&rho_v);
+            let mut kkt = SparseKkt::new(&problem.p, &gram);
+            let use_sparse = choose_sparse(problem.backend, n, kkt.matrix().fill_ratio());
+            let factor = build_factor(
+                &mut kkt,
+                &problem.p,
+                &gram,
+                settings.sigma,
+                use_sparse,
+                &mut workspace.symbolic,
+                None,
+            );
+            (gram, kkt, factor)
+        }
     };
+    let use_sparse = factor.is_sparse();
 
     let (mut x, mut y, mut z) = start.unwrap_or_else(|| (vec![0.0; n], vec![0.0; m], vec![0.0; m]));
 
@@ -417,40 +612,49 @@ fn solve_qp_scaled(
     let mut iters = 0;
     let mut status = QpStatus::MaxIterations;
 
+    // hot-loop scratch, allocated once per solve — the per-iteration
+    // body below is allocation-free
+    let mut rhs = vec![0.0f64; n];
+    let mut x_tilde = vec![0.0f64; n];
+    let mut tmp_m = vec![0.0f64; m];
+    let mut z_tilde = vec![0.0f64; m];
+    let mut px = vec![0.0f64; n];
+    let mut aty = vec![0.0f64; n];
+
     let alpha = settings.alpha;
     for it in 0..settings.max_iters {
         iters = it + 1;
-        // x̃-update: (P + σI + ρAᵀA) x̃ = σx − q + Aᵀ(ρz − y)
-        let mut rhs = vec![0.0; n];
-        let tmp: Vec<f64> = z.iter().zip(&y).map(|(zi, yi)| rho * zi - yi).collect();
-        let at_tmp = problem.a.t_mul_vec(&tmp);
-        for i in 0..n {
-            rhs[i] = settings.sigma * x[i] - problem.q[i] + at_tmp[i];
+        // x̃-update: (P + σI + AᵀRA) x̃ = σx − q + Aᵀ(Rz − y)
+        for i in 0..m {
+            tmp_m[i] = rho_v[i] * z[i] - y[i];
         }
-        let x_tilde = factor.solve(&rhs);
-        let z_tilde = problem.a.mul_vec(&x_tilde);
+        problem.a.t_mul_vec_into(&tmp_m, &mut rhs);
+        for i in 0..n {
+            rhs[i] += settings.sigma * x[i] - problem.q[i];
+        }
+        factor.solve_into(&rhs, &mut x_tilde);
+        problem.a.mul_vec_into(&x_tilde, &mut z_tilde);
 
         // over-relaxation on both x and z (OSQP alg. 1)
         for i in 0..n {
             x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
         }
-        let mut z_new = vec![0.0; m];
         for i in 0..m {
             let relaxed = alpha * z_tilde[i] + (1.0 - alpha) * z[i];
-            z_new[i] = (relaxed + y[i] / rho).clamp(problem.l[i], problem.u[i]);
-            y[i] += rho * (relaxed - z_new[i]);
+            let zi = (relaxed + y[i] / rho_v[i]).clamp(problem.l[i], problem.u[i]);
+            y[i] += rho_v[i] * (relaxed - zi);
+            z[i] = zi;
         }
-        z = z_new;
 
         if it % 10 == 9 || it == settings.max_iters - 1 {
-            let ax = problem.a.mul_vec(&x);
-            primal_res = ax
+            problem.a.mul_vec_into(&x, &mut tmp_m);
+            primal_res = tmp_m
                 .iter()
                 .zip(&z)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
-            let px = problem.p.mul_vec(&x);
-            let aty = problem.a.t_mul_vec(&y);
+            problem.p.mul_vec_into(&x, &mut px);
+            problem.a.t_mul_vec_into(&y, &mut aty);
             dual_res = (0..n)
                 .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
                 .fold(0.0, f64::max);
@@ -460,7 +664,8 @@ fn solve_qp_scaled(
             }
             // Adaptive ρ (OSQP §5.2): rebalance when the residuals diverge
             // by more than an order of magnitude. Refactorization is cheap
-            // at MPC scale.
+            // at MPC scale — and with the sparse backend it is a numeric
+            // refactor only (the symbolic analysis is pattern-keyed).
             let scale = if primal_res > 10.0 * dual_res && primal_res > settings.eps_abs {
                 Some(rho * 5.0)
             } else if dual_res > 10.0 * primal_res && dual_res > settings.eps_abs {
@@ -469,22 +674,42 @@ fn solve_qp_scaled(
                 None
             };
             if let Some(new_rho) = scale {
-                let new_rho = new_rho.clamp(1e-6, 1e6);
+                let new_rho = new_rho.clamp(RHO_MIN, RHO_MAX);
                 if (new_rho - rho).abs() > f64::EPSILON {
                     rho = new_rho;
-                    factor = build_factor(problem, &gram, settings.sigma, rho);
+                    fill_rho_vec(rho, &eq, &mut rho_v);
+                    // the weighted Gram changes with R; its pattern does
+                    // not, so the assembly maps and symbolic analysis
+                    // both survive and only the numeric refactor runs
+                    gram = problem.a.gram_weighted(&rho_v);
+                    factor = build_factor(
+                        &mut kkt,
+                        &problem.p,
+                        &gram,
+                        settings.sigma,
+                        use_sparse,
+                        &mut workspace.symbolic,
+                        Some(factor),
+                    );
                 }
             }
         }
     }
 
     workspace.rho = Some(rho);
+    let backend = if use_sparse {
+        Backend::Sparse
+    } else {
+        Backend::Dense
+    };
     workspace.factor = Some(FactorCache {
-        p_data: problem.p.data().to_vec(),
-        a_data: problem.a.data().to_vec(),
+        p: problem.p.clone(),
+        a: problem.a.clone(),
+        eq,
         sigma: settings.sigma,
         rho,
         gram,
+        kkt,
         factor,
     });
 
@@ -495,33 +720,65 @@ fn solve_qp_scaled(
         iterations: iters,
         primal_residual: primal_res,
         dual_residual: dual_res,
+        backend,
     }
 }
 
-/// Builds and factorizes the KKT matrix `P + σI + ρ AᵀA`.
-fn build_factor(problem: &QpProblem, gram: &Mat, sigma: f64, rho: f64) -> Cholesky {
-    let n = problem.num_vars();
-    let mut kkt = problem.p.clone();
-    kkt.add_scaled(&Mat::identity(n), sigma);
-    kkt.add_scaled(gram, rho);
-    ensure_factor(kkt, n)
-}
-
-/// Factorizes, escalating the regularization if the matrix is not PD.
-fn ensure_factor(mut kkt: Mat, n: usize) -> Cholesky {
-    let mut bump = 1e-9;
+/// Assembles `K = P + (σ + bump)·I + AᵀRA` (the Gram matrix arrives
+/// already ρ-weighted) and factorizes it with the selected backend,
+/// escalating the diagonal bump while the matrix is not positive
+/// definite.
+///
+/// On the sparse path the symbolic analysis is taken from (or installed
+/// into) `symbolic`, and the numeric storage of `prev` is reused in place
+/// when it was built for the same analysis — the ρ-adaptation path then
+/// allocates nothing beyond the re-weighted Gram.
+fn build_factor(
+    kkt: &mut SparseKkt,
+    p: &SparseMatrix,
+    gram: &SparseMatrix,
+    sigma: f64,
+    use_sparse: bool,
+    symbolic: &mut Option<Arc<SymbolicLdl>>,
+    prev: Option<Factor>,
+) -> Factor {
+    let mut reuse = match prev {
+        Some(Factor::Sparse(f)) => Some(f),
+        _ => None,
+    };
+    let mut bump = 0.0f64;
+    let mut step = 1e-9;
     loop {
-        match kkt.cholesky() {
-            Ok(f) => return f,
-            Err(_) => {
-                kkt.add_scaled(&Mat::identity(n), bump);
-                bump *= 10.0;
-                assert!(
-                    bump < 1e6,
-                    "KKT matrix cannot be made positive definite — cost matrix is pathological"
-                );
+        let k = kkt.assemble(p, gram, sigma + bump, 1.0);
+        if use_sparse {
+            let sym = match symbolic.as_ref() {
+                Some(s) if s.matches(k) => s.clone(),
+                _ => {
+                    let s = SymbolicLdl::analyze(k);
+                    *symbolic = Some(s.clone());
+                    s
+                }
+            };
+            let attempt = match reuse.take() {
+                Some(mut f) if Arc::ptr_eq(f.symbolic(), &sym) => f.refactor(k).map(|()| f),
+                _ => SparseLdl::factor(sym, k),
+            };
+            if let Ok(f) = attempt {
+                if f.is_positive_definite() {
+                    return Factor::Sparse(f);
+                }
+                // quasidefinite/indefinite: keep the storage, bump and retry
+                reuse = Some(f);
             }
+        } else if let Ok(f) = k.to_dense().cholesky() {
+            return Factor::Dense(f);
         }
+        bump += step;
+        step *= 10.0;
+        assert!(
+            step < 1e6,
+            "KKT matrix cannot be made positive definite — cost matrix is pathological"
+        );
     }
 }
 
@@ -532,6 +789,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sparse::TripletBuilder;
 
     fn settings() -> QpSettings {
         QpSettings::default()
@@ -608,11 +866,7 @@ mod tests {
         // a less trivial QP: coupled cost, two inequality rows, one box
         let p = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.5, 2.0]]);
         let q = vec![-1.0, 2.0, -3.0];
-        let a = Mat::from_rows(&[
-            &[1.0, 1.0, 1.0],
-            &[1.0, -1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let a = Mat::from_rows(&[&[1.0, 1.0, 1.0], &[1.0, -1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let l = vec![-1.0, -2.0, -0.5];
         let u = vec![1.5, 2.0, 0.5];
         let qp = QpProblem::new(p, q, a, l, u).unwrap();
@@ -688,6 +942,25 @@ mod tests {
     }
 
     #[test]
+    fn indefinite_cost_is_regularized_not_fatal_sparse() {
+        // the regularization-bump escalation must also work on the
+        // sparse LDLᵀ path (negative pivots → bump → retry)
+        let qp = QpProblem::new(
+            Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]),
+            vec![0.0, 0.0],
+            Mat::identity(2),
+            vec![-1.0, -1.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap()
+        .with_backend(Backend::Sparse);
+        let sol = solve_qp(&qp, &settings());
+        assert_eq!(sol.backend, Backend::Sparse);
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+        assert!(qp.max_violation(&sol.x) < 1e-3);
+    }
+
+    #[test]
     fn mpc_scale_problem_solves_quickly() {
         // tracking QP with 40 variables and 80 rows, diagonal-dominant
         let n = 40;
@@ -727,6 +1000,86 @@ mod tests {
             }
         }
         QpProblem::new(p, q, rows, vec![-1.0; 2 * n], vec![1.0; 2 * n]).unwrap()
+    }
+
+    #[test]
+    fn auto_selects_sparse_on_banded_and_dense_on_small() {
+        // 40-variable banded tracking QP: n ≥ 30 with a tridiagonal-ish
+        // KKT → sparse; tiny problems stay dense
+        let banded = tracking_qp(40, 0.0);
+        let sol = solve_qp(&banded, &settings());
+        assert_eq!(sol.status, QpStatus::Solved);
+        assert_eq!(sol.backend, Backend::Sparse);
+        let small = tracking_qp(6, 0.0);
+        let sol = solve_qp(&small, &settings());
+        assert_eq!(sol.backend, Backend::Dense);
+    }
+
+    #[test]
+    fn forced_backends_agree() {
+        let qp = tracking_qp(40, 0.3);
+        let s = settings();
+        let dense = solve_qp(&qp.clone().with_backend(Backend::Dense), &s);
+        let sparse = solve_qp(&qp.clone().with_backend(Backend::Sparse), &s);
+        assert_eq!(dense.backend, Backend::Dense);
+        assert_eq!(sparse.backend, Backend::Sparse);
+        assert_eq!(dense.status, sparse.status);
+        for (a, b) in dense.x.iter().zip(&sparse.x) {
+            assert!((a - b).abs() < 1e-4, "dense {a} vs sparse {b}");
+        }
+        let od = qp.objective(&dense.x);
+        let os = qp.objective(&sparse.x);
+        assert!((od - os).abs() < 1e-6 * (1.0 + od.abs()), "{od} vs {os}");
+    }
+
+    #[test]
+    fn from_sparse_keeps_structural_zeros() {
+        // a structural zero in A must survive into the problem pattern
+        let mut pa = TripletBuilder::new(2, 2);
+        pa.push(0, 0, 2.0);
+        pa.push(1, 1, 2.0);
+        let mut aa = TripletBuilder::new(2, 2);
+        aa.push(0, 0, 1.0);
+        aa.push(0, 1, 0.0); // structural slot, numerically zero
+        aa.push(1, 1, 1.0);
+        let qp = QpProblem::from_sparse(
+            pa.build(),
+            vec![-2.0, -2.0],
+            aa.build(),
+            vec![-1.0, -1.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert_eq!(qp.a().nnz(), 3);
+        let sol = solve_qp(&qp, &settings());
+        assert_eq!(sol.status, QpStatus::Solved);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4);
+        assert!((sol.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn symbolic_cache_survives_value_updates() {
+        // re-solving same-pattern problems through one workspace must
+        // analyze the KKT pattern exactly once
+        let s = settings();
+        let mut ws = QpWorkspace::new();
+        let first = solve_qp_warm(
+            &tracking_qp(40, 0.0).with_backend(Backend::Sparse),
+            &s,
+            None,
+            &mut ws,
+        );
+        assert_eq!(first.backend, Backend::Sparse);
+        let sym = ws.symbolic().expect("sparse solve populates the cache").clone();
+        let second = solve_qp_warm(
+            &tracking_qp(40, 0.5).with_backend(Backend::Sparse),
+            &s,
+            None,
+            &mut ws,
+        );
+        assert_eq!(second.status, QpStatus::Solved);
+        let sym2 = ws.symbolic().expect("cache retained");
+        assert!(Arc::ptr_eq(&sym, sym2), "same pattern must not re-analyze");
     }
 
     #[test]
@@ -801,7 +1154,7 @@ mod tests {
         *rows.at_mut(20, 0) = 1.0;
         *rows.at_mut(20, 1) = 1.0;
         let frame2 = QpProblem::new(
-            Mat::diag(&vec![2.0; 10]),
+            Mat::diag(&[2.0; 10]),
             frame1.q.clone(),
             rows,
             vec![-1.0; 21],

@@ -1,7 +1,12 @@
 //! Property-based tests for the solver crate: every solved QP must
-//! satisfy feasibility and first-order (KKT) conditions.
+//! satisfy feasibility and first-order (KKT) conditions, and the sparse
+//! LDLᵀ factorization must agree with the dense Cholesky reference on
+//! whatever sparsity pattern it is handed.
 
-use icoil_solver::{solve_qp, Mat, QpProblem, QpSettings, QpStatus};
+use icoil_solver::{
+    solve_qp, Mat, QpProblem, QpSettings, QpStatus, SparseLdl, SparseMatrix, SymbolicLdl,
+    TripletBuilder,
+};
 use proptest::prelude::*;
 
 /// Random strictly-convex diagonal QP with box constraints — the solution
@@ -24,6 +29,38 @@ fn arb_box_qp() -> impl Strategy<Value = (QpProblem, Vec<f64>)> {
                 let n = pd.len();
                 let qp = QpProblem::new(Mat::diag(&pd), q, Mat::identity(n), l, u).unwrap();
                 (qp, expected)
+            })
+    })
+}
+
+/// Random symmetric positive definite matrix with a random sparsity
+/// pattern: a handful of off-diagonal entries plus a diagonal made
+/// dominant enough to guarantee positive definiteness.
+fn arb_sparse_spd() -> impl Strategy<Value = SparseMatrix> {
+    (3usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..3 * n),
+            prop::collection::vec(0.1f64..2.0, n),
+        )
+            .prop_map(|(n, offdiag, diag)| {
+                let mut b = TripletBuilder::new(n, n);
+                let mut row_sums = vec![0.0; n];
+                for (i, j, v) in offdiag {
+                    if i == j {
+                        continue;
+                    }
+                    // symmetrize so the matrix stays factorizable as LDLᵀ
+                    b.push(i, j, v);
+                    b.push(j, i, v);
+                    row_sums[i] += v.abs();
+                    row_sums[j] += v.abs();
+                }
+                for (i, d) in diag.iter().enumerate() {
+                    // strict diagonal dominance ⇒ positive definite
+                    b.push(i, i, row_sums[i] + d);
+                }
+                b.build()
             })
     })
 }
@@ -85,5 +122,90 @@ proptest! {
         let sol = solve_qp(&qp, &QpSettings::default());
         let zero = vec![0.0; qp.num_vars()];
         prop_assert!(qp.objective(&sol.x) <= qp.objective(&zero) + 1e-6);
+    }
+
+    #[test]
+    fn sparse_ldl_solves_match_dense_cholesky(
+        k in arb_sparse_spd(),
+        rhs_seed in 0u64..1000,
+    ) {
+        let n = k.rows();
+        let b: Vec<f64> = (0..n)
+            .map(|i| {
+                let s = rhs_seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect();
+        let sym = SymbolicLdl::analyze(&k);
+        let mut sparse = SparseLdl::factor(sym, &k).expect("SPD factors");
+        prop_assert!(sparse.is_positive_definite());
+        let xs = sparse.solve(&b);
+        let dense = k.to_dense().cholesky().expect("SPD factors densely");
+        let xd = dense.solve(&b);
+        for (a, d) in xs.iter().zip(&xd) {
+            prop_assert!((a - d).abs() < 1e-8, "sparse {a} vs dense {d}");
+        }
+        // permutation round-trip: applying K to the solution recovers b
+        let kb = k.mul_vec(&xs);
+        for (got, want) in kb.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-7, "K·x = {got} vs b = {want}");
+        }
+    }
+
+    #[test]
+    fn sparse_ldl_factors_quasidefinite_kkt_forms(
+        k in arb_sparse_spd(),
+        m_extra in 1usize..5,
+    ) {
+        // Assemble the quasidefinite saddle form [[K, Bᵀ], [B, −I]] the
+        // OSQP KKT family produces, with a random coupling block B.
+        let n = k.rows();
+        let total = n + m_extra;
+        let mut b = TripletBuilder::new(total, total);
+        for j in 0..n {
+            for idx in k.col_ptr()[j]..k.col_ptr()[j + 1] {
+                b.push(k.row_ind()[idx], j, k.values()[idx]);
+            }
+        }
+        for r in 0..m_extra {
+            let i = n + r;
+            let j = r % n;
+            b.push(i, j, 0.5);
+            b.push(j, i, 0.5);
+            b.push(i, i, -1.0);
+        }
+        let kkt = b.build();
+        let sym = SymbolicLdl::analyze(&kkt);
+        let mut f = SparseLdl::factor(sym, &kkt).expect("quasidefinite factors");
+        prop_assert!(!f.is_positive_definite());
+        let rhs: Vec<f64> = (0..total).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x = f.solve(&rhs);
+        let back = kkt.mul_vec(&x);
+        for (got, want) in back.iter().zip(&rhs) {
+            prop_assert!((got - want).abs() < 1e-7, "K·x = {got} vs b = {want}");
+        }
+    }
+
+    #[test]
+    fn symbolic_reuse_is_bitwise_identical_to_fresh_factorization(
+        k in arb_sparse_spd(),
+        scale in 0.5f64..2.0,
+    ) {
+        // refactor with rescaled values over the cached symbolic analysis
+        let sym = SymbolicLdl::analyze(&k);
+        let mut reused = SparseLdl::factor(sym.clone(), &k).expect("SPD factors");
+        let mut scaled = k.clone();
+        for v in scaled.values_mut() {
+            *v *= scale;
+        }
+        reused.refactor(&scaled).expect("same pattern refactors");
+        let fresh = SparseLdl::factor(SymbolicLdl::analyze(&scaled), &scaled)
+            .expect("scaled SPD factors");
+        prop_assert_eq!(reused.diag().to_vec(), fresh.diag().to_vec());
+        let rhs: Vec<f64> = (0..k.rows()).map(|i| (i as f64 * 0.71).cos()).collect();
+        let mut fresh = fresh;
+        prop_assert_eq!(reused.solve(&rhs), fresh.solve(&rhs));
     }
 }

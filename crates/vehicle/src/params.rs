@@ -177,14 +177,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_params() {
-        let mut p = VehicleParams::default();
-        p.width = -1.0;
+        let p = VehicleParams {
+            width: -1.0,
+            ..VehicleParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = VehicleParams::default();
-        p.wheelbase = 10.0; // longer than body
+        let p = VehicleParams {
+            wheelbase: 10.0, // longer than body
+            ..VehicleParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = VehicleParams::default();
-        p.max_steer = 2.0; // beyond π/2
+        let p = VehicleParams {
+            max_steer: 2.0, // beyond π/2
+            ..VehicleParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

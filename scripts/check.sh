@@ -6,13 +6,16 @@
 # Fails on the first broken step. Clippy runs with warnings denied so the
 # tree stays lint-clean. The conformance smoke fuzzes a small batch of
 # procedurally generated scenarios through the differential harness
-# (crates/conformance); override the case count with ICOIL_FUZZ_CASES,
+# (crates/conformance) — including the dense-vs-sparse KKT backend check —
+# and the backend_e2e suite drives full episodes with each factorization
+# backend forced. Override the fuzz case count with ICOIL_FUZZ_CASES,
 # e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo test --release -q --test backend_e2e
 cargo clippy --all-targets -- -D warnings
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json

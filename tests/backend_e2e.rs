@@ -1,0 +1,67 @@
+//! End-to-end episodes with each KKT factorization backend forced,
+//! plus a check that the deployed `Auto` rule resolves to the sparse
+//! backend on the MPC's own problems.
+
+use icoil_co::{build_mpc_qp, CoConfig, RefState};
+use icoil_core::{ICoilConfig, PureCoPolicy};
+use icoil_solver::{solve_qp, Backend, QpSettings};
+use icoil_world::episode::{run_episode, EpisodeConfig, Outcome};
+use icoil_world::{Difficulty, ScenarioConfig, World};
+
+fn run_forced(backend: Backend) -> Outcome {
+    let mut config = ICoilConfig::default();
+    config.co.qp_backend = backend;
+    let scenario = ScenarioConfig::new(Difficulty::Easy, 11).build();
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    let mut world = World::new(scenario);
+    let result = run_episode(
+        &mut world,
+        &mut policy,
+        &EpisodeConfig {
+            max_time: 90.0,
+            record_trace: false,
+        },
+    );
+    result.outcome
+}
+
+#[test]
+fn sparse_backend_parks_end_to_end() {
+    assert_eq!(run_forced(Backend::Sparse), Outcome::Success);
+}
+
+#[test]
+fn dense_backend_parks_end_to_end() {
+    assert_eq!(run_forced(Backend::Dense), Outcome::Success);
+}
+
+#[test]
+fn auto_backend_resolves_to_sparse_on_mpc_problems() {
+    // Build one representative MPC QP and solve it with the default
+    // (Auto) backend: the resolved backend recorded in the solution must
+    // be Sparse — the block-banded simultaneous form is exactly what the
+    // sparse path exists for.
+    let scenario = ScenarioConfig::new(Difficulty::Normal, 3).build();
+    let config = CoConfig::default();
+    let state = scenario.start_state;
+    let reference: Vec<RefState> = (1..=config.horizon)
+        .map(|h| RefState {
+            x: state.pose.x + 0.4 * h as f64,
+            y: state.pose.y,
+            theta: state.pose.theta,
+            v: 1.0,
+        })
+        .collect();
+    let nominal_u = vec![[0.2, 0.0]; config.horizon];
+    let qp = build_mpc_qp(
+        &state,
+        &nominal_u,
+        &reference,
+        &[],
+        &scenario.vehicle_params,
+        &config,
+    );
+    assert_eq!(qp.backend(), Backend::Auto);
+    let sol = solve_qp(&qp, &QpSettings::default());
+    assert_eq!(sol.backend, Backend::Sparse);
+}

@@ -206,8 +206,8 @@ fn co_handles_every_map_and_difficulty_tier() {
     // with PureCoPolicy at max_time 90) after touching those layers.
     let table = [
         (MapKind::Parallel, Difficulty::Easy, 1u64, false),
-        (MapKind::Parallel, Difficulty::Normal, 6, true),
-        (MapKind::Parallel, Difficulty::Hard, 1, true),
+        (MapKind::Parallel, Difficulty::Normal, 19, true),
+        (MapKind::Parallel, Difficulty::Hard, 3, true),
         (MapKind::Compact, Difficulty::Easy, 3, true),
         (MapKind::Compact, Difficulty::Normal, 9, true),
         (MapKind::Compact, Difficulty::Hard, 5, true),

@@ -69,4 +69,51 @@ proptest! {
             }
         }
     }
+
+    /// The sparse LDLᵀ must agree with dense Cholesky on the *actual* MPC
+    /// KKT matrix — the sparsity pattern the backend exists for — across
+    /// randomized scenarios, and the auto backend rule must pick sparse
+    /// for it.
+    #[test]
+    fn sparse_ldl_matches_dense_on_actual_mpc_kkt(seed in 0u64..500, d in arb_difficulty()) {
+        use icoil_co::{build_mpc_qp, CoConfig, RefState};
+        use icoil_solver::{SparseKkt, SparseLdl, SymbolicLdl};
+
+        let scenario = ScenarioConfig::new(d, seed).build();
+        let config = CoConfig::default();
+        let state = scenario.start_state;
+        let reference: Vec<RefState> = (1..=config.horizon)
+            .map(|h| RefState {
+                x: state.pose.x + 0.4 * h as f64,
+                y: state.pose.y + 0.1 * h as f64,
+                theta: state.pose.theta,
+                v: 1.0,
+            })
+            .collect();
+        let nominal_u = vec![[0.3, 0.05]; config.horizon];
+        let qp = build_mpc_qp(
+            &state,
+            &nominal_u,
+            &reference,
+            &[],
+            &scenario.vehicle_params,
+            &config,
+        );
+
+        let gram = qp.a().gram();
+        let mut kkt = SparseKkt::new(qp.p(), &gram);
+        let matrix = kkt.assemble(qp.p(), &gram, 1e-6, 0.1);
+        prop_assert!(matrix.rows() >= 30, "MPC KKT is {} x {}", matrix.rows(), matrix.cols());
+        prop_assert!(matrix.fill_ratio() <= 0.35, "fill {}", matrix.fill_ratio());
+
+        let sym = SymbolicLdl::analyze(matrix);
+        let mut sparse = SparseLdl::factor(sym, matrix).expect("MPC KKT factors");
+        let dense = matrix.to_dense().cholesky().expect("MPC KKT is PD");
+        let b: Vec<f64> = (0..matrix.rows()).map(|i| (i as f64 * 0.53).sin()).collect();
+        let xs = sparse.solve(&b);
+        let xd = dense.solve(&b);
+        for (a, d) in xs.iter().zip(&xd) {
+            prop_assert!((a - d).abs() < 1e-7, "sparse {a} vs dense {d}");
+        }
+    }
 }
