@@ -31,38 +31,22 @@
 //! An untrained IL model is used throughout: inference cost does not
 //! depend on the weight values, and it keeps the bin self-contained.
 
-use icoil_bench::RunSize;
+use icoil_bench::{PerfReport, RunSize};
 use icoil_co::{build_mpc_qp, CoConfig, CoController};
 use icoil_core::{eval, ICoilConfig, Method};
 use icoil_solver::{Backend, SparseKkt, SparseLdl, SymbolicLdl};
 use icoil_il::IlModel;
 use icoil_perception::Perception;
+use icoil_telemetry::{Recorder, Series};
 use icoil_vehicle::ActionCodec;
 use icoil_world::episode::{EpisodeConfig, Observation};
 use icoil_world::{Difficulty, ScenarioConfig};
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Serialize)]
-struct PerfReport {
-    episodes_per_sec: f64,
-    il_hz: f64,
-    co_hz: f64,
-    co_hz_cold: f64,
-    co_hz_sparse: f64,
-    mean_admm_iters_warm: f64,
-    mean_admm_iters_cold: f64,
-    il_over_co_ratio: f64,
-    kkt_factor_us_dense: f64,
-    kkt_factor_us_sparse: f64,
-    kkt_nnz_ratio: f64,
-    parallelism: usize,
-    episodes: u64,
-}
-
-/// Drives `frames` control steps in a fresh world; returns
-/// `(frames/sec, mean ADMM iterations per solved frame)`.
-fn drive(seed: u64, frames: usize, cold: bool, backend: Backend) -> (f64, f64) {
+/// Drives `frames` control steps in a fresh world, recording per-frame
+/// and CO-stage latencies into `recorder`; returns `(frames/sec, mean
+/// ADMM iterations per solved frame)`.
+fn drive(seed: u64, frames: usize, cold: bool, backend: Backend, recorder: &mut Recorder) -> (f64, f64) {
     let scenario = ScenarioConfig::new(Difficulty::Normal, seed).build();
     let params = scenario.vehicle_params;
     let mut perception = Perception::new(ICoilConfig::default().bev, &scenario);
@@ -83,8 +67,13 @@ fn drive(seed: u64, frames: usize, cold: bool, backend: Backend) -> (f64, f64) {
         if cold {
             co.reset_warm_start();
         }
+        let frame_start = Instant::now();
         let s = perception.observe(&Observation::new(&world));
+        let co_start = Instant::now();
         let out = co.control(&Observation::new(&world), &s.boxes);
+        let co_end = Instant::now();
+        recorder.observe(Series::CoSolve, (co_end - co_start).as_secs_f64());
+        recorder.observe(Series::FrameTotal, (co_end - frame_start).as_secs_f64());
         if let Some(mpc) = &out.mpc {
             iters += mpc.qp_iterations;
             solves += 1;
@@ -190,17 +179,33 @@ fn main() {
     let il_hz = il_iters as f64 / t0.elapsed().as_secs_f64();
 
     // 3) CO solve rate and ADMM iteration counts, warm vs. cold, plus a
-    //    forced-sparse warm drive for the backend comparison
+    //    forced-sparse warm drive for the backend comparison; latency
+    //    percentiles come from the warm drive's telemetry histograms
     let frames = 60;
-    let (co_hz, mean_admm_iters_warm) = drive(3, frames, false, Backend::Auto);
-    let (co_hz_cold, mean_admm_iters_cold) = drive(3, frames, true, Backend::Auto);
-    let (co_hz_sparse, _) = drive(3, frames, false, Backend::Sparse);
+    let mut warm_recorder = Recorder::new();
+    let mut scratch_recorder = Recorder::new();
+    let (co_hz, mean_admm_iters_warm) = drive(3, frames, false, Backend::Auto, &mut warm_recorder);
+    let (co_hz_cold, mean_admm_iters_cold) =
+        drive(3, frames, true, Backend::Auto, &mut scratch_recorder);
+    let (co_hz_sparse, _) = drive(3, frames, false, Backend::Sparse, &mut scratch_recorder);
+    let frame_hist = warm_recorder.metrics().series(Series::FrameTotal);
+    let solve_hist = warm_recorder.metrics().series(Series::CoSolve);
+    let (frame_p50_us, frame_p95_us, frame_p99_us) = (
+        frame_hist.quantile(0.50) * 1e6,
+        frame_hist.quantile(0.95) * 1e6,
+        frame_hist.quantile(0.99) * 1e6,
+    );
+    let (solve_p50_us, solve_p95_us, solve_p99_us) = (
+        solve_hist.quantile(0.50) * 1e6,
+        solve_hist.quantile(0.95) * 1e6,
+        solve_hist.quantile(0.99) * 1e6,
+    );
 
     // 4) per-frame KKT factorization microbenchmark on the actual MPC
     //    KKT matrix of a mid-episode frame
     let (kkt_factor_us_dense, kkt_factor_us_sparse, kkt_nnz_ratio) = kkt_microbench();
 
-    let report = PerfReport {
+    let mut report = PerfReport {
         episodes_per_sec,
         il_hz,
         co_hz,
@@ -212,9 +217,19 @@ fn main() {
         kkt_factor_us_dense,
         kkt_factor_us_sparse,
         kkt_nnz_ratio,
+        frame_p50_us,
+        frame_p95_us,
+        frame_p99_us,
+        solve_p50_us,
+        solve_p95_us,
+        solve_p99_us,
+        had_nonfinite: false,
         parallelism: size.parallelism,
         episodes: size.episodes,
     };
+    if report.sanitize() {
+        eprintln!("perf: some measured fields were non-finite; clamped (had_nonfinite=true)");
+    }
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
 
@@ -230,5 +245,13 @@ fn main() {
     println!(
         "KKT factor:    {kkt_factor_us_dense:8.1} us dense vs {kkt_factor_us_sparse:.1} us \
          sparse refactor (fill {kkt_nnz_ratio:.3})"
+    );
+    println!(
+        "frame latency: {frame_p50_us:8.1} us p50 / {frame_p95_us:.1} us p95 / \
+         {frame_p99_us:.1} us p99"
+    );
+    println!(
+        "solve latency: {solve_p50_us:8.1} us p50 / {solve_p95_us:.1} us p95 / \
+         {solve_p99_us:.1} us p99"
     );
 }

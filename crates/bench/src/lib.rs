@@ -10,6 +10,7 @@
 use icoil_core::artifacts;
 use icoil_core::EvalConfig;
 use icoil_il::IlModel;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// Environment knobs for run sizes, so CI can run small and a paper-scale
@@ -60,6 +61,148 @@ impl RunSize {
     }
 }
 
+/// The performance-trajectory record emitted by the `perf` bin as
+/// `BENCH_perf.json`.
+///
+/// Latency percentiles come from the telemetry histograms of the warm
+/// CO drive (`frame_*` spans perception + control per frame, `solve_*`
+/// the CO control stage alone). All float fields are sanitized before
+/// serialization — the vendored JSON emitter renders non-finite floats
+/// as `null`, which would silently break downstream schema checks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Closed-loop CO evaluation throughput (episodes per second).
+    pub episodes_per_sec: f64,
+    /// IL CNN inference rate on a live BEV image (Hz).
+    pub il_hz: f64,
+    /// Warm-started CO solve rate along a real drive (Hz).
+    pub co_hz: f64,
+    /// CO solve rate with the warm-start memory cleared every frame (Hz).
+    pub co_hz_cold: f64,
+    /// Warm CO solve rate with the sparse KKT backend forced (Hz).
+    pub co_hz_sparse: f64,
+    /// Mean ADMM iterations per warm MPC step.
+    pub mean_admm_iters_warm: f64,
+    /// Mean ADMM iterations per cold MPC step.
+    pub mean_admm_iters_cold: f64,
+    /// IL rate over CO rate (the paper's headline speed gap).
+    pub il_over_co_ratio: f64,
+    /// Dense Cholesky microseconds per KKT factorization.
+    pub kkt_factor_us_dense: f64,
+    /// Sparse LDLᵀ numeric-refactor microseconds per KKT factorization.
+    pub kkt_factor_us_sparse: f64,
+    /// Fill ratio of the MPC KKT matrix.
+    pub kkt_nnz_ratio: f64,
+    /// Median per-frame latency of the warm CO drive (µs).
+    #[serde(default)]
+    pub frame_p50_us: f64,
+    /// 95th-percentile per-frame latency of the warm CO drive (µs).
+    #[serde(default)]
+    pub frame_p95_us: f64,
+    /// 99th-percentile per-frame latency of the warm CO drive (µs).
+    #[serde(default)]
+    pub frame_p99_us: f64,
+    /// Median CO solve-stage latency of the warm drive (µs).
+    #[serde(default)]
+    pub solve_p50_us: f64,
+    /// 95th-percentile CO solve-stage latency of the warm drive (µs).
+    #[serde(default)]
+    pub solve_p95_us: f64,
+    /// 99th-percentile CO solve-stage latency of the warm drive (µs).
+    #[serde(default)]
+    pub solve_p99_us: f64,
+    /// Whether any measured field was non-finite before sanitization.
+    #[serde(default)]
+    pub had_nonfinite: bool,
+    /// Worker threads the evaluation batch fanned across.
+    pub parallelism: usize,
+    /// Episodes in the evaluation batch.
+    pub episodes: u64,
+}
+
+impl PerfReport {
+    /// The float fields every `BENCH_perf.json` must carry, by JSON key.
+    pub const NUMERIC_FIELDS: &'static [&'static str] = &[
+        "episodes_per_sec",
+        "il_hz",
+        "co_hz",
+        "co_hz_cold",
+        "co_hz_sparse",
+        "mean_admm_iters_warm",
+        "mean_admm_iters_cold",
+        "il_over_co_ratio",
+        "kkt_factor_us_dense",
+        "kkt_factor_us_sparse",
+        "kkt_nnz_ratio",
+        "frame_p50_us",
+        "frame_p95_us",
+        "frame_p99_us",
+        "solve_p50_us",
+        "solve_p95_us",
+        "solve_p99_us",
+    ];
+
+    /// Clamps every non-finite float field to a finite value and records
+    /// the occurrence in [`PerfReport::had_nonfinite`]. Returns whether
+    /// anything was clamped.
+    pub fn sanitize(&mut self) -> bool {
+        let mut flagged = false;
+        for v in [
+            &mut self.episodes_per_sec,
+            &mut self.il_hz,
+            &mut self.co_hz,
+            &mut self.co_hz_cold,
+            &mut self.co_hz_sparse,
+            &mut self.mean_admm_iters_warm,
+            &mut self.mean_admm_iters_cold,
+            &mut self.il_over_co_ratio,
+            &mut self.kkt_factor_us_dense,
+            &mut self.kkt_factor_us_sparse,
+            &mut self.kkt_nnz_ratio,
+            &mut self.frame_p50_us,
+            &mut self.frame_p95_us,
+            &mut self.frame_p99_us,
+            &mut self.solve_p50_us,
+            &mut self.solve_p95_us,
+            &mut self.solve_p99_us,
+        ] {
+            icoil_telemetry::sanitize_field(v, &mut flagged);
+        }
+        self.had_nonfinite |= flagged;
+        flagged
+    }
+}
+
+/// Validates a parsed `BENCH_perf.json` against the [`PerfReport`]
+/// schema: every numeric field present and finite, the run-size fields
+/// integral.
+///
+/// # Errors
+///
+/// Returns the first violation found, naming the offending field.
+pub fn validate_perf_json(v: &serde_json::Value) -> Result<(), String> {
+    for key in PerfReport::NUMERIC_FIELDS {
+        let field = v
+            .get(key)
+            .ok_or_else(|| format!("BENCH_perf.json is missing {key:?}"))?;
+        let value = field
+            .as_f64()
+            .ok_or_else(|| format!("BENCH_perf.json field {key:?} is not a number"))?;
+        if !value.is_finite() {
+            return Err(format!("BENCH_perf.json field {key:?} is non-finite"));
+        }
+    }
+    for key in ["parallelism", "episodes"] {
+        v.get(key)
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("BENCH_perf.json field {key:?} is not an integer"))?;
+    }
+    v.get("had_nonfinite")
+        .and_then(serde_json::Value::as_bool)
+        .ok_or_else(|| "BENCH_perf.json field \"had_nonfinite\" is not a bool".to_string())?;
+    Ok(())
+}
+
 /// Path of the cached trained IL model.
 pub fn model_path() -> PathBuf {
     PathBuf::from("artifacts/il_model.json")
@@ -102,6 +245,83 @@ pub fn fmt_time(t: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            episodes_per_sec: 1.5,
+            il_hz: 4000.0,
+            co_hz: 3000.0,
+            co_hz_cold: 2000.0,
+            co_hz_sparse: 3200.0,
+            mean_admm_iters_warm: 40.0,
+            mean_admm_iters_cold: 120.0,
+            il_over_co_ratio: 4000.0 / 3000.0,
+            kkt_factor_us_dense: 60.0,
+            kkt_factor_us_sparse: 10.0,
+            kkt_nnz_ratio: 0.05,
+            frame_p50_us: 300.0,
+            frame_p95_us: 450.0,
+            frame_p99_us: 600.0,
+            solve_p50_us: 250.0,
+            solve_p95_us: 400.0,
+            solve_p99_us: 550.0,
+            had_nonfinite: false,
+            parallelism: 4,
+            episodes: 20,
+        }
+    }
+
+    #[test]
+    fn sanitize_clamps_and_flags_nonfinite_fields() {
+        let mut clean = sample_report();
+        assert!(!clean.sanitize());
+        assert!(!clean.had_nonfinite);
+
+        let mut poisoned = sample_report();
+        poisoned.il_over_co_ratio = f64::NAN;
+        poisoned.frame_p99_us = f64::INFINITY;
+        assert!(poisoned.sanitize());
+        assert!(poisoned.had_nonfinite);
+        assert!(poisoned.il_over_co_ratio.is_finite());
+        assert!(poisoned.frame_p99_us.is_finite());
+        // the flag is sticky across further (clean) sanitize passes
+        assert!(!poisoned.sanitize());
+        assert!(poisoned.had_nonfinite);
+    }
+
+    #[test]
+    fn sanitized_report_reparses_and_validates() {
+        let mut report = sample_report();
+        report.solve_p50_us = f64::NEG_INFINITY;
+        report.sanitize();
+        let json = serde_json::to_string(&report).expect("serializes");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("round-trips");
+        validate_perf_json(&v).expect("sanitized report passes the schema check");
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_nonfinite_fields() {
+        let report = sample_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        validate_perf_json(&v).expect("complete report validates");
+
+        let mut map = match v {
+            serde_json::Value::Map(m) => m,
+            other => panic!("report is an object, got {other:?}"),
+        };
+        map.retain(|(k, _)| k != "co_hz");
+        let err = validate_perf_json(&serde_json::Value::Map(map)).unwrap_err();
+        assert!(err.contains("co_hz"), "names the missing field: {err}");
+
+        // an unsanitized non-finite float serializes as null → not a number
+        let mut poisoned = sample_report();
+        poisoned.co_hz = f64::NAN;
+        let json = serde_json::to_string(&poisoned).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_perf_json(&v).unwrap_err();
+        assert!(err.contains("co_hz"), "names the null field: {err}");
+    }
 
     #[test]
     fn run_size_defaults() {

@@ -1,7 +1,7 @@
 //! The per-frame CO controller: global path + MPC + action conversion.
 
 use crate::config::CoConfig;
-use crate::mpc::{solve_mpc_warm, MpcMemory, MpcSolution, RefState};
+use crate::mpc::{solve_mpc_warm, MpcMemory, MpcSolution, MpcStatus, RefState};
 use crate::reference::{build_reference_at, PathWalker};
 use crate::tracker::{BoxTracker, MovingObstacle};
 use icoil_geom::Obb;
@@ -19,6 +19,10 @@ pub struct CoOutput {
     /// `true` when the controller fell back to an emergency brake
     /// (no path, or planner failure).
     pub emergency: bool,
+    /// `true` when the MPC solve ended in a numerical error and the
+    /// controller degraded to the safe braking action instead of driving
+    /// the (unusable) solution.
+    pub degraded: bool,
 }
 
 /// One MPC solve as it happened in an episode: the exact inputs plus the
@@ -251,6 +255,7 @@ impl CoController {
                     action: unstick_action(&ego, boxes),
                     mpc: None,
                     emergency: true,
+                    degraded: false,
                 };
             }
         }
@@ -261,6 +266,7 @@ impl CoController {
                     action: Action::full_brake(),
                     mpc: None,
                     emergency: true,
+                    degraded: false,
                 }
             }
         };
@@ -296,11 +302,20 @@ impl CoController {
                 warm: mpc.clone(),
             });
         }
-        let action = self.to_action(&ego, mpc.controls[0]);
+        // a numerically-failed solve returns zero-control sentinels that
+        // must not be driven: degrade to braking and start the next frame
+        // cold (the solve already reset its memory)
+        let degraded = mpc.status == MpcStatus::NumericalError;
+        let action = if degraded {
+            Action::full_brake()
+        } else {
+            self.to_action(&ego, mpc.controls[0])
+        };
         CoOutput {
             action,
             mpc: Some(mpc),
             emergency: false,
+            degraded,
         }
     }
 
@@ -434,6 +449,34 @@ mod tests {
         let a = co.to_action(&state, [-1.0, 0.0]);
         assert!(a.reverse);
         assert!(a.throttle > 0.0);
+    }
+
+    #[test]
+    fn nan_ego_state_degrades_to_safe_braking() {
+        // Regression: a NaN-poisoned ego state used to panic inside the
+        // QP regularization loop. The controller must brake, flag the
+        // degradation, and recover on the next healthy frame.
+        let (mut world, mut co) = setup(Difficulty::Easy, 2);
+        let boxes = world.obstacle_footprints();
+        let healthy = co.control(&Observation::new(&world), &boxes);
+        assert!(!healthy.degraded);
+
+        let good_state = *world.ego();
+        let mut bad = good_state;
+        bad.velocity = f64::NAN;
+        world.set_ego(bad);
+        let out = co.control(&Observation::new(&world), &world.obstacle_footprints());
+        assert!(out.degraded, "NaN ego must degrade");
+        assert!(out.action.validate().is_ok(), "brake action must be well-formed");
+        assert!(out.action.brake > 0.0 && out.action.throttle == 0.0);
+        assert_eq!(
+            out.mpc.as_ref().map(|m| m.status),
+            Some(MpcStatus::NumericalError)
+        );
+
+        world.set_ego(good_state);
+        let recovered = co.control(&Observation::new(&world), &world.obstacle_footprints());
+        assert!(!recovered.degraded, "healthy frame must recover");
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::config::CoConfig;
 use crate::tracker::MovingObstacle;
 use icoil_geom::Obb;
 use icoil_solver::{
-    solve_qp_warm, QpProblem, QpSettings, QpWarmStart, QpWorkspace, TripletBuilder,
+    solve_qp_warm, Backend, QpDiagnostics, QpProblem, QpSettings, QpStatus, QpWarmStart,
+    QpWorkspace, TripletBuilder,
 };
 use icoil_vehicle::{VehicleParams, VehicleState};
 use serde::{Deserialize, Serialize};
@@ -42,6 +43,18 @@ pub struct RefState {
     pub v: f64,
 }
 
+/// Termination status of an MPC solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpcStatus {
+    /// The solve produced a usable plan.
+    #[default]
+    Ok,
+    /// An inner QP hit non-recoverable numerics (NaN/∞-poisoned data).
+    /// The controls are zeros and must not be driven; the controller
+    /// degrades to its safe braking action.
+    NumericalError,
+}
+
 /// Result of [`solve_mpc`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MpcSolution {
@@ -56,6 +69,22 @@ pub struct MpcSolution {
     pub qp_iterations: usize,
     /// Worst predicted collision-constraint violation (meters; 0 = safe).
     pub predicted_violation: f64,
+    /// Whether the solve produced a usable plan.
+    #[serde(default)]
+    pub status: MpcStatus,
+    /// SCP linearization passes performed (including a cold fallback's).
+    #[serde(default)]
+    pub scp_passes: u32,
+    /// Whether the warm-start pathology fallback re-solved this frame
+    /// cold (whichever plan was kept).
+    #[serde(default)]
+    pub cold_restarted: bool,
+    /// Resolved KKT backend of the inner QP solves.
+    #[serde(default)]
+    pub backend: Backend,
+    /// Factorization accounting summed over all inner QP solves.
+    #[serde(default)]
+    pub diagnostics: QpDiagnostics,
 }
 
 const NX: usize = 4;
@@ -235,6 +264,10 @@ pub fn solve_mpc_warm(
         }
     }
     let mut qp_iters_total = 0usize;
+    let mut status = MpcStatus::Ok;
+    let mut scp_passes = 0u32;
+    let mut backend = Backend::Dense;
+    let mut diagnostics = QpDiagnostics::default();
 
     for _scp in 0..config.scp_iterations {
         // nonlinear nominal rollout, then one linearized QP around it
@@ -242,6 +275,17 @@ pub fn solve_mpc_warm(
         let qp = assemble_qp(&nominal_u, &nominal_s, reference, obstacles, params, config);
         let sol = solve_qp_warm(&qp, &settings, memory.warm.as_ref(), &mut memory.workspace);
         qp_iters_total += sol.iterations;
+        scp_passes += 1;
+        backend = sol.backend;
+        diagnostics.absorb(&sol.diagnostics);
+        if sol.status == QpStatus::NumericalError {
+            // NaN/∞-poisoned data: nothing from this frame is drivable or
+            // worth carrying into the next one
+            status = MpcStatus::NumericalError;
+            memory.reset();
+            nominal_u = vec![[0.0; NU]; h_len];
+            break;
+        }
         for (hh, u) in nominal_u.iter_mut().enumerate().take(h_len) {
             *u = [
                 sol.x[ui(hh, 0)].clamp(-params.max_brake, params.max_accel),
@@ -256,7 +300,9 @@ pub fn solve_mpc_warm(
             y: Vec::new(),
         });
     }
-    memory.controls = Some(nominal_u.clone());
+    if status == MpcStatus::Ok {
+        memory.controls = Some(nominal_u.clone());
+    }
 
     // final nonlinear rollout and diagnostics
     let predicted = rollout(&s0, &nominal_u, params, dt);
@@ -284,12 +330,29 @@ pub fn solve_mpc_warm(
         }
     }
 
+    // Belt-and-suspenders: a plan that is non-finite anywhere is not a
+    // plan, whatever the inner QP statuses said.
+    if status == MpcStatus::Ok
+        && !(nominal_u.iter().flatten().all(|v| v.is_finite())
+            && predicted.iter().flatten().all(|v| v.is_finite())
+            && tracking_cost.is_finite())
+    {
+        status = MpcStatus::NumericalError;
+        memory.reset();
+        nominal_u.fill([0.0; NU]);
+    }
+
     let warm_solution = MpcSolution {
         controls: nominal_u,
         predicted,
         tracking_cost,
         qp_iterations: qp_iters_total,
         predicted_violation: violation.max(0.0),
+        status,
+        scp_passes,
+        cold_restarted: false,
+        backend,
+        diagnostics,
     };
 
     // Two warm-start pathologies call for a second opinion:
@@ -306,17 +369,27 @@ pub fn solve_mpc_warm(
     // safer first, cheaper on a tie — charging both solves' iterations
     // to the result for honest accounting.
     let capped = qp_iters_total >= config.scp_iterations * settings.max_iters;
-    if was_warm && (capped || warm_solution.predicted_violation > MPC_REPLAN_VIOLATION) {
+    if was_warm
+        && status == MpcStatus::Ok
+        && (capped || warm_solution.predicted_violation > MPC_REPLAN_VIOLATION)
+    {
         let warm_iterate = memory.warm.clone();
         memory.reset();
         let cold_solution = solve_mpc_warm(state, reference, obstacles, params, config, memory);
-        let cold_better = cold_solution.predicted_violation
-            < warm_solution.predicted_violation - 1e-9
-            || (cold_solution.predicted_violation <= warm_solution.predicted_violation + 1e-9
-                && cold_solution.tracking_cost <= warm_solution.tracking_cost);
+        // a failed cold solve reports predicted_violation 0.0 on its
+        // zero-control sentinel — it must never look "safer" than the
+        // warm plan it was meant to double-check
+        let cold_better = cold_solution.status == MpcStatus::Ok
+            && (cold_solution.predicted_violation < warm_solution.predicted_violation - 1e-9
+                || (cold_solution.predicted_violation
+                    <= warm_solution.predicted_violation + 1e-9
+                    && cold_solution.tracking_cost <= warm_solution.tracking_cost));
         if cold_better {
             let mut sol = cold_solution;
             sol.qp_iterations += warm_solution.qp_iterations;
+            sol.scp_passes += warm_solution.scp_passes;
+            sol.diagnostics.absorb(&warm_solution.diagnostics);
+            sol.cold_restarted = true;
             return sol;
         }
         // the warm iterate stands: restore the memory the cold re-solve
@@ -326,6 +399,9 @@ pub fn solve_mpc_warm(
         memory.warm = warm_iterate;
         let mut sol = warm_solution;
         sol.qp_iterations += cold_solution.qp_iterations;
+        sol.scp_passes += cold_solution.scp_passes;
+        sol.diagnostics.absorb(&cold_solution.diagnostics);
+        sol.cold_restarted = true;
         return sol;
     }
 
@@ -914,5 +990,60 @@ mod tests {
         assert!(!memory.is_warm());
         let again = solve_mpc_warm(&state, &reference, &[], &params, &config, &mut memory);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn nan_reference_degrades_to_a_status_not_a_panic() {
+        // Regression: a NaN reference poisons the QP cost, which used to
+        // escalate the KKT regularization until an assert fired. The MPC
+        // must instead report NumericalError with zero-control sentinels
+        // and a reset memory.
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 1.0);
+        let mut reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        reference[3].x = f64::NAN;
+        let mut memory = MpcMemory::new();
+        let sol = solve_mpc_warm(&state, &reference, &[], &params, &config, &mut memory);
+        assert_eq!(sol.status, MpcStatus::NumericalError);
+        assert!(sol.controls.iter().flatten().all(|v| *v == 0.0));
+        assert!(!memory.is_warm(), "failure must reset the memory");
+        assert!(sol.scp_passes >= 1);
+
+        // the same memory must serve the next (healthy) frame cold and
+        // reproduce the cold solution exactly
+        let good_ref = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let recovered = solve_mpc_warm(&state, &good_ref, &[], &params, &config, &mut memory);
+        assert_eq!(recovered.status, MpcStatus::Ok);
+        assert_eq!(recovered, solve_mpc(&state, &good_ref, &[], &params, &config));
+    }
+
+    #[test]
+    fn nan_state_degrades_to_a_status_not_a_panic() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::new(f64::NAN, 0.0, 0.0), 1.0);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        assert_eq!(sol.status, MpcStatus::NumericalError);
+        assert!(sol.controls.iter().flatten().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn solutions_carry_solver_accounting() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.0);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let sol = solve_mpc(&state, &reference, &[], &params, &config);
+        assert_eq!(sol.status, MpcStatus::Ok);
+        assert_eq!(sol.scp_passes as usize, config.scp_iterations);
+        assert!(!sol.cold_restarted);
+        assert!(sol.diagnostics.factorizations >= 1);
+        assert!(
+            sol.backend == Backend::Dense || sol.backend == Backend::Sparse,
+            "backend must be resolved, got {:?}",
+            sol.backend
+        );
     }
 }

@@ -186,6 +186,27 @@ fn episode_config(settings: &CheckSettings) -> EpisodeConfig {
     }
 }
 
+/// Replays a (typically minimized) scenario with an instrumented CO
+/// policy and returns the nonzero telemetry counters — the solver
+/// behavior context (ADMM iterations, regularization bumps, cold
+/// restarts, numerical errors, …) that the triage report attaches to
+/// each divergence.
+///
+/// Deterministic for a fixed spec and settings (only counters are taken,
+/// never timing histograms). A panic during the replay yields an empty
+/// snapshot rather than killing the campaign.
+pub fn telemetry_snapshot(spec: &ProcScenario, settings: &CheckSettings) -> Vec<(String, u64)> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let scenario = spec.build();
+        let config = ICoilConfig::default();
+        let mut policy = PureCoPolicy::new(&config, &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(&mut world, &mut policy, &episode_config(settings));
+        icoil_core::eval::drain_episode_metrics(&mut policy, &result).counter_snapshot()
+    }))
+    .unwrap_or_default()
+}
+
 /// Drives one CO episode with the solve log enabled, then re-solves a
 /// stride of the recorded per-frame inputs cold (fresh memory, no warm
 /// start) and compares each cold first control against the warm-started

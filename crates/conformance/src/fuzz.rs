@@ -1,6 +1,6 @@
 //! The fuzz loop: generate → check → (on divergence) shrink → report.
 
-use crate::checks::{run_check, CheckKind, CheckSettings};
+use crate::checks::{run_check, telemetry_snapshot, CheckKind, CheckSettings};
 use crate::report::{DivergenceRecord, TriageReport};
 use icoil_world::{shrink, ProcGen, ProcGenConfig};
 
@@ -109,6 +109,7 @@ where
             if !injected {
                 report.unexplained += 1;
             }
+            let telemetry = telemetry_snapshot(&minimized, &settings);
             report.divergences.push(DivergenceRecord {
                 check: kind.name().to_string(),
                 seed,
@@ -120,6 +121,7 @@ where
                 ),
                 scenario: spec.clone(),
                 minimized,
+                telemetry,
             });
         }
     }
@@ -176,5 +178,11 @@ mod tests {
         assert!(d.minimized.statics.is_empty());
         assert_eq!(d.minimized.noise_scale, 0.0);
         assert_eq!(d.minimized.validity(), Ok(()));
+        // the repro carries a telemetry snapshot with real solver context
+        assert!(
+            d.telemetry.iter().any(|(k, v)| k == "mpc_solves" && *v > 0),
+            "telemetry snapshot attached: {:?}",
+            d.telemetry
+        );
     }
 }

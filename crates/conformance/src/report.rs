@@ -33,6 +33,12 @@ pub struct DivergenceRecord {
     pub minimized: ProcScenario,
     /// Obstacle counts dropped by shrinking: `(statics, routes)` removed.
     pub shrunk_away: (usize, usize),
+    /// Telemetry counter snapshot (name, value) from replaying the
+    /// minimized repro with an instrumented CO policy — solver behavior
+    /// context (ADMM iterations, regularization bumps, cold restarts,
+    /// numerical errors, …) for triage without re-running anything.
+    #[serde(default)]
+    pub telemetry: Vec<(String, u64)>,
 }
 
 /// The complete triage report.

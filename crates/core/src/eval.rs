@@ -10,10 +10,12 @@
 use crate::config::ICoilConfig;
 use crate::policies::{ICoilPolicy, PureCoPolicy, PureIlPolicy};
 use icoil_il::IlModel;
+use icoil_telemetry::{EpisodeEvent, Metrics};
 use icoil_world::episode::{run_episode, EpisodeConfig, EpisodeResult, Policy};
 use icoil_world::{Difficulty, ParkingStats, Scenario, ScenarioConfig, World};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// Execution knobs for batch evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,25 +31,72 @@ impl Default for EvalConfig {
     }
 }
 
+/// Validates a worker count, clamping `0` up to `1`.
+///
+/// Pure counterpart of [`EvalConfig::with_parallelism`]: returns the
+/// effective count plus a diagnostic when the input had to be adjusted.
+pub fn clamp_parallelism(parallelism: usize) -> (usize, Option<String>) {
+    if parallelism == 0 {
+        (
+            1,
+            Some("icoil: parallelism 0 is meaningless; clamped to 1".to_string()),
+        )
+    } else {
+        (parallelism, None)
+    }
+}
+
+/// Parses an `ICOIL_PARALLELISM` value, falling back to `default`.
+///
+/// Pure counterpart of [`EvalConfig::from_env`]: `raw = None` means the
+/// variable was unset (silent fallback); a set-but-malformed value also
+/// falls back but returns a diagnostic so the caller can warn once.
+pub fn parse_parallelism(raw: Option<&str>, default: usize) -> (usize, Option<String>) {
+    match raw {
+        None => (default, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => (n, None),
+            Err(_) => (
+                default,
+                Some(format!(
+                    "icoil: ICOIL_PARALLELISM={v:?} is not a worker count; using {default}"
+                )),
+            ),
+        },
+    }
+}
+
+/// Emits a parallelism diagnostic to stderr at most once per process.
+fn warn_once(once: &'static Once, message: &str) {
+    once.call_once(|| eprintln!("{message}"));
+}
+
+static CLAMP_WARNING: Once = Once::new();
+static PARSE_WARNING: Once = Once::new();
+
 impl EvalConfig {
-    /// A config with the given worker count (`0` is clamped to `1`).
+    /// A config with the given worker count (`0` is clamped to `1`, with
+    /// a one-shot stderr diagnostic).
     pub fn with_parallelism(parallelism: usize) -> Self {
-        EvalConfig {
-            parallelism: parallelism.max(1),
+        let (parallelism, warning) = clamp_parallelism(parallelism);
+        if let Some(w) = warning {
+            warn_once(&CLAMP_WARNING, &w);
         }
+        EvalConfig { parallelism }
     }
 
     /// Reads `ICOIL_PARALLELISM` from the environment, defaulting to the
-    /// number of available cores.
+    /// number of available cores. A set-but-malformed value falls back to
+    /// the default with a one-shot stderr diagnostic instead of silently.
     pub fn from_env() -> Self {
-        let parallelism = std::env::var("ICOIL_PARALLELISM")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
+        let default = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let raw = std::env::var("ICOIL_PARALLELISM").ok();
+        let (parallelism, warning) = parse_parallelism(raw.as_deref(), default);
+        if let Some(w) = warning {
+            warn_once(&PARSE_WARNING, &w);
+        }
         EvalConfig::with_parallelism(parallelism)
     }
 }
@@ -141,6 +190,78 @@ pub fn run_batch_with(
     fan_out(scenario_configs.len(), eval.parallelism, |idx| {
         run_one(method, config, model, &scenario_configs[idx], episode)
     })
+}
+
+/// Closes out an episode in the policy's recorder and drains the
+/// accumulated [`Metrics`].
+///
+/// Records the outcome summary (an `episode` trace event plus the
+/// episode/outcome counters), flushes the trace sink, and takes the
+/// metrics — leaving the recorder empty for the next episode. Policies
+/// without a recorder yield empty metrics.
+pub fn drain_episode_metrics(policy: &mut dyn Policy, result: &EpisodeResult) -> Metrics {
+    match policy.recorder_mut() {
+        Some(recorder) => {
+            recorder.episode(&EpisodeEvent {
+                outcome: match result.outcome {
+                    icoil_world::episode::Outcome::Success => "success",
+                    icoil_world::episode::Outcome::Collision => "collision",
+                    icoil_world::episode::Outcome::Timeout => "timeout",
+                },
+                frames: result.frames,
+                time: result.parking_time,
+                path_length: result.path_length,
+            });
+            recorder.flush();
+            recorder.take_metrics()
+        }
+        None => Metrics::new(),
+    }
+}
+
+/// Runs one seeded episode and returns its result plus drained telemetry.
+pub fn run_one_telemetry(
+    method: Method,
+    config: &ICoilConfig,
+    model: &IlModel,
+    scenario_config: &ScenarioConfig,
+    episode: &EpisodeConfig,
+) -> (EpisodeResult, Metrics) {
+    let scenario = scenario_config.build();
+    let mut policy = make_policy(method, config, model, &scenario);
+    let mut world = World::new(scenario);
+    let result = run_episode(&mut world, policy.as_mut(), episode);
+    let metrics = drain_episode_metrics(policy.as_mut(), &result);
+    (result, metrics)
+}
+
+/// Runs a batch of seeded episodes across workers, returning the results
+/// plus the batch-wide merged [`Metrics`].
+///
+/// Per-episode metrics are merged in seed order after the fan-out
+/// completes, so the merged aggregate is bit-identical for every worker
+/// count — the same determinism contract as [`run_batch_with`]. (Timing
+/// histograms still vary run to run, of course; use
+/// [`Metrics::deterministic_eq`] to compare the machine-independent
+/// part.)
+pub fn run_batch_telemetry(
+    method: Method,
+    config: &ICoilConfig,
+    model: &IlModel,
+    scenario_configs: &[ScenarioConfig],
+    episode: &EpisodeConfig,
+    eval: &EvalConfig,
+) -> (Vec<EpisodeResult>, Metrics) {
+    let pairs = fan_out(scenario_configs.len(), eval.parallelism, |idx| {
+        run_one_telemetry(method, config, model, &scenario_configs[idx], episode)
+    });
+    let mut merged = Metrics::new();
+    let mut results = Vec::with_capacity(pairs.len());
+    for (result, metrics) in pairs {
+        merged.merge(&metrics);
+        results.push(result);
+    }
+    (results, merged)
 }
 
 /// Runs prebuilt scenarios (e.g. procedurally generated ones that exist
@@ -327,6 +448,67 @@ mod tests {
         assert_eq!(EvalConfig::default().parallelism, 1);
         assert_eq!(EvalConfig::with_parallelism(0).parallelism, 1);
         assert_eq!(EvalConfig::with_parallelism(7).parallelism, 7);
+    }
+
+    #[test]
+    fn clamp_parallelism_diagnoses_zero() {
+        assert_eq!(clamp_parallelism(4), (4, None));
+        let (p, warning) = clamp_parallelism(0);
+        assert_eq!(p, 1);
+        assert!(warning.expect("diagnostic").contains("clamped to 1"));
+    }
+
+    #[test]
+    fn parse_parallelism_falls_back_loudly_on_garbage() {
+        assert_eq!(parse_parallelism(None, 8), (8, None));
+        assert_eq!(parse_parallelism(Some("3"), 8), (3, None));
+        assert_eq!(parse_parallelism(Some(" 3 "), 8), (3, None));
+        for garbage in ["three", "-1", "2.5", ""] {
+            let (p, warning) = parse_parallelism(Some(garbage), 8);
+            assert_eq!(p, 8, "fallback for {garbage:?}");
+            let w = warning.expect("malformed values must carry a diagnostic");
+            assert!(w.contains("ICOIL_PARALLELISM"), "names the knob: {w}");
+        }
+    }
+
+    #[test]
+    fn batch_telemetry_merges_deterministically() {
+        use icoil_telemetry::Counter;
+        let config = ICoilConfig::default();
+        let model = IlModel::untrained(ActionCodec::default(), config.bev, 3);
+        let scenario_configs: Vec<ScenarioConfig> = (0..4)
+            .map(|s| ScenarioConfig::new(Difficulty::Easy, s))
+            .collect();
+        let episode = EpisodeConfig {
+            max_time: 2.0,
+            record_trace: false,
+        };
+        let (serial_results, serial_metrics) = run_batch_telemetry(
+            Method::ICoil,
+            &config,
+            &model,
+            &scenario_configs,
+            &episode,
+            &EvalConfig::with_parallelism(1),
+        );
+        assert_eq!(serial_metrics.counter(Counter::Episodes), 4);
+        let frames: usize = serial_results.iter().map(|r| r.frames).sum();
+        assert_eq!(serial_metrics.counter(Counter::Frames) as usize, frames);
+        for workers in [2, 4] {
+            let (results, metrics) = run_batch_telemetry(
+                Method::ICoil,
+                &config,
+                &model,
+                &scenario_configs,
+                &episode,
+                &EvalConfig::with_parallelism(workers),
+            );
+            assert_eq!(serial_results, results, "parallelism={workers} diverged");
+            assert!(
+                serial_metrics.deterministic_eq(&metrics),
+                "parallelism={workers} telemetry diverged"
+            );
+        }
     }
 
     #[test]

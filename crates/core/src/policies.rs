@@ -1,12 +1,75 @@
 //! The iCOIL policy and its two single-mode baselines.
 
 use crate::config::ICoilConfig;
-use icoil_co::CoController;
+use icoil_co::{CoController, CoOutput, MpcSolution, MpcStatus};
 use icoil_hsa::{Hsa, Mode};
 use icoil_il::IlModel;
 use icoil_perception::Perception;
+use icoil_solver::Backend;
+use icoil_telemetry::{Counter, FrameEvent, Recorder, SolveEvent};
 use icoil_world::episode::{Decision, ModeTag, Observation, Policy};
 use icoil_world::Scenario;
+use std::time::Instant;
+
+/// Stage-name string of an HSA mode for trace events.
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Il => "IL",
+        Mode::Co => "CO",
+    }
+}
+
+/// Maps an MPC solution onto the telemetry solve event.
+fn solve_event(mpc: &MpcSolution) -> SolveEvent {
+    SolveEvent {
+        scp_passes: mpc.scp_passes,
+        admm_iterations: mpc.qp_iterations as u64,
+        backend: match mpc.backend {
+            Backend::Sparse => "Sparse",
+            _ => "Dense",
+        },
+        reg_bumps: mpc.diagnostics.reg_bumps,
+        symbolic_cache_hits: mpc.diagnostics.symbolic_cache_hits,
+        symbolic_rebuilds: mpc.diagnostics.symbolic_rebuilds,
+        factor_cache_hits: mpc.diagnostics.factor_cache_hits,
+        cold_restart: mpc.cold_restarted,
+        numerical_error: mpc.status == MpcStatus::NumericalError,
+    }
+}
+
+/// Builds the frame event shared by all three policies. Stage timings
+/// are seconds; a negative value marks a stage that did not run.
+#[allow(clippy::too_many_arguments)]
+fn frame_event<'a>(
+    obs: &Observation,
+    mode: &'a str,
+    raw_mode: &'a str,
+    uncertainty: f64,
+    complexity: f64,
+    ratio: f64,
+    stages: [f64; 4],
+    total_s: f64,
+    co_out: Option<&CoOutput>,
+    solve: Option<SolveEvent>,
+) -> FrameEvent<'a> {
+    FrameEvent {
+        frame: obs.frame(),
+        time: obs.time(),
+        mode,
+        raw_mode,
+        uncertainty,
+        complexity,
+        ratio,
+        perception_s: stages[0],
+        il_s: stages[1],
+        hsa_s: stages[2],
+        co_s: stages[3],
+        total_s,
+        emergency: co_out.is_some_and(|o| o.emergency),
+        safe_brake: co_out.is_some_and(|o| o.degraded),
+        solve,
+    }
+}
 
 /// The full iCOIL policy: perception → {IL, CO} selected by HSA (eq. 1).
 ///
@@ -18,6 +81,8 @@ pub struct ICoilPolicy {
     model: IlModel,
     co: CoController,
     hsa: Hsa,
+    recorder: Recorder,
+    last_mode: Option<Mode>,
 }
 
 impl ICoilPolicy {
@@ -28,6 +93,8 @@ impl ICoilPolicy {
             model,
             co: CoController::new(config.co, scenario.vehicle_params),
             hsa: Hsa::new(config.hsa),
+            recorder: Recorder::new(),
+            last_mode: None,
         }
     }
 
@@ -41,20 +108,62 @@ impl Policy for ICoilPolicy {
     fn begin_episode(&mut self, _obs: &Observation) {
         self.co.reset();
         self.hsa.reset();
+        self.last_mode = None;
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        Some(&mut self.recorder)
     }
 
     fn decide(&mut self, obs: &Observation) -> Decision {
+        let t0 = Instant::now();
         let sensing = self.perception.observe(obs);
+        let t1 = Instant::now();
         let il = self.model.infer(&sensing.bev);
+        let t2 = Instant::now();
         self.hsa.set_ego_position(obs.ego().pose.position());
         let hsa = self.hsa.update(&il.probs, &sensing.boxes);
-        let (action, tag) = match hsa.mode {
-            Mode::Il => (il.action, ModeTag::Il),
+        let t3 = Instant::now();
+        let (action, tag, co_out) = match hsa.mode {
+            Mode::Il => (il.action, ModeTag::Il, None),
             Mode::Co => {
                 let out = self.co.control(obs, &sensing.boxes);
-                (out.action, ModeTag::Co)
+                (out.action, ModeTag::Co, Some(out))
             }
         };
+        let t4 = Instant::now();
+
+        if self.last_mode.is_some_and(|prev| prev != hsa.mode) {
+            self.recorder.add(Counter::HsaSwitches, 1);
+        }
+        self.last_mode = Some(hsa.mode);
+        let co_s = if co_out.is_some() {
+            (t4 - t3).as_secs_f64()
+        } else {
+            -1.0
+        };
+        let solve = co_out
+            .as_ref()
+            .and_then(|o| o.mpc.as_ref())
+            .map(solve_event);
+        self.recorder.frame(&frame_event(
+            obs,
+            mode_name(hsa.mode),
+            mode_name(hsa.raw_mode),
+            hsa.uncertainty,
+            hsa.complexity,
+            hsa.ratio,
+            [
+                (t1 - t0).as_secs_f64(),
+                (t2 - t1).as_secs_f64(),
+                (t3 - t2).as_secs_f64(),
+                co_s,
+            ],
+            (t4 - t0).as_secs_f64(),
+            co_out.as_ref(),
+            solve,
+        ));
+
         Decision {
             action,
             mode: Some(tag),
@@ -72,6 +181,7 @@ pub struct PureIlPolicy {
     perception: Perception,
     model: IlModel,
     hsa: Hsa,
+    recorder: Recorder,
 }
 
 impl PureIlPolicy {
@@ -81,6 +191,7 @@ impl PureIlPolicy {
             perception: Perception::new(config.bev, scenario),
             model,
             hsa: Hsa::new(config.hsa),
+            recorder: Recorder::new(),
         }
     }
 }
@@ -90,11 +201,38 @@ impl Policy for PureIlPolicy {
         self.hsa.reset();
     }
 
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        Some(&mut self.recorder)
+    }
+
     fn decide(&mut self, obs: &Observation) -> Decision {
+        let t0 = Instant::now();
         let sensing = self.perception.observe(obs);
+        let t1 = Instant::now();
         let il = self.model.infer(&sensing.bev);
+        let t2 = Instant::now();
         self.hsa.set_ego_position(obs.ego().pose.position());
         let hsa = self.hsa.update(&il.probs, &sensing.boxes);
+        let t3 = Instant::now();
+
+        self.recorder.frame(&frame_event(
+            obs,
+            "IL",
+            mode_name(hsa.raw_mode),
+            hsa.uncertainty,
+            hsa.complexity,
+            hsa.ratio,
+            [
+                (t1 - t0).as_secs_f64(),
+                (t2 - t1).as_secs_f64(),
+                (t3 - t2).as_secs_f64(),
+                -1.0,
+            ],
+            (t3 - t0).as_secs_f64(),
+            None,
+            None,
+        ));
+
         Decision {
             action: il.action,
             mode: Some(ModeTag::Il),
@@ -109,6 +247,7 @@ impl Policy for PureIlPolicy {
 pub struct PureCoPolicy {
     perception: Perception,
     co: CoController,
+    recorder: Recorder,
 }
 
 impl PureCoPolicy {
@@ -117,6 +256,7 @@ impl PureCoPolicy {
         PureCoPolicy {
             perception: Perception::new(config.bev, scenario),
             co: CoController::new(config.co, scenario.vehicle_params),
+            recorder: Recorder::new(),
         }
     }
 
@@ -131,9 +271,31 @@ impl Policy for PureCoPolicy {
         self.co.reset();
     }
 
+    fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        Some(&mut self.recorder)
+    }
+
     fn decide(&mut self, obs: &Observation) -> Decision {
+        let t0 = Instant::now();
         let sensing = self.perception.observe(obs);
+        let t1 = Instant::now();
         let out = self.co.control(obs, &sensing.boxes);
+        let t2 = Instant::now();
+
+        let solve = out.mpc.as_ref().map(solve_event);
+        self.recorder.frame(&frame_event(
+            obs,
+            "CO",
+            "CO",
+            0.0,
+            0.0,
+            0.0,
+            [(t1 - t0).as_secs_f64(), -1.0, -1.0, (t2 - t1).as_secs_f64()],
+            (t2 - t0).as_secs_f64(),
+            Some(&out),
+            solve,
+        ));
+
         Decision::tagged(out.action, ModeTag::Co)
     }
 }
@@ -235,5 +397,39 @@ mod tests {
             },
         );
         assert!(result.is_success(), "outcome {:?}", result.outcome);
+    }
+
+    #[test]
+    fn policies_accumulate_frame_metrics() {
+        use icoil_telemetry::Series;
+        let config = ICoilConfig::default();
+        let scenario = ScenarioConfig::new(Difficulty::Easy, 6).build();
+        let mut policy = ICoilPolicy::new(&config, untrained_model(&config), &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 2.0,
+                record_trace: false,
+            },
+        );
+        let m = policy.recorder_mut().expect("instrumented").metrics();
+        assert_eq!(m.counter(Counter::Frames) as usize, result.frames);
+        assert_eq!(
+            m.counter(Counter::IlFrames) + m.counter(Counter::CoFrames),
+            m.counter(Counter::Frames)
+        );
+        // the untrained model keeps iCOIL in CO mode → MPC solves ran
+        assert!(m.counter(Counter::MpcSolves) > 0);
+        assert!(m.counter(Counter::AdmmIterations) > 0);
+        assert_eq!(
+            m.series(Series::FrameTotal).count(),
+            m.counter(Counter::Frames)
+        );
+        assert_eq!(
+            m.series(Series::AdmmPerSolve).count(),
+            m.counter(Counter::MpcSolves)
+        );
     }
 }

@@ -38,7 +38,7 @@ pub mod sparse;
 pub use ldl::{LdlError, SparseLdl, SymbolicLdl};
 pub use linalg::{Cholesky, Mat};
 pub use qp::{
-    solve_qp, solve_qp_warm, Backend, QpProblem, QpSettings, QpSolution, QpStatus, QpWarmStart,
-    QpWorkspace,
+    solve_qp, solve_qp_warm, Backend, QpDiagnostics, QpProblem, QpSettings, QpSolution, QpStatus,
+    QpWarmStart, QpWorkspace,
 };
 pub use sparse::{SparseKkt, SparseMatrix, TripletBuilder};

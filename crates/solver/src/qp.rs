@@ -231,6 +231,42 @@ pub enum QpStatus {
     Solved,
     /// Iteration budget exhausted; `x` is the best iterate.
     MaxIterations,
+    /// The solve hit non-recoverable numerics: the KKT matrix could not
+    /// be made positive definite within the bounded regularization
+    /// budget, or iterates became non-finite (NaN/∞ in the problem
+    /// data). `x`/`y` are zeros and the residuals are `∞`; callers must
+    /// treat the solution as unusable and degrade (the CO controller
+    /// falls back to braking).
+    NumericalError,
+}
+
+/// Per-solve factorization accounting, accumulated by [`solve_qp`] /
+/// [`solve_qp_warm`] and surfaced through telemetry. All integer content,
+/// hence deterministic for a deterministic solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QpDiagnostics {
+    /// Diagonal regularization bumps escalated while factorizing.
+    pub reg_bumps: u32,
+    /// Numeric factorizations performed (initial + ρ-adaptations).
+    pub factorizations: u32,
+    /// Sparse symbolic analyses served from the workspace cache.
+    pub symbolic_cache_hits: u32,
+    /// Sparse symbolic analyses computed fresh.
+    pub symbolic_rebuilds: u32,
+    /// Whole-factorization cache reuses (identical scaled data).
+    pub factor_cache_hits: u32,
+}
+
+impl QpDiagnostics {
+    /// Adds another solve's accounting into this one (e.g. across the SCP
+    /// passes of an MPC solve).
+    pub fn absorb(&mut self, other: &QpDiagnostics) {
+        self.reg_bumps += other.reg_bumps;
+        self.factorizations += other.factorizations;
+        self.symbolic_cache_hits += other.symbolic_cache_hits;
+        self.symbolic_rebuilds += other.symbolic_rebuilds;
+        self.factor_cache_hits += other.factor_cache_hits;
+    }
 }
 
 /// Result of [`solve_qp`].
@@ -252,6 +288,9 @@ pub struct QpSolution {
     /// [`Backend::Auto`]).
     #[serde(default)]
     pub backend: Backend,
+    /// Factorization accounting for this solve.
+    #[serde(default)]
+    pub diagnostics: QpDiagnostics,
 }
 
 /// A primal/dual iterate carried between related solves (OSQP-style warm
@@ -398,7 +437,10 @@ impl QpWorkspace {
 ///
 /// Never panics on a well-formed [`QpProblem`]; an indefinite `P` is
 /// handled by the σ-regularization (the solution then corresponds to the
-/// regularized problem, which is the standard OSQP behaviour).
+/// regularized problem, which is the standard OSQP behaviour). Data the
+/// regularization cannot repair — NaN/∞-poisoned or structurally broken
+/// matrices — terminates with [`QpStatus::NumericalError`] instead of
+/// panicking or looping.
 pub fn solve_qp(problem: &QpProblem, settings: &QpSettings) -> QpSolution {
     solve_qp_warm(problem, settings, None, &mut QpWorkspace::new())
 }
@@ -419,6 +461,14 @@ pub fn solve_qp_warm(
 ) -> QpSolution {
     let n = problem.num_vars();
     let m = problem.num_constraints();
+    // NaN-poisoned problem data fails fast, before any of it reaches the
+    // equilibration or the factorization. This is not redundant with the
+    // in-loop iterate check: NaN *bounds* would panic the hot loop's
+    // `clamp` (min > max assert) before any residual is ever measured.
+    if data_is_poisoned(problem) {
+        workspace.clear();
+        return numerical_error_solution(n, m, 0, false, QpDiagnostics::default());
+    }
     let reuse_scaling = matches!(
         &workspace.scaling,
         Some((d, e)) if d.len() == n && e.len() == m
@@ -447,6 +497,14 @@ pub fn solve_qp_warm(
     });
 
     let mut sol = solve_qp_scaled(&scaled, settings, start, workspace);
+    if sol.status == QpStatus::NumericalError {
+        // drop every cached artifact — scaling computed from poisoned
+        // data would silently condition the next solve — and keep the
+        // sentinel zeros/∞-residuals rather than "residuals" recomputed
+        // at the all-zeros point
+        workspace.clear();
+        return sol;
+    }
     let (d, e) = workspace.scaling.as_ref().expect("scaling retained");
     // unscale: x = D·x̃, y = E·ỹ
     for (x, di) in sol.x.iter_mut().zip(d) {
@@ -570,6 +628,7 @@ fn solve_qp_scaled(
     // is reused verbatim when the scaled data and equality pattern are
     // bit-identical; the backend choice is part of the cache (it depends
     // only on problem shape + pattern, which the data equality implies).
+    let mut diag = QpDiagnostics::default();
     let cached = workspace.factor.take();
     let (mut gram, mut kkt, mut factor) = match cached {
         Some(c)
@@ -583,6 +642,7 @@ fn solve_qp_scaled(
             // identical scaled data: the previously-adapted ρ applies, so
             // the cached factor can be reused verbatim
             rho = c.rho;
+            diag.factor_cache_hits += 1;
             fill_rho_vec(rho, &eq, &mut rho_v);
             (c.gram, c.kkt, c.factor)
         }
@@ -599,7 +659,14 @@ fn solve_qp_scaled(
                 use_sparse,
                 &mut workspace.symbolic,
                 None,
+                &mut diag,
             );
+            let Some(factor) = factor else {
+                // the KKT matrix cannot be factorized at any bump: report
+                // the failure without caching anything from this solve
+                workspace.rho = None;
+                return numerical_error_solution(n, m, 0, use_sparse, diag);
+            };
             (gram, kkt, factor)
         }
     };
@@ -658,6 +725,19 @@ fn solve_qp_scaled(
             dual_res = (0..n)
                 .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
                 .fold(0.0, f64::max);
+            // NaN/∞-poisoned iterates (a NaN in the problem data, a NaN
+            // cost matrix whose dense Cholesky spuriously "succeeded" —
+            // NaN comparisons are all false) must not be consumed by
+            // anything downstream. The residual folds use `f64::max`,
+            // which *skips* NaN (a poisoned residual reads 0.0), so the
+            // iterate itself is checked, before the convergence test.
+            if !primal_res.is_finite()
+                || !dual_res.is_finite()
+                || x.iter().any(|v| !v.is_finite())
+            {
+                status = QpStatus::NumericalError;
+                break;
+            }
             if primal_res < settings.eps_abs && dual_res < settings.eps_abs {
                 status = QpStatus::Solved;
                 break;
@@ -682,7 +762,7 @@ fn solve_qp_scaled(
                     // not, so the assembly maps and symbolic analysis
                     // both survive and only the numeric refactor runs
                     gram = problem.a.gram_weighted(&rho_v);
-                    factor = build_factor(
+                    match build_factor(
                         &mut kkt,
                         &problem.p,
                         &gram,
@@ -690,10 +770,23 @@ fn solve_qp_scaled(
                         use_sparse,
                         &mut workspace.symbolic,
                         Some(factor),
-                    );
+                        &mut diag,
+                    ) {
+                        Some(f) => factor = f,
+                        None => {
+                            workspace.rho = None;
+                            return numerical_error_solution(n, m, iters, use_sparse, diag);
+                        }
+                    }
                 }
             }
         }
+    }
+
+    if status == QpStatus::NumericalError {
+        // poisoned iterates: cache nothing from this solve
+        workspace.rho = None;
+        return numerical_error_solution(n, m, iters, use_sparse, diag);
     }
 
     workspace.rho = Some(rho);
@@ -721,6 +814,42 @@ fn solve_qp_scaled(
         primal_residual: primal_res,
         dual_residual: dual_res,
         backend,
+        diagnostics: diag,
+    }
+}
+
+/// Whether any problem entry is NaN, or a cost/matrix entry non-finite
+/// (constraint bounds may legitimately be ±∞; nothing else may).
+fn data_is_poisoned(problem: &QpProblem) -> bool {
+    problem.q.iter().any(|v| !v.is_finite())
+        || problem.l.iter().any(|v| v.is_nan())
+        || problem.u.iter().any(|v| v.is_nan())
+        || problem.p.values().iter().any(|v| !v.is_finite())
+        || problem.a.values().iter().any(|v| !v.is_finite())
+}
+
+/// The canonical [`QpStatus::NumericalError`] result: zero iterates (the
+/// only point guaranteed finite), infinite residuals, nothing cached.
+fn numerical_error_solution(
+    n: usize,
+    m: usize,
+    iterations: usize,
+    use_sparse: bool,
+    diagnostics: QpDiagnostics,
+) -> QpSolution {
+    QpSolution {
+        x: vec![0.0; n],
+        y: vec![0.0; m],
+        status: QpStatus::NumericalError,
+        iterations,
+        primal_residual: f64::INFINITY,
+        dual_residual: f64::INFINITY,
+        backend: if use_sparse {
+            Backend::Sparse
+        } else {
+            Backend::Dense
+        },
+        diagnostics,
     }
 }
 
@@ -733,6 +862,12 @@ fn solve_qp_scaled(
 /// into) `symbolic`, and the numeric storage of `prev` is reused in place
 /// when it was built for the same analysis — the ρ-adaptation path then
 /// allocates nothing beyond the re-weighted Gram.
+///
+/// Returns `None` when the bump escalation exhausts its budget without
+/// producing a positive-definite factor — a pathological (typically
+/// NaN-poisoned) cost matrix. This is a status, not a panic: the caller
+/// reports [`QpStatus::NumericalError`] and the stack degrades gracefully.
+#[allow(clippy::too_many_arguments)]
 fn build_factor(
     kkt: &mut SparseKkt,
     p: &SparseMatrix,
@@ -741,7 +876,8 @@ fn build_factor(
     use_sparse: bool,
     symbolic: &mut Option<Arc<SymbolicLdl>>,
     prev: Option<Factor>,
-) -> Factor {
+    diag: &mut QpDiagnostics,
+) -> Option<Factor> {
     let mut reuse = match prev {
         Some(Factor::Sparse(f)) => Some(f),
         _ => None,
@@ -750,12 +886,17 @@ fn build_factor(
     let mut step = 1e-9;
     loop {
         let k = kkt.assemble(p, gram, sigma + bump, 1.0);
+        diag.factorizations += 1;
         if use_sparse {
             let sym = match symbolic.as_ref() {
-                Some(s) if s.matches(k) => s.clone(),
+                Some(s) if s.matches(k) => {
+                    diag.symbolic_cache_hits += 1;
+                    s.clone()
+                }
                 _ => {
                     let s = SymbolicLdl::analyze(k);
                     *symbolic = Some(s.clone());
+                    diag.symbolic_rebuilds += 1;
                     s
                 }
             };
@@ -765,20 +906,23 @@ fn build_factor(
             };
             if let Ok(f) = attempt {
                 if f.is_positive_definite() {
-                    return Factor::Sparse(f);
+                    return Some(Factor::Sparse(f));
                 }
                 // quasidefinite/indefinite: keep the storage, bump and retry
                 reuse = Some(f);
             }
         } else if let Ok(f) = k.to_dense().cholesky() {
-            return Factor::Dense(f);
+            return Some(Factor::Dense(f));
+        }
+        // a bump budget spanning 15 decades: anything a finite diagonal
+        // shift can repair is repaired well before this; what remains is
+        // non-finite or structurally broken data
+        if step >= 1e6 {
+            return None;
         }
         bump += step;
         step *= 10.0;
-        assert!(
-            step < 1e6,
-            "KKT matrix cannot be made positive definite — cost matrix is pathological"
-        );
+        diag.reg_bumps += 1;
     }
 }
 
@@ -1205,5 +1349,130 @@ mod tests {
         for v in &second.x {
             assert!((v - 0.5).abs() < 1e-3, "x = {v}");
         }
+    }
+
+    /// A QP whose cost matrix is NaN-poisoned (what an upstream
+    /// linearization bug would produce).
+    fn nan_cost_qp(backend: Backend) -> QpProblem {
+        let mut p = Mat::diag(&[2.0; 4]);
+        *p.at_mut(1, 1) = f64::NAN;
+        QpProblem::new(p, vec![0.0; 4], Mat::identity(4), vec![-1.0; 4], vec![1.0; 4])
+            .unwrap()
+            .with_backend(backend)
+    }
+
+    #[test]
+    fn nan_cost_matrix_is_a_status_not_a_panic() {
+        // Regression: the sparse LDLᵀ sees NaN pivots as "not positive
+        // definite" and the regularization loop escalated its diagonal
+        // bump forever, ending in a panic; the dense Cholesky "succeeds"
+        // (NaN comparisons are all false) and poisoned the iterates
+        // instead. Both backends must now report NumericalError.
+        for backend in [Backend::Dense, Backend::Sparse] {
+            let sol = solve_qp(&nan_cost_qp(backend), &settings());
+            assert_eq!(sol.status, QpStatus::NumericalError, "{backend:?}");
+            assert!(sol.x.iter().all(|v| *v == 0.0), "{backend:?}");
+            assert!(sol.primal_residual.is_infinite(), "{backend:?}");
+            assert!(sol.dual_residual.is_infinite(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn nan_linear_cost_is_a_status_not_a_panic() {
+        let qp = QpProblem::new(
+            Mat::diag(&[2.0, 2.0]),
+            vec![f64::NAN, 0.0],
+            Mat::identity(2),
+            vec![-1.0; 2],
+            vec![1.0; 2],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert_eq!(sol.status, QpStatus::NumericalError);
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bump_budget_is_bounded_on_unfactorizable_kkt() {
+        // −1e300 on the diagonal is finite (so it passes the upfront
+        // poison check) but stays ~−1e292 after the bounded equilibration
+        // — beyond what any bump in the budget (~1e5) can repair. The
+        // escalation must stop at its budget with a status, not loop or
+        // panic, and the diagnostics must show it ran.
+        for backend in [Backend::Dense, Backend::Sparse] {
+            let qp = QpProblem::new(
+                Mat::diag(&[-1e300, -1e300]),
+                vec![0.0; 2],
+                Mat::identity(2),
+                vec![-1.0; 2],
+                vec![1.0; 2],
+            )
+            .unwrap()
+            .with_backend(backend);
+            let sol = solve_qp(&qp, &settings());
+            assert_eq!(sol.status, QpStatus::NumericalError, "{backend:?}");
+            assert!(
+                (10..=20).contains(&sol.diagnostics.reg_bumps),
+                "{backend:?}: bumps = {}",
+                sol.diagnostics.reg_bumps
+            );
+            assert_eq!(sol.iterations, 0, "never entered the ADMM loop");
+        }
+    }
+
+    #[test]
+    fn extreme_indefinite_cost_terminates_without_panic() {
+        // −1e12 on the diagonal: equilibration scales it into the range
+        // the diagonal bump can repair, so the solve terminates cleanly
+        // on the regularized problem — the point is bounded termination
+        // with finite iterates, whatever the status
+        let qp = QpProblem::new(
+            Mat::diag(&[-1e12, -1e12]),
+            vec![0.0; 2],
+            Mat::identity(2),
+            vec![-1.0; 2],
+            vec![1.0; 2],
+        )
+        .unwrap();
+        let sol = solve_qp(&qp, &settings());
+        assert!(
+            sol.status != QpStatus::NumericalError || sol.x.iter().all(|v| *v == 0.0),
+            "a numerical error must come with the sentinel iterate"
+        );
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn workspace_recovers_after_a_numerical_error() {
+        // a poisoned frame must not leave state behind that conditions
+        // the next (healthy) frame: the workspace clears itself and the
+        // follow-up solve matches a cold solve exactly
+        let s = settings();
+        let mut ws = QpWorkspace::new();
+        let good = tracking_qp(12, 0.0);
+        let first = solve_qp_warm(&good, &s, None, &mut ws);
+        assert_eq!(first.status, QpStatus::Solved);
+
+        let bad = nan_cost_qp(Backend::Auto);
+        let failed = solve_qp_warm(&bad, &s, None, &mut ws);
+        assert_eq!(failed.status, QpStatus::NumericalError);
+        assert!(ws.carried_rho().is_none(), "failure must clear the workspace");
+
+        let recovered = solve_qp_warm(&good, &s, None, &mut ws);
+        assert_eq!(recovered.status, QpStatus::Solved);
+        assert_eq!(recovered.x, solve_qp(&good, &s).x);
+    }
+
+    #[test]
+    fn diagnostics_report_cache_reuse() {
+        let qp = tracking_qp(12, 0.0);
+        let s = settings();
+        let mut ws = QpWorkspace::new();
+        let first = solve_qp_warm(&qp, &s, None, &mut ws);
+        assert_eq!(first.diagnostics.factor_cache_hits, 0);
+        assert!(first.diagnostics.factorizations >= 1);
+        let warm = QpWarmStart::from_solution(&first);
+        let second = solve_qp_warm(&qp, &s, Some(&warm), &mut ws);
+        assert_eq!(second.diagnostics.factor_cache_hits, 1);
     }
 }

@@ -126,6 +126,17 @@ pub trait Policy {
     /// Policies with per-episode state (reference paths, HSA windows)
     /// reset themselves here. The default does nothing.
     fn begin_episode(&mut self, _obs: &Observation) {}
+
+    /// The policy's telemetry recorder, when it keeps one.
+    ///
+    /// Instrumented policies expose their [`icoil_telemetry::Recorder`]
+    /// here so the evaluation harness can install trace sinks, record
+    /// episode summaries and drain per-episode [`icoil_telemetry::Metrics`]
+    /// for merging across workers. The default (`None`) keeps plain
+    /// policies—and every existing implementor—unchanged.
+    fn recorder_mut(&mut self) -> Option<&mut icoil_telemetry::Recorder> {
+        None
+    }
 }
 
 /// Per-frame record of an episode.

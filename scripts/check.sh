@@ -8,8 +8,11 @@
 # procedurally generated scenarios through the differential harness
 # (crates/conformance) — including the dense-vs-sparse KKT backend check —
 # and the backend_e2e suite drives full episodes with each factorization
-# backend forced. Override the fuzz case count with ICOIL_FUZZ_CASES,
-# e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
+# backend forced. The telemetry smoke runs one traced episode, re-parses
+# the NDJSON trace against the aggregated counters, and validates the
+# BENCH_perf.json schema. Override the fuzz case count with
+# ICOIL_FUZZ_CASES, e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the
+# full local sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,7 @@ cargo build --release
 cargo test -q
 cargo test --release -q --test backend_e2e
 cargo clippy --all-targets -- -D warnings
+cargo run --release -q -p icoil-bench --bin telemetry_smoke
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
 echo "all checks passed"

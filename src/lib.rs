@@ -37,5 +37,6 @@ pub use icoil_nn as nn;
 pub use icoil_perception as perception;
 pub use icoil_planner as planner;
 pub use icoil_solver as solver;
+pub use icoil_telemetry as telemetry;
 pub use icoil_vehicle as vehicle;
 pub use icoil_world as world;

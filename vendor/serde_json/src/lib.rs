@@ -9,7 +9,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
+pub use serde::Value;
 
 /// A JSON serialization or parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
