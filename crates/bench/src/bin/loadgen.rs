@@ -1,0 +1,179 @@
+//! Serving load generator — emits `BENCH_serve.json`.
+//!
+//! Drives the `icoil-serve` engine through three phases and reports
+//! sessions/sec, per-lane frame-latency percentiles, IL micro-batch
+//! statistics, and the shed rate at two offered loads:
+//!
+//! 1. **IL phase** — the HSA threshold is forced to `+∞` so every frame
+//!    stays on the IL lane: clean micro-batch latency and batch-width
+//!    numbers with zero CO contention;
+//! 2. **CO phase (provisioned)** — an untrained model keeps every
+//!    session on the CO lane with a generous deadline and queue: CO-lane
+//!    latency under a load the lane can carry, `shed_rate_low` must be 0;
+//! 3. **Overload phase** — one worker, a queue of 2 and a 1 ms deadline
+//!    against twice the sessions: the lane must shed (degraded
+//!    full-brake responses) instead of blocking, `shed_rate_overload`
+//!    must be positive.
+//!
+//! The file lands in the working directory (the repo root under
+//! `cargo run`). Run sizes honor `ICOIL_SERVE_SESSIONS` (default 8) and
+//! `ICOIL_SERVE_FRAMES` (default 50):
+//!
+//! ```text
+//! cargo run --release -p icoil-bench --bin loadgen
+//! ```
+//!
+//! An untrained IL model is used throughout: inference cost does not
+//! depend on the weight values, and it keeps the bin self-contained.
+
+use icoil_bench::ServeReport;
+use icoil_core::ICoilConfig;
+use icoil_hsa::HsaConfig;
+use icoil_il::IlModel;
+use icoil_perception::BevConfig;
+use icoil_serve::{Serve, ServeConfig, SessionConfig};
+use icoil_telemetry::{Counter, Metrics, Series};
+use icoil_vehicle::ActionCodec;
+use icoil_world::Difficulty;
+use std::time::{Duration, Instant};
+
+fn env_size(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `sessions` episodes of `frames` frames each against a fresh
+/// server; returns the server's final telemetry snapshot.
+fn run_phase(config: ServeConfig, sessions: u64, frames: u64, seed0: u64) -> Metrics {
+    let model = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1);
+    let server = Serve::start(config, model);
+    let handle = server.handle();
+    let ids: Vec<u64> = (0..sessions)
+        .map(|i| {
+            handle
+                .create(SessionConfig {
+                    difficulty: Difficulty::Normal,
+                    seed: seed0 + i,
+                })
+                .expect("create session")
+        })
+        .collect();
+    for _ in 0..frames {
+        for result in handle.step_many(&ids) {
+            result.expect("serving must answer every step");
+        }
+    }
+    let metrics = handle.metrics().expect("metrics snapshot");
+    server.shutdown();
+    metrics
+}
+
+fn shed_rate(metrics: &Metrics) -> f64 {
+    let shed = metrics.counter(Counter::CoShed) as f64;
+    let admitted = metrics.counter(Counter::CoAdmitted) as f64;
+    if shed + admitted == 0.0 {
+        0.0
+    } else {
+        shed / (shed + admitted)
+    }
+}
+
+fn main() {
+    let sessions = env_size("ICOIL_SERVE_SESSIONS", 8);
+    let frames = env_size("ICOIL_SERVE_FRAMES", 50);
+    let base = ServeConfig {
+        co_deadline: Duration::from_secs(30),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+
+    let t0 = Instant::now();
+
+    // phase 1: pure IL lane (ratio ≤ λ always holds at λ = +∞)
+    let il_config = ServeConfig {
+        icoil: ICoilConfig {
+            hsa: HsaConfig {
+                lambda: f64::INFINITY,
+                initial_mode: icoil_hsa::Mode::Il,
+                ..HsaConfig::default()
+            },
+            ..ICoilConfig::default()
+        },
+        ..base
+    };
+    let il_metrics = run_phase(il_config, sessions, frames, 9000);
+
+    // phase 2: pure CO lane (untrained model → high uncertainty), carried
+    let co_metrics = run_phase(base, sessions, frames, 9100);
+
+    // phase 3: deliberate overload — must shed, never block
+    let overload_config = ServeConfig {
+        co_workers: 1,
+        queue_capacity: 2,
+        co_deadline: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    let overload_frames = (frames / 4).max(5);
+    let overload_metrics = run_phase(overload_config, sessions * 2, overload_frames, 9200);
+
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let total_sessions = sessions * 2 + sessions * 2;
+    let total_frames = sessions * frames * 2 + sessions * 2 * overload_frames;
+
+    let il_lane = il_metrics.series(Series::ServeIlLane);
+    let co_lane = co_metrics.series(Series::ServeCoLane);
+    let batches = il_metrics.series(Series::IlBatchSize);
+    let mut report = ServeReport {
+        sessions_per_sec: total_sessions as f64 / elapsed,
+        frames_per_sec: total_frames as f64 / elapsed,
+        il_p50_us: il_lane.quantile(0.50) * 1e6,
+        il_p95_us: il_lane.quantile(0.95) * 1e6,
+        il_p99_us: il_lane.quantile(0.99) * 1e6,
+        co_p50_us: co_lane.quantile(0.50) * 1e6,
+        co_p95_us: co_lane.quantile(0.95) * 1e6,
+        co_p99_us: co_lane.quantile(0.99) * 1e6,
+        batch_size_mean: batches.mean(),
+        batch_size_max: batches.max(),
+        shed_rate_low: shed_rate(&co_metrics),
+        shed_rate_overload: shed_rate(&overload_metrics),
+        had_nonfinite: false,
+        sessions,
+        frames_per_session: frames,
+        co_workers: base.co_workers as u64,
+    };
+    report.sanitize();
+
+    assert_eq!(
+        report.shed_rate_low, 0.0,
+        "the provisioned CO phase must not shed"
+    );
+    assert!(
+        report.shed_rate_overload > 0.0,
+        "the overload phase must shed instead of blocking"
+    );
+
+    println!(
+        "serve load: {} sessions x {} frames | IL p50/p95/p99 {:.0}/{:.0}/{:.0} us \
+         (batch mean {:.1}, max {:.0}) | CO p50/p95/p99 {:.0}/{:.0}/{:.0} us | \
+         shed {:.3} low, {:.3} overload | {:.1} frames/s",
+        report.sessions,
+        report.frames_per_session,
+        report.il_p50_us,
+        report.il_p95_us,
+        report.il_p99_us,
+        report.batch_size_mean,
+        report.batch_size_max,
+        report.co_p50_us,
+        report.co_p95_us,
+        report.co_p99_us,
+        report.shed_rate_low,
+        report.shed_rate_overload,
+        report.frames_per_sec,
+    );
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -203,6 +203,131 @@ pub fn validate_perf_json(v: &serde_json::Value) -> Result<(), String> {
     Ok(())
 }
 
+/// The serving-load record emitted by the `loadgen` bin as
+/// `BENCH_serve.json`.
+///
+/// Lane latency percentiles come from the server's own telemetry
+/// histograms (`ServeIlLane` / `ServeCoLane`); the shed rates come from
+/// the `co_admitted` / `co_shed` counters of two separate phases — a
+/// comfortably-provisioned run that must not shed, and a deliberately
+/// overloaded run that must shed rather than block. All float fields
+/// are sanitized before serialization, as in [`PerfReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Complete sessions served per wall-clock second (all phases).
+    pub sessions_per_sec: f64,
+    /// Frames served per wall-clock second (all phases).
+    pub frames_per_sec: f64,
+    /// Median IL-lane frame latency (µs, request arrival → response).
+    pub il_p50_us: f64,
+    /// 95th-percentile IL-lane frame latency (µs).
+    pub il_p95_us: f64,
+    /// 99th-percentile IL-lane frame latency (µs).
+    pub il_p99_us: f64,
+    /// Median CO-lane frame latency (µs, request arrival → response).
+    pub co_p50_us: f64,
+    /// 95th-percentile CO-lane frame latency (µs).
+    pub co_p95_us: f64,
+    /// 99th-percentile CO-lane frame latency (µs).
+    pub co_p99_us: f64,
+    /// Mean IL micro-batch width across engine ticks.
+    pub batch_size_mean: f64,
+    /// Largest IL micro-batch width observed.
+    pub batch_size_max: f64,
+    /// Shed fraction of CO requests in the provisioned phase (must be 0).
+    pub shed_rate_low: f64,
+    /// Shed fraction of CO requests in the overload phase (must be > 0 —
+    /// the lane degraded instead of blocking).
+    pub shed_rate_overload: f64,
+    /// Whether any measured field was non-finite before sanitization.
+    #[serde(default)]
+    pub had_nonfinite: bool,
+    /// Concurrent sessions in the provisioned phases.
+    pub sessions: u64,
+    /// Frames stepped per session per phase.
+    pub frames_per_session: u64,
+    /// CO lane workers in the provisioned phases.
+    pub co_workers: u64,
+}
+
+impl ServeReport {
+    /// The float fields every `BENCH_serve.json` must carry, by JSON key.
+    pub const NUMERIC_FIELDS: &'static [&'static str] = &[
+        "sessions_per_sec",
+        "frames_per_sec",
+        "il_p50_us",
+        "il_p95_us",
+        "il_p99_us",
+        "co_p50_us",
+        "co_p95_us",
+        "co_p99_us",
+        "batch_size_mean",
+        "batch_size_max",
+        "shed_rate_low",
+        "shed_rate_overload",
+    ];
+
+    /// Clamps every non-finite float field to a finite value and records
+    /// the occurrence in [`ServeReport::had_nonfinite`]. Returns whether
+    /// anything was clamped.
+    pub fn sanitize(&mut self) -> bool {
+        let mut flagged = false;
+        for v in [
+            &mut self.sessions_per_sec,
+            &mut self.frames_per_sec,
+            &mut self.il_p50_us,
+            &mut self.il_p95_us,
+            &mut self.il_p99_us,
+            &mut self.co_p50_us,
+            &mut self.co_p95_us,
+            &mut self.co_p99_us,
+            &mut self.batch_size_mean,
+            &mut self.batch_size_max,
+            &mut self.shed_rate_low,
+            &mut self.shed_rate_overload,
+        ] {
+            icoil_telemetry::sanitize_field(v, &mut flagged);
+        }
+        self.had_nonfinite |= flagged;
+        flagged
+    }
+}
+
+/// Validates a parsed `BENCH_serve.json` against the [`ServeReport`]
+/// schema: every numeric field present and finite, the run-size fields
+/// integral, and the shed rates inside `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns the first violation found, naming the offending field.
+pub fn validate_serve_json(v: &serde_json::Value) -> Result<(), String> {
+    for key in ServeReport::NUMERIC_FIELDS {
+        let field = v
+            .get(key)
+            .ok_or_else(|| format!("BENCH_serve.json is missing {key:?}"))?;
+        let value = field
+            .as_f64()
+            .ok_or_else(|| format!("BENCH_serve.json field {key:?} is not a number"))?;
+        if !value.is_finite() {
+            return Err(format!("BENCH_serve.json field {key:?} is non-finite"));
+        }
+        if key.starts_with("shed_rate") && !(0.0..=1.0).contains(&value) {
+            return Err(format!(
+                "BENCH_serve.json field {key:?} is outside [0, 1]: {value}"
+            ));
+        }
+    }
+    for key in ["sessions", "frames_per_session", "co_workers"] {
+        v.get(key)
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("BENCH_serve.json field {key:?} is not an integer"))?;
+    }
+    v.get("had_nonfinite")
+        .and_then(serde_json::Value::as_bool)
+        .ok_or_else(|| "BENCH_serve.json field \"had_nonfinite\" is not a bool".to_string())?;
+    Ok(())
+}
+
 /// Path of the cached trained IL model.
 pub fn model_path() -> PathBuf {
     PathBuf::from("artifacts/il_model.json")
@@ -321,6 +446,73 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let err = validate_perf_json(&v).unwrap_err();
         assert!(err.contains("co_hz"), "names the null field: {err}");
+    }
+
+    fn sample_serve_report() -> ServeReport {
+        ServeReport {
+            sessions_per_sec: 2.0,
+            frames_per_sec: 120.0,
+            il_p50_us: 400.0,
+            il_p95_us: 900.0,
+            il_p99_us: 1500.0,
+            co_p50_us: 9000.0,
+            co_p95_us: 30000.0,
+            co_p99_us: 60000.0,
+            batch_size_mean: 5.5,
+            batch_size_max: 8.0,
+            shed_rate_low: 0.0,
+            shed_rate_overload: 0.6,
+            had_nonfinite: false,
+            sessions: 8,
+            frames_per_session: 50,
+            co_workers: 2,
+        }
+    }
+
+    #[test]
+    fn serve_report_sanitizes_and_validates() {
+        let mut clean = sample_serve_report();
+        assert!(!clean.sanitize());
+        let json = serde_json::to_string(&clean).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        validate_serve_json(&v).expect("clean report validates");
+
+        let mut poisoned = sample_serve_report();
+        poisoned.co_p99_us = f64::INFINITY;
+        assert!(poisoned.sanitize());
+        assert!(poisoned.had_nonfinite);
+        let json = serde_json::to_string(&poisoned).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        validate_serve_json(&v).expect("sanitized report validates");
+    }
+
+    #[test]
+    fn validate_serve_rejects_bad_reports() {
+        let report = sample_serve_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let mut map = match v {
+            serde_json::Value::Map(m) => m,
+            other => panic!("report is an object, got {other:?}"),
+        };
+        map.retain(|(k, _)| k != "co_p50_us");
+        let err = validate_serve_json(&serde_json::Value::Map(map)).unwrap_err();
+        assert!(err.contains("co_p50_us"), "names the missing field: {err}");
+
+        let mut out_of_range = sample_serve_report();
+        out_of_range.shed_rate_overload = 1.5;
+        let json = serde_json::to_string(&out_of_range).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_serve_json(&v).unwrap_err();
+        assert!(err.contains("shed_rate_overload"), "names the field: {err}");
+
+        // an unsanitized non-finite float serializes as null → not a number
+        let mut poisoned = sample_serve_report();
+        poisoned.frames_per_sec = f64::NAN;
+        let json = serde_json::to_string(&poisoned).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_serve_json(&v).unwrap_err();
+        assert!(err.contains("frames_per_sec"), "names the null field: {err}");
     }
 
     #[test]

@@ -25,6 +25,21 @@ pub struct CoOutput {
     pub degraded: bool,
 }
 
+impl CoOutput {
+    /// The degraded full-brake response, produced without running any
+    /// solve: what the serving layer returns when a CO request is shed
+    /// (queue full or deadline expired) — the same safe shape the
+    /// controller itself degrades to after a numerical failure.
+    pub fn degraded_brake() -> Self {
+        CoOutput {
+            action: Action::full_brake(),
+            mpc: None,
+            emergency: false,
+            degraded: true,
+        }
+    }
+}
+
 /// One MPC solve as it happened in an episode: the exact inputs plus the
 /// warm-started solution, captured by [`CoController::enable_solve_log`].
 ///

@@ -43,13 +43,15 @@ pub enum CheckKind {
     Determinism,
     /// Dense vs sparse KKT backend on identical recorded MPC inputs.
     DenseSparseQp,
+    /// Micro-batched IL inference vs per-sample inference, bitwise.
+    BatchedSingleIl,
     /// A deliberately-failing canary used to exercise shrinking.
     InjectedCanary,
 }
 
 impl CheckKind {
     /// Every real check (the canary is opt-in via `--inject`).
-    pub const ALL: [CheckKind; 8] = [
+    pub const ALL: [CheckKind; 9] = [
         CheckKind::WarmColdMpc,
         CheckKind::QpWarmCold,
         CheckKind::Parallelism,
@@ -58,6 +60,7 @@ impl CheckKind {
         CheckKind::HsaGuard,
         CheckKind::Determinism,
         CheckKind::DenseSparseQp,
+        CheckKind::BatchedSingleIl,
     ];
 
     /// Stable snake_case name used in reports.
@@ -71,6 +74,7 @@ impl CheckKind {
             CheckKind::HsaGuard => "hsa_guard",
             CheckKind::Determinism => "determinism",
             CheckKind::DenseSparseQp => "dense_sparse_qp",
+            CheckKind::BatchedSingleIl => "batched_single_il",
             CheckKind::InjectedCanary => "injected_canary",
         }
     }
@@ -164,6 +168,7 @@ pub fn run_check(
         CheckKind::HsaGuard => check_hsa_guard(spec),
         CheckKind::Determinism => check_determinism(spec, settings),
         CheckKind::DenseSparseQp => check_dense_sparse_qp(spec, settings),
+        CheckKind::BatchedSingleIl => check_batched_single_il(spec),
         CheckKind::InjectedCanary => check_injected_canary(spec),
     }));
     match outcome {
@@ -626,6 +631,47 @@ fn check_dense_sparse_qp(spec: &ProcScenario, settings: &CheckSettings) -> Resul
     Ok(())
 }
 
+/// Captures a stream of real BEV frames from the scenario, then runs
+/// them through [`IlModel::infer_batch`] at several batch widths and
+/// demands every row be *bitwise* equal to the single-sample
+/// [`IlModel::infer`] of the same frame — the property the serving
+/// engine's determinism contract rests on: batch composition must never
+/// leak into any co-batched session's trajectory.
+fn check_batched_single_il(spec: &ProcScenario) -> Result<(), String> {
+    let scenario = spec.build();
+    let config = ICoilConfig::default();
+    let mut model = IlModel::untrained(ActionCodec::default(), config.bev, spec.seed ^ 0x17E5);
+    let mut perception = Perception::new(config.bev, &scenario);
+    let mut world = World::new(scenario);
+    let images: Vec<_> = (0..16)
+        .map(|_| {
+            let bev = perception.observe(&Observation::new(&world)).bev;
+            for _ in 0..3 {
+                world.step(&icoil_vehicle::Action::forward(0.3, 0.05));
+            }
+            bev
+        })
+        .collect();
+    let singles: Vec<_> = images.iter().map(|img| model.infer(img)).collect();
+    for width in [1usize, 2, 7, 16] {
+        let refs: Vec<_> = images[..width].iter().collect();
+        let batched = model.infer_batch(&refs);
+        for (row, (b, s)) in batched.iter().zip(&singles[..width]).enumerate() {
+            if b != s {
+                return Err(format!(
+                    "batch width {width}, row {row}: batched class {} probs[0..3] {:?} vs \
+                     single class {} probs[0..3] {:?}",
+                    b.class,
+                    &b.probs[..3.min(b.probs.len())],
+                    s.class,
+                    &s.probs[..3.min(s.probs.len())]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The canary "fails" whenever the scenario has a dynamic obstacle —
 /// a deliberately scenario-dependent defect that exercises the full
 /// report-and-shrink path without touching any real subsystem.
@@ -652,6 +698,7 @@ mod tests {
             let spec = gen.generate(seed);
             assert_eq!(check_qp_warm_cold(&spec, &CheckSettings::default()), Ok(()));
             assert_eq!(check_inference(&spec), Ok(()));
+            assert_eq!(check_batched_single_il(&spec), Ok(()));
             assert_eq!(check_hsa_window(&spec), Ok(()));
             assert_eq!(check_hsa_guard(&spec), Ok(()));
         }
@@ -724,7 +771,8 @@ mod tests {
                 "hsa_window",
                 "hsa_guard",
                 "determinism",
-                "dense_sparse_qp"
+                "dense_sparse_qp",
+                "batched_single_il"
             ]
         );
     }

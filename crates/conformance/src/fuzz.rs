@@ -42,6 +42,7 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
     let base = match kind {
         CheckKind::QpWarmCold
         | CheckKind::Inference
+        | CheckKind::BatchedSingleIl
         | CheckKind::HsaWindow
         | CheckKind::HsaGuard
         | CheckKind::InjectedCanary => 1,

@@ -1,5 +1,6 @@
 //! The trained IL artifact and its inference path.
 
+use icoil_nn::loss::softmax_in_place;
 use icoil_nn::{InferBuffers, Network, Tensor};
 use icoil_perception::{BevConfig, BevImage};
 use icoil_vehicle::{Action, ActionCodec};
@@ -43,6 +44,10 @@ pub struct IlModel {
     /// performs no heap allocation (not persisted).
     #[serde(skip)]
     buffers: InferBuffers,
+    /// Reusable batched-logits tensor for [`IlModel::infer_batch`] (not
+    /// persisted).
+    #[serde(skip)]
+    batch_out: Tensor,
 }
 
 impl IlModel {
@@ -54,6 +59,7 @@ impl IlModel {
             bev,
             input: Tensor::default(),
             buffers: InferBuffers::new(),
+            batch_out: Tensor::default(),
         }
     }
 
@@ -112,6 +118,62 @@ impl IlModel {
             class,
             probs,
         }
+    }
+
+    /// Runs inference on a micro-batch of BEV images, one result per
+    /// image, in input order.
+    ///
+    /// The images are stacked into a single `[n, C, H, W]` batch and
+    /// pushed through [`Network::forward_batch_into`] in one blocked
+    /// pass — the serving engine's IL lane. Batching is a throughput
+    /// optimization, not an approximation: every row of the batched
+    /// softmax is bit-identical to [`IlModel::infer`] on that image
+    /// alone, and the conformance harness (`batched_single_il`) holds
+    /// the two paths to exactly that standard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or when any image's geometry differs
+    /// from the model's [`BevConfig`].
+    pub fn infer_batch(&mut self, images: &[&BevImage]) -> Vec<InferResult> {
+        assert!(!images.is_empty(), "infer_batch needs at least one image");
+        let size = self.bev.size;
+        let samples: Vec<&[f32]> = images
+            .iter()
+            .map(|image| {
+                assert_eq!(
+                    image.size, size,
+                    "BEV image size does not match the model"
+                );
+                image.data.as_slice()
+            })
+            .collect();
+        self.network.forward_batch_into(
+            &samples,
+            &[BevImage::CHANNELS, size, size],
+            &mut self.buffers,
+            &mut self.batch_out,
+        );
+        softmax_in_place(&mut self.batch_out);
+        let classes = self.codec.num_classes();
+        let mut results = Vec::with_capacity(images.len());
+        for i in 0..images.len() {
+            let row = &self.batch_out.data()[i * classes..(i + 1) * classes];
+            let probs: Vec<f64> = row.iter().map(|&v| v as f64).collect();
+            // Last maximal index, matching `Tensor::argmax_rows` tie-breaking.
+            let mut class = 0;
+            for (j, &p) in row.iter().enumerate() {
+                if p >= row[class] {
+                    class = j;
+                }
+            }
+            results.push(InferResult {
+                action: self.codec.decode(class),
+                class,
+                probs,
+            });
+        }
+        results
     }
 
     /// Runs inference through the reference (allocating) forward pass.
@@ -213,6 +275,28 @@ mod tests {
         let fast = m.infer(&img);
         let reference = m.infer_reference(&img);
         assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn batched_inference_matches_single_sample_bitwise() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 6);
+        let images: Vec<BevImage> = (0..7)
+            .map(|k| {
+                let mut img = blank_image(32);
+                for (i, v) in img.data.iter_mut().enumerate() {
+                    *v = (((i + 31 * k) * 2654435761) % 1000) as f32 / 1000.0;
+                }
+                img
+            })
+            .collect();
+        for n in [1usize, 2, 7] {
+            let refs: Vec<&BevImage> = images[..n].iter().collect();
+            let batched = m.infer_batch(&refs);
+            assert_eq!(batched.len(), n);
+            for (i, b) in batched.iter().enumerate() {
+                assert_eq!(*b, m.infer(&images[i]), "batch {n} row {i}");
+            }
+        }
     }
 
     #[test]

@@ -123,6 +123,12 @@ impl Network {
     /// landed in `buf.ping`, `false` for `buf.pong`.
     fn run_infer(&self, x: &Tensor, buf: &mut InferBuffers) -> bool {
         buf.ping.copy_from(x);
+        self.run_layers(buf)
+    }
+
+    /// Ping-pongs the already-staged `buf.ping` input through the layer
+    /// stack; returns `true` when the result landed in `buf.ping`.
+    fn run_layers(&self, buf: &mut InferBuffers) -> bool {
         let mut in_ping = true;
         for layer in &self.layers {
             if in_ping {
@@ -133,6 +139,58 @@ impl Network {
             in_ping = !in_ping;
         }
         in_ping
+    }
+
+    /// Inference over a stacked micro-batch: `samples` are `n` flattened
+    /// inputs of identical shape `sample_shape` (e.g. `[channels, h, w]`
+    /// BEV images); they are staged into the internal ping buffer as one
+    /// `[n, ...sample_shape]` batch, run through the same layer loop as
+    /// [`Network::infer_logits`], and the `[n, classes]` logits are
+    /// written into `out`.
+    ///
+    /// Every layer in the inference path treats batch rows independently
+    /// with a fixed per-row accumulation order — convolutions and pooling
+    /// loop per sample, dense outputs are independent dot products,
+    /// dropout is the identity at inference — so row `i` of `out` is
+    /// bit-identical to `infer_logits` on sample `i` alone. The
+    /// conformance harness (`batched_single_il`) holds the two paths to
+    /// exactly that standard.
+    ///
+    /// Allocation-free after warm-up: activations live in `buf` and `out`
+    /// reuses its own storage once grown.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, when a sample's length does not match
+    /// `sample_shape`, or when `sample_shape` has more than 7 axes.
+    pub fn forward_batch_into(
+        &self,
+        samples: &[&[f32]],
+        sample_shape: &[usize],
+        buf: &mut InferBuffers,
+        out: &mut Tensor,
+    ) {
+        assert!(!samples.is_empty(), "forward_batch_into needs at least one sample");
+        assert!(sample_shape.len() <= 7, "sample rank exceeds 7");
+        let sample_len: usize = sample_shape.iter().product();
+        // fixed-size shape scratch keeps this path heap-allocation-free
+        let mut shape = [0usize; 8];
+        shape[0] = samples.len();
+        shape[1..=sample_shape.len()].copy_from_slice(sample_shape);
+        buf.ping.resize(&shape[..=sample_shape.len()]);
+        for (i, sample) in samples.iter().enumerate() {
+            assert_eq!(
+                sample.len(),
+                sample_len,
+                "sample {i} does not match sample_shape"
+            );
+            buf.ping.data_mut()[i * sample_len..(i + 1) * sample_len].copy_from_slice(sample);
+        }
+        if self.run_layers(buf) {
+            out.copy_from(&buf.ping);
+        } else {
+            out.copy_from(&buf.pong);
+        }
     }
 
     /// Inference-only forward pass producing logits into reusable
@@ -296,6 +354,39 @@ mod tests {
         let x2 = crate::init::uniform(vec![1, 2, 16, 16], -1.0, 1.0, 6);
         let probs2 = net.predict_proba(&x2);
         assert_eq!(probs2.data(), net.infer_proba(&x2, &mut buf).data());
+    }
+
+    #[test]
+    fn batched_rows_match_single_sample_inference_bitwise() {
+        let mut net = Network::il_architecture((2, 16, 16), 21, 4);
+        let sample_shape = [2usize, 16, 16];
+        let sample_len: usize = sample_shape.iter().product();
+        let stacked = crate::init::uniform(vec![16, 2, 16, 16], -1.0, 1.0, 7);
+        let mut batch_buf = InferBuffers::new();
+        let mut single_buf = InferBuffers::new();
+        let mut out = Tensor::default();
+        for n in [1usize, 2, 7, 16] {
+            let samples: Vec<&[f32]> = (0..n)
+                .map(|i| &stacked.data()[i * sample_len..(i + 1) * sample_len])
+                .collect();
+            net.forward_batch_into(&samples, &sample_shape, &mut batch_buf, &mut out);
+            assert_eq!(out.shape(), &[n, 21]);
+            for (i, sample) in samples.iter().enumerate() {
+                let mut x = Tensor::zeros(vec![1, 2, 16, 16]);
+                x.data_mut().copy_from_slice(sample);
+                let row = &out.data()[i * 21..(i + 1) * 21];
+                assert_eq!(
+                    row,
+                    net.infer_logits(&x, &mut single_buf).data(),
+                    "batch {n} row {i} diverged from single-sample inference"
+                );
+                assert_eq!(
+                    row,
+                    net.forward(&x, false).data(),
+                    "batch {n} row {i} diverged from forward()"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! The serving engine: a command loop that owns every session, batches
+//! the IL lane, and dispatches CO solves to a deadline-ordered worker
+//! pool.
+//!
+//! Threading model: one engine thread owns the session table outright —
+//! commands arrive over an mpsc channel, so session state is never
+//! behind a lock. A session whose frame needs a CO solve is *moved*
+//! (world, HSA window, warm-start memory and all) into the lane job;
+//! the worker replies to the client directly and mails the session back
+//! to the engine as a [`Command::CoDone`]. Step requests that land
+//! while a session is in flight are deferred and replayed in arrival
+//! order when it returns.
+
+use crate::queue::DeadlineQueue;
+use crate::session::{ServeError, Session, SessionConfig, StepResponse};
+use crate::ServeConfig;
+use icoil_co::CoOutput;
+use icoil_hsa::{HsaDecision, Mode};
+use icoil_il::IlModel;
+use icoil_perception::{BevImage, Sensing};
+use icoil_telemetry::{Counter, Metrics, Series};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Reply<T> = Sender<Result<T, ServeError>>;
+
+enum Command {
+    Create {
+        spec: SessionConfig,
+        reply: Reply<u64>,
+    },
+    Step {
+        id: u64,
+        reply: Reply<StepResponse>,
+    },
+    Close {
+        id: u64,
+        reply: Reply<()>,
+    },
+    Metrics {
+        reply: Sender<Metrics>,
+    },
+    CoDone {
+        session: Box<Session>,
+        latency_s: f64,
+        shed: bool,
+    },
+    Shutdown,
+}
+
+/// A CO-lane work item: the session itself plus everything its solve
+/// frame needs. Deadline-keyed in the queue.
+struct CoJob {
+    session: Box<Session>,
+    sensing: Sensing,
+    hsa: HsaDecision,
+    reply: Reply<StepResponse>,
+    t0: Instant,
+    deadline: Instant,
+}
+
+struct LaneState {
+    queue: DeadlineQueue<Instant, Box<CoJob>>,
+    closed: bool,
+}
+
+/// The shared CO lane: a bounded earliest-deadline queue behind one
+/// mutex (jobs are coarse — a full path + MPC solve — so the lock is
+/// never contended for long) plus a condvar waking idle workers.
+struct Lane {
+    state: Mutex<LaneState>,
+    ready: Condvar,
+}
+
+impl Lane {
+    fn new(capacity: usize) -> Self {
+        Lane {
+            state: Mutex::new(LaneState {
+                queue: DeadlineQueue::new(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits a job or returns it when the queue is full (the caller
+    /// sheds). Never blocks.
+    fn submit(&self, job: Box<CoJob>) -> Result<(), Box<CoJob>> {
+        let mut state = self.state.lock().expect("lane lock");
+        if state.closed {
+            return Err(job);
+        }
+        state.queue.push(job.deadline, job)?;
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("lane lock").queue.len()
+    }
+
+    /// Blocks until a job is available (earliest deadline first) or the
+    /// lane is closed *and* drained — queued jobs are always finished,
+    /// never dropped.
+    fn pop_blocking(&self) -> Option<Box<CoJob>> {
+        let mut state = self.state.lock().expect("lane lock");
+        loop {
+            if let Some((_, job)) = state.queue.pop() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("lane lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("lane lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A CO worker: pops the earliest-deadline job, solves it (or sheds it
+/// when its deadline has already passed), replies to the client, and
+/// mails the session back to the engine. A panic inside the solve is
+/// caught and degraded to the full-brake response, so one poisoned
+/// scenario cannot take a worker — let alone the server — down.
+fn worker_loop(lane: Arc<Lane>, done: Sender<Command>) {
+    while let Some(job) = lane.pop_blocking() {
+        let CoJob {
+            mut session,
+            sensing,
+            hsa,
+            reply,
+            t0,
+            deadline,
+        } = *job;
+        let (out, shed) = if Instant::now() > deadline {
+            (CoOutput::degraded_brake(), true)
+        } else {
+            let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.solve_co(&sensing)
+            }));
+            match solved {
+                Ok(out) => (out, false),
+                Err(_) => (CoOutput::degraded_brake(), false),
+            }
+        };
+        let resp = session.advance(out.action, &hsa, Some(&out), shed);
+        let latency_s = t0.elapsed().as_secs_f64();
+        // mail the session home BEFORE replying: commands and CoDone
+        // share one FIFO channel, so a client that has seen this reply is
+        // guaranteed the engine settles this frame's bookkeeping (shed
+        // counters, in-flight state) before processing any command the
+        // client sends afterwards — e.g. a metrics snapshot
+        let done_ok = done
+            .send(Command::CoDone {
+                session,
+                latency_s,
+                shed,
+            })
+            .is_ok();
+        let _ = reply.send(Ok(resp));
+        if !done_ok {
+            break;
+        }
+    }
+}
+
+/// A step request drained from the channel, sensed and awaiting the IL
+/// micro-batch.
+struct PendingStep {
+    session: Session,
+    sensing: Sensing,
+    reply: Reply<StepResponse>,
+    t0: Instant,
+}
+
+struct Engine {
+    config: ServeConfig,
+    model: IlModel,
+    rx: Receiver<Command>,
+    lane: Arc<Lane>,
+    workers: Vec<JoinHandle<()>>,
+    sessions: HashMap<u64, Session>,
+    in_flight: HashSet<u64>,
+    deferred: HashMap<u64, VecDeque<Reply<StepResponse>>>,
+    pending_close: HashMap<u64, Vec<Reply<()>>>,
+    backlog: VecDeque<Command>,
+    next_id: u64,
+    metrics: Metrics,
+    shutting_down: bool,
+}
+
+impl Engine {
+    fn run(mut self) {
+        loop {
+            // one blocking command starts the tick; everything already
+            // queued behind it joins the same IL micro-batch
+            let first = match self.backlog.pop_front() {
+                Some(cmd) => cmd,
+                None => match self.rx.recv() {
+                    Ok(cmd) => cmd,
+                    Err(_) => break,
+                },
+            };
+            let mut steps: Vec<PendingStep> = Vec::new();
+            self.dispatch(first, &mut steps);
+            while steps.len() < self.config.max_batch {
+                match self.rx.try_recv() {
+                    Ok(cmd) => self.dispatch(cmd, &mut steps),
+                    Err(_) => break,
+                }
+            }
+            if !steps.is_empty() {
+                self.run_batch(steps);
+            }
+            if self.shutting_down && self.in_flight.is_empty() {
+                break;
+            }
+        }
+        self.lane.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn dispatch(&mut self, cmd: Command, steps: &mut Vec<PendingStep>) {
+        match cmd {
+            Command::Create { spec, reply } => {
+                if self.shutting_down {
+                    let _ = reply.send(Err(ServeError::ShuttingDown));
+                } else if self.sessions.len() + self.in_flight.len() >= self.config.max_sessions {
+                    let _ = reply.send(Err(ServeError::SessionLimit));
+                } else {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.sessions.insert(id, Session::new(id, &self.config, &spec));
+                    self.metrics.add(Counter::ServeSessions, 1);
+                    let _ = reply.send(Ok(id));
+                }
+            }
+            Command::Step { id, reply } => {
+                if self.shutting_down {
+                    let _ = reply.send(Err(ServeError::ShuttingDown));
+                    return;
+                }
+                if self.in_flight.contains(&id) {
+                    self.deferred.entry(id).or_default().push_back(reply);
+                    return;
+                }
+                let Some(mut session) = self.sessions.remove(&id) else {
+                    let _ = reply.send(Err(ServeError::UnknownSession(id)));
+                    return;
+                };
+                if session.is_done() {
+                    let resp = session.terminal_response();
+                    self.sessions.insert(id, session);
+                    let _ = reply.send(Ok(resp));
+                    return;
+                }
+                let t0 = Instant::now();
+                let sensing = session.sense();
+                steps.push(PendingStep {
+                    session,
+                    sensing,
+                    reply,
+                    t0,
+                });
+            }
+            Command::Close { id, reply } => {
+                if self.in_flight.contains(&id) {
+                    self.pending_close.entry(id).or_default().push(reply);
+                } else if self.sessions.remove(&id).is_some() {
+                    let _ = reply.send(Ok(()));
+                } else {
+                    let _ = reply.send(Err(ServeError::UnknownSession(id)));
+                }
+            }
+            Command::Metrics { reply } => {
+                let _ = reply.send(self.metrics.clone());
+            }
+            Command::CoDone {
+                session,
+                latency_s,
+                shed,
+            } => {
+                let id = session.id;
+                self.in_flight.remove(&id);
+                self.metrics.observe(Series::ServeCoLane, latency_s);
+                if shed {
+                    self.metrics.add(Counter::CoShed, 1);
+                }
+                if let Some(replies) = self.pending_close.remove(&id) {
+                    // the client closed the session mid-flight: drop it
+                    for r in replies {
+                        let _ = r.send(Ok(()));
+                    }
+                    if let Some(queue) = self.deferred.remove(&id) {
+                        for r in queue {
+                            let _ = r.send(Err(ServeError::UnknownSession(id)));
+                        }
+                    }
+                    return;
+                }
+                self.sessions.insert(id, *session);
+                if let Some(mut queue) = self.deferred.remove(&id) {
+                    while let Some(reply) = queue.pop_front() {
+                        self.backlog.push_back(Command::Step { id, reply });
+                    }
+                }
+            }
+            Command::Shutdown => {
+                self.shutting_down = true;
+            }
+        }
+    }
+
+    /// One engine tick over the drained step requests: a single blocked
+    /// IL pass over every pending frame (the HSA needs the softmax on
+    /// every frame regardless of mode), then per-session HSA decisions —
+    /// IL-mode frames finish inline, CO-mode frames go to the lane.
+    fn run_batch(&mut self, steps: Vec<PendingStep>) {
+        let bevs: Vec<&BevImage> = steps.iter().map(|s| &s.sensing.bev).collect();
+        let il_results = self.model.infer_batch(&bevs);
+        self.metrics.add(Counter::IlBatches, 1);
+        self.metrics.observe(Series::IlBatchSize, bevs.len() as f64);
+        drop(bevs);
+        for (mut step, il) in steps.into_iter().zip(il_results) {
+            let hsa = step.session.plan(&il.probs, &step.sensing);
+            match hsa.mode {
+                Mode::Il => {
+                    let resp = step.session.advance(il.action, &hsa, None, false);
+                    self.metrics
+                        .observe(Series::ServeIlLane, step.t0.elapsed().as_secs_f64());
+                    self.sessions.insert(step.session.id, step.session);
+                    let _ = step.reply.send(Ok(resp));
+                }
+                Mode::Co => {
+                    let id = step.session.id;
+                    self.metrics
+                        .observe(Series::CoQueueDepth, self.lane.len() as f64);
+                    let job = Box::new(CoJob {
+                        session: Box::new(step.session),
+                        sensing: step.sensing,
+                        hsa,
+                        reply: step.reply,
+                        t0: step.t0,
+                        deadline: Instant::now() + self.config.co_deadline,
+                    });
+                    match self.lane.submit(job) {
+                        Ok(()) => {
+                            self.metrics.add(Counter::CoAdmitted, 1);
+                            self.in_flight.insert(id);
+                        }
+                        Err(job) => {
+                            // admission control: the queue is full, shed
+                            // now rather than block the engine
+                            let CoJob {
+                                mut session,
+                                hsa,
+                                reply,
+                                t0,
+                                ..
+                            } = *job;
+                            let out = CoOutput::degraded_brake();
+                            let resp = session.advance(out.action, &hsa, Some(&out), true);
+                            self.metrics.add(Counter::CoShed, 1);
+                            self.metrics
+                                .observe(Series::ServeCoLane, t0.elapsed().as_secs_f64());
+                            self.sessions.insert(id, *session);
+                            let _ = reply.send(Ok(resp));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running policy server: owns the engine thread. Dropping (or
+/// calling [`Serve::shutdown`]) drains in-flight solves, stops the
+/// workers and joins everything.
+pub struct Serve {
+    handle: ServeHandle,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl Serve {
+    /// Starts the engine and CO worker threads.
+    ///
+    /// `model` is the IL network every session shares (weights are
+    /// read-only at serve time; activations live in engine-owned
+    /// buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a thread cannot be spawned.
+    pub fn start(config: ServeConfig, model: IlModel) -> Serve {
+        let (tx, rx) = channel();
+        let lane = Arc::new(Lane::new(config.queue_capacity));
+        let workers = (0..config.co_workers.max(1))
+            .map(|i| {
+                let lane = Arc::clone(&lane);
+                let done = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("icoil-co-{i}"))
+                    .spawn(move || worker_loop(lane, done))
+                    .expect("spawn CO lane worker")
+            })
+            .collect();
+        let engine = Engine {
+            config,
+            model,
+            rx,
+            lane,
+            workers,
+            sessions: HashMap::new(),
+            in_flight: HashSet::new(),
+            deferred: HashMap::new(),
+            pending_close: HashMap::new(),
+            backlog: VecDeque::new(),
+            next_id: 1,
+            metrics: Metrics::new(),
+            shutting_down: false,
+        };
+        let engine = std::thread::Builder::new()
+            .name("icoil-serve".to_string())
+            .spawn(move || engine.run())
+            .expect("spawn serve engine");
+        Serve {
+            handle: ServeHandle { tx },
+            engine: Some(engine),
+        }
+    }
+
+    /// A client handle; clone freely across threads and connections.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting work, drains in-flight CO solves, and joins the
+    /// engine and worker threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            let _ = self.handle.tx.send(Command::Shutdown);
+            let _ = engine.join();
+        }
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The in-process client API: every method is a blocking round-trip to
+/// the engine thread. Tests and the bench harness use this directly;
+/// the TCP front end is one more caller of the same handle.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: Sender<Command>,
+}
+
+impl ServeHandle {
+    fn request<T>(&self, make: impl FnOnce(Reply<T>) -> Command) -> Result<T, ServeError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(make(reply))
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)?
+    }
+
+    /// Opens a session; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionLimit`] at capacity,
+    /// [`ServeError::ShuttingDown`] / [`ServeError::Disconnected`]
+    /// around shutdown.
+    pub fn create(&self, spec: SessionConfig) -> Result<u64, ServeError> {
+        self.request(|reply| Command::Create { spec, reply })
+    }
+
+    /// Advances a session one frame and returns the served action and
+    /// resulting state. Stepping a finished episode reports the terminal
+    /// state again without advancing.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead id, shutdown errors as
+    /// on [`ServeHandle::create`].
+    pub fn step(&self, id: u64) -> Result<StepResponse, ServeError> {
+        self.request(|reply| Command::Step { id, reply })
+    }
+
+    /// Steps many sessions "concurrently" from one caller: all requests
+    /// are enqueued before any reply is awaited, so they land in the
+    /// same engine tick and share one IL micro-batch. Results are in
+    /// input order.
+    pub fn step_many(&self, ids: &[u64]) -> Vec<Result<StepResponse, ServeError>> {
+        let receivers: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let (reply, rx) = channel();
+                self.tx
+                    .send(Command::Step { id, reply })
+                    .ok()
+                    .map(|_| rx)
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| match rx {
+                None => Err(ServeError::Disconnected),
+                Some(rx) => rx
+                    .recv()
+                    .map_err(|_| ServeError::Disconnected)
+                    .and_then(|r| r),
+            })
+            .collect()
+    }
+
+    /// Closes a session, releasing its state. A session in flight on
+    /// the CO lane is released as soon as its solve lands.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead id.
+    pub fn close(&self, id: u64) -> Result<(), ServeError> {
+        self.request(|reply| Command::Close { id, reply })
+    }
+
+    /// A snapshot of the server's telemetry (lane counters, batch-size
+    /// and latency histograms).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] after shutdown.
+    pub fn metrics(&self) -> Result<Metrics, ServeError> {
+        let (reply, rx) = channel();
+        self.tx
+            .send(Command::Metrics { reply })
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}

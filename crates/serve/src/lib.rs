@@ -1,0 +1,87 @@
+//! Multi-session policy serving for the iCOIL stack.
+//!
+//! The paper's hybrid split — a cheap IL network queried every frame and
+//! an expensive CO solve queried only when the scenario demands it — is
+//! exactly the shape of a policy *server*: the IL lane batches trivially
+//! across clients, while the CO lane is the slow, contended resource
+//! that needs admission control. This crate turns the offline library
+//! into that long-running, multi-tenant server:
+//!
+//! * [`Serve`] / [`ServeHandle`] — an engine thread owning every
+//!   session's state (world, HSA window, warm-start `MpcMemory`) behind
+//!   a command channel; the handle is the in-process client API
+//!   (create/step/close/metrics) that tests and the bench harness use
+//!   directly.
+//! * **Micro-batched IL lane** — each engine tick drains all pending
+//!   step requests, stacks their BEV images and runs one blocked
+//!   [`icoil_nn::Network::forward_batch_into`] pass. Batching is
+//!   bit-identical per row to single-sample inference, so per-session
+//!   trajectories do not depend on who else is being served.
+//! * **Deadline-aware CO lane** — sessions whose HSA decision is CO
+//!   mode are handed (state and all) to a worker pool draining a
+//!   bounded [`DeadlineQueue`] in earliest-deadline order. A full queue
+//!   or an expired deadline sheds the request with the existing
+//!   [`icoil_co::CoOutput::degraded_brake`] full-brake response — the
+//!   lane never blocks the engine and never panics under overload.
+//! * **NDJSON TCP front end** ([`run_server`]) — newline-delimited
+//!   JSON requests/responses over `std::net`, mirroring the telemetry
+//!   `FrameEvent` conventions, for clients that are not in-process.
+//!
+//! Determinism contract: a session's trajectory is a pure function of
+//! its own `(difficulty, seed)` as long as none of its frames are shed
+//! — batch composition cannot change IL rows (bit-identical batching)
+//! and each CO solve runs on session-local state wherever the worker
+//! happens to be scheduled. `scripts/check.sh` holds the server to that
+//! standard across worker counts.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod engine;
+mod net;
+mod proto;
+mod queue;
+mod session;
+
+pub use engine::{Serve, ServeHandle};
+pub use net::run_server;
+pub use proto::{Request, Response};
+pub use queue::DeadlineQueue;
+pub use session::{ServeError, SessionConfig, StepResponse};
+
+use icoil_core::ICoilConfig;
+use std::time::Duration;
+
+/// Server-wide tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The policy configuration every session runs with.
+    pub icoil: ICoilConfig,
+    /// Worker threads draining the CO lane.
+    pub co_workers: usize,
+    /// Bound of the CO lane queue; admission beyond it sheds.
+    pub queue_capacity: usize,
+    /// Per-request CO deadline: a queued request still unserved past it
+    /// is shed by the worker that pops it.
+    pub co_deadline: Duration,
+    /// Most step requests drained into one IL micro-batch.
+    pub max_batch: usize,
+    /// Most concurrently live sessions; creation beyond it is refused.
+    pub max_sessions: usize,
+    /// Simulated-seconds budget per session episode.
+    pub max_time: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            icoil: ICoilConfig::default(),
+            co_workers: 2,
+            queue_capacity: 64,
+            co_deadline: Duration::from_millis(250),
+            max_batch: 32,
+            max_sessions: 256,
+            max_time: 60.0,
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The TCP front end: a thread per connection, newline-delimited JSON
+//! ([`Request`] in, [`Response`] out) over `std::net`, all funnelling
+//! into the same [`ServeHandle`] the in-process API uses.
+
+use crate::proto::{Request, Response};
+use crate::ServeHandle;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Serves NDJSON requests on `listener` until the engine shuts down.
+///
+/// Each accepted connection gets its own thread reading one request per
+/// line and writing one response per line. A malformed line yields a
+/// failure response (the connection survives); the loop ends when the
+/// client disconnects or the engine goes away.
+///
+/// # Errors
+///
+/// Propagates `accept` errors from the listener.
+pub fn run_server(listener: TcpListener, handle: ServeHandle) -> std::io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        let handle = handle.clone();
+        std::thread::Builder::new()
+            .name("icoil-serve-conn".to_string())
+            .spawn(move || serve_connection(stream, handle))
+            .map_err(std::io::Error::other)?;
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: ServeHandle) {
+    let reader = match stream.try_clone() {
+        Ok(read_half) => BufReader::new(read_half),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, &handle);
+        let Ok(mut encoded) = serde_json::to_string(&response) else {
+            break;
+        };
+        encoded.push('\n');
+        if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Dispatches one request line; pure with respect to the connection, so
+/// tests can drive it without a socket.
+pub(crate) fn handle_line(line: &str, handle: &ServeHandle) -> Response {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(req) => req,
+        Err(err) => return Response::failure(format!("malformed request: {err}")),
+    };
+    match request.op.as_str() {
+        "create" => match request.session_config() {
+            Some(spec) => match handle.create(spec) {
+                Ok(id) => Response::created(id),
+                Err(err) => err.into(),
+            },
+            None => Response::failure("create needs difficulty and seed"),
+        },
+        "step" => match request.session {
+            Some(id) => match handle.step(id) {
+                Ok(frame) => Response::stepped(frame),
+                Err(err) => err.into(),
+            },
+            None => Response::failure("step needs a session id"),
+        },
+        "close" => match request.session {
+            Some(id) => match handle.close(id) {
+                Ok(()) => Response::closed(),
+                Err(err) => err.into(),
+            },
+            None => Response::failure("close needs a session id"),
+        },
+        "metrics" => match handle.metrics() {
+            Ok(metrics) => Response::with_metrics(metrics),
+            Err(err) => err.into(),
+        },
+        other => Response::failure(format!("unknown op {other:?}")),
+    }
+}

@@ -1,0 +1,222 @@
+//! The NDJSON wire protocol: one JSON object per line, request then
+//! response, mirroring the telemetry `FrameEvent` convention of flat,
+//! line-oriented JSON.
+//!
+//! Requests and responses are plain structs with optional fields rather
+//! than tagged enums, so the vendored `serde_derive` subset covers them
+//! and clients in any language can build them by hand.
+
+use crate::session::{ServeError, SessionConfig, StepResponse};
+use icoil_telemetry::Metrics;
+use icoil_world::Difficulty;
+use serde::{Deserialize, Serialize};
+
+/// One client request line.
+///
+/// `op` selects the operation; the other fields are its arguments:
+///
+/// | `op`        | required fields        |
+/// |-------------|------------------------|
+/// | `"create"`  | `difficulty`, `seed`   |
+/// | `"step"`    | `session`              |
+/// | `"close"`   | `session`              |
+/// | `"metrics"` | —                      |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation name: `"create"`, `"step"`, `"close"` or `"metrics"`.
+    pub op: String,
+    /// Scenario difficulty for `"create"`.
+    #[serde(default)]
+    pub difficulty: Option<Difficulty>,
+    /// Scenario seed for `"create"`.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Target session id for `"step"` / `"close"`.
+    #[serde(default)]
+    pub session: Option<u64>,
+}
+
+impl Request {
+    /// A `"create"` request.
+    pub fn create(difficulty: Difficulty, seed: u64) -> Self {
+        Request {
+            op: "create".to_string(),
+            difficulty: Some(difficulty),
+            seed: Some(seed),
+            session: None,
+        }
+    }
+
+    /// A `"step"` request.
+    pub fn step(session: u64) -> Self {
+        Request {
+            op: "step".to_string(),
+            difficulty: None,
+            seed: None,
+            session: Some(session),
+        }
+    }
+
+    /// A `"close"` request.
+    pub fn close(session: u64) -> Self {
+        Request {
+            op: "close".to_string(),
+            difficulty: None,
+            seed: None,
+            session: Some(session),
+        }
+    }
+
+    /// A `"metrics"` request.
+    pub fn metrics() -> Self {
+        Request {
+            op: "metrics".to_string(),
+            difficulty: None,
+            seed: None,
+            session: None,
+        }
+    }
+
+    /// The session spec a `"create"` request describes, if complete.
+    pub fn session_config(&self) -> Option<SessionConfig> {
+        Some(SessionConfig {
+            difficulty: self.difficulty?,
+            seed: self.seed?,
+        })
+    }
+}
+
+/// One server response line. Exactly one of the payload fields is set on
+/// success, matching the request's `op`; on failure `ok` is `false` and
+/// `error` holds the reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Failure reason when `ok` is `false`.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// The new session id (`"create"` responses).
+    #[serde(default)]
+    pub session: Option<u64>,
+    /// The served frame (`"step"` responses).
+    #[serde(default)]
+    pub frame: Option<StepResponse>,
+    /// The telemetry snapshot (`"metrics"` responses).
+    #[serde(default)]
+    pub metrics: Option<Metrics>,
+}
+
+impl Response {
+    fn empty_ok() -> Self {
+        Response {
+            ok: true,
+            error: None,
+            session: None,
+            frame: None,
+            metrics: None,
+        }
+    }
+
+    /// A successful `"create"` response.
+    pub fn created(session: u64) -> Self {
+        Response {
+            session: Some(session),
+            ..Response::empty_ok()
+        }
+    }
+
+    /// A successful `"step"` response.
+    pub fn stepped(frame: StepResponse) -> Self {
+        Response {
+            frame: Some(frame),
+            ..Response::empty_ok()
+        }
+    }
+
+    /// A successful `"close"` response.
+    pub fn closed() -> Self {
+        Response::empty_ok()
+    }
+
+    /// A successful `"metrics"` response.
+    pub fn with_metrics(metrics: Metrics) -> Self {
+        Response {
+            metrics: Some(metrics),
+            ..Response::empty_ok()
+        }
+    }
+
+    /// A failure response.
+    pub fn failure(message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            error: Some(message.into()),
+            session: None,
+            frame: None,
+            metrics: None,
+        }
+    }
+}
+
+impl From<ServeError> for Response {
+    fn from(err: ServeError) -> Self {
+        Response::failure(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        for req in [
+            Request::create(Difficulty::Hard, 42),
+            Request::step(7),
+            Request::close(7),
+            Request::metrics(),
+        ] {
+            let line = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn hand_written_requests_may_omit_unused_fields() {
+        let req: Request =
+            serde_json::from_str(r#"{"op":"create","difficulty":"Easy","seed":42}"#).unwrap();
+        assert_eq!(req, Request::create(Difficulty::Easy, 42));
+        let req: Request = serde_json::from_str(r#"{"op":"step","session":7}"#).unwrap();
+        assert_eq!(req, Request::step(7));
+        let req: Request = serde_json::from_str(r#"{"op":"metrics"}"#).unwrap();
+        assert_eq!(req, Request::metrics());
+    }
+
+    #[test]
+    fn create_spec_requires_both_fields() {
+        let req = Request::create(Difficulty::Easy, 9);
+        assert_eq!(
+            req.session_config(),
+            Some(SessionConfig {
+                difficulty: Difficulty::Easy,
+                seed: 9
+            })
+        );
+        let partial = Request {
+            seed: None,
+            ..req
+        };
+        assert_eq!(partial.session_config(), None);
+    }
+
+    #[test]
+    fn failure_response_carries_the_error() {
+        let resp = Response::from(ServeError::UnknownSession(3));
+        assert!(!resp.ok);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.error.as_deref(), Some("unknown session 3"));
+    }
+}

@@ -1,0 +1,151 @@
+//! A bounded earliest-deadline-first queue.
+//!
+//! The CO lane's scheduling core, kept pure (no threads, no clocks) so
+//! the proptests in `tests/queue_proptest.rs` can drive it directly:
+//! the bound, the priority order and the FIFO tie-break are all
+//! properties of this structure alone.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One queued item: ordered by `(key, seq)` so equal deadlines drain in
+/// arrival (FIFO) order. `BinaryHeap` is a max-heap, so the `Ord`
+/// implementation is reversed — the heap root is the *earliest* entry.
+struct Entry<K, T> {
+    key: K,
+    seq: u64,
+    item: T,
+}
+
+impl<K: Ord, T> PartialEq for Entry<K, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+
+impl<K: Ord, T> Eq for Entry<K, T> {}
+
+impl<K: Ord, T> PartialOrd for Entry<K, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, T> Ord for Entry<K, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&other.key, other.seq).cmp(&(&self.key, self.seq))
+    }
+}
+
+/// A bounded priority queue drained in ascending key order, FIFO among
+/// equal keys.
+///
+/// Keys are deadlines in the CO lane (`std::time::Instant` there, any
+/// `Ord + Copy` type here); [`DeadlineQueue::push`] refuses — returning
+/// the item so the caller can shed it — rather than grow past the
+/// capacity or block.
+///
+/// # Example
+///
+/// ```
+/// use icoil_serve::DeadlineQueue;
+///
+/// let mut q: DeadlineQueue<u64, &str> = DeadlineQueue::new(2);
+/// assert!(q.push(20, "late").is_ok());
+/// assert!(q.push(10, "early").is_ok());
+/// assert_eq!(q.push(5, "overflow"), Err("overflow"));
+/// assert_eq!(q.pop(), Some((10, "early")));
+/// assert_eq!(q.pop(), Some((20, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct DeadlineQueue<K: Ord + Copy, T> {
+    capacity: usize,
+    seq: u64,
+    heap: BinaryHeap<Entry<K, T>>,
+}
+
+impl<K: Ord + Copy, T> DeadlineQueue<K, T> {
+    /// An empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero capacity (a queue that can only shed).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "DeadlineQueue needs a positive capacity");
+        DeadlineQueue {
+            capacity,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Admits an item, or returns it unchanged when the queue is full —
+    /// admission control, not back-pressure: the caller sheds instead of
+    /// blocking.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` when the queue already holds `capacity` items.
+    pub fn push(&mut self, key: K, item: T) -> Result<(), T> {
+        if self.heap.len() >= self.capacity {
+            return Err(item);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { key, seq, item });
+        Ok(())
+    }
+
+    /// Removes and returns the entry with the smallest key (earliest
+    /// deadline), FIFO among ties, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(K, T)> {
+        self.heap.pop().map(|e| (e.key, e.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_key_order_fifo_on_ties() {
+        let mut q: DeadlineQueue<u32, usize> = DeadlineQueue::new(8);
+        for (i, key) in [5u32, 1, 5, 3, 1].into_iter().enumerate() {
+            q.push(key, i).unwrap();
+        }
+        let order: Vec<(u32, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, [(1, 1), (1, 4), (3, 3), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_dropping_queued_items() {
+        let mut q: DeadlineQueue<u32, u32> = DeadlineQueue::new(2);
+        q.push(1, 10).unwrap();
+        q.push(2, 20).unwrap();
+        assert_eq!(q.push(0, 30), Err(30), "even an earlier deadline sheds");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1, 10)));
+        assert!(q.push(0, 30).is_ok(), "space reopens after a pop");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_is_rejected() {
+        let _: DeadlineQueue<u32, u32> = DeadlineQueue::new(0);
+    }
+}

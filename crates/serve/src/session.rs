@@ -1,0 +1,218 @@
+//! Per-client episode state and its frame lifecycle.
+
+use crate::ServeConfig;
+use icoil_co::{CoController, CoOutput};
+use icoil_hsa::{Hsa, HsaDecision, Mode};
+use icoil_perception::{Perception, Sensing};
+use icoil_vehicle::Action;
+use icoil_world::episode::{Observation, Outcome};
+use icoil_world::{Difficulty, ScenarioConfig, World};
+use serde::{Deserialize, Serialize};
+
+/// What a client asks for when opening a session: deterministic
+/// per-session seeding — the same `(difficulty, seed)` always replays
+/// the same scenario, perception noise stream and warm-start history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Scenario difficulty tier.
+    pub difficulty: Difficulty,
+    /// Scenario seed; every random choice in the session derives from it.
+    pub seed: u64,
+}
+
+/// Why a serving request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No live session has this id.
+    UnknownSession(u64),
+    /// The server is at its configured session limit.
+    SessionLimit,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The engine thread is gone (server already shut down).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::SessionLimit => write!(f, "session limit reached"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Disconnected => write!(f, "server engine is gone"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One served frame, mirroring the telemetry `FrameEvent` fields that
+/// are deterministic: everything here is a pure function of the
+/// session's `(difficulty, seed)` and frame count — no wall-clock
+/// content — so recorded response streams can be compared bitwise
+/// across runs and worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepResponse {
+    /// The session that was stepped.
+    pub session: u64,
+    /// Frame index after applying the action.
+    pub frame: usize,
+    /// Simulated time (seconds) after applying the action.
+    pub time: f64,
+    /// Which lane produced the action: `"IL"`, `"CO"`, or `"DONE"` for
+    /// a step request on an already-finished episode.
+    pub mode: String,
+    /// HSA scenario uncertainty `U_i` this frame.
+    pub uncertainty: f64,
+    /// HSA scenario complexity `C_i` this frame.
+    pub complexity: f64,
+    /// The executed action.
+    pub action: Action,
+    /// Ego rear-axle x after the step (meters).
+    pub x: f64,
+    /// Ego rear-axle y after the step (meters).
+    pub y: f64,
+    /// Ego heading after the step (radians).
+    pub heading: f64,
+    /// Signed ego speed after the step (m/s).
+    pub velocity: f64,
+    /// Whether the CO controller fell back to an emergency brake.
+    pub emergency: bool,
+    /// Whether the action is the degraded full brake (numerical failure
+    /// or a shed request).
+    pub degraded: bool,
+    /// Whether this frame's CO request was shed by the deadline lane
+    /// (queue full or deadline expired) instead of solved.
+    pub shed: bool,
+    /// Set once the episode has ended: `"success"`, `"collision"` or
+    /// `"timeout"`.
+    pub outcome: Option<String>,
+}
+
+/// A live episode owned by the serving engine: the world, the sensing
+/// pipeline, the HSA window state and the CO controller (whose
+/// `MpcMemory` carries warm starts across this session's frames). Moved
+/// wholesale to a CO worker for solve frames, so no lock ever guards
+/// session state.
+pub(crate) struct Session {
+    pub(crate) id: u64,
+    world: World,
+    perception: Perception,
+    hsa: Hsa,
+    co: CoController,
+    max_time: f64,
+    outcome: Option<Outcome>,
+}
+
+impl Session {
+    pub(crate) fn new(id: u64, config: &ServeConfig, spec: &SessionConfig) -> Self {
+        let scenario = ScenarioConfig::new(spec.difficulty, spec.seed).build();
+        let perception = Perception::new(config.icoil.bev, &scenario);
+        let co = CoController::new(config.icoil.co, scenario.vehicle_params);
+        let hsa = Hsa::new(config.icoil.hsa);
+        let world = World::new(scenario);
+        // a scenario that spawns in collision is finished before frame 0,
+        // mirroring `run_episode`
+        let outcome = world.collision_cause().map(|_| Outcome::Collision);
+        Session {
+            id,
+            world,
+            perception,
+            hsa,
+            co,
+            max_time: config.max_time,
+            outcome,
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// Perception for the upcoming frame (input to the IL micro-batch).
+    pub(crate) fn sense(&mut self) -> Sensing {
+        self.perception.observe(&Observation::new(&self.world))
+    }
+
+    /// HSA decision from this frame's IL softmax distribution.
+    pub(crate) fn plan(&mut self, probs: &[f64], sensing: &Sensing) -> HsaDecision {
+        self.hsa
+            .set_ego_position(self.world.ego().pose.position());
+        self.hsa.update(probs, &sensing.boxes)
+    }
+
+    /// The CO leg, run on a lane worker: hybrid-A* path + warm-started
+    /// SCP MPC against the detected boxes. Session-local state only.
+    pub(crate) fn solve_co(&mut self, sensing: &Sensing) -> CoOutput {
+        self.co.control(&Observation::new(&self.world), &sensing.boxes)
+    }
+
+    /// Applies `action`, advancing the world one frame and settling the
+    /// episode outcome, and builds the client response.
+    pub(crate) fn advance(
+        &mut self,
+        action: Action,
+        hsa: &HsaDecision,
+        co_out: Option<&CoOutput>,
+        shed: bool,
+    ) -> StepResponse {
+        self.world.step(&action);
+        if self.world.collision_cause().is_some() {
+            self.outcome = Some(Outcome::Collision);
+        } else if self.world.at_goal() {
+            self.outcome = Some(Outcome::Success);
+        } else if self.world.time() >= self.max_time {
+            self.outcome = Some(Outcome::Timeout);
+        }
+        let mode = match hsa.mode {
+            Mode::Il => "IL",
+            Mode::Co => "CO",
+        };
+        self.response(
+            mode,
+            hsa.uncertainty,
+            hsa.complexity,
+            action,
+            co_out.is_some_and(|o| o.emergency),
+            co_out.is_some_and(|o| o.degraded),
+            shed,
+        )
+    }
+
+    /// The response for a step request on an already-finished episode:
+    /// nothing advances, the terminal state is reported again.
+    pub(crate) fn terminal_response(&self) -> StepResponse {
+        self.response("DONE", 0.0, 0.0, Action::full_brake(), false, false, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn response(
+        &self,
+        mode: &str,
+        uncertainty: f64,
+        complexity: f64,
+        action: Action,
+        emergency: bool,
+        degraded: bool,
+        shed: bool,
+    ) -> StepResponse {
+        let ego = self.world.ego();
+        StepResponse {
+            session: self.id,
+            frame: self.world.frame(),
+            time: self.world.time(),
+            mode: mode.to_string(),
+            uncertainty,
+            complexity,
+            action,
+            x: ego.pose.x,
+            y: ego.pose.y,
+            heading: ego.pose.theta,
+            velocity: ego.velocity,
+            emergency,
+            degraded,
+            shed,
+            outcome: self.outcome.map(|o| o.to_string()),
+        }
+    }
+}

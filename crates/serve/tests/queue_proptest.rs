@@ -1,0 +1,105 @@
+//! Property tests for the deadline scheduler's core invariants:
+//!
+//! * **bound** — the queue never holds more than `capacity` items, and a
+//!   push fails exactly when it is full;
+//! * **priority** — among queued items, `pop` always returns one with
+//!   the minimal deadline key;
+//! * **no starvation** — every admitted item is eventually popped
+//!   exactly once (FIFO among equal deadlines), and nothing is invented
+//!   or lost under arbitrary interleavings of pushes and pops.
+//!
+//! The queue is driven against a naive reference model (a `Vec` scanned
+//! for the stable minimum), so any divergence in content or order fails.
+
+use icoil_serve::DeadlineQueue;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One scripted operation: `Some((key, id))` pushes (3-in-5 odds so
+/// queues actually fill), `None` pops. Keys are drawn from a small range
+/// so deadline ties actually occur.
+fn op_strategy() -> impl Strategy<Value = Option<(u32, u64)>> {
+    (0u32..5, 0u32..16, any::<u64>())
+        .prop_map(|(sel, key, id)| if sel < 3 { Some((key, id)) } else { None })
+}
+
+/// The reference: a vector popped at the position of the stable minimum
+/// key (first-arrived wins among ties, matching the FIFO guarantee).
+fn model_pop(model: &mut Vec<(u32, u64)>) -> Option<(u32, u64)> {
+    let best = model
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, (key, _))| (*key, *i))
+        .map(|(i, _)| i)?;
+    Some(model.remove(best))
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_model_and_respects_bound(
+        capacity in 1usize..8,
+        ops in vec(op_strategy(), 0..200),
+    ) {
+        let mut queue: DeadlineQueue<u32, u64> = DeadlineQueue::new(capacity);
+        let mut model: Vec<(u32, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Some((key, id)) => {
+                    let admitted = queue.push(key, id).is_ok();
+                    prop_assert_eq!(
+                        admitted,
+                        model.len() < capacity,
+                        "push must fail exactly when the queue is full"
+                    );
+                    if admitted {
+                        model.push((key, id));
+                    }
+                }
+                None => {
+                    prop_assert_eq!(queue.pop(), model_pop(&mut model));
+                }
+            }
+            prop_assert!(queue.len() <= capacity, "bound invariant violated");
+            prop_assert_eq!(queue.len(), model.len());
+            prop_assert_eq!(queue.is_empty(), model.is_empty());
+        }
+        // drain: everything admitted comes back out, in model order — no
+        // admitted item is ever starved
+        while let Some(got) = queue.pop() {
+            prop_assert_eq!(Some(got), model_pop(&mut model));
+        }
+        prop_assert!(model.is_empty(), "queue starved {} admitted items", model.len());
+    }
+
+    #[test]
+    fn pop_always_returns_a_minimal_ready_deadline(
+        keys in vec(0u32..1000, 1..64),
+    ) {
+        let mut queue: DeadlineQueue<u32, usize> = DeadlineQueue::new(64);
+        for (i, &key) in keys.iter().enumerate() {
+            queue.push(key, i).unwrap();
+        }
+        let mut remaining: Vec<Option<u32>> = keys.into_iter().map(Some).collect();
+        while let Some((key, id)) = queue.pop() {
+            let min = remaining.iter().flatten().min().copied().unwrap();
+            prop_assert_eq!(key, min, "popped a non-minimal deadline");
+            prop_assert_eq!(remaining[id].take(), Some(key), "item popped twice or corrupted");
+        }
+        prop_assert!(
+            remaining.iter().all(Option::is_none),
+            "some admitted items were never popped"
+        );
+    }
+
+    #[test]
+    fn equal_deadlines_drain_fifo(count in 1usize..32) {
+        let mut queue: DeadlineQueue<u32, usize> = DeadlineQueue::new(32);
+        for i in 0..count {
+            queue.push(7, i).unwrap();
+        }
+        for expected in 0..count {
+            prop_assert_eq!(queue.pop(), Some((7, expected)));
+        }
+        prop_assert!(queue.is_empty());
+    }
+}

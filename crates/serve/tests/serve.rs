@@ -1,0 +1,190 @@
+//! End-to-end server tests: determinism across worker counts, overload
+//! shedding, and the TCP NDJSON front end.
+
+use icoil_il::IlModel;
+use icoil_perception::BevConfig;
+use icoil_serve::{
+    Request, Response, Serve, ServeConfig, ServeError, SessionConfig, StepResponse,
+};
+use icoil_telemetry::Counter;
+use icoil_vehicle::ActionCodec;
+use icoil_world::Difficulty;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn test_model() -> IlModel {
+    // untrained → near-uniform softmax → high uncertainty → the HSA
+    // keeps sessions on the CO lane, which is the lane worth stressing
+    IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1)
+}
+
+/// Runs `sessions` episodes for `frames` frames each through one server
+/// and returns every session's full response stream.
+fn run_once(co_workers: usize, sessions: usize, frames: usize) -> (Vec<Vec<StepResponse>>, u64) {
+    let config = ServeConfig {
+        co_workers,
+        // generous deadline and queue: zero sheds, so trajectories are
+        // the pure function of (difficulty, seed) the contract promises
+        co_deadline: Duration::from_secs(30),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let server = Serve::start(config, test_model());
+    let handle = server.handle();
+    let ids: Vec<u64> = (0..sessions)
+        .map(|i| {
+            handle
+                .create(SessionConfig {
+                    difficulty: Difficulty::Easy,
+                    seed: 100 + i as u64,
+                })
+                .expect("create session")
+        })
+        .collect();
+    let mut streams: Vec<Vec<StepResponse>> = vec![Vec::new(); sessions];
+    for _ in 0..frames {
+        for (i, result) in handle.step_many(&ids).into_iter().enumerate() {
+            streams[i].push(result.expect("step"));
+        }
+    }
+    let shed = handle
+        .metrics()
+        .expect("metrics")
+        .counter(Counter::CoShed);
+    server.shutdown();
+    (streams, shed)
+}
+
+#[test]
+fn trajectories_are_identical_across_worker_counts() {
+    let (serial, shed_serial) = run_once(1, 3, 20);
+    let (parallel, shed_parallel) = run_once(4, 3, 20);
+    assert_eq!(shed_serial, 0, "low load must not shed");
+    assert_eq!(shed_parallel, 0, "low load must not shed");
+    // StepResponse is PartialEq over every f64 it carries: this is a
+    // bitwise trajectory comparison, not a tolerance check
+    assert_eq!(serial, parallel);
+    for stream in &serial {
+        assert!(stream.iter().all(|r| !r.shed && !r.degraded));
+    }
+}
+
+#[test]
+fn overload_sheds_degraded_full_brake_instead_of_blocking() {
+    let config = ServeConfig {
+        co_workers: 1,
+        queue_capacity: 1,
+        co_deadline: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let server = Serve::start(config, test_model());
+    let handle = server.handle();
+    let ids: Vec<u64> = (0..8)
+        .map(|i| {
+            handle
+                .create(SessionConfig {
+                    difficulty: Difficulty::Normal,
+                    seed: 500 + i,
+                })
+                .expect("create session")
+        })
+        .collect();
+    let mut shed_frames = 0usize;
+    for _ in 0..6 {
+        // every request is answered — shedding degrades, it never blocks
+        for result in handle.step_many(&ids) {
+            let resp = result.expect("overloaded step still answers");
+            if resp.shed {
+                shed_frames += 1;
+                assert!(resp.degraded, "a shed frame must carry the degraded brake");
+                assert_eq!(resp.action, icoil_vehicle::Action::full_brake());
+            }
+        }
+    }
+    assert!(shed_frames > 0, "capacity 1 + zero deadline must shed");
+    let metrics = handle.metrics().expect("metrics");
+    assert_eq!(metrics.counter(Counter::CoShed), shed_frames as u64);
+    server.shutdown();
+}
+
+#[test]
+fn session_lifecycle_errors() {
+    let config = ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    };
+    let server = Serve::start(config, test_model());
+    let handle = server.handle();
+    let spec = SessionConfig {
+        difficulty: Difficulty::Easy,
+        seed: 1,
+    };
+    assert_eq!(handle.step(99), Err(ServeError::UnknownSession(99)));
+    let a = handle.create(spec).unwrap();
+    let b = handle.create(spec).unwrap();
+    assert_ne!(a, b);
+    assert_eq!(handle.create(spec), Err(ServeError::SessionLimit));
+    handle.close(a).unwrap();
+    assert_eq!(handle.close(a), Err(ServeError::UnknownSession(a)));
+    let c = handle.create(spec).unwrap();
+    assert_ne!(c, a, "session ids are never reused");
+    server.shutdown();
+    assert_eq!(handle.step(b), Err(ServeError::Disconnected));
+}
+
+#[test]
+fn tcp_front_end_round_trips() {
+    let server = Serve::start(ServeConfig::default(), test_model());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        let _ = icoil_serve::run_server(listener, handle);
+    });
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut exchange = |req: &Request| -> Response {
+        let mut line = serde_json::to_string(req).expect("encode");
+        line.push('\n');
+        writer.write_all(line.as_bytes()).expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        serde_json::from_str(&reply).expect("decode")
+    };
+
+    let created = exchange(&Request::create(Difficulty::Easy, 7));
+    assert!(created.ok, "create failed: {:?}", created.error);
+    let id = created.session.expect("session id");
+
+    let stepped = exchange(&Request::step(id));
+    assert!(stepped.ok);
+    let frame = stepped.frame.expect("frame payload");
+    assert_eq!(frame.session, id);
+    assert_eq!(frame.frame, 1);
+
+    let metrics = exchange(&Request::metrics());
+    assert!(metrics.ok);
+    assert_eq!(
+        metrics.metrics.expect("metrics payload").counter(Counter::ServeSessions),
+        1
+    );
+
+    let closed = exchange(&Request::close(id));
+    assert!(closed.ok);
+    let gone = exchange(&Request::step(id));
+    assert!(!gone.ok);
+    assert_eq!(gone.error.as_deref(), Some(&*format!("unknown session {id}")));
+
+    let malformed_reply = exchange(&Request {
+        op: "reboot".to_string(),
+        difficulty: None,
+        seed: None,
+        session: None,
+    });
+    assert!(!malformed_reply.ok, "unknown op must fail, not kill the connection");
+
+    server.shutdown();
+}

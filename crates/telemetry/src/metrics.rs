@@ -54,10 +54,19 @@ pub enum Counter {
     Collisions,
     /// Episodes that ran out of time.
     Timeouts,
+    /// Serving sessions created.
+    ServeSessions,
+    /// Micro-batched IL inference passes run by the serving engine.
+    IlBatches,
+    /// CO solve requests admitted to the serving deadline lane.
+    CoAdmitted,
+    /// CO solve requests shed by the serving lane (queue full or
+    /// deadline expired) and answered with the degraded full brake.
+    CoShed,
 }
 
 /// Number of [`Counter`] variants (the fixed counter-array length).
-pub const NUM_COUNTERS: usize = 21;
+pub const NUM_COUNTERS: usize = 25;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "frames",
@@ -81,6 +90,10 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "successes",
     "collisions",
     "timeouts",
+    "serve_sessions",
+    "il_batches",
+    "co_admitted",
+    "co_shed",
 ];
 
 impl Counter {
@@ -108,15 +121,27 @@ pub enum Series {
     AdmmPerSolve,
     /// SCP passes per MPC solve. Deterministic.
     ScpPerSolve,
+    /// Rows per micro-batched IL pass in the serving engine.
+    /// Load-dependent (arrival timing decides batch composition).
+    IlBatchSize,
+    /// CO lane queue depth observed at admission. Load-dependent.
+    CoQueueDepth,
+    /// IL-lane frame latency in the serving engine, request receipt to
+    /// reply (seconds). Wall-clock.
+    ServeIlLane,
+    /// CO-lane frame latency, request receipt to reply after the worker
+    /// solve or shed (seconds). Wall-clock.
+    ServeCoLane,
 }
 
 /// Number of [`Series`] variants (the fixed histogram-array length).
-pub const NUM_SERIES: usize = 7;
+pub const NUM_SERIES: usize = 11;
 
 impl Series {
-    /// Whether the series holds wall-clock timings. Timing series are
-    /// excluded from [`Metrics::deterministic_eq`]: their content
-    /// legitimately differs between runs.
+    /// Whether the series holds wall-clock timings or load-dependent
+    /// serving content. These series are excluded from
+    /// [`Metrics::deterministic_eq`]: their content legitimately differs
+    /// between runs (and, for the serving series, between schedulings).
     pub fn is_timing(self) -> bool {
         matches!(
             self,
@@ -125,6 +150,10 @@ impl Series {
                 | Series::IlForward
                 | Series::HsaUpdate
                 | Series::CoSolve
+                | Series::IlBatchSize
+                | Series::CoQueueDepth
+                | Series::ServeIlLane
+                | Series::ServeCoLane
         )
     }
 
@@ -137,6 +166,10 @@ impl Series {
             Series::CoSolve,
             Series::AdmmPerSolve,
             Series::ScpPerSolve,
+            Series::IlBatchSize,
+            Series::CoQueueDepth,
+            Series::ServeIlLane,
+            Series::ServeCoLane,
         ]
     }
 }
@@ -248,8 +281,22 @@ mod tests {
     #[test]
     fn counter_names_cover_every_variant() {
         // a name lookup on the last variant proves the array length
+        assert_eq!(Counter::CoShed.name(), "co_shed");
         assert_eq!(Counter::Timeouts.name(), "timeouts");
         assert_eq!(Counter::Frames.name(), "frames");
+    }
+
+    #[test]
+    fn serving_series_are_exempt_from_deterministic_eq() {
+        let mut a = Metrics::new();
+        let b = Metrics::new();
+        a.observe(Series::IlBatchSize, 8.0);
+        a.observe(Series::CoQueueDepth, 3.0);
+        a.observe(Series::ServeIlLane, 1e-4);
+        a.observe(Series::ServeCoLane, 2e-3);
+        assert!(a.deterministic_eq(&b), "load-dependent content is exempt");
+        a.add(Counter::CoShed, 1);
+        assert!(!a.deterministic_eq(&b), "shed counters are not");
     }
 
     #[test]

@@ -10,7 +10,10 @@
 # and the backend_e2e suite drives full episodes with each factorization
 # backend forced. The telemetry smoke runs one traced episode, re-parses
 # the NDJSON trace against the aggregated counters, and validates the
-# BENCH_perf.json schema. Override the fuzz case count with
+# BENCH_perf.json / BENCH_serve.json schemas. The serve smoke steps 8
+# concurrent sessions 50 frames through the in-process serving engine and
+# demands bit-identical trajectories between a 1-worker and a 4-worker CO
+# lane with zero sheds. Override the fuzz case count with
 # ICOIL_FUZZ_CASES, e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the
 # full local sweep.
 set -euo pipefail
@@ -21,6 +24,7 @@ cargo test -q
 cargo test --release -q --test backend_e2e
 cargo clippy --all-targets -- -D warnings
 cargo run --release -q -p icoil-bench --bin telemetry_smoke
+cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
 echo "all checks passed"

@@ -4,16 +4,19 @@
 //! item is parsed directly from the token stream and the generated impls are
 //! emitted as source strings. Supported shapes — the ones this workspace
 //! uses — are named-field structs, unit enums, and enums mixing unit and
-//! newtype variants, with `#[serde(skip)]` and
-//! `#[serde(skip, default = "path")]` field attributes. Generic types are
-//! rejected with a compile-time panic.
+//! newtype variants, with `#[serde(skip)]`,
+//! `#[serde(skip, default = "path")]` and bare `#[serde(default)]`
+//! (missing field deserializes to `Default::default()`) field attributes.
+//! Generic types are rejected with a compile-time panic.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {
     name: String,
     skip: bool,
-    default_path: Option<String>,
+    /// `None` = no default; `Some(None)` = bare `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
 }
 
 struct Variant {
@@ -114,7 +117,11 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Parses `#[serde(...)]` content out of one attribute's bracket group.
-fn parse_serde_attr(group: &proc_macro::Group, skip: &mut bool, default_path: &mut Option<String>) {
+fn parse_serde_attr(
+    group: &proc_macro::Group,
+    skip: &mut bool,
+    default: &mut Option<Option<String>>,
+) {
     let inner: Vec<TokenTree> = group.stream().into_iter().collect();
     match inner.first() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -132,12 +139,18 @@ fn parse_serde_attr(group: &proc_macro::Group, skip: &mut bool, default_path: &m
                 j += 1;
             }
             TokenTree::Ident(id) if id.to_string() == "default" => {
-                // `default = "path"`
-                if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
-                    let raw = lit.to_string();
-                    *default_path = Some(raw.trim_matches('"').to_string());
+                // `default = "path"` or bare `default`
+                let has_eq = matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                if has_eq {
+                    if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                        let raw = lit.to_string();
+                        *default = Some(Some(raw.trim_matches('"').to_string()));
+                    }
+                    j += 3;
+                } else {
+                    *default = Some(None);
+                    j += 1;
                 }
-                j += 3;
             }
             _ => j += 1,
         }
@@ -149,13 +162,13 @@ fn parse_fields(body: &[TokenTree]) -> Vec<Field> {
     let mut i = 0;
     while i < body.len() {
         let mut skip = false;
-        let mut default_path = None;
+        let mut default = None;
         while let TokenTree::Punct(p) = &body[i] {
             if p.as_char() != '#' {
                 break;
             }
             if let TokenTree::Group(g) = &body[i + 1] {
-                parse_serde_attr(g, &mut skip, &mut default_path);
+                parse_serde_attr(g, &mut skip, &mut default);
             }
             i += 2;
         }
@@ -190,7 +203,7 @@ fn parse_fields(body: &[TokenTree]) -> Vec<Field> {
         fields.push(Field {
             name,
             skip,
-            default_path,
+            default,
         });
     }
     fields
@@ -253,14 +266,17 @@ fn serialize_struct(_name: &str, fields: &[Field]) -> String {
 fn deserialize_struct(name: &str, fields: &[Field]) -> String {
     let mut out = format!("        ::std::result::Result::Ok({name} {{\n");
     for f in fields {
+        let default_expr = match &f.default {
+            Some(Some(path)) => format!("{path}()"),
+            _ => "::std::default::Default::default()".to_string(),
+        };
         if f.skip {
-            match &f.default_path {
-                Some(path) => out.push_str(&format!("            {}: {}(),\n", f.name, path)),
-                None => out.push_str(&format!(
-                    "            {}: ::std::default::Default::default(),\n",
-                    f.name
-                )),
-            }
+            out.push_str(&format!("            {}: {default_expr},\n", f.name));
+        } else if f.default.is_some() {
+            out.push_str(&format!(
+                "            {0}: match v.get(\"{0}\") {{ ::std::option::Option::Some(inner) => ::serde::Deserialize::from_value(inner)?, ::std::option::Option::None => {default_expr} }},\n",
+                f.name
+            ));
         } else {
             out.push_str(&format!(
                 "            {0}: ::serde::Deserialize::from_value(v.get(\"{0}\").ok_or_else(|| ::serde::DeError::missing_field(\"{1}\", \"{0}\"))?)?,\n",
