@@ -18,7 +18,15 @@
 //! * `kkt_factor_us_dense` / `kkt_factor_us_sparse` / `kkt_nnz_ratio` —
 //!   per-factorization microseconds for dense Cholesky vs the cached
 //!   symbolic + numeric-refactor sparse LDLᵀ on the *actual* MPC KKT
-//!   matrix of a mid-episode frame, plus that matrix's fill ratio.
+//!   matrix of a mid-episode frame, plus that matrix's fill ratio;
+//! * `matmul_gflops_{scalar,simd}` — f32 GEMM throughput of the IL
+//!   kernel layer with the scalar reference forced vs the detected SIMD
+//!   dispatch, at a network-shaped problem size (best-of-N timing,
+//!   `kernel_best_of` and `simd_dispatch` record the discipline);
+//! * `batch_refactor_us_k{1,4,16}` — per-block microseconds of the
+//!   block-diagonal batched sparse LDLᵀ refactor (`BatchLdl`) over K
+//!   copies of the same MPC KKT matrix, the amortization the serve CO
+//!   lane's batched drain rides on.
 //!
 //! The file lands in the working directory (the repo root under
 //! `cargo run`). Run sizes honor `ICOIL_EPISODES` and
@@ -34,7 +42,7 @@
 use icoil_bench::{PerfReport, RunSize};
 use icoil_co::{build_mpc_qp, CoConfig, CoController};
 use icoil_core::{eval, ICoilConfig, Method};
-use icoil_solver::{Backend, SparseKkt, SparseLdl, SymbolicLdl};
+use icoil_solver::{Backend, BatchLdl, SparseKkt, SparseLdl, SparseMatrix, SymbolicLdl};
 use icoil_il::IlModel;
 use icoil_perception::Perception;
 use icoil_telemetry::{Recorder, Series};
@@ -84,12 +92,9 @@ fn drive(seed: u64, frames: usize, cold: bool, backend: Backend, recorder: &mut 
     (hz, iters as f64 / solves.max(1) as f64)
 }
 
-/// Times one KKT factorization per frame for both backends on the real
-/// MPC KKT matrix (`P + σI + ρAᵀA`) of a mid-episode frame: dense
-/// Cholesky from scratch vs sparse LDLᵀ numeric refactorization over the
-/// cached symbolic analysis — exactly the work each backend repeats when
-/// ADMM adapts ρ. Returns `(dense_us, sparse_us, kkt_fill_ratio)`.
-fn kkt_microbench() -> (f64, f64, f64) {
+/// Rebuilds the MPC KKT matrix (`P + σI + ρAᵀA`) of a mid-episode frame
+/// — the matrix every factorization microbenchmark below times against.
+fn mpc_kkt_matrix() -> SparseMatrix {
     // Drive a few frames so the logged solve carries a real reference
     // horizon and tracked obstacles, then rebuild that frame's QP.
     let scenario = ScenarioConfig::new(Difficulty::Normal, 3).build();
@@ -118,7 +123,15 @@ fn kkt_microbench() -> (f64, f64, f64) {
 
     let gram = qp.a().gram();
     let mut kkt = SparseKkt::new(qp.p(), &gram);
-    let matrix = kkt.assemble(qp.p(), &gram, 1e-6, 0.1).clone();
+    kkt.assemble(qp.p(), &gram, 1e-6, 0.1).clone()
+}
+
+/// Times one KKT factorization per frame for both backends on the real
+/// mid-episode MPC KKT matrix: dense Cholesky from scratch vs sparse
+/// LDLᵀ numeric refactorization over the cached symbolic analysis —
+/// exactly the work each backend repeats when ADMM adapts ρ. Returns
+/// `(dense_us, sparse_us, kkt_fill_ratio)`.
+fn kkt_microbench(matrix: &SparseMatrix) -> (f64, f64, f64) {
     let fill = matrix.fill_ratio();
 
     let reps = 2000;
@@ -130,16 +143,68 @@ fn kkt_microbench() -> (f64, f64, f64) {
     }
     let dense_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
 
-    let sym = SymbolicLdl::analyze(&matrix);
-    let mut factor = SparseLdl::factor(sym, &matrix).expect("MPC KKT is quasidefinite");
+    let sym = SymbolicLdl::analyze(matrix);
+    let mut factor = SparseLdl::factor(sym, matrix).expect("MPC KKT is quasidefinite");
     let t0 = Instant::now();
     for _ in 0..reps {
-        factor.refactor(&matrix).expect("refactor succeeds");
+        factor.refactor(matrix).expect("refactor succeeds");
         std::hint::black_box(&factor);
     }
     let sparse_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
 
     (dense_us, sparse_us, fill)
+}
+
+/// Number of timed repetitions each kernel microbenchmark takes the
+/// best of — minimum-of-N suppresses scheduler noise without needing a
+/// long run.
+const KERNEL_BEST_OF: usize = 5;
+
+/// f32 GEMM throughput (GFLOP/s) through the nn kernel layer under the
+/// given backend, at a network-shaped problem size. Best of
+/// [`KERNEL_BEST_OF`] timed repetitions.
+fn matmul_gflops(backend: icoil_nn::KernelBackend) -> f64 {
+    let (m, k, n) = (64usize, 288usize, 256usize);
+    // deterministic non-trivial fill; values do not affect timing
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 + 11) % 97) as f32 * 0.013 - 0.6).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 + 7) % 89) as f32 * 0.011 - 0.5).collect();
+    let mut out = vec![0.0f32; m * n];
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let inner = 40;
+    let mut best = f64::INFINITY;
+    icoil_nn::simd::with_backend(backend, || {
+        for _ in 0..KERNEL_BEST_OF {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                icoil_nn::simd::matmul(&a, m, k, &b, n, &mut out);
+                std::hint::black_box(&out);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / inner as f64);
+        }
+    });
+    flops / best / 1e9
+}
+
+/// Per-block microseconds of the block-diagonal batched sparse LDLᵀ
+/// refactor over `k_blocks` copies of the real MPC KKT matrix — the
+/// numeric pass `QpBatch` amortizes across a serve worker's drain. Best
+/// of [`KERNEL_BEST_OF`] timed repetitions.
+fn batch_refactor_us_per_block(matrix: &SparseMatrix, k_blocks: usize) -> f64 {
+    let sym = SymbolicLdl::analyze(matrix);
+    let mut batch = BatchLdl::new(sym, k_blocks);
+    let kkts: Vec<&SparseMatrix> = (0..k_blocks).map(|_| matrix).collect();
+    batch.refactor_all(&kkts).expect("MPC KKT is quasidefinite");
+    let inner = 400;
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_BEST_OF {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            batch.refactor_all(&kkts).expect("refactor succeeds");
+            std::hint::black_box(&batch);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / inner as f64);
+    }
+    best * 1e6 / k_blocks as f64
 }
 
 fn main() {
@@ -203,7 +268,17 @@ fn main() {
 
     // 4) per-frame KKT factorization microbenchmark on the actual MPC
     //    KKT matrix of a mid-episode frame
-    let (kkt_factor_us_dense, kkt_factor_us_sparse, kkt_nnz_ratio) = kkt_microbench();
+    let kkt_matrix = mpc_kkt_matrix();
+    let (kkt_factor_us_dense, kkt_factor_us_sparse, kkt_nnz_ratio) = kkt_microbench(&kkt_matrix);
+
+    // 5) kernel-layer microbenchmarks: scalar-vs-SIMD f32 GEMM and the
+    //    batched block-diagonal refactor at several widths
+    let matmul_gflops_scalar = matmul_gflops(icoil_nn::KernelBackend::Scalar);
+    let matmul_gflops_simd = matmul_gflops(icoil_nn::simd::detected());
+    let batch_refactor_us_k1 = batch_refactor_us_per_block(&kkt_matrix, 1);
+    let batch_refactor_us_k4 = batch_refactor_us_per_block(&kkt_matrix, 4);
+    let batch_refactor_us_k16 = batch_refactor_us_per_block(&kkt_matrix, 16);
+    let simd_dispatch = icoil_nn::simd::dispatch_target().to_string();
 
     let mut report = PerfReport {
         episodes_per_sec,
@@ -223,6 +298,13 @@ fn main() {
         solve_p50_us,
         solve_p95_us,
         solve_p99_us,
+        matmul_gflops_scalar,
+        matmul_gflops_simd,
+        batch_refactor_us_k1,
+        batch_refactor_us_k4,
+        batch_refactor_us_k16,
+        simd_dispatch: simd_dispatch.clone(),
+        kernel_best_of: KERNEL_BEST_OF as u64,
         had_nonfinite: false,
         parallelism: size.parallelism,
         episodes: size.episodes,
@@ -253,5 +335,15 @@ fn main() {
     println!(
         "solve latency: {solve_p50_us:8.1} us p50 / {solve_p95_us:.1} us p95 / \
          {solve_p99_us:.1} us p99"
+    );
+    println!(
+        "matmul f32:    {matmul_gflops_scalar:8.2} GFLOP/s scalar vs \
+         {matmul_gflops_simd:.2} GFLOP/s {simd_dispatch} \
+         ({:.1}x, best of {KERNEL_BEST_OF})",
+        matmul_gflops_simd / matmul_gflops_scalar
+    );
+    println!(
+        "batch refactor: {batch_refactor_us_k1:7.1} us/block K=1 / \
+         {batch_refactor_us_k4:.1} us/block K=4 / {batch_refactor_us_k16:.1} us/block K=16"
     );
 }

@@ -6,9 +6,11 @@
 //!   [`icoil_serve::ServeHandle`], comfortably provisioned — zero sheds
 //!   allowed;
 //! * the full response streams (every pose, action, HSA value, bit for
-//!   bit) must be identical between a 1-worker and a 4-worker server:
-//!   batch composition and worker scheduling must not leak into any
-//!   session's trajectory;
+//!   bit) must be identical between a 1-worker and a 4-worker server,
+//!   and between job-at-a-time CO solving (`co_batch = 1`) and the
+//!   block-diagonal batched drain (`co_batch = 8`): neither batch
+//!   composition nor worker scheduling may leak into any session's
+//!   trajectory;
 //! * every session's stream must also differ from its neighbours'
 //!   (distinct seeds ⇒ distinct episodes — a stuck engine replaying one
 //!   session 8 times would otherwise pass).
@@ -27,9 +29,10 @@ use std::time::Duration;
 const SESSIONS: usize = 8;
 const FRAMES: usize = 50;
 
-fn run_once(co_workers: usize) -> Result<Vec<Vec<StepResponse>>, String> {
+fn run_once(co_workers: usize, co_batch: usize) -> Result<Vec<Vec<StepResponse>>, String> {
     let config = ServeConfig {
         co_workers,
+        co_batch,
         co_deadline: Duration::from_secs(60),
         queue_capacity: 64,
         ..ServeConfig::default()
@@ -69,18 +72,20 @@ fn run_once(co_workers: usize) -> Result<Vec<Vec<StepResponse>>, String> {
 }
 
 fn run() -> Result<(), String> {
-    let serial = run_once(1)?;
-    let parallel = run_once(4)?;
-    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-        if s != p {
-            let frame = s
-                .iter()
-                .zip(p)
-                .position(|(a, b)| a != b)
-                .unwrap_or(s.len().min(p.len()));
-            return Err(format!(
-                "session {i} diverged between 1 and 4 workers at frame {frame}"
-            ));
+    let serial = run_once(1, 1)?;
+    let variants = [("4 CO workers", run_once(4, 1)?), ("a batched CO drain", run_once(1, 8)?)];
+    for (label, stream) in &variants {
+        for (i, (s, p)) in serial.iter().zip(stream).enumerate() {
+            if s != p {
+                let frame = s
+                    .iter()
+                    .zip(p)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(s.len().min(p.len()));
+                return Err(format!(
+                    "session {i} diverged between the serial baseline and {label} at frame {frame}"
+                ));
+            }
         }
     }
     for i in 1..serial.len() {
@@ -92,7 +97,7 @@ fn run() -> Result<(), String> {
     }
     println!(
         "serve smoke: {SESSIONS} sessions x {FRAMES} frames bit-identical across \
-         1 vs 4 CO workers, zero sheds"
+         1 vs 4 CO workers and co_batch 1 vs 8, zero sheds"
     );
     Ok(())
 }

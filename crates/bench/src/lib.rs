@@ -111,6 +111,29 @@ pub struct PerfReport {
     /// 99th-percentile CO solve-stage latency of the warm drive (µs).
     #[serde(default)]
     pub solve_p99_us: f64,
+    /// f32 matmul throughput with the scalar kernels forced (GFLOP/s).
+    #[serde(default)]
+    pub matmul_gflops_scalar: f64,
+    /// f32 matmul throughput with the detected SIMD kernels (GFLOP/s).
+    #[serde(default)]
+    pub matmul_gflops_simd: f64,
+    /// Batched sparse LDLᵀ refactor microseconds per block at width 1.
+    #[serde(default)]
+    pub batch_refactor_us_k1: f64,
+    /// Batched sparse LDLᵀ refactor microseconds per block at width 4.
+    #[serde(default)]
+    pub batch_refactor_us_k4: f64,
+    /// Batched sparse LDLᵀ refactor microseconds per block at width 16.
+    #[serde(default)]
+    pub batch_refactor_us_k16: f64,
+    /// Kernel dispatch target the microbenchmarks ran on (e.g.
+    /// `"avx2+fma"` or `"scalar"`).
+    #[serde(default)]
+    pub simd_dispatch: String,
+    /// Timing discipline of the kernel microbenchmarks: each number is
+    /// the best of this many timed repetitions.
+    #[serde(default)]
+    pub kernel_best_of: u64,
     /// Whether any measured field was non-finite before sanitization.
     #[serde(default)]
     pub had_nonfinite: bool,
@@ -140,6 +163,11 @@ impl PerfReport {
         "solve_p50_us",
         "solve_p95_us",
         "solve_p99_us",
+        "matmul_gflops_scalar",
+        "matmul_gflops_simd",
+        "batch_refactor_us_k1",
+        "batch_refactor_us_k4",
+        "batch_refactor_us_k16",
     ];
 
     /// Clamps every non-finite float field to a finite value and records
@@ -165,6 +193,11 @@ impl PerfReport {
             &mut self.solve_p50_us,
             &mut self.solve_p95_us,
             &mut self.solve_p99_us,
+            &mut self.matmul_gflops_scalar,
+            &mut self.matmul_gflops_simd,
+            &mut self.batch_refactor_us_k1,
+            &mut self.batch_refactor_us_k4,
+            &mut self.batch_refactor_us_k16,
         ] {
             icoil_telemetry::sanitize_field(v, &mut flagged);
         }
@@ -192,10 +225,17 @@ pub fn validate_perf_json(v: &serde_json::Value) -> Result<(), String> {
             return Err(format!("BENCH_perf.json field {key:?} is non-finite"));
         }
     }
-    for key in ["parallelism", "episodes"] {
+    for key in ["parallelism", "episodes", "kernel_best_of"] {
         v.get(key)
             .and_then(serde_json::Value::as_u64)
             .ok_or_else(|| format!("BENCH_perf.json field {key:?} is not an integer"))?;
+    }
+    let dispatch = v
+        .get("simd_dispatch")
+        .and_then(serde_json::Value::as_str)
+        .ok_or_else(|| "BENCH_perf.json field \"simd_dispatch\" is not a string".to_string())?;
+    if dispatch.is_empty() {
+        return Err("BENCH_perf.json field \"simd_dispatch\" is empty".to_string());
     }
     v.get("had_nonfinite")
         .and_then(serde_json::Value::as_bool)
@@ -390,6 +430,13 @@ mod tests {
             solve_p50_us: 250.0,
             solve_p95_us: 400.0,
             solve_p99_us: 550.0,
+            matmul_gflops_scalar: 2.0,
+            matmul_gflops_simd: 8.0,
+            batch_refactor_us_k1: 5.0,
+            batch_refactor_us_k4: 4.5,
+            batch_refactor_us_k16: 4.2,
+            simd_dispatch: "avx2+fma".to_string(),
+            kernel_best_of: 5,
             had_nonfinite: false,
             parallelism: 4,
             episodes: 20,

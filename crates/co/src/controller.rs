@@ -1,7 +1,9 @@
 //! The per-frame CO controller: global path + MPC + action conversion.
 
 use crate::config::CoConfig;
-use crate::mpc::{solve_mpc_warm, MpcMemory, MpcSolution, MpcStatus, RefState};
+use crate::mpc::{
+    solve_mpc_batch, solve_mpc_warm, MpcBatchJob, MpcMemory, MpcSolution, MpcStatus, RefState,
+};
 use crate::reference::{build_reference_at, PathWalker};
 use crate::tracker::{BoxTracker, MovingObstacle};
 use icoil_geom::Obb;
@@ -204,6 +206,30 @@ impl CoController {
     /// (with velocity predictions) enters the MPC constraints — the path
     /// routes around the static scene, the MPC dodges whatever moves.
     pub fn control(&mut self, obs: &Observation, boxes: &[Obb]) -> CoOutput {
+        match self.prepare(obs, boxes) {
+            Prepared::Early(out) => out,
+            Prepared::Solve {
+                state,
+                reference,
+                tracked,
+            } => {
+                let mpc = solve_mpc_warm(
+                    &state,
+                    &reference,
+                    &tracked,
+                    &self.params,
+                    &self.config,
+                    &mut self.memory,
+                );
+                self.finish_solve(state, reference, tracked, mpc)
+            }
+        }
+    }
+
+    /// The pre-solve half of [`control`](CoController::control): tracking,
+    /// stall detection, (re)planning and reference building. Returns
+    /// either an early (no-solve) output or the assembled MPC inputs.
+    fn prepare(&mut self, obs: &Observation, boxes: &[Obb]) -> Prepared {
         let ego = obs.ego();
         self.frames_since_replan += 1;
 
@@ -266,23 +292,23 @@ impl CoController {
                 // No path even at the tightest margin — typically the
                 // ego is wedged against an obstacle. Creep away from the
                 // nearest box to restore clearance, then replan.
-                return CoOutput {
+                return Prepared::Early(CoOutput {
                     action: unstick_action(&ego, boxes),
                     mpc: None,
                     emergency: true,
                     degraded: false,
-                };
+                });
             }
         }
         let (path, walker) = match (&self.path, &self.walker) {
             (Some(p), Some(w)) => (p, w),
             _ => {
-                return CoOutput {
+                return Prepared::Early(CoOutput {
                     action: Action::full_brake(),
                     mpc: None,
                     emergency: true,
                     degraded: false,
-                }
+                })
             }
         };
 
@@ -301,18 +327,26 @@ impl CoController {
             ego.pose.theta,
             &self.config,
         );
-        let mpc = solve_mpc_warm(
-            &ego,
-            &reference,
-            &tracked,
-            &self.params,
-            &self.config,
-            &mut self.memory,
-        );
+        Prepared::Solve {
+            state: ego,
+            reference,
+            tracked,
+        }
+    }
+
+    /// The post-solve half of [`control`](CoController::control): solve
+    /// logging, degradation handling and action conversion.
+    fn finish_solve(
+        &mut self,
+        ego: VehicleState,
+        reference: Vec<RefState>,
+        tracked: Vec<MovingObstacle>,
+        mpc: MpcSolution,
+    ) -> CoOutput {
         if let Some(log) = self.solve_log.as_mut() {
             log.push(SolveRecord {
                 state: ego,
-                reference: reference.clone(),
+                reference,
                 tracked,
                 warm: mpc.clone(),
             });
@@ -370,6 +404,73 @@ impl CoController {
             }
         }
     }
+}
+
+/// Outcome of [`CoController::prepare`]: either the frame resolved
+/// without an MPC solve, or the solve inputs are ready.
+enum Prepared {
+    /// No solve this frame (planner failure or missing path).
+    Early(CoOutput),
+    /// The assembled MPC inputs for this frame.
+    Solve {
+        /// Ego state at the frame.
+        state: VehicleState,
+        /// Reference horizon.
+        reference: Vec<RefState>,
+        /// Tracked obstacles with velocity estimates.
+        tracked: Vec<MovingObstacle>,
+    },
+}
+
+/// Runs one control frame for several independent controllers, batching
+/// their MPC solves through [`solve_mpc_batch`].
+///
+/// Each `(controller, observation, boxes)` triple goes through the same
+/// prepare → solve → finish pipeline as [`CoController::control`]; only
+/// the inner QP solves are pooled, so outputs and controller states are
+/// bit-identical to calling `control` once per tuple. Controllers that
+/// resolve without a solve (planner failure, missing path) are passed
+/// through untouched.
+pub fn control_batch(jobs: &mut [(&mut CoController, &Observation, &[Obb])]) -> Vec<CoOutput> {
+    let prepared: Vec<Prepared> = jobs
+        .iter_mut()
+        .map(|(co, obs, boxes)| co.prepare(obs, boxes))
+        .collect();
+    // pool the solve jobs; memories borrow mutably, configs immutably
+    let mut mpc_jobs: Vec<MpcBatchJob<'_>> = Vec::new();
+    for ((co, _, _), prep) in jobs.iter_mut().zip(&prepared) {
+        if let Prepared::Solve {
+            state,
+            reference,
+            tracked,
+        } = prep
+        {
+            let co = &mut **co;
+            mpc_jobs.push(MpcBatchJob {
+                state,
+                reference,
+                obstacles: tracked,
+                params: &co.params,
+                config: &co.config,
+                memory: &mut co.memory,
+            });
+        }
+    }
+    let mut sols = solve_mpc_batch(mpc_jobs).into_iter();
+    jobs.iter_mut()
+        .zip(prepared)
+        .map(|((co, _, _), prep)| match prep {
+            Prepared::Early(out) => out,
+            Prepared::Solve {
+                state,
+                reference,
+                tracked,
+            } => {
+                let mpc = sols.next().expect("one solution per solve job");
+                co.finish_solve(state, reference, tracked, mpc)
+            }
+        })
+        .collect()
 }
 
 /// Recovery action when no path exists from the current pose: creep
@@ -492,6 +593,51 @@ mod tests {
         world.set_ego(good_state);
         let recovered = co.control(&Observation::new(&world), &world.obstacle_footprints());
         assert!(!recovered.degraded, "healthy frame must recover");
+    }
+
+    #[test]
+    fn control_batch_is_bit_identical_to_sequential_control() {
+        // three sessions on different scenarios, stepped in lockstep for
+        // several frames: batched control must match per-session control
+        // exactly, frame by frame, including the carried controller state
+        let seeds = [2u64, 5, 9];
+        let mut seq: Vec<(World, CoController)> =
+            seeds.iter().map(|&s| setup(Difficulty::Easy, s)).collect();
+        let (mut bat_worlds, mut bat_cos): (Vec<World>, Vec<CoController>) =
+            seeds.iter().map(|&s| setup(Difficulty::Easy, s)).unzip();
+        for frame in 0..8 {
+            let seq_outs: Vec<CoOutput> = seq
+                .iter_mut()
+                .map(|(world, co)| {
+                    let boxes = world.obstacle_footprints();
+                    let out = co.control(&Observation::new(world), &boxes);
+                    world.step(&out.action);
+                    out
+                })
+                .collect();
+            let boxes: Vec<Vec<Obb>> =
+                bat_worlds.iter().map(|w| w.obstacle_footprints()).collect();
+            let obs: Vec<Observation> =
+                bat_worlds.iter().map(Observation::new).collect();
+            let mut jobs: Vec<(&mut CoController, &Observation, &[Obb])> = bat_cos
+                .iter_mut()
+                .zip(&obs)
+                .zip(&boxes)
+                .map(|((co, ob), bx)| (co, ob, bx.as_slice()))
+                .collect();
+            let bat_outs = control_batch(&mut jobs);
+            drop(jobs);
+            drop(obs);
+            for (world, out) in bat_worlds.iter_mut().zip(&bat_outs) {
+                world.step(&out.action);
+            }
+            for (i, (s, b)) in seq_outs.iter().zip(&bat_outs).enumerate() {
+                assert_eq!(s.action, b.action, "frame {frame} session {i}");
+                assert_eq!(s.mpc, b.mpc, "frame {frame} session {i}");
+                assert_eq!(s.emergency, b.emergency);
+                assert_eq!(s.degraded, b.degraded);
+            }
+        }
     }
 
     #[test]

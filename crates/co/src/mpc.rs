@@ -24,8 +24,8 @@ use crate::config::CoConfig;
 use crate::tracker::MovingObstacle;
 use icoil_geom::Obb;
 use icoil_solver::{
-    solve_qp_warm, Backend, QpDiagnostics, QpProblem, QpSettings, QpStatus, QpWarmStart,
-    QpWorkspace, TripletBuilder,
+    solve_qp_batch, solve_qp_warm, Backend, QpBatchJob, QpDiagnostics, QpProblem, QpSettings,
+    QpSolution, QpStatus, QpWarmStart, QpWorkspace, TripletBuilder,
 };
 use icoil_vehicle::{VehicleParams, VehicleState};
 use serde::{Deserialize, Serialize};
@@ -241,171 +241,419 @@ pub fn solve_mpc_warm(
     config: &CoConfig,
     memory: &mut MpcMemory,
 ) -> MpcSolution {
-    assert!(!reference.is_empty(), "reference horizon must be non-empty");
-    config.validate().expect("valid CO config");
-    let h_len = reference.len();
-    let dt = config.mpc_dt;
+    let mut frame = ScpFrame::new(state, reference, obstacles, params, config, memory);
+    for _scp in 0..frame.pass_budget() {
+        if !frame.running() {
+            break;
+        }
+        frame.solve_pass_solo();
+    }
+    frame.finish()
+}
 
-    let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
-    let was_warm = memory.is_warm();
+/// One MPC problem of a [`solve_mpc_batch`] call.
+pub struct MpcBatchJob<'a> {
+    /// Ego state of this frame.
+    pub state: &'a VehicleState,
+    /// Reference horizon (must be non-empty).
+    pub reference: &'a [RefState],
+    /// Tracked obstacles with velocity estimates.
+    pub obstacles: &'a [MovingObstacle],
+    /// Vehicle parameters.
+    pub params: &'a VehicleParams,
+    /// CO configuration (must be valid).
+    pub config: &'a CoConfig,
+    /// Warm-start memory carried across this session's frames.
+    pub memory: &'a mut MpcMemory,
+}
+
+/// Solves several independent MPC problems, batching the inner QP solves.
+///
+/// The SCP passes run in lockstep across the jobs: each pass, every live
+/// job linearizes around its own nominal and the resulting QPs are
+/// grouped by structure (dimensions, `P`/`A` sparsity pattern, backend).
+/// Groups of two or more solve as one block-diagonal program through the
+/// solver's [`QpBatch`](icoil_solver::QpBatch) — one symbolic phase, one
+/// numeric refactor pass, lockstep ADMM — while singletons take the
+/// sequential path. Horizons of equal length produced by the same config
+/// share their structure by construction, so a serve worker draining one
+/// deadline queue batches essentially every frame.
+///
+/// Every per-job computation is the sequential code ([`ScpFrame`] and the
+/// solver's batched-vs-sequential bit-equality contract), so the returned
+/// solutions and the final memory states are bit-identical to calling
+/// [`solve_mpc_warm`] once per job. The warm-start pathology fallback
+/// (cold re-solve) runs solo per job, exactly as sequentially.
+///
+/// # Panics
+///
+/// Panics when any job's reference is empty or its config is invalid.
+pub fn solve_mpc_batch(jobs: Vec<MpcBatchJob<'_>>) -> Vec<MpcSolution> {
     let settings = QpSettings {
         max_iters: MPC_QP_MAX_ITERS,
         eps_abs: 3e-4,
         ..QpSettings::default()
     };
-    let mut nominal_u = memory.seeded_nominal(h_len);
-    // the shifted controls (with their rollout states) are also the best
-    // primal guess for the QP
-    if memory.is_warm() {
-        let x = pack_primal(&s0, &nominal_u, params, dt);
-        match memory.warm.as_mut() {
-            Some(w) => w.x = x,
-            None => memory.warm = Some(QpWarmStart { x, y: Vec::new() }),
+    let mut frames: Vec<ScpFrame<'_>> = jobs
+        .into_iter()
+        .map(|j| ScpFrame::new(j.state, j.reference, j.obstacles, j.params, j.config, j.memory))
+        .collect();
+    let max_passes = frames.iter().map(|f| f.pass_budget()).max().unwrap_or(0);
+    for pass in 0..max_passes {
+        // each live frame linearizes around its own nominal
+        struct PassJob<'f> {
+            idx: usize,
+            qp: QpProblem,
+            warm: Option<&'f QpWarmStart>,
+            workspace: &'f mut QpWorkspace,
+        }
+        let mut pass_jobs: Vec<PassJob<'_>> = Vec::new();
+        for (idx, f) in frames.iter_mut().enumerate() {
+            if !f.running() || pass >= f.pass_budget() {
+                continue;
+            }
+            let qp = f.build_pass_qp();
+            let mem = &mut *f.memory;
+            pass_jobs.push(PassJob {
+                idx,
+                qp,
+                warm: mem.warm.as_ref(),
+                workspace: &mut mem.workspace,
+            });
+        }
+        // group by the structural compatibility QpBatch requires
+        let compatible = |a: &QpProblem, b: &QpProblem| {
+            a.num_vars() == b.num_vars()
+                && a.num_constraints() == b.num_constraints()
+                && a.p().same_pattern(b.p())
+                && a.a().same_pattern(b.a())
+                && a.backend() == b.backend()
+        };
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for j in 0..pass_jobs.len() {
+            let pos = groups
+                .iter()
+                .position(|g| compatible(&pass_jobs[g[0]].qp, &pass_jobs[j].qp));
+            match pos {
+                Some(g) => groups[g].push(j),
+                None => groups.push(vec![j]),
+            }
+        }
+        let mut gid = vec![0usize; pass_jobs.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for &j in members {
+                gid[j] = g;
+            }
+        }
+        let mut grouped: Vec<Vec<PassJob<'_>>> = (0..groups.len()).map(|_| Vec::new()).collect();
+        for (j, pj) in pass_jobs.into_iter().enumerate() {
+            grouped[gid[j]].push(pj);
+        }
+        // singletons take the sequential path; larger groups batch
+        let mut sols: Vec<(usize, QpSolution)> = Vec::new();
+        for mut group in grouped {
+            if group.len() == 1 {
+                let pj = group.pop().expect("non-empty group");
+                let sol = solve_qp_warm(&pj.qp, &settings, pj.warm, pj.workspace);
+                sols.push((pj.idx, sol));
+            } else {
+                let idxs: Vec<usize> = group.iter().map(|pj| pj.idx).collect();
+                let qjobs: Vec<QpBatchJob<'_>> = group
+                    .iter_mut()
+                    .map(|pj| QpBatchJob {
+                        problem: &pj.qp,
+                        warm: pj.warm,
+                        workspace: &mut *pj.workspace,
+                    })
+                    .collect();
+                let group_sols =
+                    solve_qp_batch(qjobs, &settings).expect("grouped QPs share their structure");
+                sols.extend(idxs.into_iter().zip(group_sols));
+            }
+        }
+        for (idx, sol) in sols {
+            frames[idx].absorb(sol);
         }
     }
-    let mut qp_iters_total = 0usize;
-    let mut status = MpcStatus::Ok;
-    let mut scp_passes = 0u32;
-    let mut backend = Backend::Dense;
-    let mut diagnostics = QpDiagnostics::default();
+    frames.into_iter().map(|f| f.finish()).collect()
+}
 
-    for _scp in 0..config.scp_iterations {
-        // nonlinear nominal rollout, then one linearized QP around it
-        let nominal_s = rollout(&s0, &nominal_u, params, dt);
-        let qp = assemble_qp(&nominal_u, &nominal_s, reference, obstacles, params, config);
-        let sol = solve_qp_warm(&qp, &settings, memory.warm.as_ref(), &mut memory.workspace);
-        qp_iters_total += sol.iterations;
-        scp_passes += 1;
-        backend = sol.backend;
-        diagnostics.absorb(&sol.diagnostics);
+/// The per-frame SCP state shared by the sequential and batched solvers.
+///
+/// [`solve_mpc_warm`] drives one frame through
+/// `new → (build_pass_qp → solve → absorb)* → finish`;
+/// [`solve_mpc_batch`] drives many frames through the *same* methods in
+/// lockstep, handing each pass's QPs to the batched solver. Both paths
+/// run identical per-frame arithmetic, which is what makes the batch
+/// bit-identical to sequential solves.
+struct ScpFrame<'a> {
+    state: &'a VehicleState,
+    reference: &'a [RefState],
+    obstacles: &'a [MovingObstacle],
+    params: &'a VehicleParams,
+    config: &'a CoConfig,
+    memory: &'a mut MpcMemory,
+    s0: [f64; NX],
+    h_len: usize,
+    dt: f64,
+    was_warm: bool,
+    settings: QpSettings,
+    nominal_u: Vec<[f64; NU]>,
+    qp_iters_total: usize,
+    status: MpcStatus,
+    scp_passes: u32,
+    backend: Backend,
+    diagnostics: QpDiagnostics,
+}
+
+impl<'a> ScpFrame<'a> {
+    /// Frame setup: seeds the nominal (shift-and-extend) and the QP
+    /// primal guess from the carried memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reference` is empty or the config is invalid.
+    fn new(
+        state: &'a VehicleState,
+        reference: &'a [RefState],
+        obstacles: &'a [MovingObstacle],
+        params: &'a VehicleParams,
+        config: &'a CoConfig,
+        memory: &'a mut MpcMemory,
+    ) -> Self {
+        assert!(!reference.is_empty(), "reference horizon must be non-empty");
+        config.validate().expect("valid CO config");
+        let h_len = reference.len();
+        let dt = config.mpc_dt;
+        let s0 = [state.pose.x, state.pose.y, state.pose.theta, state.velocity];
+        let was_warm = memory.is_warm();
+        let settings = QpSettings {
+            max_iters: MPC_QP_MAX_ITERS,
+            eps_abs: 3e-4,
+            ..QpSettings::default()
+        };
+        let nominal_u = memory.seeded_nominal(h_len);
+        // the shifted controls (with their rollout states) are also the
+        // best primal guess for the QP
+        if memory.is_warm() {
+            let x = pack_primal(&s0, &nominal_u, params, dt);
+            match memory.warm.as_mut() {
+                Some(w) => w.x = x,
+                None => memory.warm = Some(QpWarmStart { x, y: Vec::new() }),
+            }
+        }
+        ScpFrame {
+            state,
+            reference,
+            obstacles,
+            params,
+            config,
+            memory,
+            s0,
+            h_len,
+            dt,
+            was_warm,
+            settings,
+            nominal_u,
+            qp_iters_total: 0,
+            status: MpcStatus::Ok,
+            scp_passes: 0,
+            backend: Backend::Dense,
+            diagnostics: QpDiagnostics::default(),
+        }
+    }
+
+    /// Configured number of SCP passes.
+    fn pass_budget(&self) -> usize {
+        self.config.scp_iterations
+    }
+
+    /// Whether further passes are useful (no numerical failure yet).
+    fn running(&self) -> bool {
+        self.status == MpcStatus::Ok
+    }
+
+    /// The linearized QP of the next pass: nonlinear nominal rollout,
+    /// then one QP assembled around it.
+    fn build_pass_qp(&self) -> QpProblem {
+        let nominal_s = rollout(&self.s0, &self.nominal_u, self.params, self.dt);
+        assemble_qp(
+            &self.nominal_u,
+            &nominal_s,
+            self.reference,
+            self.obstacles,
+            self.params,
+            self.config,
+        )
+    }
+
+    /// Builds, solves and absorbs one pass through the sequential QP path.
+    fn solve_pass_solo(&mut self) {
+        let qp = self.build_pass_qp();
+        let mem = &mut *self.memory;
+        let sol = solve_qp_warm(&qp, &self.settings, mem.warm.as_ref(), &mut mem.workspace);
+        self.absorb(sol);
+    }
+
+    /// Folds one pass's QP solution into the frame: nominal update, warm
+    /// iterate, accounting, and the numerical-failure bail-out.
+    fn absorb(&mut self, sol: QpSolution) {
+        self.qp_iters_total += sol.iterations;
+        self.scp_passes += 1;
+        self.backend = sol.backend;
+        self.diagnostics.absorb(&sol.diagnostics);
         if sol.status == QpStatus::NumericalError {
             // NaN/∞-poisoned data: nothing from this frame is drivable or
             // worth carrying into the next one
-            status = MpcStatus::NumericalError;
-            memory.reset();
-            nominal_u = vec![[0.0; NU]; h_len];
-            break;
+            self.status = MpcStatus::NumericalError;
+            self.memory.reset();
+            self.nominal_u = vec![[0.0; NU]; self.h_len];
+            return;
         }
-        for (hh, u) in nominal_u.iter_mut().enumerate().take(h_len) {
+        for (hh, u) in self.nominal_u.iter_mut().enumerate().take(self.h_len) {
             *u = [
-                sol.x[ui(hh, 0)].clamp(-params.max_brake, params.max_accel),
-                sol.x[ui(hh, 1)].clamp(-params.max_steer, params.max_steer),
+                sol.x[ui(hh, 0)].clamp(-self.params.max_brake, self.params.max_accel),
+                sol.x[ui(hh, 1)].clamp(-self.params.max_steer, self.params.max_steer),
             ];
         }
         // Carry the primal only: the dual belongs to *this* linearization's
         // constraint rows, and re-linearized collision rows next pass can
         // make a stale dual misleading enough to cost solution quality.
-        memory.warm = Some(QpWarmStart {
+        self.memory.warm = Some(QpWarmStart {
             x: sol.x,
             y: Vec::new(),
         });
     }
-    if status == MpcStatus::Ok {
-        memory.controls = Some(nominal_u.clone());
-    }
 
-    // final nonlinear rollout and diagnostics
-    let predicted = rollout(&s0, &nominal_u, params, dt);
-    let mut tracking_cost = 0.0;
-    for (h, r) in reference.iter().enumerate() {
-        let s = predicted[h + 1];
-        let e = [s[0] - r.x, s[1] - r.y, s[2] - r.theta, s[3] - r.v];
-        for (w, ev) in config.q_weights.iter().zip(&e) {
-            tracking_cost += w * ev * ev;
+    /// Final rollout, cost/violation accounting, and the warm-start
+    /// pathology fallback (solo cold re-solve when warranted).
+    fn finish(self) -> MpcSolution {
+        let ScpFrame {
+            state,
+            reference,
+            obstacles,
+            params,
+            config,
+            memory,
+            s0,
+            h_len: _,
+            dt,
+            was_warm,
+            settings,
+            mut nominal_u,
+            qp_iters_total,
+            mut status,
+            scp_passes,
+            backend,
+            diagnostics,
+        } = self;
+        if status == MpcStatus::Ok {
+            memory.controls = Some(nominal_u.clone());
         }
-    }
-    let circles = params.coverage_circles();
-    let mut violation = 0.0f64;
-    for (h, s) in predicted.iter().enumerate().skip(1) {
-        for mo in obstacles {
-            let obb = &mo.predicted(h as f64 * dt);
-            for &(off, radius) in &circles {
-                let pc = icoil_geom::Vec2::new(
-                    s[0] + off * s[2].cos(),
-                    s[1] + off * s[2].sin(),
-                );
-                let d = obb.distance_to_point(pc);
-                violation = violation.max(radius + config.safety_margin - d);
+
+        // final nonlinear rollout and diagnostics
+        let predicted = rollout(&s0, &nominal_u, params, dt);
+        let mut tracking_cost = 0.0;
+        for (h, r) in reference.iter().enumerate() {
+            let s = predicted[h + 1];
+            let e = [s[0] - r.x, s[1] - r.y, s[2] - r.theta, s[3] - r.v];
+            for (w, ev) in config.q_weights.iter().zip(&e) {
+                tracking_cost += w * ev * ev;
             }
         }
-    }
+        let circles = params.coverage_circles();
+        let mut violation = 0.0f64;
+        for (h, s) in predicted.iter().enumerate().skip(1) {
+            for mo in obstacles {
+                let obb = &mo.predicted(h as f64 * dt);
+                for &(off, radius) in &circles {
+                    let pc = icoil_geom::Vec2::new(
+                        s[0] + off * s[2].cos(),
+                        s[1] + off * s[2].sin(),
+                    );
+                    let d = obb.distance_to_point(pc);
+                    violation = violation.max(radius + config.safety_margin - d);
+                }
+            }
+        }
 
-    // Belt-and-suspenders: a plan that is non-finite anywhere is not a
-    // plan, whatever the inner QP statuses said.
-    if status == MpcStatus::Ok
-        && !(nominal_u.iter().flatten().all(|v| v.is_finite())
-            && predicted.iter().flatten().all(|v| v.is_finite())
-            && tracking_cost.is_finite())
-    {
-        status = MpcStatus::NumericalError;
-        memory.reset();
-        nominal_u.fill([0.0; NU]);
-    }
+        // Belt-and-suspenders: a plan that is non-finite anywhere is not a
+        // plan, whatever the inner QP statuses said.
+        if status == MpcStatus::Ok
+            && !(nominal_u.iter().flatten().all(|v| v.is_finite())
+                && predicted.iter().flatten().all(|v| v.is_finite())
+                && tracking_cost.is_finite())
+        {
+            status = MpcStatus::NumericalError;
+            memory.reset();
+            nominal_u.fill([0.0; NU]);
+        }
 
-    let warm_solution = MpcSolution {
-        controls: nominal_u,
-        predicted,
-        tracking_cost,
-        qp_iterations: qp_iters_total,
-        predicted_violation: violation.max(0.0),
-        status,
-        scp_passes,
-        cold_restarted: false,
-        backend,
-        diagnostics,
-    };
+        let warm_solution = MpcSolution {
+            controls: nominal_u,
+            predicted,
+            tracking_cost,
+            qp_iterations: qp_iters_total,
+            predicted_violation: violation.max(0.0),
+            status,
+            scp_passes,
+            cold_restarted: false,
+            backend,
+            diagnostics,
+        };
 
-    // Two warm-start pathologies call for a second opinion:
-    //  * every SCP pass burned its full ADMM budget without converging —
-    //    the seed may have stranded the solver in a bad basin (e.g.
-    //    carried across a reference discontinuity the caller didn't
-    //    reset for), leaving a near-garbage capped iterate; or the frame
-    //    is genuinely hard and the warm iterate is the best available;
-    //  * the converged warm plan predicts meaningful safety-margin
-    //    penetration — SCP multi-modality can put the warm seed in a
-    //    cheaper but less safe basin than a cold solve would find.
-    // Telling a bad basin from a hard frame needs a reference, so
-    // re-solve the frame cold and keep whichever solution is better —
-    // safer first, cheaper on a tie — charging both solves' iterations
-    // to the result for honest accounting.
-    let capped = qp_iters_total >= config.scp_iterations * settings.max_iters;
-    if was_warm
-        && status == MpcStatus::Ok
-        && (capped || warm_solution.predicted_violation > MPC_REPLAN_VIOLATION)
-    {
-        let warm_iterate = memory.warm.clone();
-        memory.reset();
-        let cold_solution = solve_mpc_warm(state, reference, obstacles, params, config, memory);
-        // a failed cold solve reports predicted_violation 0.0 on its
-        // zero-control sentinel — it must never look "safer" than the
-        // warm plan it was meant to double-check
-        let cold_better = cold_solution.status == MpcStatus::Ok
-            && (cold_solution.predicted_violation < warm_solution.predicted_violation - 1e-9
-                || (cold_solution.predicted_violation
-                    <= warm_solution.predicted_violation + 1e-9
-                    && cold_solution.tracking_cost <= warm_solution.tracking_cost));
-        if cold_better {
-            let mut sol = cold_solution;
-            sol.qp_iterations += warm_solution.qp_iterations;
-            sol.scp_passes += warm_solution.scp_passes;
-            sol.diagnostics.absorb(&warm_solution.diagnostics);
+        // Two warm-start pathologies call for a second opinion:
+        //  * every SCP pass burned its full ADMM budget without converging —
+        //    the seed may have stranded the solver in a bad basin (e.g.
+        //    carried across a reference discontinuity the caller didn't
+        //    reset for), leaving a near-garbage capped iterate; or the frame
+        //    is genuinely hard and the warm iterate is the best available;
+        //  * the converged warm plan predicts meaningful safety-margin
+        //    penetration — SCP multi-modality can put the warm seed in a
+        //    cheaper but less safe basin than a cold solve would find.
+        // Telling a bad basin from a hard frame needs a reference, so
+        // re-solve the frame cold and keep whichever solution is better —
+        // safer first, cheaper on a tie — charging both solves' iterations
+        // to the result for honest accounting.
+        let capped = qp_iters_total >= config.scp_iterations * settings.max_iters;
+        if was_warm
+            && status == MpcStatus::Ok
+            && (capped || warm_solution.predicted_violation > MPC_REPLAN_VIOLATION)
+        {
+            let warm_iterate = memory.warm.clone();
+            memory.reset();
+            let cold_solution = solve_mpc_warm(state, reference, obstacles, params, config, memory);
+            // a failed cold solve reports predicted_violation 0.0 on its
+            // zero-control sentinel — it must never look "safer" than the
+            // warm plan it was meant to double-check
+            let cold_better = cold_solution.status == MpcStatus::Ok
+                && (cold_solution.predicted_violation < warm_solution.predicted_violation - 1e-9
+                    || (cold_solution.predicted_violation
+                        <= warm_solution.predicted_violation + 1e-9
+                        && cold_solution.tracking_cost <= warm_solution.tracking_cost));
+            if cold_better {
+                let mut sol = cold_solution;
+                sol.qp_iterations += warm_solution.qp_iterations;
+                sol.scp_passes += warm_solution.scp_passes;
+                sol.diagnostics.absorb(&warm_solution.diagnostics);
+                sol.cold_restarted = true;
+                return sol;
+            }
+            // the warm iterate stands: restore the memory the cold re-solve
+            // overwrote (the workspace keeps the cold scaling — it is a
+            // cache revalidated against the problem data on every solve)
+            memory.controls = Some(warm_solution.controls.clone());
+            memory.warm = warm_iterate;
+            let mut sol = warm_solution;
+            sol.qp_iterations += cold_solution.qp_iterations;
+            sol.scp_passes += cold_solution.scp_passes;
+            sol.diagnostics.absorb(&cold_solution.diagnostics);
             sol.cold_restarted = true;
             return sol;
         }
-        // the warm iterate stands: restore the memory the cold re-solve
-        // overwrote (the workspace keeps the cold scaling — it is a
-        // cache revalidated against the problem data on every solve)
-        memory.controls = Some(warm_solution.controls.clone());
-        memory.warm = warm_iterate;
-        let mut sol = warm_solution;
-        sol.qp_iterations += cold_solution.qp_iterations;
-        sol.scp_passes += cold_solution.scp_passes;
-        sol.diagnostics.absorb(&cold_solution.diagnostics);
-        sol.cold_restarted = true;
-        return sol;
-    }
 
-    warm_solution
+        warm_solution
+    }
 }
 
 /// Packs controls and their nonlinear rollout into the simultaneous
@@ -1027,6 +1275,120 @@ mod tests {
         let sol = solve_mpc(&state, &reference, &[], &params, &config);
         assert_eq!(sol.status, MpcStatus::NumericalError);
         assert!(sol.controls.iter().flatten().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn batched_solves_are_bit_identical_to_sequential() {
+        // four sessions at distinct states tracking shifted references:
+        // same config → same QP structure → one batched group per pass
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let dt = config.mpc_dt;
+        let states: Vec<VehicleState> = (0..4)
+            .map(|i| {
+                VehicleState::new(
+                    Pose2::new(0.3 * i as f64, 0.1 * i as f64, 0.05 * i as f64),
+                    0.4 + 0.2 * i as f64,
+                )
+            })
+            .collect();
+        let refs: Vec<Vec<RefState>> = states
+            .iter()
+            .map(|s| {
+                (1..=config.horizon)
+                    .map(|i| RefState {
+                        x: s.pose.x + 1.5 * dt * i as f64,
+                        y: s.pose.y,
+                        theta: s.pose.theta,
+                        v: 1.5,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut seq_mem: Vec<MpcMemory> = (0..4).map(|_| MpcMemory::new()).collect();
+        let mut bat_mem: Vec<MpcMemory> = (0..4).map(|_| MpcMemory::new()).collect();
+        // two rounds: cold, then warm with carried memories
+        for round in 0..2 {
+            let seq: Vec<MpcSolution> = states
+                .iter()
+                .zip(&refs)
+                .zip(&mut seq_mem)
+                .map(|((s, r), mem)| solve_mpc_warm(s, r, &[], &params, &config, mem))
+                .collect();
+            let jobs: Vec<MpcBatchJob<'_>> = states
+                .iter()
+                .zip(&refs)
+                .zip(&mut bat_mem)
+                .map(|((s, r), mem)| MpcBatchJob {
+                    state: s,
+                    reference: r,
+                    obstacles: &[],
+                    params: &params,
+                    config: &config,
+                    memory: mem,
+                })
+                .collect();
+            let bat = solve_mpc_batch(jobs);
+            assert_eq!(seq, bat, "round {round}");
+        }
+        for (s, b) in seq_mem.iter().zip(&bat_mem) {
+            assert_eq!(s.is_warm(), b.is_warm());
+            assert_eq!(s.controls, b.controls);
+        }
+    }
+
+    #[test]
+    fn batch_width_one_equals_solo_solve() {
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let state = VehicleState::new(Pose2::default(), 0.5);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let mut m1 = MpcMemory::new();
+        let mut m2 = MpcMemory::new();
+        let solo = solve_mpc_warm(&state, &reference, &[], &params, &config, &mut m1);
+        let batched = solve_mpc_batch(vec![MpcBatchJob {
+            state: &state,
+            reference: &reference,
+            obstacles: &[],
+            params: &params,
+            config: &config,
+            memory: &mut m2,
+        }])
+        .remove(0);
+        assert_eq!(solo, batched);
+    }
+
+    #[test]
+    fn batch_isolates_a_poisoned_session() {
+        // one NaN-poisoned job must fail alone without corrupting its
+        // batchmates, each of which must match its sequential solve
+        let params = VehicleParams::default();
+        let config = CoConfig::default();
+        let good = VehicleState::new(Pose2::default(), 1.0);
+        let bad = VehicleState::new(Pose2::new(f64::NAN, 0.0, 0.0), 1.0);
+        let reference = straight_reference(config.horizon, 1.5, config.mpc_dt);
+        let mut mems: Vec<MpcMemory> = (0..3).map(|_| MpcMemory::new()).collect();
+        let states = [&good, &bad, &good];
+        let jobs: Vec<MpcBatchJob<'_>> = states
+            .iter()
+            .zip(&mut mems)
+            .map(|(s, mem)| MpcBatchJob {
+                state: s,
+                reference: &reference,
+                obstacles: &[],
+                params: &params,
+                config: &config,
+                memory: mem,
+            })
+            .collect();
+        let sols = solve_mpc_batch(jobs);
+        assert_eq!(sols[1].status, MpcStatus::NumericalError);
+        assert!(sols[1].controls.iter().flatten().all(|v| *v == 0.0));
+        let solo = solve_mpc(&good, &reference, &[], &params, &config);
+        assert_eq!(sols[0], solo);
+        assert_eq!(sols[2], solo);
+        assert!(!mems[1].is_warm(), "failed job resets its memory");
     }
 
     #[test]

@@ -15,8 +15,8 @@ use icoil_il::IlModel;
 use icoil_nn::Tensor;
 use icoil_perception::Perception;
 use icoil_solver::{
-    solve_qp, solve_qp_warm, Backend, Mat, QpProblem, QpSettings, QpStatus, QpWarmStart,
-    QpWorkspace,
+    solve_qp, solve_qp_batch, solve_qp_warm, Backend, Mat, QpBatchJob, QpProblem, QpSettings,
+    QpStatus, QpWarmStart, QpWorkspace,
 };
 use icoil_vehicle::ActionCodec;
 use icoil_world::episode::{run_episode, EpisodeConfig, Observation, Policy};
@@ -45,13 +45,18 @@ pub enum CheckKind {
     DenseSparseQp,
     /// Micro-batched IL inference vs per-sample inference, bitwise.
     BatchedSingleIl,
+    /// SIMD kernel dispatch vs the scalar reference on recorded solver
+    /// inputs (bitwise) and real IL frames (within tolerance).
+    SimdScalarKernels,
+    /// Block-diagonal batched QP solves vs sequential solves, bitwise.
+    BatchedSingleQp,
     /// A deliberately-failing canary used to exercise shrinking.
     InjectedCanary,
 }
 
 impl CheckKind {
     /// Every real check (the canary is opt-in via `--inject`).
-    pub const ALL: [CheckKind; 9] = [
+    pub const ALL: [CheckKind; 11] = [
         CheckKind::WarmColdMpc,
         CheckKind::QpWarmCold,
         CheckKind::Parallelism,
@@ -61,6 +66,8 @@ impl CheckKind {
         CheckKind::Determinism,
         CheckKind::DenseSparseQp,
         CheckKind::BatchedSingleIl,
+        CheckKind::SimdScalarKernels,
+        CheckKind::BatchedSingleQp,
     ];
 
     /// Stable snake_case name used in reports.
@@ -75,6 +82,8 @@ impl CheckKind {
             CheckKind::Determinism => "determinism",
             CheckKind::DenseSparseQp => "dense_sparse_qp",
             CheckKind::BatchedSingleIl => "batched_single_il",
+            CheckKind::SimdScalarKernels => "simd_scalar_kernels",
+            CheckKind::BatchedSingleQp => "batched_single_qp",
             CheckKind::InjectedCanary => "injected_canary",
         }
     }
@@ -169,6 +178,8 @@ pub fn run_check(
         CheckKind::Determinism => check_determinism(spec, settings),
         CheckKind::DenseSparseQp => check_dense_sparse_qp(spec, settings),
         CheckKind::BatchedSingleIl => check_batched_single_il(spec),
+        CheckKind::SimdScalarKernels => check_simd_scalar_kernels(spec, settings),
+        CheckKind::BatchedSingleQp => check_batched_single_qp(spec),
         CheckKind::InjectedCanary => check_injected_canary(spec),
     }));
     match outcome {
@@ -672,6 +683,197 @@ fn check_batched_single_il(spec: &ProcScenario) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays recorded MPC inputs and real BEV frames through the kernel
+/// layer twice — once with the scalar reference forced, once with the
+/// detected SIMD backend — and holds each side to its declared
+/// conformance mode: the solver's `f64` kernels are contracted *bitwise*
+/// (no FMA, scalar-order reductions), so whole recorded solves must be
+/// bit-identical; the IL `f32` kernels are contracted to ULP-level
+/// agreement (FMA tolerated), so inference probabilities are compared
+/// within a small tolerance instead. On machines without AVX2 both runs
+/// dispatch to scalar and the check passes trivially.
+fn check_simd_scalar_kernels(spec: &ProcScenario, settings: &CheckSettings) -> Result<(), String> {
+    use icoil_solver::simd::KernelBackend;
+
+    // --- solver leg: recorded MPC solves, bitwise ---
+    let scenario = spec.build();
+    let config = ICoilConfig::default();
+    let params = scenario.vehicle_params;
+    let co_config: CoConfig = config.co;
+    let mut policy = PureCoPolicy::new(&config, &scenario);
+    policy.co_mut().enable_solve_log();
+    let mut world = World::new(scenario);
+    let _ = run_episode(&mut world, &mut policy, &episode_config(settings));
+    let log = policy.co_mut().take_solve_log();
+
+    for (i, record) in log.iter().enumerate() {
+        if i % settings.cold_stride != 0 {
+            continue;
+        }
+        let SolveRecord {
+            state,
+            reference,
+            tracked,
+            ..
+        } = record;
+        let scalar = icoil_solver::simd::with_backend(KernelBackend::Scalar, || {
+            solve_mpc(state, reference, tracked, &params, &co_config)
+        });
+        let simd = icoil_solver::simd::with_backend(icoil_solver::simd::detected(), || {
+            solve_mpc(state, reference, tracked, &params, &co_config)
+        });
+        if scalar != simd {
+            return Err(format!(
+                "solve {i}: scalar and SIMD kernel paths diverged on a bitwise-contracted \
+                 solve (scalar cost {:.17e}, {} iters vs simd cost {:.17e}, {} iters)",
+                scalar.tracking_cost, scalar.qp_iterations, simd.tracking_cost, simd.qp_iterations
+            ));
+        }
+    }
+
+    // --- IL leg: real BEV frames, ULP-tolerance ---
+    let scenario = spec.build();
+    let mut model = IlModel::untrained(ActionCodec::default(), config.bev, spec.seed ^ 0x51D0);
+    let mut perception = Perception::new(config.bev, &scenario);
+    let mut world = World::new(scenario);
+    for frame in 0..4 {
+        let sensing = perception.observe(&Observation::new(&world));
+        let scalar = icoil_nn::simd::with_backend(icoil_nn::KernelBackend::Scalar, || {
+            model.infer(&sensing.bev)
+        });
+        let simd = icoil_nn::simd::with_backend(icoil_nn::simd::detected(), || {
+            model.infer(&sensing.bev)
+        });
+        let worst = scalar
+            .probs
+            .iter()
+            .zip(&simd.probs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        // f32 forward pass, FMA tolerated: softmax outputs may differ in
+        // the last few ulps but nowhere near decision-relevant scale
+        if worst > 1e-4 {
+            return Err(format!(
+                "frame {frame}: IL probabilities drifted {worst:.2e} between scalar and \
+                 SIMD kernels (tolerance 1e-4)"
+            ));
+        }
+        // a class flip is only legitimate at an exact near-tie
+        if scalar.class != simd.class {
+            let gap = (scalar.probs[scalar.class] - scalar.probs[simd.class]).abs();
+            if gap > 1e-6 {
+                return Err(format!(
+                    "frame {frame}: argmax flipped ({} vs {}) with a non-tied gap {gap:.2e}",
+                    scalar.class, simd.class
+                ));
+            }
+        }
+        for _ in 0..8 {
+            world.step(&icoil_vehicle::Action::forward(0.3, 0.05));
+        }
+    }
+    Ok(())
+}
+
+/// Generates families of same-pattern strictly convex QPs (shared `P`
+/// and `A`, per-member `q` perturbation and an equal shift of `l`/`u`)
+/// and solves each family both as one block-diagonal batch
+/// ([`solve_qp_batch`]) and as sequential [`solve_qp_warm`] calls — at
+/// widths 1, 2, 7 and 16, cold and then warm-started from the cold
+/// optima — demanding bitwise agreement on every solution field. This is
+/// the CO-lane twin of [`check_batched_single_il`]: the serving engine's
+/// determinism contract needs batch composition to never leak into any
+/// session's solve.
+fn check_batched_single_qp(spec: &ProcScenario) -> Result<(), String> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0xD1B54A32D192ED03));
+    let n = 8;
+    let m = n + 4;
+    let qp_settings = QpSettings::default();
+    for &width in &[1usize, 2, 7, 16] {
+        // one shared structure per family: P = MᵀM + 0.1 I, dense A
+        let mut mdata = vec![0.0; n * n];
+        for v in mdata.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mut p = Mat::from_vec(n, n, mdata).gram();
+        for i in 0..n {
+            *p.at_mut(i, i) += 0.1;
+        }
+        let mut adata = vec![0.0; m * n];
+        for v in adata.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let a = Mat::from_vec(m, n, adata);
+        let base_l: Vec<f64> = (0..m).map(|_| rng.gen_range(-2.0..0.0)).collect();
+        let base_u: Vec<f64> = base_l.iter().map(|lo| lo + rng.gen_range(0.5..3.0)).collect();
+
+        let problems: Vec<QpProblem> = (0..width)
+            .map(|_| {
+                let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                // shifting l and u by the same offset keeps the interval
+                // width (and the pattern) while moving the active set
+                let shift = rng.gen_range(-0.5..0.5);
+                let l: Vec<f64> = base_l.iter().map(|v| v + shift).collect();
+                let u: Vec<f64> = base_u.iter().map(|v| v + shift).collect();
+                QpProblem::new(p.clone(), q, a.clone(), l, u).expect("consistent random QP")
+            })
+            .collect();
+
+        let mut seq_ws: Vec<QpWorkspace> = (0..width).map(|_| QpWorkspace::new()).collect();
+        let mut bat_ws: Vec<QpWorkspace> = (0..width).map(|_| QpWorkspace::new()).collect();
+        let mut warm: Vec<Option<QpWarmStart>> = vec![None; width];
+        for round in 0..2 {
+            let sequential: Vec<_> = problems
+                .iter()
+                .zip(seq_ws.iter_mut())
+                .zip(&warm)
+                .map(|((prob, ws), w)| solve_qp_warm(prob, &qp_settings, w.as_ref(), ws))
+                .collect();
+            let jobs: Vec<QpBatchJob<'_>> = problems
+                .iter()
+                .zip(bat_ws.iter_mut())
+                .zip(&warm)
+                .map(|((prob, ws), w)| QpBatchJob {
+                    problem: prob,
+                    warm: w.as_ref(),
+                    workspace: ws,
+                })
+                .collect();
+            let batched = solve_qp_batch(jobs, &qp_settings)
+                .map_err(|e| format!("width {width} round {round}: batch rejected: {e}"))?;
+            for (block, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+                if s.x != b.x
+                    || s.y != b.y
+                    || s.status != b.status
+                    || s.iterations != b.iterations
+                    || s.primal_residual != b.primal_residual
+                    || s.dual_residual != b.dual_residual
+                {
+                    return Err(format!(
+                        "width {width} round {round} block {block}: batched solve diverged \
+                         from sequential (status {:?}/{:?}, iters {}/{}, primal \
+                         {:.17e}/{:.17e}, dual {:.17e}/{:.17e})",
+                        s.status,
+                        b.status,
+                        s.iterations,
+                        b.iterations,
+                        s.primal_residual,
+                        b.primal_residual,
+                        s.dual_residual,
+                        b.dual_residual
+                    ));
+                }
+            }
+            // round 2 exercises the warm path and the cached factors
+            warm = sequential
+                .iter()
+                .map(|s| Some(QpWarmStart::from_solution(s)))
+                .collect();
+        }
+    }
+    Ok(())
+}
+
 /// The canary "fails" whenever the scenario has a dynamic obstacle —
 /// a deliberately scenario-dependent defect that exercises the full
 /// report-and-shrink path without touching any real subsystem.
@@ -699,6 +901,7 @@ mod tests {
             assert_eq!(check_qp_warm_cold(&spec, &CheckSettings::default()), Ok(()));
             assert_eq!(check_inference(&spec), Ok(()));
             assert_eq!(check_batched_single_il(&spec), Ok(()));
+            assert_eq!(check_batched_single_qp(&spec), Ok(()));
             assert_eq!(check_hsa_window(&spec), Ok(()));
             assert_eq!(check_hsa_guard(&spec), Ok(()));
         }
@@ -772,7 +975,9 @@ mod tests {
                 "hsa_guard",
                 "determinism",
                 "dense_sparse_qp",
-                "batched_single_il"
+                "batched_single_il",
+                "simd_scalar_kernels",
+                "batched_single_qp"
             ]
         );
     }

@@ -43,11 +43,13 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
         CheckKind::QpWarmCold
         | CheckKind::Inference
         | CheckKind::BatchedSingleIl
+        | CheckKind::BatchedSingleQp
         | CheckKind::HsaWindow
         | CheckKind::HsaGuard
         | CheckKind::InjectedCanary => 1,
         CheckKind::WarmColdMpc => 2,
         CheckKind::DenseSparseQp => 2,
+        CheckKind::SimdScalarKernels => 2,
         CheckKind::Determinism => 5,
         CheckKind::Parallelism => 5,
     };

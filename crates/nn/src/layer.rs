@@ -460,12 +460,28 @@ impl Conv2d {
                             continue;
                         }
                         let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
-                        for ox in 0..ow {
-                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+                        let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                        if self.stride == 1 {
+                            // At stride 1 the in-bounds `ox` range maps to a
+                            // contiguous span of the input row: one memcpy
+                            // per (row, oy) instead of ow bounds checks.
+                            // Same bits, pure data movement.
+                            let shift = kx as isize - self.padding as isize;
+                            let ox0 = (-shift).max(0) as usize;
+                            let ox1 = ow.min((w as isize - shift).max(0) as usize);
+                            if ox0 < ox1 {
+                                let ix0 = (ox0 as isize + shift) as usize;
+                                dst_row[ox0..ox1]
+                                    .copy_from_slice(&src_row[ix0..ix0 + (ox1 - ox0)]);
                             }
-                            dst[oy * ow + ox] = src_row[ix as usize];
+                        } else {
+                            for (ox, d) in dst_row.iter_mut().enumerate() {
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                *d = src_row[ix as usize];
+                            }
                         }
                     }
                 }

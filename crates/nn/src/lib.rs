@@ -54,9 +54,11 @@ pub mod loss;
 pub mod metrics;
 pub mod network;
 pub mod optim;
+pub mod simd;
 pub mod tensor;
 
 pub use data::Dataset;
 pub use layer::InferScratch;
 pub use network::{InferBuffers, Network};
+pub use simd::KernelBackend;
 pub use tensor::Tensor;

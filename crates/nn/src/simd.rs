@@ -1,0 +1,450 @@
+//! Runtime-dispatched SIMD kernels for the crate's `f32` hot paths.
+//!
+//! Two backends implement each kernel:
+//!
+//! * **scalar** — the original portable loops, unchanged, so
+//!   `ICOIL_FORCE_SCALAR=1` reproduces pre-SIMD results bit-for-bit;
+//! * **avx2** — x86-64 AVX2/FMA `f32x8` lanes, selected at runtime when
+//!   the CPU reports both `avx2` and `fma`.
+//!
+//! # Determinism contract
+//!
+//! Each kernel declares a conformance *mode* (see [`kernel_modes`]):
+//!
+//! * `"bitwise"` — the SIMD path performs the same floating-point
+//!   operations in the same order as the scalar path (pure data movement
+//!   or lane-independent updates), so both backends agree bit-for-bit.
+//! * `"ulp"` — FMA contraction and lane-split reductions reorder
+//!   roundings, so backends agree only to a small relative tolerance.
+//!   Crucially, each *output element's* value is still a pure function of
+//!   its own inputs on a given backend: lane tiling and batch width never
+//!   leak into an element's accumulation order, preserving the
+//!   batched-vs-single and worker-count bit-identity contracts *within*
+//!   a backend.
+//!
+//! Dispatch is process-wide (cached on first use, honoring
+//! `ICOIL_FORCE_SCALAR=1`) with a thread-local override
+//! ([`with_backend`]) so differential tests can compare both backends in
+//! one process.
+
+// This module is the one place in the crate allowed to use `unsafe`: the
+// AVX2 kernels require `core::arch` intrinsics, which are only callable
+// from `#[target_feature]` functions guarded by runtime detection.
+#![allow(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Which kernel implementation services the f32 hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable scalar loops (the pre-SIMD reference path).
+    Scalar,
+    /// x86-64 AVX2 + FMA `f32x8` lanes.
+    Avx2,
+}
+
+impl KernelBackend {
+    /// The backend's stable label, as recorded in bench JSON
+    /// (`"scalar"` / `"avx2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+fn detect() -> KernelBackend {
+    if std::env::var("ICOIL_FORCE_SCALAR").is_ok_and(|v| v == "1") {
+        return KernelBackend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        return KernelBackend::Avx2;
+    }
+    KernelBackend::Scalar
+}
+
+/// The process-wide backend chosen at first use: scalar when
+/// `ICOIL_FORCE_SCALAR=1`, otherwise the best the CPU supports.
+pub fn detected() -> KernelBackend {
+    static DETECTED: OnceLock<KernelBackend> = OnceLock::new();
+    *DETECTED.get_or_init(detect)
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<KernelBackend>> = const { Cell::new(None) };
+}
+
+/// The backend the *current thread* will use: a [`with_backend`] override
+/// when one is active, the process-wide [`detected`] backend otherwise.
+pub fn active() -> KernelBackend {
+    OVERRIDE.with(Cell::get).unwrap_or_else(detected)
+}
+
+/// The active backend's label (`"avx2"` / `"scalar"`), for bench
+/// metadata.
+pub fn dispatch_target() -> &'static str {
+    active().label()
+}
+
+/// Runs `f` with the current thread's kernels pinned to `backend`,
+/// restoring the previous dispatch afterwards (also on panic), so
+/// differential tests can compare scalar and SIMD results in-process.
+pub fn with_backend<R>(backend: KernelBackend, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<KernelBackend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(backend))));
+    f()
+}
+
+/// Per-kernel conformance modes: `(kernel, mode)` where mode is
+/// `"bitwise"` (backends agree bit-for-bit) or `"ulp"` (tolerance-bounded
+/// agreement; FMA/lane reductions reorder roundings). See the module docs
+/// for what each mode guarantees.
+pub fn kernel_modes() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("matmul_f32", "ulp"),
+        ("matmul_nt_f32", "ulp"),
+        ("im2col_f32", "bitwise"),
+    ]
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]`, row-major. `out` is fully overwritten.
+///
+/// Both backends accumulate each output element over `k` in ascending
+/// order and skip `a == 0.0` entries, so an element's value depends only
+/// on its own row of `a` and column of `b` — never on the tiling.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when the slice lengths disagree with the
+/// dimensions.
+pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    match active() {
+        KernelBackend::Scalar => matmul_scalar(a, m, k, b, n, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the Avx2 backend is only ever selected after runtime
+        // detection of avx2+fma (or by an explicit test override on a
+        // machine where detection already succeeded).
+        KernelBackend::Avx2 => unsafe { matmul_avx2(a, m, k, b, n, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelBackend::Avx2 => matmul_scalar(a, m, k, b, n, out),
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ`, row-major. `out` is fully overwritten.
+///
+/// Each output element is an independent dot product over `k`, so the
+/// result row for `a`'s row `i` is identical whatever the batch width
+/// `m` — the property the serve IL micro-batch relies on.
+pub fn matmul_nt(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    match active() {
+        KernelBackend::Scalar => matmul_nt_scalar(a, m, k, b, n, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `matmul` — avx2+fma verified before dispatch.
+        KernelBackend::Avx2 => unsafe { matmul_nt_avx2(a, m, k, b, n, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelBackend::Avx2 => matmul_nt_scalar(a, m, k, b, n, out),
+    }
+}
+
+/// The pre-SIMD column-blocked matmul, kept verbatim as the scalar
+/// reference: a panel of `b` columns stays in cache across all rows of
+/// `a`, each element accumulating over `k` in ascending order.
+fn matmul_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    const BLOCK: usize = 128;
+    out.fill(0.0);
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + BLOCK).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n + jb..i * n + je];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n + jb..kk * n + je];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+/// The pre-SIMD per-element dot product, kept verbatim as the scalar
+/// reference.
+fn matmul_nt_scalar(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matmul_avx2(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    out.fill(0.0);
+    // Register-tiled core: a 4-row × 16-column tile of `out` lives in
+    // eight ymm accumulators across the whole k loop, so each k step is
+    // two panel loads plus eight independent FMA chains — enough to keep
+    // both FMA ports busy instead of round-tripping `out` through L1 on
+    // every k step. Per element the math is unchanged: one FMA per
+    // nonzero `a` entry, k ascending, so the tiling never leaks into a
+    // value and row results are independent of the batch height `m`.
+    const NR: usize = 16;
+    const MR: usize = 4;
+    let n_main = n - n % NR;
+    let m_main = m - m % MR;
+    let mut jb = 0;
+    while jb < n_main {
+        let mut ib = 0;
+        while ib < m_main {
+            // SAFETY: ib + MR <= m and jb + NR <= n, so every a/b/out
+            // index below is in bounds.
+            unsafe {
+                let bp = b.as_ptr().add(jb);
+                let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+                for kk in 0..k {
+                    let brow = bp.add(kk * n);
+                    let b0 = _mm256_loadu_ps(brow);
+                    let b1 = _mm256_loadu_ps(brow.add(8));
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = *a.get_unchecked((ib + r) * k + kk);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let va = _mm256_set1_ps(av);
+                        accr[0] = _mm256_fmadd_ps(va, b0, accr[0]);
+                        accr[1] = _mm256_fmadd_ps(va, b1, accr[1]);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let op = out.as_mut_ptr().add((ib + r) * n + jb);
+                    _mm256_storeu_ps(op, accr[0]);
+                    _mm256_storeu_ps(op.add(8), accr[1]);
+                }
+            }
+            ib += MR;
+        }
+        // Row tail (m % MR): one row at a time, accumulators still held
+        // in registers across k — the same per-element op sequence as
+        // the 4-row tile.
+        for i in m_main..m {
+            // SAFETY: i < m and jb + NR <= n.
+            unsafe {
+                let bp = b.as_ptr().add(jb);
+                let mut acc0 = _mm256_setzero_ps();
+                let mut acc1 = _mm256_setzero_ps();
+                for kk in 0..k {
+                    let av = *a.get_unchecked(i * k + kk);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = bp.add(kk * n);
+                    let va = _mm256_set1_ps(av);
+                    acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow), acc0);
+                    acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow.add(8)), acc1);
+                }
+                let op = out.as_mut_ptr().add(i * n + jb);
+                _mm256_storeu_ps(op, acc0);
+                _mm256_storeu_ps(op.add(8), acc1);
+            }
+        }
+        jb += NR;
+    }
+    // Column tail (n % NR): stream the leftover columns per (i, k) with
+    // the same fmadd lane semantics (8-lane vectors, then `mul_add` for
+    // the rest — both compile to vfmadd, so tail columns see the same
+    // rounding as tiled ones).
+    if n_main < n {
+        let span = n - n_main;
+        let lanes = span - span % 8;
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n + n_main..(kk + 1) * n];
+                let out_row = &mut out[i * n + n_main..(i + 1) * n];
+                let va = _mm256_set1_ps(av);
+                let mut j = 0;
+                while j < lanes {
+                    // SAFETY: j + 8 <= lanes <= span == both slice lengths.
+                    let vb = unsafe { _mm256_loadu_ps(b_row.as_ptr().add(j)) };
+                    let vo = unsafe { _mm256_loadu_ps(out_row.as_ptr().add(j)) };
+                    let fused = _mm256_fmadd_ps(va, vb, vo);
+                    unsafe { _mm256_storeu_ps(out_row.as_mut_ptr().add(j), fused) };
+                    j += 8;
+                }
+                for j in lanes..span {
+                    out_row[j] = av.mul_add(b_row[j], out_row[j]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matmul_nt_avx2(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let lanes = k - k % 8;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = _mm256_setzero_ps();
+            let mut kk = 0;
+            while kk < lanes {
+                // SAFETY: kk + 8 <= lanes <= k == both slice lengths.
+                let va = unsafe { _mm256_loadu_ps(a_row.as_ptr().add(kk)) };
+                let vb = unsafe { _mm256_loadu_ps(b_row.as_ptr().add(kk)) };
+                acc = _mm256_fmadd_ps(va, vb, acc);
+                kk += 8;
+            }
+            // Fixed-order horizontal sum, then the scalar tail — the
+            // same reduction tree for every (i, j), independent of m, n.
+            let lo = _mm256_castps256_ps128(acc);
+            let hi = _mm256_extractf128_ps(acc, 1);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+            let mut sum = _mm_cvtss_f32(s);
+            for kk in lanes..k {
+                sum = a_row[kk].mul_add(b_row[kk], sum);
+            }
+            out[i * n + j] = sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i * 7 + 3) as f32 * scale).sin()).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], what: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-5 * x.abs().max(1.0),
+                "{what}[{i}]: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn override_is_scoped_and_restored() {
+        let before = active();
+        with_backend(KernelBackend::Scalar, || {
+            assert_eq!(active(), KernelBackend::Scalar);
+            assert_eq!(dispatch_target(), "scalar");
+        });
+        assert_eq!(active(), before);
+    }
+
+    #[test]
+    fn override_survives_panic() {
+        let before = active();
+        let caught = std::panic::catch_unwind(|| {
+            with_backend(KernelBackend::Scalar, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(active(), before, "override must unwind with the panic");
+    }
+
+    #[test]
+    fn backends_agree_on_matmul_within_tolerance() {
+        // deliberately awkward: k and n not multiples of 8
+        let (m, k, n) = (5, 13, 21);
+        let a = wavy(m * k, 0.137);
+        let b = wavy(k * n, 0.219);
+        let mut scalar = vec![0.0; m * n];
+        let mut simd = vec![0.0; m * n];
+        with_backend(KernelBackend::Scalar, || {
+            matmul(&a, m, k, &b, n, &mut scalar)
+        });
+        with_backend(detected(), || matmul(&a, m, k, &b, n, &mut simd));
+        assert_close(&scalar, &simd, "matmul");
+    }
+
+    #[test]
+    fn backends_agree_on_matmul_nt_within_tolerance() {
+        let (m, k, n) = (7, 19, 9);
+        let a = wavy(m * k, 0.091);
+        let b = wavy(n * k, 0.173);
+        let mut scalar = vec![0.0; m * n];
+        let mut simd = vec![0.0; m * n];
+        with_backend(KernelBackend::Scalar, || {
+            matmul_nt(&a, m, k, &b, n, &mut scalar)
+        });
+        with_backend(detected(), || matmul_nt(&a, m, k, &b, n, &mut simd));
+        assert_close(&scalar, &simd, "matmul_nt");
+    }
+
+    #[test]
+    fn zero_dimensions_are_safe() {
+        let mut out = vec![0.0f32; 0];
+        matmul(&[], 0, 3, &[0.0; 9], 3, &mut out);
+        matmul_nt(&[], 0, 4, &[0.0; 8], 2, &mut out);
+        let mut out1 = vec![7.0f32; 2];
+        // k = 0: every element is an empty sum
+        matmul_nt(&[], 1, 0, &[], 2, &mut out1);
+        assert_eq!(out1, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_propagation_matches_scalar() {
+        let (m, k, n) = (2, 9, 5);
+        let mut a = wavy(m * k, 0.2);
+        a[3] = f32::NAN;
+        let b = wavy(k * n, 0.3);
+        let mut scalar = vec![0.0; m * n];
+        let mut simd = vec![0.0; m * n];
+        with_backend(KernelBackend::Scalar, || {
+            matmul(&a, m, k, &b, n, &mut scalar)
+        });
+        with_backend(detected(), || matmul(&a, m, k, &b, n, &mut simd));
+        for (s, v) in scalar.iter().zip(&simd) {
+            assert_eq!(s.is_nan(), v.is_nan(), "NaN pattern must match");
+        }
+    }
+
+    #[test]
+    fn kernel_mode_table_is_complete() {
+        let modes = kernel_modes();
+        assert_eq!(modes.len(), 3);
+        for (kernel, mode) in modes {
+            assert!(
+                *mode == "bitwise" || *mode == "ulp",
+                "{kernel}: unknown mode {mode}"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based differential tests for the SIMD kernel layer:
+//! scalar-vs-dispatched agreement at deliberately awkward shapes (tail
+//! lanes, zero-size edges) and matching NaN propagation. On machines
+//! without AVX2 (or under `ICOIL_FORCE_SCALAR=1`) both sides run the
+//! scalar path and the properties hold trivially.
+
+use icoil_nn::simd::{self, KernelBackend};
+use icoil_nn::Tensor;
+use proptest::prelude::*;
+
+/// Relative tolerance for the `"ulp"`-mode kernels: FMA contraction and
+/// lane-split reductions reorder roundings but stay within a few ULP per
+/// accumulation step.
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-4 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    // spans the lane boundary cases: < 8, exactly 8/16, and ragged tails
+    (1usize..=19, 1usize..=19, 1usize..=35)
+}
+
+proptest! {
+    #[test]
+    fn matmul_backends_agree_at_awkward_shapes(
+        (m, k, n) in arb_dims(),
+        vals in prop::collection::vec(-4.0f32..4.0, 19 * 19 + 19 * 35),
+    ) {
+        let a = Tensor::from_vec(vec![m, k], vals[..m * k].to_vec()).unwrap();
+        let b = Tensor::from_vec(vec![k, n], vals[m * k..m * k + k * n].to_vec()).unwrap();
+        let scalar = simd::with_backend(KernelBackend::Scalar, || a.matmul(&b));
+        let simd_out = simd::with_backend(simd::detected(), || a.matmul(&b));
+        for (i, (x, y)) in scalar.data().iter().zip(simd_out.data()).enumerate() {
+            prop_assert!(close(*x, *y), "matmul[{}]: {} vs {}", i, x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_backends_agree_at_awkward_shapes(
+        (m, k, n) in arb_dims(),
+        vals in prop::collection::vec(-4.0f32..4.0, 19 * 19 + 19 * 35),
+    ) {
+        let a = Tensor::from_vec(vec![m, k], vals[..m * k].to_vec()).unwrap();
+        let b = Tensor::from_vec(vec![n, k], vals[m * k..m * k + n * k].to_vec()).unwrap();
+        let scalar = simd::with_backend(KernelBackend::Scalar, || a.matmul_nt(&b));
+        let simd_out = simd::with_backend(simd::detected(), || a.matmul_nt(&b));
+        for (i, (x, y)) in scalar.data().iter().zip(simd_out.data()).enumerate() {
+            prop_assert!(close(*x, *y), "matmul_nt[{}]: {} vs {}", i, x, y);
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_propagation_matches_scalar(
+        (m, k, n) in (1usize..=6, 1usize..=17, 1usize..=17),
+        poison_at in 0usize..(6 * 17),
+        use_inf in any::<bool>(),
+    ) {
+        // poison one `a` entry; both backends must produce the same
+        // non-finite pattern (the zero-skip means a poisoned column of a
+        // *zero* row would be skipped identically on both paths)
+        let mut a_data: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.21).sin()).collect();
+        a_data[poison_at % (m * k)] = if use_inf { f32::INFINITY } else { f32::NAN };
+        let a = Tensor::from_vec(vec![m, k], a_data).unwrap();
+        let b_data: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.13).cos()).collect();
+        let b = Tensor::from_vec(vec![k, n], b_data).unwrap();
+        let scalar = simd::with_backend(KernelBackend::Scalar, || a.matmul(&b));
+        let simd_out = simd::with_backend(simd::detected(), || a.matmul(&b));
+        for (i, (x, y)) in scalar.data().iter().zip(simd_out.data()).enumerate() {
+            prop_assert_eq!(
+                x.is_finite(),
+                y.is_finite(),
+                "finiteness[{}]: {} vs {}", i, x, y
+            );
+            prop_assert_eq!(x.is_nan(), y.is_nan(), "NaN[{}]: {} vs {}", i, x, y);
+        }
+    }
+
+    #[test]
+    fn zero_size_edges_are_consistent(k in 0usize..9, n in 0usize..9) {
+        // empty row / empty inner dimension: both backends must agree
+        // exactly (empty sums are 0.0, never garbage)
+        let a = Tensor::zeros(vec![0, k]);
+        let b = Tensor::zeros(vec![k, n]);
+        let c = a.matmul(&b);
+        prop_assert_eq!(c.shape(), &[0, n]);
+        let a1 = Tensor::full(vec![2, k], 1.5);
+        let bt = Tensor::full(vec![n, k], -0.5);
+        let scalar = simd::with_backend(KernelBackend::Scalar, || a1.matmul_nt(&bt));
+        let simd_out = simd::with_backend(simd::detected(), || a1.matmul_nt(&bt));
+        prop_assert_eq!(scalar.shape(), &[2, n]);
+        for (x, y) in scalar.data().iter().zip(simd_out.data()) {
+            prop_assert!(close(*x, *y));
+        }
+    }
+}

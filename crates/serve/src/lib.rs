@@ -19,8 +19,13 @@
 //!   trajectories do not depend on who else is being served.
 //! * **Deadline-aware CO lane** — sessions whose HSA decision is CO
 //!   mode are handed (state and all) to a worker pool draining a
-//!   bounded [`DeadlineQueue`] in earliest-deadline order. A full queue
-//!   or an expired deadline sheds the request with the existing
+//!   bounded [`DeadlineQueue`] in earliest-deadline order. A worker
+//!   drains up to [`ServeConfig::co_batch`] queued jobs at once and
+//!   solves them as one block-diagonal batched program
+//!   ([`icoil_co::solve_mpc_batch`] over the solver's `QpBatch`) —
+//!   one symbolic factorization phase and one numeric refactor pass
+//!   shared across same-structure frames. A full queue or an expired
+//!   deadline sheds the request with the existing
 //!   [`icoil_co::CoOutput::degraded_brake`] full-brake response — the
 //!   lane never blocks the engine and never panics under overload.
 //! * **NDJSON TCP front end** ([`run_server`]) — newline-delimited
@@ -29,10 +34,13 @@
 //!
 //! Determinism contract: a session's trajectory is a pure function of
 //! its own `(difficulty, seed)` as long as none of its frames are shed
-//! — batch composition cannot change IL rows (bit-identical batching)
-//! and each CO solve runs on session-local state wherever the worker
-//! happens to be scheduled. `scripts/check.sh` holds the server to that
-//! standard across worker counts.
+//! — batch composition cannot change IL rows (bit-identical batching),
+//! each CO solve runs on session-local state wherever the worker
+//! happens to be scheduled, and the batched CO solve is bit-identical
+//! per block to solo solves (the solver's batched-vs-sequential
+//! contract), so *who shares a worker's drain* cannot change a
+//! session's trajectory either. `scripts/check.sh` holds the server to
+//! that standard across worker counts and batch widths.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -64,6 +72,11 @@ pub struct ServeConfig {
     /// Per-request CO deadline: a queued request still unserved past it
     /// is shed by the worker that pops it.
     pub co_deadline: Duration,
+    /// Most queued CO jobs one worker drains into a single batched
+    /// solve. `1` reproduces job-at-a-time behaviour exactly; larger
+    /// values amortize factorization work across same-structure frames
+    /// under load without changing any session's trajectory.
+    pub co_batch: usize,
     /// Most step requests drained into one IL micro-batch.
     pub max_batch: usize,
     /// Most concurrently live sessions; creation beyond it is refused.
@@ -79,6 +92,7 @@ impl Default for ServeConfig {
             co_workers: 2,
             queue_capacity: 64,
             co_deadline: Duration::from_millis(250),
+            co_batch: 4,
             max_batch: 32,
             max_sessions: 256,
             max_time: 60.0,

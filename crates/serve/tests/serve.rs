@@ -21,9 +21,15 @@ fn test_model() -> IlModel {
 
 /// Runs `sessions` episodes for `frames` frames each through one server
 /// and returns every session's full response stream.
-fn run_once(co_workers: usize, sessions: usize, frames: usize) -> (Vec<Vec<StepResponse>>, u64) {
+fn run_once(
+    co_workers: usize,
+    co_batch: usize,
+    sessions: usize,
+    frames: usize,
+) -> (Vec<Vec<StepResponse>>, u64) {
     let config = ServeConfig {
         co_workers,
+        co_batch,
         // generous deadline and queue: zero sheds, so trajectories are
         // the pure function of (difficulty, seed) the contract promises
         co_deadline: Duration::from_secs(30),
@@ -58,8 +64,8 @@ fn run_once(co_workers: usize, sessions: usize, frames: usize) -> (Vec<Vec<StepR
 
 #[test]
 fn trajectories_are_identical_across_worker_counts() {
-    let (serial, shed_serial) = run_once(1, 3, 20);
-    let (parallel, shed_parallel) = run_once(4, 3, 20);
+    let (serial, shed_serial) = run_once(1, 4, 3, 20);
+    let (parallel, shed_parallel) = run_once(4, 4, 3, 20);
     assert_eq!(shed_serial, 0, "low load must not shed");
     assert_eq!(shed_parallel, 0, "low load must not shed");
     // StepResponse is PartialEq over every f64 it carries: this is a
@@ -68,6 +74,21 @@ fn trajectories_are_identical_across_worker_counts() {
     for stream in &serial {
         assert!(stream.iter().all(|r| !r.shed && !r.degraded));
     }
+}
+
+#[test]
+fn trajectories_are_identical_across_batch_widths() {
+    // one worker so every queued job funnels through the same drain loop:
+    // co_batch=1 is the job-at-a-time baseline, wider drains pool frames
+    // into block-diagonal batched solves
+    let (solo, shed_solo) = run_once(1, 1, 4, 15);
+    let (batched, shed_batched) = run_once(1, 8, 4, 15);
+    assert_eq!(shed_solo, 0, "low load must not shed");
+    assert_eq!(shed_batched, 0, "low load must not shed");
+    assert_eq!(
+        solo, batched,
+        "batched CO solves must be bit-identical to job-at-a-time solves"
+    );
 }
 
 #[test]

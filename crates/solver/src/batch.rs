@@ -1,0 +1,785 @@
+//! Batched block-diagonal QP solves.
+//!
+//! The serve CO lane drains its deadline queue into groups of
+//! structurally-identical QPs (same dimensions, same `P`/`A` sparsity
+//! pattern, different values). Solving `K` such problems one by one
+//! repeats all the pattern-only work `K` times; [`QpBatch`] instead
+//! treats them as one block-diagonal program `diag(QP₁, …, QP_K)`:
+//!
+//! * **one symbolic phase** — the KKT pattern is shared, so a single
+//!   [`SymbolicLdl`] analysis (and a single [`SparseKkt`] assembly map)
+//!   serves every block;
+//! * **one numeric refactor pass** — fresh blocks factor back-to-back
+//!   into the contiguous per-block storage of [`BatchLdl`] instead of
+//!   `K` scattered allocations;
+//! * **lockstep ADMM** — all blocks advance through the same iteration
+//!   counter with per-block ρ, per-block convergence (a converged block
+//!   freezes and stops consuming work) and per-block poison handling.
+//!
+//! The per-block computation is *literally* the sequential solver's code:
+//! setup mirrors [`solve_qp_warm`] statement for statement, the iteration
+//! body is the shared [`AdmmState`], and the numeric factorization is the
+//! shared `refactor_core` behind both [`BatchLdl`] and the standalone
+//! factor. A batch of width `K` therefore returns bit-identical
+//! `x`/`y`/status/iterations/residuals to `K` sequential
+//! [`solve_qp_warm`] calls on the same inputs — checked by the
+//! `batched_single_qp` conformance pass. Only the [`QpDiagnostics`]
+//! counters may differ (symbolic work is shared instead of repeated).
+
+use crate::ldl::{BatchLdl, SymbolicLdl};
+use crate::qp::{
+    apply_scaling, build_factor, choose_sparse, compute_scaling, data_is_poisoned, escalate_bumps,
+    numerical_error_solution, AdmmState, Backend, Factor, FactorCache, QpDiagnostics, QpProblem,
+    QpSettings, QpSolution, QpStatus, QpWarmStart, QpWorkspace, RHO_MAX, RHO_MIN,
+};
+use crate::sparse::SparseKkt;
+use std::sync::Arc;
+
+/// One problem of a batch: the QP, an optional warm start, and the
+/// per-problem workspace whose caches (scaling, factor, symbolic, ρ) are
+/// honored and refreshed exactly as a sequential [`solve_qp_warm`] would.
+pub struct QpBatchJob<'a> {
+    /// The problem to solve.
+    pub problem: &'a QpProblem,
+    /// Warm-start iterate, ignored unless its dimensions fit.
+    pub warm: Option<&'a QpWarmStart>,
+    /// The problem's own workspace (caches consulted and updated).
+    pub workspace: &'a mut QpWorkspace,
+}
+
+/// Error returned by [`QpBatch::solve`] before any work is done; the
+/// jobs' workspaces are untouched when this is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpBatchError {
+    /// The batch contains no jobs.
+    Empty,
+    /// Block `block` differs structurally from block 0: dimensions,
+    /// `P`/`A` sparsity pattern, or backend selection.
+    PatternMismatch {
+        /// Index of the first offending job.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for QpBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpBatchError::Empty => write!(f, "batch contains no jobs"),
+            QpBatchError::PatternMismatch { block } => {
+                write!(f, "block {block} does not share block 0's structure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QpBatchError {}
+
+/// `K` structurally-identical QPs solved as one block-diagonal program.
+/// See the [module docs](crate::batch) for the sharing scheme and the
+/// bit-equality contract with sequential solves.
+#[derive(Default)]
+pub struct QpBatch<'a> {
+    jobs: Vec<QpBatchJob<'a>>,
+}
+
+impl<'a> QpBatch<'a> {
+    /// An empty batch; [`QpBatch::push`] jobs into it.
+    pub fn new() -> Self {
+        QpBatch { jobs: Vec::new() }
+    }
+
+    /// A batch from pre-collected jobs.
+    pub fn from_jobs(jobs: Vec<QpBatchJob<'a>>) -> Self {
+        QpBatch { jobs }
+    }
+
+    /// Adds a job to the batch.
+    pub fn push(&mut self, job: QpBatchJob<'a>) {
+        self.jobs.push(job);
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Solves every block, returning one [`QpSolution`] per job in job
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`QpBatchError`] when the batch is empty or a block's structure
+    /// differs from block 0's; no workspace is touched in that case.
+    pub fn solve(self, settings: &QpSettings) -> Result<Vec<QpSolution>, QpBatchError> {
+        solve_qp_batch(self.jobs, settings)
+    }
+}
+
+/// Which factor storage a live block solves through.
+// a batch holds at most a drain's worth of blocks, so the size gap
+// between a full dense factor and a slot index is irrelevant here
+#[allow(clippy::large_enum_variant)]
+enum BlockFactor {
+    /// A per-block factor: dense blocks, and blocks whose workspace
+    /// factor cache hit (their cached factor is reused verbatim, exactly
+    /// as sequentially). `None` only transiently during ρ-refactors.
+    Solo(Option<Factor>),
+    /// Block `slot` of the shared [`BatchLdl`].
+    Shared(usize),
+}
+
+/// A block still being advanced by the lockstep loop.
+struct Block<'a> {
+    /// Position in the caller's job vector.
+    idx: usize,
+    problem: &'a QpProblem,
+    workspace: &'a mut QpWorkspace,
+    scaled: QpProblem,
+    st: AdmmState,
+    gram: crate::sparse::SparseMatrix,
+    factor: BlockFactor,
+    diag: QpDiagnostics,
+    iters: usize,
+    done: bool,
+}
+
+/// Functional form of [`QpBatch::solve`].
+///
+/// # Errors
+///
+/// See [`QpBatch::solve`].
+pub fn solve_qp_batch(
+    jobs: Vec<QpBatchJob<'_>>,
+    settings: &QpSettings,
+) -> Result<Vec<QpSolution>, QpBatchError> {
+    if jobs.is_empty() {
+        return Err(QpBatchError::Empty);
+    }
+    // structural validation up front, before any workspace is touched
+    {
+        let p0 = jobs[0].problem;
+        for (i, job) in jobs.iter().enumerate().skip(1) {
+            let pr = job.problem;
+            if pr.num_vars() != p0.num_vars()
+                || pr.num_constraints() != p0.num_constraints()
+                || !pr.p().same_pattern(p0.p())
+                || !pr.a().same_pattern(p0.a())
+                || pr.backend() != p0.backend()
+            {
+                return Err(QpBatchError::PatternMismatch { block: i });
+            }
+        }
+    }
+    let n = jobs[0].problem.num_vars();
+    let m = jobs[0].problem.num_constraints();
+    let init_rho = settings.rho.clamp(RHO_MIN, RHO_MAX);
+
+    let mut results: Vec<Option<QpSolution>> = (0..jobs.len()).map(|_| None).collect();
+    let mut blocks: Vec<Block<'_>> = Vec::with_capacity(jobs.len());
+    // the shared KKT assembly scratch: every block has the same pattern,
+    // and nothing reads its values across block boundaries (each use
+    // re-assembles before factoring), so one instance serves the batch
+    let mut shared_kkt: Option<SparseKkt> = None;
+    // indices (into `blocks`) of fresh sparse blocks, in job order; their
+    // BatchLdl slot is their position in this list
+    let mut fresh_sparse: Vec<usize> = Vec::new();
+    let mut fresh_use_sparse: Option<bool> = None;
+
+    // per-block setup, mirroring solve_qp_warm + the solve_qp_scaled
+    // preamble statement for statement
+    for (idx, job) in jobs.into_iter().enumerate() {
+        let QpBatchJob {
+            problem,
+            warm,
+            workspace,
+        } = job;
+        if data_is_poisoned(problem) {
+            workspace.clear();
+            results[idx] = Some(numerical_error_solution(n, m, 0, false, QpDiagnostics::default()));
+            continue;
+        }
+        let reuse_scaling = matches!(
+            &workspace.scaling,
+            Some((d, e)) if d.len() == n && e.len() == m
+        );
+        if !reuse_scaling {
+            workspace.scaling = Some(compute_scaling(problem));
+            workspace.factor = None;
+            workspace.rho = None;
+        }
+        let (d, e) = workspace.scaling.as_ref().expect("scaling just ensured");
+        let scaled = apply_scaling(problem, d, e);
+        let start = warm.filter(|w| w.x.len() == n).map(|w| {
+            let x: Vec<f64> = w.x.iter().zip(d).map(|(xi, di)| xi / di).collect();
+            let y: Vec<f64> = if w.y.len() == m {
+                w.y.iter().zip(e).map(|(yi, ei)| yi / ei).collect()
+            } else {
+                vec![0.0; m]
+            };
+            let z = scaled.a.mul_vec(&x);
+            (x, y, z)
+        });
+
+        let eq: Vec<bool> = scaled.l.iter().zip(&scaled.u).map(|(lo, hi)| lo == hi).collect();
+        let mut diag = QpDiagnostics::default();
+        let cached = workspace.factor.take();
+        match cached {
+            Some(c)
+                if c.sigma == settings.sigma
+                    && c.p == scaled.p
+                    && c.a == scaled.a
+                    && c.eq == eq
+                    && c.factor.is_sparse()
+                        == choose_sparse(scaled.backend, n, c.kkt.matrix().fill_ratio()) =>
+            {
+                diag.factor_cache_hits += 1;
+                let rho = c.rho;
+                let st = AdmmState::new(&scaled, rho, eq, start);
+                if shared_kkt.is_none() {
+                    shared_kkt = Some(c.kkt);
+                }
+                blocks.push(Block {
+                    idx,
+                    problem,
+                    workspace,
+                    scaled,
+                    st,
+                    gram: c.gram,
+                    factor: BlockFactor::Solo(Some(c.factor)),
+                    diag,
+                    iters: 0,
+                    done: false,
+                });
+            }
+            _ => {
+                let st = AdmmState::new(&scaled, init_rho, eq, start);
+                let gram = scaled.a.gram_weighted(&st.rho_v);
+                if shared_kkt.is_none() {
+                    shared_kkt = Some(SparseKkt::new(&scaled.p, &gram));
+                }
+                let kkt = shared_kkt.as_mut().expect("scratch just ensured");
+                let use_sparse = *fresh_use_sparse.get_or_insert_with(|| {
+                    choose_sparse(scaled.backend, n, kkt.matrix().fill_ratio())
+                });
+                let factor = if use_sparse {
+                    // deferred: factored into the shared BatchLdl below,
+                    // once the number of fresh sparse blocks is known
+                    fresh_sparse.push(blocks.len());
+                    BlockFactor::Shared(fresh_sparse.len() - 1)
+                } else {
+                    match build_factor(
+                        kkt,
+                        &scaled.p,
+                        &gram,
+                        settings.sigma,
+                        false,
+                        &mut workspace.symbolic,
+                        None,
+                        &mut diag,
+                    ) {
+                        Some(f) => BlockFactor::Solo(Some(f)),
+                        None => {
+                            workspace.clear();
+                            results[idx] = Some(numerical_error_solution(n, m, 0, false, diag));
+                            continue;
+                        }
+                    }
+                };
+                blocks.push(Block {
+                    idx,
+                    problem,
+                    workspace,
+                    scaled,
+                    st,
+                    gram,
+                    factor,
+                    diag,
+                    iters: 0,
+                    done: false,
+                });
+            }
+        }
+    }
+
+    // the single numeric pass: fresh sparse blocks factor back-to-back
+    // into contiguous BatchLdl storage under one shared symbolic analysis
+    let mut batch: Option<BatchLdl> = None;
+    if !fresh_sparse.is_empty() {
+        let kkt = shared_kkt.as_mut().expect("fresh blocks created the scratch");
+        let shared_sym: Arc<SymbolicLdl> = blocks
+            .iter()
+            .find_map(|b| {
+                b.workspace
+                    .symbolic
+                    .as_ref()
+                    .filter(|s| s.matches(kkt.matrix()))
+                    .cloned()
+            })
+            .unwrap_or_else(|| SymbolicLdl::analyze(kkt.matrix()));
+        let mut bldl = BatchLdl::new(shared_sym.clone(), fresh_sparse.len());
+        for (slot, &bi) in fresh_sparse.iter().enumerate() {
+            let Block {
+                scaled,
+                gram,
+                diag,
+                workspace,
+                ..
+            } = &mut blocks[bi];
+            let ws_sym = &mut workspace.symbolic;
+            let ok = escalate_bumps(kkt, &scaled.p, gram, settings.sigma, diag, |k, diag| {
+                // the same per-attempt symbolic bookkeeping build_factor
+                // does, with the shared analysis installed on a miss
+                match ws_sym.as_ref() {
+                    Some(s) if s.matches(k) => diag.symbolic_cache_hits += 1,
+                    _ => {
+                        *ws_sym = Some(shared_sym.clone());
+                        diag.symbolic_rebuilds += 1;
+                    }
+                }
+                bldl.refactor_block(slot, k).is_ok() && bldl.is_positive_definite(slot)
+            });
+            if !ok {
+                let blk = &mut blocks[bi];
+                blk.workspace.clear();
+                results[blk.idx] = Some(numerical_error_solution(n, m, 0, true, blk.diag));
+                blk.done = true;
+            }
+        }
+        batch = Some(bldl);
+    }
+
+    // lockstep ADMM: every live block advances through the same iteration
+    // counter, so each block's trajectory is identical to its sequential
+    // solve; converged/failed blocks freeze and stop consuming work
+    let mut remaining = blocks.iter().filter(|b| !b.done).count();
+    for it in 0..settings.max_iters {
+        if remaining == 0 {
+            break;
+        }
+        for block in blocks.iter_mut() {
+            if block.done {
+                continue;
+            }
+            // None = keep running; Some(status) = finished this iteration
+            let mut outcome: Option<QpStatus> = None;
+            {
+                let Block {
+                    scaled,
+                    st,
+                    gram,
+                    factor,
+                    diag,
+                    workspace,
+                    iters,
+                    ..
+                } = &mut *block;
+                *iters = it + 1;
+                match factor {
+                    BlockFactor::Solo(f) => {
+                        let fac = f.as_mut().expect("solo factor present");
+                        st.iterate(scaled, settings, &mut |b, out| fac.solve_into(b, out));
+                    }
+                    BlockFactor::Shared(slot) => {
+                        let s = *slot;
+                        let bldl = batch.as_mut().expect("shared blocks imply a batch factor");
+                        st.iterate(scaled, settings, &mut |b, out| {
+                            bldl.solve_block_into(s, b, out)
+                        });
+                    }
+                }
+                if it % 10 == 9 || it == settings.max_iters - 1 {
+                    st.measure_residuals(scaled);
+                    if st.poisoned() {
+                        outcome = Some(QpStatus::NumericalError);
+                    } else if st.converged(settings.eps_abs) {
+                        outcome = Some(QpStatus::Solved);
+                    } else if let Some(new_rho) = st.rho_rebalance(settings) {
+                        st.set_rho(new_rho);
+                        *gram = scaled.a.gram_weighted(&st.rho_v);
+                        let kkt = shared_kkt.as_mut().expect("live blocks imply a scratch");
+                        let refactored = match factor {
+                            BlockFactor::Solo(f) => {
+                                let prev = f.take().expect("solo factor present");
+                                let use_sparse = prev.is_sparse();
+                                match build_factor(
+                                    kkt,
+                                    &scaled.p,
+                                    gram,
+                                    settings.sigma,
+                                    use_sparse,
+                                    &mut workspace.symbolic,
+                                    Some(prev),
+                                    diag,
+                                ) {
+                                    Some(nf) => {
+                                        *f = Some(nf);
+                                        true
+                                    }
+                                    None => false,
+                                }
+                            }
+                            BlockFactor::Shared(slot) => {
+                                let s = *slot;
+                                let bldl =
+                                    batch.as_mut().expect("shared blocks imply a batch factor");
+                                let ws_sym = &mut workspace.symbolic;
+                                escalate_bumps(kkt, &scaled.p, gram, settings.sigma, diag, |k, diag| {
+                                    match ws_sym.as_ref() {
+                                        Some(sy) if sy.matches(k) => diag.symbolic_cache_hits += 1,
+                                        _ => {
+                                            *ws_sym = Some(
+                                                bldl.symbolic().clone(),
+                                            );
+                                            diag.symbolic_rebuilds += 1;
+                                        }
+                                    }
+                                    bldl.refactor_block(s, k).is_ok()
+                                        && bldl.is_positive_definite(s)
+                                })
+                            }
+                        };
+                        if !refactored {
+                            outcome = Some(QpStatus::NumericalError);
+                        }
+                    }
+                }
+            }
+            match outcome {
+                None => {}
+                Some(QpStatus::NumericalError) => {
+                    let use_sparse = matches!(
+                        &block.factor,
+                        BlockFactor::Shared(_) | BlockFactor::Solo(Some(Factor::Sparse(_)))
+                    );
+                    block.workspace.clear();
+                    results[block.idx] =
+                        Some(numerical_error_solution(n, m, block.iters, use_sparse, block.diag));
+                    block.done = true;
+                    remaining -= 1;
+                }
+                Some(status) => {
+                    finalize_block(
+                        block,
+                        batch.as_ref(),
+                        shared_kkt.as_ref().expect("live blocks imply a scratch"),
+                        settings,
+                        status,
+                        &mut results,
+                    );
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    // iteration budget exhausted: everything still live finalizes as
+    // MaxIterations, exactly as the sequential loop's fallthrough
+    for block in blocks.iter_mut() {
+        if !block.done {
+            finalize_block(
+                block,
+                batch.as_ref(),
+                shared_kkt.as_ref().expect("live blocks imply a scratch"),
+                settings,
+                QpStatus::MaxIterations,
+                &mut results,
+            );
+        }
+    }
+
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every job produced a solution"))
+        .collect())
+}
+
+/// The sequential solver's epilogue for one block: refresh the workspace
+/// caches, unscale the iterates and recompute residuals in original
+/// units — mirroring the tails of `solve_qp_scaled` and `solve_qp_warm`.
+fn finalize_block(
+    blk: &mut Block<'_>,
+    batch: Option<&BatchLdl>,
+    shared_kkt: &SparseKkt,
+    settings: &QpSettings,
+    status: QpStatus,
+    results: &mut [Option<QpSolution>],
+) {
+    let ws = &mut *blk.workspace;
+    ws.rho = Some(blk.st.rho);
+    let factor = match &mut blk.factor {
+        BlockFactor::Solo(f) => f.take().expect("solo factor present"),
+        BlockFactor::Shared(slot) => Factor::Sparse(
+            batch
+                .expect("shared blocks imply a batch factor")
+                .extract_block(*slot),
+        ),
+    };
+    let use_sparse = factor.is_sparse();
+    let backend = if use_sparse {
+        Backend::Sparse
+    } else {
+        Backend::Dense
+    };
+    ws.factor = Some(FactorCache {
+        p: blk.scaled.p.clone(),
+        a: blk.scaled.a.clone(),
+        eq: blk.st.eq.clone(),
+        sigma: settings.sigma,
+        rho: blk.st.rho,
+        gram: blk.gram.clone(),
+        kkt: shared_kkt.clone(),
+        factor,
+    });
+    let mut x = std::mem::take(&mut blk.st.x);
+    let mut y = std::mem::take(&mut blk.st.y);
+    let (d, e) = ws.scaling.as_ref().expect("scaling retained");
+    for (xi, di) in x.iter_mut().zip(d) {
+        *xi *= di;
+    }
+    for (yi, ei) in y.iter_mut().zip(e) {
+        *yi *= ei;
+    }
+    let problem = blk.problem;
+    let primal = problem.max_violation(&x);
+    let px = problem.p().mul_vec(&x);
+    let aty = problem.a().t_mul_vec(&y);
+    let dual = (0..problem.num_vars())
+        .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
+        .fold(0.0, f64::max);
+    results[blk.idx] = Some(QpSolution {
+        x,
+        y,
+        status,
+        iterations: blk.iters,
+        primal_residual: primal,
+        dual_residual: dual,
+        backend,
+        diagnostics: blk.diag,
+    });
+    blk.done = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Mat;
+    use crate::qp::solve_qp_warm;
+
+    /// MPC-like tracking QP with boxes and rate limits; `drift` perturbs
+    /// the linear term without touching the pattern.
+    fn tracking_qp(nv: usize, drift: f64) -> QpProblem {
+        let p = Mat::diag(&vec![2.0; nv]);
+        let q: Vec<f64> = (0..nv)
+            .map(|i| -((i % 7) as f64) * 1.5 + drift * (1.0 + (i % 3) as f64))
+            .collect();
+        let mut rows = Mat::zeros(2 * nv, nv);
+        for i in 0..nv {
+            *rows.at_mut(i, i) = 1.0;
+            *rows.at_mut(nv + i, i) = 1.0;
+            if i + 1 < nv {
+                *rows.at_mut(nv + i, i + 1) = -1.0;
+            }
+        }
+        QpProblem::new(p, q, rows, vec![-1.0; 2 * nv], vec![1.0; 2 * nv]).unwrap()
+    }
+
+    fn assert_solutions_bit_identical(batch: &QpSolution, seq: &QpSolution, label: &str) {
+        assert_eq!(batch.status, seq.status, "{label}: status");
+        assert_eq!(batch.iterations, seq.iterations, "{label}: iterations");
+        assert_eq!(batch.backend, seq.backend, "{label}: backend");
+        assert_eq!(batch.x, seq.x, "{label}: x");
+        assert_eq!(batch.y, seq.y, "{label}: y");
+        assert!(
+            batch.primal_residual == seq.primal_residual
+                && batch.dual_residual == seq.dual_residual,
+            "{label}: residuals {} / {} vs {} / {}",
+            batch.primal_residual,
+            batch.dual_residual,
+            seq.primal_residual,
+            seq.dual_residual
+        );
+    }
+
+    /// Batched solves must be bit-identical to sequential ones across
+    /// widths, cold and warm, sparse (nv = 40) and dense (nv = 6).
+    fn batch_matches_sequential(nv: usize) {
+        let settings = QpSettings::default();
+        for width in [1usize, 2, 3, 5] {
+            let problems: Vec<QpProblem> =
+                (0..width).map(|i| tracking_qp(nv, 0.07 * i as f64)).collect();
+            // sequential reference, two rounds (cold, then warm + caches)
+            let mut seq_ws: Vec<QpWorkspace> = (0..width).map(|_| QpWorkspace::new()).collect();
+            let seq_cold: Vec<QpSolution> = problems
+                .iter()
+                .zip(&mut seq_ws)
+                .map(|(p, ws)| solve_qp_warm(p, &settings, None, ws))
+                .collect();
+            let seq_warm: Vec<QpSolution> = problems
+                .iter()
+                .zip(&mut seq_ws)
+                .zip(&seq_cold)
+                .map(|((p, ws), prev)| {
+                    let warm = QpWarmStart::from_solution(prev);
+                    solve_qp_warm(p, &settings, Some(&warm), ws)
+                })
+                .collect();
+
+            // batched, same two rounds
+            let mut bat_ws: Vec<QpWorkspace> = (0..width).map(|_| QpWorkspace::new()).collect();
+            let jobs: Vec<QpBatchJob<'_>> = problems
+                .iter()
+                .zip(&mut bat_ws)
+                .map(|(p, ws)| QpBatchJob {
+                    problem: p,
+                    warm: None,
+                    workspace: ws,
+                })
+                .collect();
+            let bat_cold = solve_qp_batch(jobs, &settings).unwrap();
+            let warms: Vec<QpWarmStart> =
+                bat_cold.iter().map(QpWarmStart::from_solution).collect();
+            let jobs: Vec<QpBatchJob<'_>> = problems
+                .iter()
+                .zip(&mut bat_ws)
+                .zip(&warms)
+                .map(|((p, ws), w)| QpBatchJob {
+                    problem: p,
+                    warm: Some(w),
+                    workspace: ws,
+                })
+                .collect();
+            let bat_warm = solve_qp_batch(jobs, &settings).unwrap();
+
+            for i in 0..width {
+                assert_solutions_bit_identical(
+                    &bat_cold[i],
+                    &seq_cold[i],
+                    &format!("nv={nv} width={width} cold block {i}"),
+                );
+                assert_solutions_bit_identical(
+                    &bat_warm[i],
+                    &seq_warm[i],
+                    &format!("nv={nv} width={width} warm block {i}"),
+                );
+                assert_eq!(bat_cold[i].status, QpStatus::Solved);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_batch_is_bit_identical_to_sequential() {
+        batch_matches_sequential(40);
+    }
+
+    #[test]
+    fn dense_batch_is_bit_identical_to_sequential() {
+        batch_matches_sequential(6);
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        assert_eq!(
+            solve_qp_batch(Vec::new(), &QpSettings::default()).unwrap_err(),
+            QpBatchError::Empty
+        );
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected_without_touching_workspaces() {
+        let a = tracking_qp(8, 0.0);
+        let b = tracking_qp(9, 0.0); // different dimensions
+        let mut wa = QpWorkspace::new();
+        let mut wb = QpWorkspace::new();
+        let jobs = vec![
+            QpBatchJob {
+                problem: &a,
+                warm: None,
+                workspace: &mut wa,
+            },
+            QpBatchJob {
+                problem: &b,
+                warm: None,
+                workspace: &mut wb,
+            },
+        ];
+        assert_eq!(
+            solve_qp_batch(jobs, &QpSettings::default()).unwrap_err(),
+            QpBatchError::PatternMismatch { block: 1 }
+        );
+        assert!(wa.symbolic().is_none() && wa.carried_rho().is_none());
+        assert!(wb.symbolic().is_none() && wb.carried_rho().is_none());
+    }
+
+    #[test]
+    fn poisoned_block_fails_alone_and_matches_sequential() {
+        let settings = QpSettings::default();
+        let good = tracking_qp(40, 0.1);
+        let mut bad = tracking_qp(40, 0.2);
+        bad.q[3] = f64::NAN;
+        // sequential reference
+        let (mut w1, mut w2, mut w3) = (QpWorkspace::new(), QpWorkspace::new(), QpWorkspace::new());
+        let s1 = solve_qp_warm(&good, &settings, None, &mut w1);
+        let s2 = solve_qp_warm(&bad, &settings, None, &mut w2);
+        let s3 = solve_qp_warm(&good, &settings, None, &mut w3);
+        assert_eq!(s2.status, QpStatus::NumericalError);
+        // batch
+        let (mut b1, mut b2, mut b3) = (QpWorkspace::new(), QpWorkspace::new(), QpWorkspace::new());
+        let jobs = vec![
+            QpBatchJob {
+                problem: &good,
+                warm: None,
+                workspace: &mut b1,
+            },
+            QpBatchJob {
+                problem: &bad,
+                warm: None,
+                workspace: &mut b2,
+            },
+            QpBatchJob {
+                problem: &good,
+                warm: None,
+                workspace: &mut b3,
+            },
+        ];
+        let sols = solve_qp_batch(jobs, &settings).unwrap();
+        assert_solutions_bit_identical(&sols[0], &s1, "block 0");
+        assert_eq!(sols[1].status, QpStatus::NumericalError);
+        assert_eq!(sols[1].x, s2.x);
+        assert_solutions_bit_identical(&sols[2], &s3, "block 2");
+        assert!(b2.carried_rho().is_none(), "failed block clears its workspace");
+    }
+
+    #[test]
+    fn batch_workspaces_interoperate_with_sequential_solves() {
+        // a workspace populated by a batch must serve a later sequential
+        // solve exactly as one populated sequentially, and vice versa
+        let settings = QpSettings::default();
+        let qp = tracking_qp(40, 0.0);
+        let mut ws_seq = QpWorkspace::new();
+        let first_seq = solve_qp_warm(&qp, &settings, None, &mut ws_seq);
+
+        let mut ws_bat = QpWorkspace::new();
+        let first_bat = solve_qp_batch(
+            vec![QpBatchJob {
+                problem: &qp,
+                warm: None,
+                workspace: &mut ws_bat,
+            }],
+            &settings,
+        )
+        .unwrap()
+        .remove(0);
+        assert_solutions_bit_identical(&first_bat, &first_seq, "first");
+
+        let warm = QpWarmStart::from_solution(&first_seq);
+        let second_seq = solve_qp_warm(&qp, &settings, Some(&warm), &mut ws_seq);
+        let second_from_batch_ws = solve_qp_warm(&qp, &settings, Some(&warm), &mut ws_bat);
+        assert_solutions_bit_identical(&second_from_batch_ws, &second_seq, "second");
+        // the batch path must have produced an identical factor cache hit
+        assert_eq!(second_from_batch_ws.diagnostics.factor_cache_hits, 1);
+    }
+}

@@ -52,7 +52,7 @@ pub enum Backend {
 /// sparse. Thresholds sized for this codebase's MPC problems (dense
 /// factor ≈ n³/3 flops vs sparse ≈ Σ lnz² — at n ≥ 30 and ≤ 35 % fill
 /// the sparse path wins on every profile measured).
-fn choose_sparse(backend: Backend, n: usize, kkt_fill: f64) -> bool {
+pub(crate) fn choose_sparse(backend: Backend, n: usize, kkt_fill: f64) -> bool {
     match backend {
         Backend::Dense => false,
         Backend::Sparse => true,
@@ -70,15 +70,15 @@ fn choose_sparse(backend: Backend, n: usize, kkt_fill: f64) -> bool {
 /// what keeps the cached symbolic factorization valid across MPC frames.
 #[derive(Debug, Clone)]
 pub struct QpProblem {
-    p: SparseMatrix,
+    pub(crate) p: SparseMatrix,
     /// Linear cost vector, length `n`.
     pub q: Vec<f64>,
-    a: SparseMatrix,
+    pub(crate) a: SparseMatrix,
     /// Constraint lower bounds, length `m` (may contain `-∞`).
     pub l: Vec<f64>,
     /// Constraint upper bounds, length `m` (may contain `+∞`).
     pub u: Vec<f64>,
-    backend: Backend,
+    pub(crate) backend: Backend,
 }
 
 /// Error returned by [`QpProblem::new`] for dimensionally-inconsistent or
@@ -340,10 +340,10 @@ impl QpWarmStart {
 ///   start from the rebalanced value instead of re-learning it.
 #[derive(Debug, Clone, Default)]
 pub struct QpWorkspace {
-    scaling: Option<(Vec<f64>, Vec<f64>)>,
-    factor: Option<FactorCache>,
-    symbolic: Option<Arc<SymbolicLdl>>,
-    rho: Option<f64>,
+    pub(crate) scaling: Option<(Vec<f64>, Vec<f64>)>,
+    pub(crate) factor: Option<FactorCache>,
+    pub(crate) symbolic: Option<Arc<SymbolicLdl>>,
+    pub(crate) rho: Option<f64>,
 }
 
 /// A factorization bound to one of the two backends; both expose the same
@@ -352,47 +352,47 @@ pub struct QpWorkspace {
 /// add a pointer chase to the hot solve path.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
-enum Factor {
+pub(crate) enum Factor {
     Dense(Cholesky),
     Sparse(SparseLdl),
 }
 
 impl Factor {
-    fn solve_into(&mut self, b: &[f64], out: &mut [f64]) {
+    pub(crate) fn solve_into(&mut self, b: &[f64], out: &mut [f64]) {
         match self {
             Factor::Dense(c) => c.solve_into(b, out),
             Factor::Sparse(f) => f.solve_into(b, out),
         }
     }
 
-    fn is_sparse(&self) -> bool {
+    pub(crate) fn is_sparse(&self) -> bool {
         matches!(self, Factor::Sparse(_))
     }
 }
 
 #[derive(Debug, Clone)]
-struct FactorCache {
-    p: SparseMatrix,
-    a: SparseMatrix,
-    eq: Vec<bool>,
-    sigma: f64,
-    rho: f64,
-    gram: SparseMatrix,
-    kkt: SparseKkt,
-    factor: Factor,
+pub(crate) struct FactorCache {
+    pub(crate) p: SparseMatrix,
+    pub(crate) a: SparseMatrix,
+    pub(crate) eq: Vec<bool>,
+    pub(crate) sigma: f64,
+    pub(crate) rho: f64,
+    pub(crate) gram: SparseMatrix,
+    pub(crate) kkt: SparseKkt,
+    pub(crate) factor: Factor,
 }
 
 /// Stiffness multiplier applied to the ADMM penalty of equality rows
 /// (`l = u`), as in OSQP.
 const RHO_EQ_SCALE: f64 = 1e3;
 /// Clamp range of every per-constraint penalty ρ_i.
-const RHO_MIN: f64 = 1e-6;
+pub(crate) const RHO_MIN: f64 = 1e-6;
 /// See [`RHO_MIN`].
-const RHO_MAX: f64 = 1e6;
+pub(crate) const RHO_MAX: f64 = 1e6;
 
 /// Expands the scalar ρ into the per-constraint penalty vector: equality
 /// rows get `ρ·RHO_EQ_SCALE`, everything clamped to `[RHO_MIN, RHO_MAX]`.
-fn fill_rho_vec(rho: f64, eq: &[bool], out: &mut Vec<f64>) {
+pub(crate) fn fill_rho_vec(rho: f64, eq: &[bool], out: &mut Vec<f64>) {
     out.clear();
     out.extend(eq.iter().map(|&is_eq| {
         let r = if is_eq { rho * RHO_EQ_SCALE } else { rho };
@@ -529,7 +529,7 @@ pub fn solve_qp_warm(
 /// Each pass computes all row (then column) norms of the current scaled
 /// data before applying the updates, so the result is independent of
 /// storage order — both backends see the identical equilibration.
-fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
+pub(crate) fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
     let n = problem.num_vars();
     let m = problem.num_constraints();
     let mut d = vec![1.0f64; n];
@@ -586,7 +586,7 @@ fn compute_scaling(problem: &QpProblem) -> (Vec<f64>, Vec<f64>) {
 
 /// Applies scaling vectors to a problem: the scaled program is
 /// `min ½x̃ᵀ(DPD)x̃ + (Dq)ᵀx̃  s.t.  El ≤ (EAD)x̃ ≤ Eu` with `x = Dx̃`.
-fn apply_scaling(problem: &QpProblem, d: &[f64], e: &[f64]) -> QpProblem {
+pub(crate) fn apply_scaling(problem: &QpProblem, d: &[f64], e: &[f64]) -> QpProblem {
     let mut p = problem.p.clone();
     p.scale_rows(d);
     p.scale_cols(d);
@@ -606,6 +606,153 @@ fn apply_scaling(problem: &QpProblem, d: &[f64], e: &[f64]) -> QpProblem {
     }
 }
 
+/// All per-problem mutable state of one ADMM solve: iterates, the
+/// per-constraint penalty, residuals, and the hot-loop scratch.
+///
+/// Extracted from [`solve_qp_scaled`] so the batched solver
+/// ([`crate::batch`]) advances each block with *literally the same*
+/// per-iteration code — bitwise equality between a batched block and a
+/// sequential solve holds by construction, not by tolerance.
+pub(crate) struct AdmmState {
+    pub(crate) x: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+    pub(crate) z: Vec<f64>,
+    pub(crate) rho: f64,
+    pub(crate) rho_v: Vec<f64>,
+    pub(crate) eq: Vec<bool>,
+    pub(crate) primal_res: f64,
+    pub(crate) dual_res: f64,
+    // hot-loop scratch, allocated once per solve — the per-iteration
+    // body is allocation-free
+    rhs: Vec<f64>,
+    x_tilde: Vec<f64>,
+    tmp_m: Vec<f64>,
+    z_tilde: Vec<f64>,
+    px: Vec<f64>,
+    aty: Vec<f64>,
+}
+
+impl AdmmState {
+    /// State for one (already scaled) problem, starting from `start`
+    /// (cold zeros otherwise) with the resolved initial ρ.
+    pub(crate) fn new(
+        problem: &QpProblem,
+        rho: f64,
+        eq: Vec<bool>,
+        start: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    ) -> AdmmState {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+        let (x, y, z) = start.unwrap_or_else(|| (vec![0.0; n], vec![0.0; m], vec![0.0; m]));
+        let mut st = AdmmState {
+            x,
+            y,
+            z,
+            rho,
+            rho_v: Vec::with_capacity(m),
+            eq,
+            primal_res: f64::INFINITY,
+            dual_res: f64::INFINITY,
+            rhs: vec![0.0; n],
+            x_tilde: vec![0.0; n],
+            tmp_m: vec![0.0; m],
+            z_tilde: vec![0.0; m],
+            px: vec![0.0; n],
+            aty: vec![0.0; n],
+        };
+        fill_rho_vec(st.rho, &st.eq, &mut st.rho_v);
+        st
+    }
+
+    /// Installs a rebalanced ρ and refreshes the per-constraint vector.
+    pub(crate) fn set_rho(&mut self, rho: f64) {
+        self.rho = rho;
+        fill_rho_vec(self.rho, &self.eq, &mut self.rho_v);
+    }
+
+    /// One ADMM iteration: x̃-update, over-relaxation, projection and
+    /// dual update. `solve` applies the current KKT factor
+    /// (`out = M⁻¹·rhs`); everything else is element-wise and runs
+    /// through the bitwise-preserving [`crate::simd`] kernels (the
+    /// clamp-projection stays scalar: its branch structure does not
+    /// vectorize without changing NaN semantics).
+    pub(crate) fn iterate(
+        &mut self,
+        problem: &QpProblem,
+        settings: &QpSettings,
+        solve: &mut dyn FnMut(&[f64], &mut [f64]),
+    ) {
+        let m = problem.num_constraints();
+        // x̃-update: (P + σI + AᵀRA) x̃ = σx − q + Aᵀ(Rz − y)
+        crate::simd::mul_sub(&mut self.tmp_m, &self.rho_v, &self.z, &self.y);
+        problem.a.t_mul_vec_into(&self.tmp_m, &mut self.rhs);
+        crate::simd::add_scaled_sub(&mut self.rhs, settings.sigma, &self.x, &problem.q);
+        solve(&self.rhs, &mut self.x_tilde);
+        problem.a.mul_vec_into(&self.x_tilde, &mut self.z_tilde);
+
+        // over-relaxation on both x and z (OSQP alg. 1)
+        let alpha = settings.alpha;
+        crate::simd::relax(&mut self.x, alpha, &self.x_tilde);
+        for i in 0..m {
+            let relaxed = alpha * self.z_tilde[i] + (1.0 - alpha) * self.z[i];
+            let zi = (relaxed + self.y[i] / self.rho_v[i]).clamp(problem.l[i], problem.u[i]);
+            self.y[i] += self.rho_v[i] * (relaxed - zi);
+            self.z[i] = zi;
+        }
+    }
+
+    /// Residual measurement at the current iterate (the every-10-iters
+    /// block of the hot loop). The max-folds stay scalar on purpose:
+    /// `f64::max` *skips* NaN where the AVX2 max does not, and
+    /// [`AdmmState::poisoned`] relies on exactly that behaviour.
+    pub(crate) fn measure_residuals(&mut self, problem: &QpProblem) {
+        problem.a.mul_vec_into(&self.x, &mut self.tmp_m);
+        self.primal_res = self
+            .tmp_m
+            .iter()
+            .zip(&self.z)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        problem.p.mul_vec_into(&self.x, &mut self.px);
+        problem.a.t_mul_vec_into(&self.y, &mut self.aty);
+        self.dual_res = (0..problem.num_vars())
+            .map(|i| (self.px[i] + problem.q[i] + self.aty[i]).abs())
+            .fold(0.0, f64::max);
+    }
+
+    /// NaN/∞-poisoned iterates (a NaN in the problem data, a NaN cost
+    /// matrix whose dense Cholesky spuriously "succeeded" — NaN
+    /// comparisons are all false) must not be consumed by anything
+    /// downstream. The residual folds skip NaN (a poisoned residual
+    /// reads 0.0), so the iterate itself is checked too.
+    pub(crate) fn poisoned(&self) -> bool {
+        !self.primal_res.is_finite()
+            || !self.dual_res.is_finite()
+            || self.x.iter().any(|v| !v.is_finite())
+    }
+
+    /// Whether the measured residuals meet the tolerance.
+    pub(crate) fn converged(&self, eps_abs: f64) -> bool {
+        self.primal_res < eps_abs && self.dual_res < eps_abs
+    }
+
+    /// Adaptive-ρ decision (OSQP §5.2): rebalance when the residuals
+    /// diverge by more than an order of magnitude. Returns the new ρ only
+    /// when it actually changed (i.e. a refactorization is due).
+    pub(crate) fn rho_rebalance(&self, settings: &QpSettings) -> Option<f64> {
+        let scale = if self.primal_res > 10.0 * self.dual_res && self.primal_res > settings.eps_abs
+        {
+            Some(self.rho * 5.0)
+        } else if self.dual_res > 10.0 * self.primal_res && self.dual_res > settings.eps_abs {
+            Some(self.rho / 5.0)
+        } else {
+            None
+        };
+        let new_rho = scale?.clamp(RHO_MIN, RHO_MAX);
+        ((new_rho - self.rho).abs() > f64::EPSILON).then_some(new_rho)
+    }
+}
+
 /// The core ADMM loop on an (already scaled) problem, reusing the cached
 /// Gram matrix, KKT assembly and factorization from `workspace` when the
 /// scaled data, σ and ρ all match.
@@ -617,11 +764,10 @@ fn solve_qp_scaled(
 ) -> QpSolution {
     let n = problem.num_vars();
     let m = problem.num_constraints();
-    let mut rho = settings.rho.clamp(RHO_MIN, RHO_MAX);
+    let init_rho = settings.rho.clamp(RHO_MIN, RHO_MAX);
     // equality rows (l = u) get the stiffer penalty; scaling multiplies
     // both bounds by the same row scale, so the pattern is scale-invariant
     let eq: Vec<bool> = problem.l.iter().zip(&problem.u).map(|(lo, hi)| lo == hi).collect();
-    let mut rho_v: Vec<f64> = Vec::with_capacity(m);
 
     // KKT matrix M = P + σI + AᵀRA with R = diag(ρ_i), factorized once
     // per ρ value. The full setup (weighted Gram, assembly maps, factor)
@@ -630,7 +776,7 @@ fn solve_qp_scaled(
     // only on problem shape + pattern, which the data equality implies).
     let mut diag = QpDiagnostics::default();
     let cached = workspace.factor.take();
-    let (mut gram, mut kkt, mut factor) = match cached {
+    let (mut gram, mut kkt, mut factor, rho) = match cached {
         Some(c)
             if c.sigma == settings.sigma
                 && c.p == problem.p
@@ -641,13 +787,13 @@ fn solve_qp_scaled(
         {
             // identical scaled data: the previously-adapted ρ applies, so
             // the cached factor can be reused verbatim
-            rho = c.rho;
             diag.factor_cache_hits += 1;
-            fill_rho_vec(rho, &eq, &mut rho_v);
-            (c.gram, c.kkt, c.factor)
+            let rho = c.rho;
+            (c.gram, c.kkt, c.factor, rho)
         }
         _ => {
-            fill_rho_vec(rho, &eq, &mut rho_v);
+            let mut rho_v = Vec::with_capacity(m);
+            fill_rho_vec(init_rho, &eq, &mut rho_v);
             let gram = problem.a.gram_weighted(&rho_v);
             let mut kkt = SparseKkt::new(&problem.p, &gram);
             let use_sparse = choose_sparse(problem.backend, n, kkt.matrix().fill_ratio());
@@ -667,116 +813,49 @@ fn solve_qp_scaled(
                 workspace.rho = None;
                 return numerical_error_solution(n, m, 0, use_sparse, diag);
             };
-            (gram, kkt, factor)
+            (gram, kkt, factor, init_rho)
         }
     };
     let use_sparse = factor.is_sparse();
 
-    let (mut x, mut y, mut z) = start.unwrap_or_else(|| (vec![0.0; n], vec![0.0; m], vec![0.0; m]));
-
-    let mut primal_res = f64::INFINITY;
-    let mut dual_res = f64::INFINITY;
+    let mut st = AdmmState::new(problem, rho, eq, start);
     let mut iters = 0;
     let mut status = QpStatus::MaxIterations;
 
-    // hot-loop scratch, allocated once per solve — the per-iteration
-    // body below is allocation-free
-    let mut rhs = vec![0.0f64; n];
-    let mut x_tilde = vec![0.0f64; n];
-    let mut tmp_m = vec![0.0f64; m];
-    let mut z_tilde = vec![0.0f64; m];
-    let mut px = vec![0.0f64; n];
-    let mut aty = vec![0.0f64; n];
-
-    let alpha = settings.alpha;
     for it in 0..settings.max_iters {
         iters = it + 1;
-        // x̃-update: (P + σI + AᵀRA) x̃ = σx − q + Aᵀ(Rz − y)
-        for i in 0..m {
-            tmp_m[i] = rho_v[i] * z[i] - y[i];
-        }
-        problem.a.t_mul_vec_into(&tmp_m, &mut rhs);
-        for i in 0..n {
-            rhs[i] += settings.sigma * x[i] - problem.q[i];
-        }
-        factor.solve_into(&rhs, &mut x_tilde);
-        problem.a.mul_vec_into(&x_tilde, &mut z_tilde);
-
-        // over-relaxation on both x and z (OSQP alg. 1)
-        for i in 0..n {
-            x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
-        }
-        for i in 0..m {
-            let relaxed = alpha * z_tilde[i] + (1.0 - alpha) * z[i];
-            let zi = (relaxed + y[i] / rho_v[i]).clamp(problem.l[i], problem.u[i]);
-            y[i] += rho_v[i] * (relaxed - zi);
-            z[i] = zi;
-        }
+        st.iterate(problem, settings, &mut |b, out| factor.solve_into(b, out));
 
         if it % 10 == 9 || it == settings.max_iters - 1 {
-            problem.a.mul_vec_into(&x, &mut tmp_m);
-            primal_res = tmp_m
-                .iter()
-                .zip(&z)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
-            problem.p.mul_vec_into(&x, &mut px);
-            problem.a.t_mul_vec_into(&y, &mut aty);
-            dual_res = (0..n)
-                .map(|i| (px[i] + problem.q[i] + aty[i]).abs())
-                .fold(0.0, f64::max);
-            // NaN/∞-poisoned iterates (a NaN in the problem data, a NaN
-            // cost matrix whose dense Cholesky spuriously "succeeded" —
-            // NaN comparisons are all false) must not be consumed by
-            // anything downstream. The residual folds use `f64::max`,
-            // which *skips* NaN (a poisoned residual reads 0.0), so the
-            // iterate itself is checked, before the convergence test.
-            if !primal_res.is_finite()
-                || !dual_res.is_finite()
-                || x.iter().any(|v| !v.is_finite())
-            {
+            st.measure_residuals(problem);
+            if st.poisoned() {
                 status = QpStatus::NumericalError;
                 break;
             }
-            if primal_res < settings.eps_abs && dual_res < settings.eps_abs {
+            if st.converged(settings.eps_abs) {
                 status = QpStatus::Solved;
                 break;
             }
-            // Adaptive ρ (OSQP §5.2): rebalance when the residuals diverge
-            // by more than an order of magnitude. Refactorization is cheap
-            // at MPC scale — and with the sparse backend it is a numeric
-            // refactor only (the symbolic analysis is pattern-keyed).
-            let scale = if primal_res > 10.0 * dual_res && primal_res > settings.eps_abs {
-                Some(rho * 5.0)
-            } else if dual_res > 10.0 * primal_res && dual_res > settings.eps_abs {
-                Some(rho / 5.0)
-            } else {
-                None
-            };
-            if let Some(new_rho) = scale {
-                let new_rho = new_rho.clamp(RHO_MIN, RHO_MAX);
-                if (new_rho - rho).abs() > f64::EPSILON {
-                    rho = new_rho;
-                    fill_rho_vec(rho, &eq, &mut rho_v);
-                    // the weighted Gram changes with R; its pattern does
-                    // not, so the assembly maps and symbolic analysis
-                    // both survive and only the numeric refactor runs
-                    gram = problem.a.gram_weighted(&rho_v);
-                    match build_factor(
-                        &mut kkt,
-                        &problem.p,
-                        &gram,
-                        settings.sigma,
-                        use_sparse,
-                        &mut workspace.symbolic,
-                        Some(factor),
-                        &mut diag,
-                    ) {
-                        Some(f) => factor = f,
-                        None => {
-                            workspace.rho = None;
-                            return numerical_error_solution(n, m, iters, use_sparse, diag);
-                        }
+            if let Some(new_rho) = st.rho_rebalance(settings) {
+                st.set_rho(new_rho);
+                // the weighted Gram changes with R; its pattern does
+                // not, so the assembly maps and symbolic analysis
+                // both survive and only the numeric refactor runs
+                gram = problem.a.gram_weighted(&st.rho_v);
+                match build_factor(
+                    &mut kkt,
+                    &problem.p,
+                    &gram,
+                    settings.sigma,
+                    use_sparse,
+                    &mut workspace.symbolic,
+                    Some(factor),
+                    &mut diag,
+                ) {
+                    Some(f) => factor = f,
+                    None => {
+                        workspace.rho = None;
+                        return numerical_error_solution(n, m, iters, use_sparse, diag);
                     }
                 }
             }
@@ -789,7 +868,7 @@ fn solve_qp_scaled(
         return numerical_error_solution(n, m, iters, use_sparse, diag);
     }
 
-    workspace.rho = Some(rho);
+    workspace.rho = Some(st.rho);
     let backend = if use_sparse {
         Backend::Sparse
     } else {
@@ -798,21 +877,21 @@ fn solve_qp_scaled(
     workspace.factor = Some(FactorCache {
         p: problem.p.clone(),
         a: problem.a.clone(),
-        eq,
+        eq: st.eq.clone(),
         sigma: settings.sigma,
-        rho,
+        rho: st.rho,
         gram,
         kkt,
         factor,
     });
 
     QpSolution {
-        x,
-        y,
+        x: st.x,
+        y: st.y,
         status,
         iterations: iters,
-        primal_residual: primal_res,
-        dual_residual: dual_res,
+        primal_residual: st.primal_res,
+        dual_residual: st.dual_res,
         backend,
         diagnostics: diag,
     }
@@ -820,7 +899,7 @@ fn solve_qp_scaled(
 
 /// Whether any problem entry is NaN, or a cost/matrix entry non-finite
 /// (constraint bounds may legitimately be ±∞; nothing else may).
-fn data_is_poisoned(problem: &QpProblem) -> bool {
+pub(crate) fn data_is_poisoned(problem: &QpProblem) -> bool {
     problem.q.iter().any(|v| !v.is_finite())
         || problem.l.iter().any(|v| v.is_nan())
         || problem.u.iter().any(|v| v.is_nan())
@@ -830,7 +909,7 @@ fn data_is_poisoned(problem: &QpProblem) -> bool {
 
 /// The canonical [`QpStatus::NumericalError`] result: zero iterates (the
 /// only point guaranteed finite), infinite residuals, nothing cached.
-fn numerical_error_solution(
+pub(crate) fn numerical_error_solution(
     n: usize,
     m: usize,
     iterations: usize,
@@ -868,7 +947,7 @@ fn numerical_error_solution(
 /// NaN-poisoned) cost matrix. This is a status, not a panic: the caller
 /// reports [`QpStatus::NumericalError`] and the stack degrades gracefully.
 #[allow(clippy::too_many_arguments)]
-fn build_factor(
+pub(crate) fn build_factor(
     kkt: &mut SparseKkt,
     p: &SparseMatrix,
     gram: &SparseMatrix,
@@ -882,11 +961,8 @@ fn build_factor(
         Some(Factor::Sparse(f)) => Some(f),
         _ => None,
     };
-    let mut bump = 0.0f64;
-    let mut step = 1e-9;
-    loop {
-        let k = kkt.assemble(p, gram, sigma + bump, 1.0);
-        diag.factorizations += 1;
+    let mut out = None;
+    let ok = escalate_bumps(kkt, p, gram, sigma, diag, |k, diag| {
         if use_sparse {
             let sym = match symbolic.as_ref() {
                 Some(s) if s.matches(k) => {
@@ -906,19 +982,53 @@ fn build_factor(
             };
             if let Ok(f) = attempt {
                 if f.is_positive_definite() {
-                    return Some(Factor::Sparse(f));
+                    out = Some(Factor::Sparse(f));
+                    return true;
                 }
                 // quasidefinite/indefinite: keep the storage, bump and retry
                 reuse = Some(f);
             }
+            false
         } else if let Ok(f) = k.to_dense().cholesky() {
-            return Some(Factor::Dense(f));
+            out = Some(Factor::Dense(f));
+            true
+        } else {
+            false
+        }
+    });
+    if ok {
+        out
+    } else {
+        None
+    }
+}
+
+/// The shared regularization-bump escalation: assembles
+/// `K = P + (σ + bump)·I + AᵀRA` and calls `attempt` at each bump until
+/// it reports success or the budget runs out. Used by [`build_factor`]
+/// and the batched per-block factorization ([`crate::batch`]), so both
+/// walk the identical `σ, σ+1e-9, σ+1.1e-8, …` schedule.
+pub(crate) fn escalate_bumps(
+    kkt: &mut SparseKkt,
+    p: &SparseMatrix,
+    gram: &SparseMatrix,
+    sigma: f64,
+    diag: &mut QpDiagnostics,
+    mut attempt: impl FnMut(&SparseMatrix, &mut QpDiagnostics) -> bool,
+) -> bool {
+    let mut bump = 0.0f64;
+    let mut step = 1e-9;
+    loop {
+        let k = kkt.assemble(p, gram, sigma + bump, 1.0);
+        diag.factorizations += 1;
+        if attempt(k, diag) {
+            return true;
         }
         // a bump budget spanning 15 decades: anything a finite diagonal
         // shift can repair is repaired well before this; what remains is
         // non-finite or structurally broken data
         if step >= 1e6 {
-            return None;
+            return false;
         }
         bump += step;
         step *= 10.0;

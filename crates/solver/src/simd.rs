@@ -1,0 +1,464 @@
+//! Runtime-dispatched SIMD kernels for the solver's `f64` hot loops.
+//!
+//! Unlike the `f32` NN kernels (where FMA reordering is tolerated and
+//! checked to a ULP budget), **every kernel in this module is
+//! bitwise-preserving**: the AVX2 paths perform exactly the same
+//! floating-point operations as the scalar loops — separate multiply
+//! and add/subtract, never a fused multiply-add, never a reduction-order
+//! change — so the CO trajectory contract (bit-identical episodes across
+//! worker counts, backends and batch widths) survives vectorization.
+//! The lanes only batch *independent* element updates:
+//!
+//! * elementwise ADMM vector updates (`ρz−y`, `σx−q` accumulation, the
+//!   over-relaxation blend) — each element is its own dependency chain;
+//! * the LDLᵀ column scatter `w[ind[j]] -= l[j]·s` — row indices within
+//!   one column are distinct, so updates are independent;
+//! * the backward-substitution reduction, where the *products*
+//!   `l[j]·w[ind[j]]` are vectorized but the subtraction chain is
+//!   replayed in the exact scalar order.
+//!
+//! Residual ∞-norm folds are deliberately **not** vectorized:
+//! `f64::max` skips NaN operands where `_mm256_max_pd` would not, and
+//! the ADMM loop relies on that NaN-skip to reach its explicit
+//! non-finite iterate check.
+//!
+//! Dispatch mirrors `icoil_nn::simd`: process-wide detection (honoring
+//! `ICOIL_FORCE_SCALAR=1`) plus a thread-local override for
+//! differential tests. The conformance harness drives both crates'
+//! overrides independently.
+
+// The one module in the crate allowed `unsafe`: `core::arch` intrinsics
+// behind runtime feature detection.
+#![allow(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Which kernel implementation services the f64 hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable scalar loops (the reference path).
+    Scalar,
+    /// x86-64 AVX2 lanes (no FMA — bitwise-preserving).
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Stable label for bench metadata (`"scalar"` / `"avx2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+fn detect() -> KernelBackend {
+    if std::env::var("ICOIL_FORCE_SCALAR").is_ok_and(|v| v == "1") {
+        return KernelBackend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return KernelBackend::Avx2;
+    }
+    KernelBackend::Scalar
+}
+
+/// The process-wide backend chosen at first use.
+pub fn detected() -> KernelBackend {
+    static DETECTED: OnceLock<KernelBackend> = OnceLock::new();
+    *DETECTED.get_or_init(detect)
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<KernelBackend>> = const { Cell::new(None) };
+}
+
+/// The backend the current thread will use.
+pub fn active() -> KernelBackend {
+    OVERRIDE.with(Cell::get).unwrap_or_else(detected)
+}
+
+/// The active backend's label, for bench metadata.
+pub fn dispatch_target() -> &'static str {
+    active().label()
+}
+
+/// Runs `f` with this thread's kernels pinned to `backend`, restoring
+/// the previous dispatch afterwards (also on panic).
+pub fn with_backend<R>(backend: KernelBackend, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<KernelBackend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(backend))));
+    f()
+}
+
+/// Per-kernel conformance modes. All solver kernels are `"bitwise"` by
+/// design; the table exists so docs, bench JSON and the conformance
+/// harness state the contract explicitly.
+pub fn kernel_modes() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("ldl_scatter_sub_f64", "bitwise"),
+        ("ldl_backward_reduce_f64", "bitwise"),
+        ("ldl_diag_scale_f64", "bitwise"),
+        ("admm_elementwise_f64", "bitwise"),
+    ]
+}
+
+#[cfg(target_arch = "x86_64")]
+fn use_avx2() -> bool {
+    active() == KernelBackend::Avx2
+}
+
+/// `w[ind[j]] -= l[j] * s` for every `j` — the LDLᵀ column scatter used
+/// by both the numeric refactor and the forward substitution. Indices
+/// within a call are distinct (structural rows of one `L` column), so
+/// the updates are independent and the products can be formed 4-wide;
+/// each element still sees exactly one `mul` and one `sub`.
+///
+/// # Panics
+///
+/// Panics (debug) when `l` and `ind` lengths differ.
+#[inline]
+pub fn scatter_sub(w: &mut [f64], ind: &[usize], l: &[f64], s: f64) {
+    debug_assert_eq!(ind.len(), l.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: avx2 verified by dispatch.
+        unsafe { scatter_sub_avx2(w, ind, l, s) };
+        return;
+    }
+    for (&i, &lv) in ind.iter().zip(l) {
+        w[i] -= lv * s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scatter_sub_avx2(w: &mut [f64], ind: &[usize], l: &[f64], s: f64) {
+    use std::arch::x86_64::*;
+    let vs = _mm256_set1_pd(s);
+    let chunks = l.len() / 4 * 4;
+    let mut j = 0;
+    while j < chunks {
+        // SAFETY: j + 4 <= chunks <= l.len() == ind.len().
+        let vl = unsafe { _mm256_loadu_pd(l.as_ptr().add(j)) };
+        let prod = _mm256_mul_pd(vl, vs);
+        let mut t = [0.0f64; 4];
+        unsafe { _mm256_storeu_pd(t.as_mut_ptr(), prod) };
+        // scatter stores need AVX-512; the subtracts stay scalar but each
+        // element's arithmetic (one mul, one sub) matches the scalar path
+        w[ind[j]] -= t[0];
+        w[ind[j + 1]] -= t[1];
+        w[ind[j + 2]] -= t[2];
+        w[ind[j + 3]] -= t[3];
+        j += 4;
+    }
+    for jj in chunks..l.len() {
+        w[ind[jj]] -= l[jj] * s;
+    }
+}
+
+/// `acc - Σ_j l[j] * w[ind[j]]` with the subtraction chain replayed in
+/// ascending-`j` order — the backward-substitution reduction. The
+/// products are gathered and multiplied 4-wide; the running subtraction
+/// happens element-by-element in the scalar order, so the result is
+/// bit-identical to the reference loop.
+#[inline]
+pub fn gather_sub_reduce(acc: f64, ind: &[usize], l: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(ind.len(), l.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: avx2 verified by dispatch.
+        return unsafe { gather_sub_reduce_avx2(acc, ind, l, w) };
+    }
+    let mut out = acc;
+    for (&i, &lv) in ind.iter().zip(l) {
+        out -= lv * w[i];
+    }
+    out
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_sub_reduce_avx2(acc: f64, ind: &[usize], l: &[f64], w: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let mut out = acc;
+    let chunks = l.len() / 4 * 4;
+    let mut j = 0;
+    while j < chunks {
+        // SAFETY: j + 4 <= chunks <= ind.len() == l.len(); every ind[j]
+        // is a valid row index into w (structural invariant of L).
+        let vi = unsafe { _mm256_loadu_si256(ind.as_ptr().add(j) as *const __m256i) };
+        let vw = unsafe { _mm256_i64gather_pd::<8>(w.as_ptr(), vi) };
+        let vl = unsafe { _mm256_loadu_pd(l.as_ptr().add(j)) };
+        let prod = _mm256_mul_pd(vl, vw);
+        let mut t = [0.0f64; 4];
+        unsafe { _mm256_storeu_pd(t.as_mut_ptr(), prod) };
+        out -= t[0];
+        out -= t[1];
+        out -= t[2];
+        out -= t[3];
+        j += 4;
+    }
+    for jj in chunks..l.len() {
+        out -= l[jj] * w[ind[jj]];
+    }
+    out
+}
+
+/// `w[i] *= d[i]` — the diagonal scaling sweep of the LDLᵀ solve.
+///
+/// # Panics
+///
+/// Panics (debug) on length mismatch.
+#[inline]
+pub fn mul_in_place(w: &mut [f64], d: &[f64]) {
+    debug_assert_eq!(w.len(), d.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: avx2 verified by dispatch.
+        unsafe { mul_in_place_avx2(w, d) };
+        return;
+    }
+    for (wi, &di) in w.iter_mut().zip(d) {
+        *wi *= di;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_in_place_avx2(w: &mut [f64], d: &[f64]) {
+    use std::arch::x86_64::*;
+    let chunks = w.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        // SAFETY: i + 4 <= chunks <= both slice lengths.
+        let vw = unsafe { _mm256_loadu_pd(w.as_ptr().add(i)) };
+        let vd = unsafe { _mm256_loadu_pd(d.as_ptr().add(i)) };
+        unsafe { _mm256_storeu_pd(w.as_mut_ptr().add(i), _mm256_mul_pd(vw, vd)) };
+        i += 4;
+    }
+    for ii in chunks..w.len() {
+        w[ii] *= d[ii];
+    }
+}
+
+/// `tmp[i] = rho[i] * z[i] - y[i]` — the ADMM x̃-RHS precursor.
+///
+/// # Panics
+///
+/// Panics (debug) on length mismatch.
+#[inline]
+pub fn mul_sub(tmp: &mut [f64], rho: &[f64], z: &[f64], y: &[f64]) {
+    debug_assert!(tmp.len() == rho.len() && tmp.len() == z.len() && tmp.len() == y.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: avx2 verified by dispatch.
+        unsafe { mul_sub_avx2(tmp, rho, z, y) };
+        return;
+    }
+    for i in 0..tmp.len() {
+        tmp[i] = rho[i] * z[i] - y[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_sub_avx2(tmp: &mut [f64], rho: &[f64], z: &[f64], y: &[f64]) {
+    use std::arch::x86_64::*;
+    let chunks = tmp.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        // SAFETY: i + 4 <= chunks <= every slice length.
+        let vr = unsafe { _mm256_loadu_pd(rho.as_ptr().add(i)) };
+        let vz = unsafe { _mm256_loadu_pd(z.as_ptr().add(i)) };
+        let vy = unsafe { _mm256_loadu_pd(y.as_ptr().add(i)) };
+        let v = _mm256_sub_pd(_mm256_mul_pd(vr, vz), vy);
+        unsafe { _mm256_storeu_pd(tmp.as_mut_ptr().add(i), v) };
+        i += 4;
+    }
+    for ii in chunks..tmp.len() {
+        tmp[ii] = rho[ii] * z[ii] - y[ii];
+    }
+}
+
+/// `rhs[i] += sigma * x[i] - q[i]` — the σ-regularized ADMM RHS update.
+///
+/// # Panics
+///
+/// Panics (debug) on length mismatch.
+#[inline]
+pub fn add_scaled_sub(rhs: &mut [f64], sigma: f64, x: &[f64], q: &[f64]) {
+    debug_assert!(rhs.len() == x.len() && rhs.len() == q.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: avx2 verified by dispatch.
+        unsafe { add_scaled_sub_avx2(rhs, sigma, x, q) };
+        return;
+    }
+    for i in 0..rhs.len() {
+        rhs[i] += sigma * x[i] - q[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_scaled_sub_avx2(rhs: &mut [f64], sigma: f64, x: &[f64], q: &[f64]) {
+    use std::arch::x86_64::*;
+    let vs = _mm256_set1_pd(sigma);
+    let chunks = rhs.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        // SAFETY: i + 4 <= chunks <= every slice length.
+        let vx = unsafe { _mm256_loadu_pd(x.as_ptr().add(i)) };
+        let vq = unsafe { _mm256_loadu_pd(q.as_ptr().add(i)) };
+        let vr = unsafe { _mm256_loadu_pd(rhs.as_ptr().add(i)) };
+        let v = _mm256_add_pd(vr, _mm256_sub_pd(_mm256_mul_pd(vs, vx), vq));
+        unsafe { _mm256_storeu_pd(rhs.as_mut_ptr().add(i), v) };
+        i += 4;
+    }
+    for ii in chunks..rhs.len() {
+        rhs[ii] += sigma * x[ii] - q[ii];
+    }
+}
+
+/// `x[i] = alpha * xt[i] + (1 - alpha) * x[i]` — ADMM over-relaxation.
+///
+/// # Panics
+///
+/// Panics (debug) on length mismatch.
+#[inline]
+pub fn relax(x: &mut [f64], alpha: f64, xt: &[f64]) {
+    debug_assert_eq!(x.len(), xt.len());
+    let beta = 1.0 - alpha;
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: avx2 verified by dispatch.
+        unsafe { relax_avx2(x, alpha, beta, xt) };
+        return;
+    }
+    for (xi, &ti) in x.iter_mut().zip(xt) {
+        *xi = alpha * ti + beta * *xi;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn relax_avx2(x: &mut [f64], alpha: f64, beta: f64, xt: &[f64]) {
+    use std::arch::x86_64::*;
+    let va = _mm256_set1_pd(alpha);
+    let vb = _mm256_set1_pd(beta);
+    let chunks = x.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        // SAFETY: i + 4 <= chunks <= both slice lengths.
+        let vt = unsafe { _mm256_loadu_pd(xt.as_ptr().add(i)) };
+        let vx = unsafe { _mm256_loadu_pd(x.as_ptr().add(i)) };
+        let v = _mm256_add_pd(_mm256_mul_pd(va, vt), _mm256_mul_pd(vb, vx));
+        unsafe { _mm256_storeu_pd(x.as_mut_ptr().add(i), v) };
+        i += 4;
+    }
+    for ii in chunks..x.len() {
+        x[ii] = alpha * xt[ii] + beta * x[ii];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(len: usize) -> Vec<f64> {
+        (0..len).map(|i| ((i * 13 + 5) as f64 * 0.173).sin()).collect()
+    }
+
+    /// Every kernel must agree with the scalar backend *bitwise* — the
+    /// whole point of the no-FMA discipline. Exercises ragged tails.
+    #[test]
+    fn all_kernels_are_bitwise_vs_scalar() {
+        for n in [0usize, 1, 3, 4, 5, 8, 11, 17] {
+            let rho = wavy(n);
+            let z = wavy(n).iter().map(|v| v + 0.5).collect::<Vec<_>>();
+            let y = wavy(n).iter().map(|v| v - 0.25).collect::<Vec<_>>();
+            let q = wavy(n);
+            let xt = wavy(n).iter().map(|v| v * 2.0).collect::<Vec<_>>();
+
+            let mut a1 = wavy(n);
+            let mut a2 = a1.clone();
+            with_backend(KernelBackend::Scalar, || mul_sub(&mut a1, &rho, &z, &y));
+            with_backend(detected(), || mul_sub(&mut a2, &rho, &z, &y));
+            assert_eq!(a1, a2, "mul_sub n={n}");
+
+            let mut b1 = wavy(n);
+            let mut b2 = b1.clone();
+            with_backend(KernelBackend::Scalar, || {
+                add_scaled_sub(&mut b1, 1e-6, &z, &q)
+            });
+            with_backend(detected(), || add_scaled_sub(&mut b2, 1e-6, &z, &q));
+            assert_eq!(b1, b2, "add_scaled_sub n={n}");
+
+            let mut c1 = wavy(n);
+            let mut c2 = c1.clone();
+            with_backend(KernelBackend::Scalar, || relax(&mut c1, 1.6, &xt));
+            with_backend(detected(), || relax(&mut c2, 1.6, &xt));
+            assert_eq!(c1, c2, "relax n={n}");
+
+            let mut d1 = wavy(n);
+            let mut d2 = d1.clone();
+            with_backend(KernelBackend::Scalar, || mul_in_place(&mut d1, &rho));
+            with_backend(detected(), || mul_in_place(&mut d2, &rho));
+            assert_eq!(d1, d2, "mul_in_place n={n}");
+        }
+    }
+
+    #[test]
+    fn scatter_and_gather_kernels_are_bitwise() {
+        // a 32-long w with two L "columns" of ragged lengths
+        let w0 = wavy(32);
+        for len in [0usize, 1, 3, 4, 6, 9, 13] {
+            let ind: Vec<usize> = (0..len).map(|j| (j * 5 + 2) % 32).collect();
+            // make indices distinct like structural L rows
+            let mut ind = ind;
+            ind.sort_unstable();
+            ind.dedup();
+            let l = wavy(ind.len());
+
+            let mut w1 = w0.clone();
+            let mut w2 = w0.clone();
+            with_backend(KernelBackend::Scalar, || {
+                scatter_sub(&mut w1, &ind, &l, 0.7315)
+            });
+            with_backend(detected(), || scatter_sub(&mut w2, &ind, &l, 0.7315));
+            assert_eq!(w1, w2, "scatter_sub len={}", ind.len());
+
+            let r1 = with_backend(KernelBackend::Scalar, || {
+                gather_sub_reduce(3.25, &ind, &l, &w0)
+            });
+            let r2 = with_backend(detected(), || gather_sub_reduce(3.25, &ind, &l, &w0));
+            assert_eq!(r1.to_bits(), r2.to_bits(), "gather_sub_reduce len={}", ind.len());
+        }
+    }
+
+    #[test]
+    fn nan_passes_through_identically() {
+        let mut w1 = vec![1.0, f64::NAN, 3.0, 4.0, 5.0];
+        let mut w2 = w1.clone();
+        let d = vec![2.0, 2.0, f64::NAN, 2.0, 2.0];
+        with_backend(KernelBackend::Scalar, || mul_in_place(&mut w1, &d));
+        with_backend(detected(), || mul_in_place(&mut w2, &d));
+        for (a, b) in w1.iter().zip(&w2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_mode_table_is_all_bitwise() {
+        for (kernel, mode) in kernel_modes() {
+            assert_eq!(*mode, "bitwise", "{kernel}");
+        }
+    }
+}

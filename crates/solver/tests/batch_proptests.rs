@@ -1,0 +1,138 @@
+//! Property-based tests for the block-diagonal batched QP solve: a
+//! batch of same-pattern problems must be bit-identical to solving each
+//! sequentially, and any structural mismatch must be rejected up front
+//! (naming the first offending block) before any workspace is touched.
+
+use icoil_solver::{
+    solve_qp_batch, solve_qp_warm, Mat, QpBatchError, QpBatchJob, QpProblem, QpSettings,
+    QpWorkspace,
+};
+use proptest::prelude::*;
+
+/// One family member: a strictly convex diagonal QP over shared
+/// curvature `pd` with per-member linear term and box bounds.
+fn member(pd: &[f64], q: Vec<f64>, l: Vec<f64>, u: Vec<f64>) -> QpProblem {
+    let n = pd.len();
+    QpProblem::new(Mat::diag(pd), q, Mat::identity(n), l, u).expect("consistent box QP")
+}
+
+/// A same-pattern family: shared diagonal curvature, per-member `q` and
+/// box bounds (lower always below upper).
+fn arb_family() -> impl Strategy<Value = Vec<QpProblem>> {
+    (2usize..6, 1usize..6).prop_flat_map(|(n, width)| {
+        (
+            prop::collection::vec(0.5f64..5.0, n),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(-3.0f64..3.0, n),
+                    prop::collection::vec(-2.0f64..0.0, n),
+                    prop::collection::vec(0.1f64..2.0, n),
+                ),
+                width,
+            ),
+        )
+            .prop_map(|(pd, members)| {
+                members
+                    .into_iter()
+                    .map(|(q, l, span)| {
+                        let u: Vec<f64> = l.iter().zip(&span).map(|(lo, s)| lo + s).collect();
+                        member(&pd, q, l, u)
+                    })
+                    .collect()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn batched_solve_is_bit_identical_to_sequential(family in arb_family()) {
+        let settings = QpSettings::default();
+        let mut seq_ws: Vec<QpWorkspace> =
+            (0..family.len()).map(|_| QpWorkspace::new()).collect();
+        let mut bat_ws: Vec<QpWorkspace> =
+            (0..family.len()).map(|_| QpWorkspace::new()).collect();
+        let sequential: Vec<_> = family
+            .iter()
+            .zip(seq_ws.iter_mut())
+            .map(|(p, ws)| solve_qp_warm(p, &settings, None, ws))
+            .collect();
+        let jobs: Vec<QpBatchJob<'_>> = family
+            .iter()
+            .zip(bat_ws.iter_mut())
+            .map(|(p, ws)| QpBatchJob {
+                problem: p,
+                warm: None,
+                workspace: ws,
+            })
+            .collect();
+        let batched = solve_qp_batch(jobs, &settings).expect("same-pattern family");
+        prop_assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn structural_mismatch_is_rejected_naming_the_first_bad_block(
+        family in arb_family().prop_filter("need a batchmate", |f| f.len() >= 2),
+        bad in 1usize..6,
+        kind in 0usize..3,
+    ) {
+        let bad = bad.min(family.len() - 1);
+        let n = family[0].num_vars();
+        let mut problems = family;
+        // three ways to break structural compatibility: variable count,
+        // constraint count, and constraint-matrix sparsity pattern
+        problems[bad] = match kind {
+            0 => {
+                let pd = vec![1.0; n + 1];
+                member(&pd, vec![0.0; n + 1], vec![-1.0; n + 1], vec![1.0; n + 1])
+            }
+            1 => {
+                // one extra constraint row duplicating row 0
+                let mut adata = Mat::identity(n).data().to_vec();
+                let mut row0 = vec![0.0; n];
+                row0[0] = 1.0;
+                adata.extend_from_slice(&row0);
+                QpProblem::new(
+                    Mat::diag(&vec![1.0; n]),
+                    vec![0.0; n],
+                    Mat::from_vec(n + 1, n, adata),
+                    vec![-1.0; n + 1],
+                    vec![1.0; n + 1],
+                )
+                .expect("consistent QP")
+            }
+            _ => {
+                // same dims, but A grows an off-diagonal entry
+                let mut a = Mat::identity(n);
+                *a.at_mut(0, n - 1) = 0.3;
+                QpProblem::new(
+                    Mat::diag(&vec![1.0; n]),
+                    vec![0.0; n],
+                    a,
+                    vec![-1.0; n],
+                    vec![1.0; n],
+                )
+                .expect("consistent QP")
+            }
+        };
+        let settings = QpSettings::default();
+        let mut workspaces: Vec<QpWorkspace> =
+            (0..problems.len()).map(|_| QpWorkspace::new()).collect();
+        let jobs: Vec<QpBatchJob<'_>> = problems
+            .iter()
+            .zip(workspaces.iter_mut())
+            .map(|(p, ws)| QpBatchJob {
+                problem: p,
+                warm: None,
+                workspace: ws,
+            })
+            .collect();
+        let err = solve_qp_batch(jobs, &settings).expect_err("mismatch must reject");
+        prop_assert_eq!(err, QpBatchError::PatternMismatch { block: bad });
+        // rejection left every workspace untouched: each still serves a
+        // fresh sequential solve of its own (valid) problem
+        for (p, ws) in problems.iter().zip(workspaces.iter_mut()) {
+            let sol = solve_qp_warm(p, &settings, None, ws);
+            prop_assert!(sol.x.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -12,19 +12,28 @@
 # the NDJSON trace against the aggregated counters, and validates the
 # BENCH_perf.json / BENCH_serve.json schemas. The serve smoke steps 8
 # concurrent sessions 50 frames through the in-process serving engine and
-# demands bit-identical trajectories between a 1-worker and a 4-worker CO
-# lane with zero sheds. Override the fuzz case count with
-# ICOIL_FUZZ_CASES, e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the
-# full local sweep.
+# demands bit-identical trajectories across worker counts (1 vs 4) and CO
+# batch widths (1 vs 8) with zero sheds — and runs a second time with
+# ICOIL_FORCE_SCALAR=1 so the scalar kernel fallback is held to the same
+# contract. The solver/nn test suites also run once under
+# ICOIL_FORCE_SCALAR=1: the SIMD kernels' conformance tests then compare
+# scalar against scalar (trivially green) while everything else proves
+# the escape hatch leaves the numerics bit-identical. The conformance
+# smoke (which includes the simd_scalar_kernels and batched_single_qp
+# differential checks) fuzzes procedurally generated scenarios through
+# the full harness. Override the fuzz case count with ICOIL_FUZZ_CASES,
+# e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+ICOIL_FORCE_SCALAR=1 cargo test -q -p icoil-solver -p icoil-nn -p icoil-co
 cargo test --release -q --test backend_e2e
 cargo clippy --all-targets -- -D warnings
 cargo run --release -q -p icoil-bench --bin telemetry_smoke
 cargo run --release -q -p icoil-bench --bin serve_smoke
+ICOIL_FORCE_SCALAR=1 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
 echo "all checks passed"
