@@ -13,11 +13,16 @@
 //! 3. **Overload phase** — one worker, a queue of 2 and a 1 ms deadline
 //!    against twice the sessions: the lane must shed (degraded
 //!    full-brake responses) instead of blocking, `shed_rate_overload`
-//!    must be positive.
+//!    must be positive;
+//! 4. **Shard sweep** — thousands of IL-only sessions replayed at 1, 2,
+//!    4 and 8 engine shards, recording sessions/sec at each width: the
+//!    scaling curve of the sharded engine under a session-heavy,
+//!    solver-light load.
 //!
 //! The file lands in the working directory (the repo root under
-//! `cargo run`). Run sizes honor `ICOIL_SERVE_SESSIONS` (default 8) and
-//! `ICOIL_SERVE_FRAMES` (default 50):
+//! `cargo run`). Run sizes honor `ICOIL_SERVE_SESSIONS` (default 8),
+//! `ICOIL_SERVE_FRAMES` (default 50), `ICOIL_SERVE_SWEEP_SESSIONS`
+//! (default 2000) and `ICOIL_SERVE_SWEEP_FRAMES` (default 8):
 //!
 //! ```text
 //! cargo run --release -p icoil-bench --bin loadgen
@@ -122,6 +127,35 @@ fn main() {
     let total_sessions = sessions * 2 + sessions * 2;
     let total_frames = sessions * frames * 2 + sessions * 2 * overload_frames;
 
+    // phase 4: shard-scaling sweep — thousands of sessions, IL lane only
+    // (λ = +∞ keeps the CO pool idle), so the measured curve is the
+    // sharded engine's own session-handling throughput
+    let sweep_sessions = env_size("ICOIL_SERVE_SWEEP_SESSIONS", 2000);
+    let sweep_frames = env_size("ICOIL_SERVE_SWEEP_FRAMES", 8);
+    let mut sweep_rates = [0.0_f64; 4];
+    for (slot, shards) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        // 2x headroom: the session cap is split per shard, and the
+        // consistent-hash split is balanced but not exact
+        let sweep_config = ServeConfig {
+            shards,
+            max_sessions: sweep_sessions as usize * 2,
+            ..il_config
+        };
+        let t = Instant::now();
+        let sweep_metrics = run_phase(
+            sweep_config,
+            sweep_sessions,
+            sweep_frames,
+            9300 + slot as u64 * 10_000,
+        );
+        sweep_rates[slot] = sweep_sessions as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(
+            sweep_metrics.counter(Counter::ServeSessions),
+            sweep_sessions,
+            "sweep at {shards} shard(s) lost sessions"
+        );
+    }
+
     let il_lane = il_metrics.series(Series::ServeIlLane);
     let co_lane = co_metrics.series(Series::ServeCoLane);
     let batches = il_metrics.series(Series::IlBatchSize);
@@ -138,10 +172,16 @@ fn main() {
         batch_size_max: batches.max(),
         shed_rate_low: shed_rate(&co_metrics),
         shed_rate_overload: shed_rate(&overload_metrics),
+        sweep_sessions_per_sec_s1: sweep_rates[0],
+        sweep_sessions_per_sec_s2: sweep_rates[1],
+        sweep_sessions_per_sec_s4: sweep_rates[2],
+        sweep_sessions_per_sec_s8: sweep_rates[3],
         had_nonfinite: false,
         sessions,
         frames_per_session: frames,
         co_workers: base.co_workers as u64,
+        sweep_sessions,
+        sweep_frames,
     };
     report.sanitize();
 
@@ -171,6 +211,16 @@ fn main() {
         report.shed_rate_low,
         report.shed_rate_overload,
         report.frames_per_sec,
+    );
+    println!(
+        "shard sweep: {} sessions x {} frames (IL lane) | sessions/s at 1/2/4/8 shards: \
+         {:.0}/{:.0}/{:.0}/{:.0}",
+        report.sweep_sessions,
+        report.sweep_frames,
+        report.sweep_sessions_per_sec_s1,
+        report.sweep_sessions_per_sec_s2,
+        report.sweep_sessions_per_sec_s4,
+        report.sweep_sessions_per_sec_s8,
     );
 
     let json = serde_json::to_string(&report).expect("report serializes");

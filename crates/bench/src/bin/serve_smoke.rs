@@ -7,10 +7,15 @@
 //!   allowed;
 //! * the full response streams (every pose, action, HSA value, bit for
 //!   bit) must be identical between a 1-worker and a 4-worker server,
-//!   and between job-at-a-time CO solving (`co_batch = 1`) and the
-//!   block-diagonal batched drain (`co_batch = 8`): neither batch
-//!   composition nor worker scheduling may leak into any session's
+//!   between job-at-a-time CO solving (`co_batch = 1`) and the
+//!   block-diagonal batched drain (`co_batch = 8`), and between a
+//!   1-shard and a 4-shard engine: neither batch composition, worker
+//!   scheduling nor shard assignment may leak into any session's
 //!   trajectory;
+//! * a kill-snapshot-restore cycle — every session evicted mid-episode,
+//!   the whole server torn down, and every snapshot restored into a
+//!   fresh server at a different shard count — must replay the
+//!   remaining frames bit-identically too;
 //! * every session's stream must also differ from its neighbours'
 //!   (distinct seeds ⇒ distinct episodes — a stuck engine replaying one
 //!   session 8 times would otherwise pass).
@@ -28,21 +33,30 @@ use std::time::Duration;
 
 const SESSIONS: usize = 8;
 const FRAMES: usize = 50;
+/// Frame at which the kill-snapshot-restore cycle interrupts every
+/// session: late enough that warm starts and HSA windows carry real
+/// state, early enough to leave a meaningful remainder to replay.
+const KILL_AT: usize = 20;
 
-fn run_once(co_workers: usize, co_batch: usize) -> Result<Vec<Vec<StepResponse>>, String> {
-    let config = ServeConfig {
+fn config(shards: usize, co_workers: usize, co_batch: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
         co_workers,
         co_batch,
         co_deadline: Duration::from_secs(60),
         queue_capacity: 64,
         ..ServeConfig::default()
-    };
-    // untrained model: near-uniform softmax keeps the HSA in CO mode, so
-    // the smoke exercises the contended lane, not the trivial one
-    let model = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1);
-    let server = Serve::start(config, model);
-    let handle = server.handle();
-    let ids: Vec<u64> = (0..SESSIONS)
+    }
+}
+
+// untrained model: near-uniform softmax keeps the HSA in CO mode, so
+// the smoke exercises the contended lane, not the trivial one
+fn model() -> IlModel {
+    IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1)
+}
+
+fn create_all(handle: &icoil_serve::ServeHandle) -> Result<Vec<u64>, String> {
+    (0..SESSIONS)
         .map(|i| {
             handle
                 .create(SessionConfig {
@@ -51,29 +65,101 @@ fn run_once(co_workers: usize, co_batch: usize) -> Result<Vec<Vec<StepResponse>>
                 })
                 .map_err(|e| format!("create session {i}: {e}"))
         })
-        .collect::<Result<_, _>>()?;
-    let mut streams: Vec<Vec<StepResponse>> = vec![Vec::new(); SESSIONS];
-    for frame in 0..FRAMES {
-        for (i, result) in handle.step_many(&ids).into_iter().enumerate() {
+        .collect()
+}
+
+fn step_all(
+    handle: &icoil_serve::ServeHandle,
+    ids: &[u64],
+    streams: &mut [Vec<StepResponse>],
+    frames: usize,
+    what: &str,
+) -> Result<(), String> {
+    for frame in 0..frames {
+        for (i, result) in handle.step_many(ids).into_iter().enumerate() {
             let resp =
-                result.map_err(|e| format!("step frame {frame} session {i}: {e}"))?;
+                result.map_err(|e| format!("{what}: step frame {frame} session {i}: {e}"))?;
             streams[i].push(resp);
         }
     }
-    let metrics = handle.metrics().map_err(|e| format!("metrics: {e}"))?;
-    server.shutdown();
+    Ok(())
+}
+
+fn no_sheds(handle: &icoil_serve::ServeHandle, what: &str) -> Result<(), String> {
+    let metrics = handle.metrics().map_err(|e| format!("{what}: metrics: {e}"))?;
     let shed = metrics.counter(Counter::CoShed);
     if shed != 0 {
         return Err(format!(
-            "{shed} sheds at low load ({co_workers} workers): the provisioned lane must not shed"
+            "{what}: {shed} sheds at low load: the provisioned lane must not shed"
         ));
     }
+    Ok(())
+}
+
+fn run_once(
+    shards: usize,
+    co_workers: usize,
+    co_batch: usize,
+) -> Result<Vec<Vec<StepResponse>>, String> {
+    let server = Serve::start(config(shards, co_workers, co_batch), model());
+    let handle = server.handle();
+    let ids = create_all(&handle)?;
+    let mut streams: Vec<Vec<StepResponse>> = vec![Vec::new(); SESSIONS];
+    step_all(&handle, &ids, &mut streams, FRAMES, "uninterrupted run")?;
+    no_sheds(&handle, "uninterrupted run")?;
+    server.shutdown();
+    Ok(streams)
+}
+
+/// The kill-snapshot-restore cycle: run to [`KILL_AT`], evict every
+/// session, shut the server down entirely, then restore every snapshot
+/// into a fresh server at a different shard count and finish the
+/// episodes there.
+fn run_interrupted() -> Result<Vec<Vec<StepResponse>>, String> {
+    let server = Serve::start(config(1, 2, 4), model());
+    let handle = server.handle();
+    let ids = create_all(&handle)?;
+    let mut streams: Vec<Vec<StepResponse>> = vec![Vec::new(); SESSIONS];
+    step_all(&handle, &ids, &mut streams, KILL_AT, "pre-kill run")?;
+    let snapshots: Vec<Vec<u8>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            handle
+                .evict(id)
+                .map_err(|e| format!("evict session {i}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    no_sheds(&handle, "pre-kill run")?;
+    server.shutdown();
+
+    let server = Serve::start(config(4, 2, 4), model());
+    let handle = server.handle();
+    for (i, bytes) in snapshots.iter().enumerate() {
+        let restored = handle
+            .restore(bytes)
+            .map_err(|e| format!("restore session {i}: {e}"))?;
+        if restored != ids[i] {
+            return Err(format!(
+                "restore renamed session {} to {restored}",
+                ids[i]
+            ));
+        }
+    }
+    step_all(&handle, &ids, &mut streams, FRAMES - KILL_AT, "post-restore run")?;
+    no_sheds(&handle, "post-restore run")?;
+    server.shutdown();
     Ok(streams)
 }
 
 fn run() -> Result<(), String> {
-    let serial = run_once(1, 1)?;
-    let variants = [("4 CO workers", run_once(4, 1)?), ("a batched CO drain", run_once(1, 8)?)];
+    let serial = run_once(1, 1, 1)?;
+    let variants = [
+        ("4 CO workers", run_once(1, 4, 1)?),
+        ("a batched CO drain", run_once(1, 1, 8)?),
+        ("4 engine shards", run_once(4, 2, 4)?),
+        ("a kill-snapshot-restore cycle", run_interrupted()?),
+    ];
     for (label, stream) in &variants {
         for (i, (s, p)) in serial.iter().zip(stream).enumerate() {
             if s != p {
@@ -97,7 +183,8 @@ fn run() -> Result<(), String> {
     }
     println!(
         "serve smoke: {SESSIONS} sessions x {FRAMES} frames bit-identical across \
-         1 vs 4 CO workers and co_batch 1 vs 8, zero sheds"
+         1 vs 4 CO workers, co_batch 1 vs 8, 1 vs 4 shards, and a \
+         kill-snapshot-restore cycle at frame {KILL_AT}; zero sheds"
     );
     Ok(())
 }

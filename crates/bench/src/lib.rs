@@ -279,6 +279,18 @@ pub struct ServeReport {
     /// Shed fraction of CO requests in the overload phase (must be > 0 —
     /// the lane degraded instead of blocking).
     pub shed_rate_overload: f64,
+    /// Sessions/sec of the shard-scaling sweep at 1 engine shard.
+    #[serde(default)]
+    pub sweep_sessions_per_sec_s1: f64,
+    /// Sessions/sec of the shard-scaling sweep at 2 engine shards.
+    #[serde(default)]
+    pub sweep_sessions_per_sec_s2: f64,
+    /// Sessions/sec of the shard-scaling sweep at 4 engine shards.
+    #[serde(default)]
+    pub sweep_sessions_per_sec_s4: f64,
+    /// Sessions/sec of the shard-scaling sweep at 8 engine shards.
+    #[serde(default)]
+    pub sweep_sessions_per_sec_s8: f64,
     /// Whether any measured field was non-finite before sanitization.
     #[serde(default)]
     pub had_nonfinite: bool,
@@ -288,6 +300,13 @@ pub struct ServeReport {
     pub frames_per_session: u64,
     /// CO lane workers in the provisioned phases.
     pub co_workers: u64,
+    /// Concurrent sessions in the shard-scaling sweep (IL-only lane, so
+    /// thousands are cheap).
+    #[serde(default)]
+    pub sweep_sessions: u64,
+    /// Frames stepped per session in the shard-scaling sweep.
+    #[serde(default)]
+    pub sweep_frames: u64,
 }
 
 impl ServeReport {
@@ -305,6 +324,10 @@ impl ServeReport {
         "batch_size_max",
         "shed_rate_low",
         "shed_rate_overload",
+        "sweep_sessions_per_sec_s1",
+        "sweep_sessions_per_sec_s2",
+        "sweep_sessions_per_sec_s4",
+        "sweep_sessions_per_sec_s8",
     ];
 
     /// Clamps every non-finite float field to a finite value and records
@@ -325,6 +348,10 @@ impl ServeReport {
             &mut self.batch_size_max,
             &mut self.shed_rate_low,
             &mut self.shed_rate_overload,
+            &mut self.sweep_sessions_per_sec_s1,
+            &mut self.sweep_sessions_per_sec_s2,
+            &mut self.sweep_sessions_per_sec_s4,
+            &mut self.sweep_sessions_per_sec_s8,
         ] {
             icoil_telemetry::sanitize_field(v, &mut flagged);
         }
@@ -357,7 +384,13 @@ pub fn validate_serve_json(v: &serde_json::Value) -> Result<(), String> {
             ));
         }
     }
-    for key in ["sessions", "frames_per_session", "co_workers"] {
+    for key in [
+        "sessions",
+        "frames_per_session",
+        "co_workers",
+        "sweep_sessions",
+        "sweep_frames",
+    ] {
         v.get(key)
             .and_then(serde_json::Value::as_u64)
             .ok_or_else(|| format!("BENCH_serve.json field {key:?} is not an integer"))?;
@@ -509,10 +542,16 @@ mod tests {
             batch_size_max: 8.0,
             shed_rate_low: 0.0,
             shed_rate_overload: 0.6,
+            sweep_sessions_per_sec_s1: 150.0,
+            sweep_sessions_per_sec_s2: 280.0,
+            sweep_sessions_per_sec_s4: 500.0,
+            sweep_sessions_per_sec_s8: 700.0,
             had_nonfinite: false,
             sessions: 8,
             frames_per_session: 50,
             co_workers: 2,
+            sweep_sessions: 2000,
+            sweep_frames: 8,
         }
     }
 

@@ -2,7 +2,8 @@
 
 use crate::config::CoConfig;
 use crate::mpc::{
-    solve_mpc_batch, solve_mpc_warm, MpcBatchJob, MpcMemory, MpcSolution, MpcStatus, RefState,
+    solve_mpc_batch, solve_mpc_warm, MpcBatchJob, MpcMemory, MpcMemorySnapshot, MpcSolution,
+    MpcStatus, RefState,
 };
 use crate::reference::{build_reference_at, PathWalker};
 use crate::tracker::{BoxTracker, MovingObstacle};
@@ -10,6 +11,7 @@ use icoil_geom::Obb;
 use icoil_planner::{plan, PlanError, PlannedPath, PlannerConfig, PlanningProblem};
 use icoil_vehicle::{Action, VehicleParams, VehicleState};
 use icoil_world::episode::Observation;
+use serde::{Deserialize, Serialize};
 
 /// What the CO module returns each frame.
 #[derive(Debug, Clone)]
@@ -97,6 +99,33 @@ pub struct CoController {
     solve_log: Option<Vec<SolveRecord>>,
 }
 
+/// Serializable image of a [`CoController`]'s episode state for session
+/// checkpoints.
+///
+/// Everything the controller carries between frames is here except the
+/// [`PathWalker`] (a pure arc-length index over `path`, rebuilt on
+/// restore) and the conformance solve log (a diagnostic probe, never
+/// enabled on served sessions). Restoring via
+/// [`CoController::restore`] onto a fresh controller with the same
+/// config and vehicle params replays subsequent frames bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoSnapshot {
+    /// Current global path; the walker is rebuilt from it on restore.
+    pub path: Option<PlannedPath>,
+    /// Frames since the last (re)plan (replan-cooldown state).
+    pub frames_since_replan: usize,
+    /// Monotone arc-length progress along the path.
+    pub progress: f64,
+    /// Frames since the path progress last advanced.
+    pub stalled_frames: usize,
+    /// Progress value at the last advance.
+    pub last_progress: f64,
+    /// Frame-to-frame box tracker state (track identity + velocity EMAs).
+    pub tracker: BoxTracker,
+    /// MPC warm-start memory.
+    pub memory: MpcMemorySnapshot,
+}
+
 impl CoController {
     /// Creates a controller.
     ///
@@ -153,6 +182,36 @@ impl CoController {
     /// Drops only the carried MPC warm start; the next frame solves cold.
     pub fn reset_warm_start(&mut self) {
         self.memory.reset();
+    }
+
+    /// Captures the controller's complete episode state (see
+    /// [`CoSnapshot`]).
+    pub fn snapshot(&self) -> CoSnapshot {
+        CoSnapshot {
+            path: self.path.clone(),
+            frames_since_replan: self.frames_since_replan,
+            progress: self.progress,
+            stalled_frames: self.stalled_frames,
+            last_progress: self.last_progress,
+            tracker: self.tracker.clone(),
+            memory: self.memory.snapshot(),
+        }
+    }
+
+    /// Restores episode state from a checkpoint, rebuilding the path
+    /// walker. The controller's config and vehicle params are unchanged —
+    /// they must match those active when the snapshot was taken for the
+    /// replay to be bit-identical.
+    pub fn restore(&mut self, snap: &CoSnapshot) {
+        self.path = snap.path.clone();
+        self.walker = snap.path.as_ref().map(PathWalker::new);
+        self.frames_since_replan = snap.frames_since_replan;
+        self.progress = snap.progress;
+        self.stalled_frames = snap.stalled_frames;
+        self.last_progress = snap.last_progress;
+        self.tracker = snap.tracker.clone();
+        self.memory = MpcMemory::from_snapshot(&snap.memory);
+        self.solve_log = None;
     }
 
     /// The current global path, if planned.

@@ -25,7 +25,7 @@ use crate::tracker::MovingObstacle;
 use icoil_geom::Obb;
 use icoil_solver::{
     solve_qp_batch, solve_qp_warm, Backend, QpBatchJob, QpDiagnostics, QpProblem, QpSettings,
-    QpSolution, QpStatus, QpWarmStart, QpWorkspace, TripletBuilder,
+    QpSolution, QpStatus, QpWarmStart, QpWorkspace, QpWorkspaceSnapshot, TripletBuilder,
 };
 use icoil_vehicle::{VehicleParams, VehicleState};
 use serde::{Deserialize, Serialize};
@@ -166,6 +166,23 @@ pub struct MpcMemory {
     workspace: QpWorkspace,
 }
 
+/// Serializable image of an [`MpcMemory`] for session checkpoints.
+///
+/// Carries exactly the state that influences subsequent solver iterates:
+/// the shift-and-extend control seed, the QP warm-start vectors, and the
+/// iterate-affecting workspace slice ([`QpWorkspaceSnapshot`]). Cached
+/// factorizations are deliberately omitted — they are recomputed
+/// bit-identically on the next solve.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MpcMemorySnapshot {
+    /// Previous frame's optimal controls (the SCP nominal seed).
+    pub controls: Option<Vec<[f64; NU]>>,
+    /// Previous QP iterate (primal/dual warm start).
+    pub warm: Option<QpWarmStart>,
+    /// Iterate-affecting solver workspace state (Ruiz scaling, adapted ρ).
+    pub workspace: QpWorkspaceSnapshot,
+}
+
 impl MpcMemory {
     /// A fresh memory: the next solve starts cold.
     pub fn new() -> Self {
@@ -186,6 +203,28 @@ impl MpcMemory {
     /// Whether a previous solution is being carried.
     pub fn is_warm(&self) -> bool {
         self.controls.is_some()
+    }
+
+    /// Captures the complete warm-start state for a session checkpoint:
+    /// the previous controls, the QP iterate, and the iterate-affecting
+    /// slice of the solver workspace. Restoring via
+    /// [`MpcMemory::from_snapshot`] replays subsequent solves
+    /// bit-identically to the uninterrupted memory.
+    pub fn snapshot(&self) -> MpcMemorySnapshot {
+        MpcMemorySnapshot {
+            controls: self.controls.clone(),
+            warm: self.warm.clone(),
+            workspace: self.workspace.snapshot(),
+        }
+    }
+
+    /// Rebuilds a memory from a checkpoint (see [`MpcMemory::snapshot`]).
+    pub fn from_snapshot(snap: &MpcMemorySnapshot) -> Self {
+        MpcMemory {
+            controls: snap.controls.clone(),
+            warm: snap.warm.clone(),
+            workspace: QpWorkspace::from_snapshot(&snap.workspace),
+        }
     }
 
     /// Shift-and-extend initialization: previous controls advanced one

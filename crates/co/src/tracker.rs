@@ -41,7 +41,7 @@ impl MovingObstacle {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Track {
     smoothed_center: Vec2,
     /// Ring of recent smoothed centers; velocity is measured over this
@@ -56,7 +56,10 @@ struct Track {
 const HISTORY: usize = 12;
 
 /// Associates detections across frames and maintains velocity estimates.
-#[derive(Debug, Clone)]
+///
+/// Serializable so session checkpoints carry track identity, smoothed
+/// centers, and velocity EMAs — restoring replays bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BoxTracker {
     tracks: Vec<Track>,
     /// EMA factor for the center position (higher = snappier).

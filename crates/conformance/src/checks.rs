@@ -50,13 +50,17 @@ pub enum CheckKind {
     SimdScalarKernels,
     /// Block-diagonal batched QP solves vs sequential solves, bitwise.
     BatchedSingleQp,
+    /// Serving checkpoint/restore: a session evicted mid-episode and
+    /// restored — in-process and into fresh engines at different shard
+    /// counts — must replay the remaining trajectory bitwise.
+    CheckpointRestoreReplay,
     /// A deliberately-failing canary used to exercise shrinking.
     InjectedCanary,
 }
 
 impl CheckKind {
     /// Every real check (the canary is opt-in via `--inject`).
-    pub const ALL: [CheckKind; 11] = [
+    pub const ALL: [CheckKind; 12] = [
         CheckKind::WarmColdMpc,
         CheckKind::QpWarmCold,
         CheckKind::Parallelism,
@@ -68,6 +72,7 @@ impl CheckKind {
         CheckKind::BatchedSingleIl,
         CheckKind::SimdScalarKernels,
         CheckKind::BatchedSingleQp,
+        CheckKind::CheckpointRestoreReplay,
     ];
 
     /// Stable snake_case name used in reports.
@@ -84,6 +89,7 @@ impl CheckKind {
             CheckKind::BatchedSingleIl => "batched_single_il",
             CheckKind::SimdScalarKernels => "simd_scalar_kernels",
             CheckKind::BatchedSingleQp => "batched_single_qp",
+            CheckKind::CheckpointRestoreReplay => "checkpoint_restore_replay",
             CheckKind::InjectedCanary => "injected_canary",
         }
     }
@@ -180,6 +186,7 @@ pub fn run_check(
         CheckKind::BatchedSingleIl => check_batched_single_il(spec),
         CheckKind::SimdScalarKernels => check_simd_scalar_kernels(spec, settings),
         CheckKind::BatchedSingleQp => check_batched_single_qp(spec),
+        CheckKind::CheckpointRestoreReplay => check_checkpoint_restore_replay(spec, settings),
         CheckKind::InjectedCanary => check_injected_canary(spec),
     }));
     match outcome {
@@ -874,6 +881,166 @@ fn check_batched_single_qp(spec: &ProcScenario) -> Result<(), String> {
     Ok(())
 }
 
+/// Frame-by-frame bitwise comparison of two served response streams,
+/// ignoring only the session id field (a restored-into-a-fresh-engine
+/// twin legitimately reuses the original id, but a from-scratch twin
+/// gets a new one).
+fn same_stream(
+    reference: &[icoil_serve::StepResponse],
+    got: &[icoil_serve::StepResponse],
+    what: &str,
+) -> Result<(), String> {
+    if reference.len() != got.len() {
+        return Err(format!(
+            "{what}: stream lengths differ ({} vs {})",
+            reference.len(),
+            got.len()
+        ));
+    }
+    for (i, (a, b)) in reference.iter().zip(got).enumerate() {
+        let mut b = b.clone();
+        b.session = a.session;
+        if *a != b {
+            return Err(format!(
+                "{what}: frame {i} diverged (reference frame {} t {:.6} x {:.17e} \
+                 mode {} vs frame {} t {:.6} x {:.17e} mode {})",
+                a.frame, a.time, a.x, a.mode, b.frame, b.time, b.x, b.mode
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the generated scenario through the serving engine, evicts the
+/// session at a seed-fuzzed frame, and restores the snapshot three ways
+/// — back into the same engine, and into two fresh engines at shard
+/// counts 1 and 3 — demanding the remaining trajectory be bitwise
+/// identical to an uninterrupted reference run in every case, and that
+/// the two fresh engines end with identical telemetry counters. This is
+/// the end-to-end form of the serve crate's checkpoint contract: a
+/// snapshot carries *every* bit of episode state the next frame reads
+/// (warm-start memory, HSA windows, adapted solver scaling included),
+/// on any shard layout, in any process.
+fn check_checkpoint_restore_replay(
+    spec: &ProcScenario,
+    settings: &CheckSettings,
+) -> Result<(), String> {
+    use icoil_serve::{Serve, ServeConfig, SessionSpec};
+    use std::time::Duration;
+
+    // ~2 s of simulated driving (1.2 s under smoke settings): enough
+    // frames for warm starts, HSA windows and mode flips to accumulate
+    // state that a lossy snapshot would betray
+    let total: usize = if settings.episode_time >= 12.0 { 40 } else { 24 };
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xC0DE_5EED);
+    let cut = rng.gen_range(1..total);
+
+    // a generous deadline and deep queue make sheds impossible, so the
+    // trajectory is the pure function of the scenario the contract needs
+    let config = |shards: usize| ServeConfig {
+        shards,
+        co_deadline: Duration::from_secs(30),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let model = || {
+        IlModel::untrained(
+            ActionCodec::default(),
+            ICoilConfig::default().bev,
+            spec.seed ^ 0x1C01,
+        )
+    };
+    let session_spec = || SessionSpec::Scenario(Box::new(spec.build()));
+
+    // reference: one uninterrupted session
+    let reference = {
+        let server = Serve::start(config(1), model());
+        let handle = server.handle();
+        let id = handle
+            .create(session_spec())
+            .map_err(|e| format!("create reference: {e}"))?;
+        let stream: Result<Vec<_>, _> = (0..total).map(|_| handle.step(id)).collect();
+        server.shutdown();
+        stream.map_err(|e| format!("step reference: {e}"))?
+    };
+    if reference.iter().any(|r| r.shed) {
+        return Err("reference run shed under a 30 s deadline".to_string());
+    }
+
+    // interrupted twin: evict at the fuzzed cut, restore in-process
+    let bytes = {
+        let server = Serve::start(config(2), model());
+        let handle = server.handle();
+        let id = handle
+            .create(session_spec())
+            .map_err(|e| format!("create twin: {e}"))?;
+        let mut twin = Vec::with_capacity(total);
+        for frame in 0..cut {
+            twin.push(
+                handle
+                    .step(id)
+                    .map_err(|e| format!("twin frame {frame}: {e}"))?,
+            );
+        }
+        let bytes = handle
+            .evict(id)
+            .map_err(|e| format!("evict at frame {cut}: {e}"))?;
+        let back = handle
+            .restore(&bytes)
+            .map_err(|e| format!("in-process restore: {e}"))?;
+        if back != id {
+            return Err(format!("in-process restore renamed session {id} to {back}"));
+        }
+        for frame in cut..total {
+            twin.push(
+                handle
+                    .step(id)
+                    .map_err(|e| format!("restored twin frame {frame}: {e}"))?,
+            );
+        }
+        server.shutdown();
+        same_stream(&reference, &twin, "in-process evict+restore")?;
+
+        // the same bytes restore into fresh engines below
+        bytes
+    };
+
+    // fresh engines at two shard counts resume the same snapshot
+    let mut tails = Vec::new();
+    let mut counters = Vec::new();
+    for shards in [1usize, 3] {
+        let server = Serve::start(config(shards), model());
+        let handle = server.handle();
+        let id = handle
+            .restore(&bytes)
+            .map_err(|e| format!("fresh restore at {shards} shard(s): {e}"))?;
+        let tail: Result<Vec<_>, _> = (cut..total).map(|_| handle.step(id)).collect();
+        let tail = tail.map_err(|e| format!("fresh tail at {shards} shard(s): {e}"))?;
+        let metrics = handle
+            .metrics()
+            .map_err(|e| format!("metrics at {shards} shard(s): {e}"))?;
+        counters.push(metrics.counter_snapshot());
+        server.shutdown();
+        same_stream(
+            &reference[cut..],
+            &tail,
+            &format!("fresh restore at {shards} shard(s)"),
+        )?;
+        tails.push(tail);
+    }
+    if tails[0] != tails[1] {
+        return Err("fresh restores at shard counts 1 and 3 diverged from each other".to_string());
+    }
+    if counters[0] != counters[1] {
+        return Err(format!(
+            "telemetry counters differ across shard counts after identical restored \
+             replays: {:?} vs {:?}",
+            counters[0], counters[1]
+        ));
+    }
+    Ok(())
+}
+
 /// The canary "fails" whenever the scenario has a dynamic obstacle —
 /// a deliberately scenario-dependent defect that exercises the full
 /// report-and-shrink path without touching any real subsystem.
@@ -977,7 +1144,8 @@ mod tests {
                 "dense_sparse_qp",
                 "batched_single_il",
                 "simd_scalar_kernels",
-                "batched_single_qp"
+                "batched_single_qp",
+                "checkpoint_restore_replay"
             ]
         );
     }

@@ -52,6 +52,7 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
         CheckKind::SimdScalarKernels => 2,
         CheckKind::Determinism => 5,
         CheckKind::Parallelism => 5,
+        CheckKind::CheckpointRestoreReplay => 5,
     };
     if smoke && base > 1 {
         base * 2

@@ -74,7 +74,7 @@ pub struct HsaDecision {
 ///
 /// Feed it the IL output distribution and the detected obstacle boxes
 /// each frame; it returns the working mode, smoothed by the guard time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Hsa {
     config: HsaConfig,
     uncertainty: SlidingMean,

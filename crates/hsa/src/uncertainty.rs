@@ -1,5 +1,6 @@
 //! Scenario uncertainty: windowed mean entropy (eq. 7).
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A fixed-capacity sliding mean over the last `T` values — the
@@ -19,7 +20,7 @@ use std::collections::VecDeque;
 /// assert_eq!(m.push(7.0), 5.0);
 /// assert_eq!(m.push(9.0), 7.0); // 3.0 dropped
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SlidingMean {
     window: VecDeque<f64>,
     capacity: usize,

@@ -11,7 +11,9 @@
 //! * `ICOIL_MODEL` — path to a trained IL model JSON; when unset an
 //!   untrained network is served (every session then leans on the CO
 //!   lane, which is the interesting load anyway);
-//! * `ICOIL_CO_WORKERS` — CO lane worker threads (default 2).
+//! * `ICOIL_CO_WORKERS` — CO lane worker threads (default 2);
+//! * `ICOIL_SHARDS` — engine shard threads (default 1); sessions are
+//!   consistent-hashed across shards by id.
 
 use icoil_il::IlModel;
 use icoil_perception::BevConfig;
@@ -28,6 +30,11 @@ fn main() -> std::io::Result<()> {
             .parse()
             .expect("ICOIL_CO_WORKERS must be a positive integer");
     }
+    if let Ok(shards) = std::env::var("ICOIL_SHARDS") {
+        config.shards = shards
+            .parse()
+            .expect("ICOIL_SHARDS must be a positive integer");
+    }
     let model = match std::env::var("ICOIL_MODEL") {
         Ok(path) => {
             let json = std::fs::read_to_string(&path)?;
@@ -38,8 +45,10 @@ fn main() -> std::io::Result<()> {
     };
     let listener = TcpListener::bind(&addr)?;
     eprintln!(
-        "icoil-serve listening on {addr} ({} CO workers, queue {})",
-        config.co_workers, config.queue_capacity
+        "icoil-serve listening on {addr} ({} shards, {} CO workers, queue {})",
+        config.shards.max(1),
+        config.co_workers,
+        config.queue_capacity
     );
     let server = Serve::start(config, model);
     let result = run_server(listener, server.handle());

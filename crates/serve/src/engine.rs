@@ -1,18 +1,27 @@
-//! The serving engine: a command loop that owns every session, batches
-//! the IL lane, and dispatches CO solves to a deadline-ordered worker
-//! pool.
+//! The serving engine: N shard threads owning disjoint session sets,
+//! each micro-batching its own IL lane, all feeding one deadline-ordered
+//! CO worker pool.
 //!
-//! Threading model: one engine thread owns the session table outright —
-//! commands arrive over an mpsc channel, so session state is never
-//! behind a lock. A session whose frame needs a CO solve is *moved*
-//! (world, HSA window, warm-start memory and all) into the lane job;
-//! the worker replies to the client directly and mails the session back
-//! to the engine as a [`Command::CoDone`]. Step requests that land
-//! while a session is in flight are deferred and replayed in arrival
-//! order when it returns.
+//! Threading model: sessions are pinned to shards by consistent hashing
+//! on the session id ([`ShardRouter`]), and each shard thread owns its
+//! session table outright — commands arrive over a per-shard mpsc
+//! channel, so session state is never behind a lock. A session whose
+//! frame needs a CO solve is *moved* (world, HSA window, warm-start
+//! memory and all) into the lane job; the worker replies to the client
+//! directly and mails the session back to its home shard as a
+//! [`Command::CoDone`]. Requests that land while a session is in flight
+//! are deferred and replayed in arrival order when it returns.
+//!
+//! Shard assignment is invisible to the computation: shards share no
+//! per-session state, so trajectories are bit-identical at any shard
+//! count. Checkpoint/restore rides the same command loop — a snapshot
+//! is taken between frames on the owning shard, and a restore may land
+//! on any shard of any process.
 
 use crate::queue::DeadlineQueue;
-use crate::session::{ServeError, Session, SessionConfig, StepResponse};
+use crate::session::{ServeError, Session, SessionSnapshot, SessionSpec, StepResponse};
+use crate::shard::ShardRouter;
+use crate::snapshot::{decode_snapshot, encode_snapshot};
 use crate::ServeConfig;
 use icoil_co::CoOutput;
 use icoil_hsa::{HsaDecision, Mode};
@@ -20,6 +29,7 @@ use icoil_il::IlModel;
 use icoil_perception::{BevImage, Sensing};
 use icoil_telemetry::{Counter, Metrics, Series};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -29,7 +39,8 @@ type Reply<T> = Sender<Result<T, ServeError>>;
 
 enum Command {
     Create {
-        spec: SessionConfig,
+        id: u64,
+        spec: Box<SessionSpec>,
         reply: Reply<u64>,
     },
     Step {
@@ -39,6 +50,18 @@ enum Command {
     Close {
         id: u64,
         reply: Reply<()>,
+    },
+    Snapshot {
+        id: u64,
+        reply: Reply<Vec<u8>>,
+    },
+    Evict {
+        id: u64,
+        reply: Reply<Vec<u8>>,
+    },
+    Restore {
+        snapshot: Box<SessionSnapshot>,
+        reply: Reply<u64>,
     },
     Metrics {
         reply: Sender<Metrics>,
@@ -51,8 +74,37 @@ enum Command {
     Shutdown,
 }
 
+impl Command {
+    /// Answers a command's reply channel with an error — how deferred
+    /// commands are settled when their session vanishes mid-flight.
+    fn reject(self, err: ServeError) {
+        match self {
+            Command::Create { reply, .. } => {
+                let _ = reply.send(Err(err));
+            }
+            Command::Step { reply, .. } => {
+                let _ = reply.send(Err(err));
+            }
+            Command::Close { reply, .. } => {
+                let _ = reply.send(Err(err));
+            }
+            Command::Snapshot { reply, .. } => {
+                let _ = reply.send(Err(err));
+            }
+            Command::Evict { reply, .. } => {
+                let _ = reply.send(Err(err));
+            }
+            Command::Restore { reply, .. } => {
+                let _ = reply.send(Err(err));
+            }
+            Command::Metrics { .. } | Command::CoDone { .. } | Command::Shutdown => {}
+        }
+    }
+}
+
 /// A CO-lane work item: the session itself plus everything its solve
-/// frame needs. Deadline-keyed in the queue.
+/// frame needs. Deadline-keyed in the queue; `home` is the owning
+/// shard's command channel (the lane is shared by every shard).
 struct CoJob {
     session: Box<Session>,
     sensing: Sensing,
@@ -60,6 +112,7 @@ struct CoJob {
     reply: Reply<StepResponse>,
     t0: Instant,
     deadline: Instant,
+    home: Sender<Command>,
 }
 
 struct LaneState {
@@ -139,13 +192,14 @@ impl Lane {
 /// A CO worker: drains up to `co_batch` earliest-deadline jobs, sheds
 /// the expired ones, solves the rest as one block-diagonal batched
 /// program, then replies to each client and mails each session back to
-/// the engine. The batched solve is bit-identical per session to a solo
-/// solve, so batch composition never changes a trajectory. A panic
-/// inside the batched solve falls back to per-job solo solves (each
-/// itself panic-caught and degraded to the full-brake response), so one
+/// its home shard. The batched solve is bit-identical per session to a
+/// solo solve, so batch composition — which may mix sessions from
+/// different shards — never changes a trajectory. A panic inside the
+/// batched solve falls back to per-job solo solves (each itself
+/// panic-caught and degraded to the full-brake response), so one
 /// poisoned scenario cannot take its batchmates — let alone the
 /// server — down.
-fn worker_loop(lane: Arc<Lane>, done: Sender<Command>, co_batch: usize) {
+fn worker_loop(lane: Arc<Lane>, co_batch: usize) {
     while let Some(first) = lane.pop_blocking() {
         // top up the batch without blocking: under load this packs the
         // deadline queue's head into one shared factorization pass,
@@ -203,34 +257,30 @@ fn worker_loop(lane: Arc<Lane>, done: Sender<Command>, co_batch: usize) {
                 }
             }
         }
-        let mut done_ok = true;
         for (job, out) in jobs.into_iter().zip(outs) {
             let CoJob {
                 mut session,
                 hsa,
                 reply,
                 t0,
+                home,
                 ..
             } = *job;
             let (out, shed) = out.expect("every drained job resolves");
             let resp = session.advance(out.action, &hsa, Some(&out), shed);
             let latency_s = t0.elapsed().as_secs_f64();
             // mail the session home BEFORE replying: commands and CoDone
-            // share one FIFO channel, so a client that has seen this reply
-            // is guaranteed the engine settles this frame's bookkeeping
-            // (shed counters, in-flight state) before processing any
-            // command the client sends afterwards — e.g. a metrics snapshot
-            done_ok &= done
-                .send(Command::CoDone {
-                    session,
-                    latency_s,
-                    shed,
-                })
-                .is_ok();
+            // share the shard's FIFO channel, so a client that has seen
+            // this reply is guaranteed the shard settles this frame's
+            // bookkeeping (shed counters, in-flight state) before
+            // processing any command the client sends afterwards — e.g.
+            // a metrics or snapshot request
+            let _ = home.send(Command::CoDone {
+                session,
+                latency_s,
+                shed,
+            });
             let _ = reply.send(Ok(resp));
-        }
-        if !done_ok {
-            break;
         }
     }
 }
@@ -244,23 +294,30 @@ struct PendingStep {
     t0: Instant,
 }
 
-struct Engine {
+/// One engine shard: owns the sessions routed to it, runs their IL
+/// micro-batches, and submits their CO solves to the shared lane.
+struct Shard {
     config: ServeConfig,
+    /// This shard's session-count cap (the global limit split evenly).
+    limit: usize,
     model: IlModel,
     rx: Receiver<Command>,
+    /// This shard's own command sender — workers mail sessions home
+    /// through a clone carried in each [`CoJob`].
+    home: Sender<Command>,
     lane: Arc<Lane>,
-    workers: Vec<JoinHandle<()>>,
     sessions: HashMap<u64, Session>,
     in_flight: HashSet<u64>,
-    deferred: HashMap<u64, VecDeque<Reply<StepResponse>>>,
+    /// Commands against in-flight sessions, replayed in arrival order
+    /// when the session lands.
+    deferred: HashMap<u64, VecDeque<Command>>,
     pending_close: HashMap<u64, Vec<Reply<()>>>,
     backlog: VecDeque<Command>,
-    next_id: u64,
     metrics: Metrics,
     shutting_down: bool,
 }
 
-impl Engine {
+impl Shard {
     fn run(mut self) {
         loop {
             // one blocking command starts the tick; everything already
@@ -287,22 +344,16 @@ impl Engine {
                 break;
             }
         }
-        self.lane.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
     }
 
     fn dispatch(&mut self, cmd: Command, steps: &mut Vec<PendingStep>) {
         match cmd {
-            Command::Create { spec, reply } => {
+            Command::Create { id, spec, reply } => {
                 if self.shutting_down {
                     let _ = reply.send(Err(ServeError::ShuttingDown));
-                } else if self.sessions.len() + self.in_flight.len() >= self.config.max_sessions {
+                } else if self.sessions.len() + self.in_flight.len() >= self.limit {
                     let _ = reply.send(Err(ServeError::SessionLimit));
                 } else {
-                    let id = self.next_id;
-                    self.next_id += 1;
                     self.sessions.insert(id, Session::new(id, &self.config, &spec));
                     self.metrics.add(Counter::ServeSessions, 1);
                     let _ = reply.send(Ok(id));
@@ -314,7 +365,7 @@ impl Engine {
                     return;
                 }
                 if self.in_flight.contains(&id) {
-                    self.deferred.entry(id).or_default().push_back(reply);
+                    self.defer(Command::Step { id, reply });
                     return;
                 }
                 let Some(mut session) = self.sessions.remove(&id) else {
@@ -345,6 +396,42 @@ impl Engine {
                     let _ = reply.send(Err(ServeError::UnknownSession(id)));
                 }
             }
+            Command::Snapshot { id, reply } => {
+                if self.in_flight.contains(&id) {
+                    self.defer(Command::Snapshot { id, reply });
+                } else if let Some(session) = self.sessions.get(&id) {
+                    self.metrics.add(Counter::ServeSnapshots, 1);
+                    let _ = reply.send(Ok(encode_snapshot(&session.snapshot())));
+                } else {
+                    let _ = reply.send(Err(ServeError::UnknownSession(id)));
+                }
+            }
+            Command::Evict { id, reply } => {
+                if self.in_flight.contains(&id) {
+                    self.defer(Command::Evict { id, reply });
+                } else if let Some(session) = self.sessions.remove(&id) {
+                    self.metrics.add(Counter::ServeSnapshots, 1);
+                    self.metrics.add(Counter::ServeEvictions, 1);
+                    let _ = reply.send(Ok(encode_snapshot(&session.snapshot())));
+                } else {
+                    let _ = reply.send(Err(ServeError::UnknownSession(id)));
+                }
+            }
+            Command::Restore { snapshot, reply } => {
+                let id = snapshot.id;
+                if self.shutting_down {
+                    let _ = reply.send(Err(ServeError::ShuttingDown));
+                } else if self.sessions.contains_key(&id) || self.in_flight.contains(&id) {
+                    let _ = reply.send(Err(ServeError::SessionExists(id)));
+                } else if self.sessions.len() + self.in_flight.len() >= self.limit {
+                    let _ = reply.send(Err(ServeError::SessionLimit));
+                } else {
+                    self.sessions
+                        .insert(id, Session::restore(&self.config, &snapshot));
+                    self.metrics.add(Counter::ServeRestores, 1);
+                    let _ = reply.send(Ok(id));
+                }
+            }
             Command::Metrics { reply } => {
                 let _ = reply.send(self.metrics.clone());
             }
@@ -365,16 +452,16 @@ impl Engine {
                         let _ = r.send(Ok(()));
                     }
                     if let Some(queue) = self.deferred.remove(&id) {
-                        for r in queue {
-                            let _ = r.send(Err(ServeError::UnknownSession(id)));
+                        for cmd in queue {
+                            cmd.reject(ServeError::UnknownSession(id));
                         }
                     }
                     return;
                 }
                 self.sessions.insert(id, *session);
                 if let Some(mut queue) = self.deferred.remove(&id) {
-                    while let Some(reply) = queue.pop_front() {
-                        self.backlog.push_back(Command::Step { id, reply });
+                    while let Some(cmd) = queue.pop_front() {
+                        self.backlog.push_back(cmd);
                     }
                 }
             }
@@ -384,7 +471,17 @@ impl Engine {
         }
     }
 
-    /// One engine tick over the drained step requests: a single blocked
+    fn defer(&mut self, cmd: Command) {
+        let id = match &cmd {
+            Command::Step { id, .. } | Command::Snapshot { id, .. } | Command::Evict { id, .. } => {
+                *id
+            }
+            _ => unreachable!("only id-keyed commands are deferred"),
+        };
+        self.deferred.entry(id).or_default().push_back(cmd);
+    }
+
+    /// One shard tick over the drained step requests: a single blocked
     /// IL pass over every pending frame (the HSA needs the softmax on
     /// every frame regardless of mode), then per-session HSA decisions —
     /// IL-mode frames finish inline, CO-mode frames go to the lane.
@@ -415,6 +512,7 @@ impl Engine {
                         reply: step.reply,
                         t0: step.t0,
                         deadline: Instant::now() + self.config.co_deadline,
+                        home: self.home.clone(),
                     });
                     match self.lane.submit(job) {
                         Ok(()) => {
@@ -423,7 +521,7 @@ impl Engine {
                         }
                         Err(job) => {
                             // admission control: the queue is full, shed
-                            // now rather than block the engine
+                            // now rather than block the shard
                             let CoJob {
                                 mut session,
                                 hsa,
@@ -446,60 +544,76 @@ impl Engine {
     }
 }
 
-/// A running policy server: owns the engine thread. Dropping (or
-/// calling [`Serve::shutdown`]) drains in-flight solves, stops the
+/// A running policy server: owns the shard and worker threads. Dropping
+/// (or calling [`Serve::shutdown`]) drains in-flight solves, stops the
 /// workers and joins everything.
 pub struct Serve {
     handle: ServeHandle,
-    engine: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    lane: Arc<Lane>,
 }
 
 impl Serve {
-    /// Starts the engine and CO worker threads.
+    /// Starts the shard and CO worker threads.
     ///
     /// `model` is the IL network every session shares (weights are
-    /// read-only at serve time; activations live in engine-owned
-    /// buffers).
+    /// read-only at serve time; activations live in shard-owned
+    /// buffers); each shard holds its own clone.
     ///
     /// # Panics
     ///
     /// Panics when a thread cannot be spawned.
     pub fn start(config: ServeConfig, model: IlModel) -> Serve {
-        let (tx, rx) = channel();
         let lane = Arc::new(Lane::new(config.queue_capacity));
         let co_batch = config.co_batch;
         let workers = (0..config.co_workers.max(1))
             .map(|i| {
                 let lane = Arc::clone(&lane);
-                let done = tx.clone();
                 std::thread::Builder::new()
                     .name(format!("icoil-co-{i}"))
-                    .spawn(move || worker_loop(lane, done, co_batch))
+                    .spawn(move || worker_loop(lane, co_batch))
                     .expect("spawn CO lane worker")
             })
             .collect();
-        let engine = Engine {
-            config,
-            model,
-            rx,
-            lane,
-            workers,
-            sessions: HashMap::new(),
-            in_flight: HashSet::new(),
-            deferred: HashMap::new(),
-            pending_close: HashMap::new(),
-            backlog: VecDeque::new(),
-            next_id: 1,
-            metrics: Metrics::new(),
-            shutting_down: false,
-        };
-        let engine = std::thread::Builder::new()
-            .name("icoil-serve".to_string())
-            .spawn(move || engine.run())
-            .expect("spawn serve engine");
+        let shard_count = config.shards.max(1);
+        let limit = config.max_sessions.div_ceil(shard_count);
+        let mut txs = Vec::with_capacity(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (tx, rx) = channel();
+            let shard = Shard {
+                config,
+                limit,
+                model: model.clone(),
+                rx,
+                home: tx.clone(),
+                lane: Arc::clone(&lane),
+                sessions: HashMap::new(),
+                in_flight: HashSet::new(),
+                deferred: HashMap::new(),
+                pending_close: HashMap::new(),
+                backlog: VecDeque::new(),
+                metrics: Metrics::new(),
+                shutting_down: false,
+            };
+            txs.push(tx);
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("icoil-serve-{i}"))
+                    .spawn(move || shard.run())
+                    .expect("spawn serve shard"),
+            );
+        }
         Serve {
-            handle: ServeHandle { tx },
-            engine: Some(engine),
+            handle: ServeHandle {
+                txs: Arc::new(txs),
+                router: Arc::new(ShardRouter::new(shard_count)),
+                next_id: Arc::new(AtomicU64::new(1)),
+            },
+            shards,
+            workers,
+            lane,
         }
     }
 
@@ -509,15 +623,28 @@ impl Serve {
     }
 
     /// Stops accepting work, drains in-flight CO solves, and joins the
-    /// engine and worker threads.
+    /// shard and worker threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        if let Some(engine) = self.engine.take() {
-            let _ = self.handle.tx.send(Command::Shutdown);
-            let _ = engine.join();
+        if self.shards.is_empty() {
+            return;
+        }
+        for tx in self.handle.txs.iter() {
+            let _ = tx.send(Command::Shutdown);
+        }
+        // a shard exits only once its in-flight set is empty, i.e. every
+        // one of its lane jobs has come home — so after joining all
+        // shards the lane is drained and the workers park on the
+        // (now-closed) condvar
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
+        }
+        self.lane.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -529,17 +656,37 @@ impl Drop for Serve {
 }
 
 /// The in-process client API: every method is a blocking round-trip to
-/// the engine thread. Tests and the bench harness use this directly;
-/// the TCP front end is one more caller of the same handle.
+/// the owning shard thread. Tests and the bench harness use this
+/// directly; the TCP front end is one more caller of the same handle.
+///
+/// Session ids are allocated handle-side from one shared counter, then
+/// routed: the id → shard mapping is a pure function of the id and the
+/// shard count, so every handle (and every process with the same shard
+/// count) agrees where a session lives.
 #[derive(Clone)]
 pub struct ServeHandle {
-    tx: Sender<Command>,
+    txs: Arc<Vec<Sender<Command>>>,
+    router: Arc<ShardRouter>,
+    next_id: Arc<AtomicU64>,
 }
 
 impl ServeHandle {
-    fn request<T>(&self, make: impl FnOnce(Reply<T>) -> Command) -> Result<T, ServeError> {
+    /// The number of engine shards behind this handle.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn tx_for(&self, id: u64) -> &Sender<Command> {
+        &self.txs[self.router.route(id)]
+    }
+
+    fn request<T>(
+        &self,
+        id: u64,
+        make: impl FnOnce(Reply<T>) -> Command,
+    ) -> Result<T, ServeError> {
         let (reply, rx) = channel();
-        self.tx
+        self.tx_for(id)
             .send(make(reply))
             .map_err(|_| ServeError::Disconnected)?;
         rx.recv().map_err(|_| ServeError::Disconnected)?
@@ -552,8 +699,10 @@ impl ServeHandle {
     /// [`ServeError::SessionLimit`] at capacity,
     /// [`ServeError::ShuttingDown`] / [`ServeError::Disconnected`]
     /// around shutdown.
-    pub fn create(&self, spec: SessionConfig) -> Result<u64, ServeError> {
-        self.request(|reply| Command::Create { spec, reply })
+    pub fn create(&self, spec: impl Into<SessionSpec>) -> Result<u64, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let spec = Box::new(spec.into());
+        self.request(id, |reply| Command::Create { id, spec, reply })
     }
 
     /// Advances a session one frame and returns the served action and
@@ -565,19 +714,19 @@ impl ServeHandle {
     /// [`ServeError::UnknownSession`] for a dead id, shutdown errors as
     /// on [`ServeHandle::create`].
     pub fn step(&self, id: u64) -> Result<StepResponse, ServeError> {
-        self.request(|reply| Command::Step { id, reply })
+        self.request(id, |reply| Command::Step { id, reply })
     }
 
     /// Steps many sessions "concurrently" from one caller: all requests
-    /// are enqueued before any reply is awaited, so they land in the
-    /// same engine tick and share one IL micro-batch. Results are in
-    /// input order.
+    /// are enqueued before any reply is awaited, so same-shard sessions
+    /// land in the same engine tick and share one IL micro-batch.
+    /// Results are in input order.
     pub fn step_many(&self, ids: &[u64]) -> Vec<Result<StepResponse, ServeError>> {
         let receivers: Vec<_> = ids
             .iter()
             .map(|&id| {
                 let (reply, rx) = channel();
-                self.tx
+                self.tx_for(id)
                     .send(Command::Step { id, reply })
                     .ok()
                     .map(|_| rx)
@@ -602,20 +751,91 @@ impl ServeHandle {
     ///
     /// [`ServeError::UnknownSession`] for a dead id.
     pub fn close(&self, id: u64) -> Result<(), ServeError> {
-        self.request(|reply| Command::Close { id, reply })
+        self.request(id, |reply| Command::Close { id, reply })
     }
 
-    /// A snapshot of the server's telemetry (lane counters, batch-size
-    /// and latency histograms).
+    /// Serializes a session's complete state into the versioned binary
+    /// snapshot format without disturbing it. The snapshot is taken
+    /// between frames (after any in-flight solve lands), so restoring it
+    /// replays the remaining episode bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead id.
+    pub fn snapshot(&self, id: u64) -> Result<Vec<u8>, ServeError> {
+        self.request(id, |reply| Command::Snapshot { id, reply })
+    }
+
+    /// Snapshots a session and removes it from the server — the idle
+    /// eviction / migration primitive. The returned bytes restore the
+    /// session (here or elsewhere) exactly where it left off.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a dead id.
+    pub fn evict(&self, id: u64) -> Result<Vec<u8>, ServeError> {
+        self.request(id, |reply| Command::Evict { id, reply })
+    }
+
+    /// Restores a session from snapshot bytes, keeping its original id,
+    /// and routes it to that id's home shard. The restored session
+    /// replays bit-identically to the uninterrupted one — on any shard
+    /// count and in any process with the same `icoil` config.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] for malformed bytes,
+    /// [`ServeError::SessionExists`] when the id is already live,
+    /// [`ServeError::SessionLimit`] at capacity.
+    pub fn restore(&self, bytes: &[u8]) -> Result<u64, ServeError> {
+        let snapshot: SessionSnapshot =
+            decode_snapshot(bytes).map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        let id = snapshot.id;
+        // keep the allocator ahead of every restored id so future
+        // creates never collide
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.request(id, |reply| Command::Restore {
+            snapshot: Box::new(snapshot),
+            reply,
+        })
+    }
+
+    /// A snapshot of the server's telemetry, merged across shards in
+    /// shard order (counters sum; histograms merge element-wise).
     ///
     /// # Errors
     ///
     /// [`ServeError::Disconnected`] after shutdown.
     pub fn metrics(&self) -> Result<Metrics, ServeError> {
-        let (reply, rx) = channel();
-        self.tx
-            .send(Command::Metrics { reply })
-            .map_err(|_| ServeError::Disconnected)?;
-        rx.recv().map_err(|_| ServeError::Disconnected)
+        let mut merged = Metrics::new();
+        for shard in self.shard_metrics()? {
+            merged.merge(&shard);
+        }
+        Ok(merged)
+    }
+
+    /// Per-shard telemetry, indexed by shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] after shutdown.
+    pub fn shard_metrics(&self) -> Result<Vec<Metrics>, ServeError> {
+        // enqueue every request before awaiting any reply
+        let receivers: Vec<_> = self
+            .txs
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = channel();
+                tx.send(Command::Metrics { reply }).ok().map(|_| rx)
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| {
+                rx.ok_or(ServeError::Disconnected)?
+                    .recv()
+                    .map_err(|_| ServeError::Disconnected)
+            })
+            .collect()
     }
 }

@@ -7,11 +7,18 @@
 //! that needs admission control. This crate turns the offline library
 //! into that long-running, multi-tenant server:
 //!
-//! * [`Serve`] / [`ServeHandle`] — an engine thread owning every
-//!   session's state (world, HSA window, warm-start `MpcMemory`) behind
-//!   a command channel; the handle is the in-process client API
-//!   (create/step/close/metrics) that tests and the bench harness use
-//!   directly.
+//! * [`Serve`] / [`ServeHandle`] — N shard threads, each owning the
+//!   sessions consistent-hashed to it ([`ShardRouter`]) with their full
+//!   state (world, HSA window, warm-start `MpcMemory`) behind a
+//!   per-shard command channel; the handle is the in-process client API
+//!   (create/step/snapshot/evict/restore/close/metrics) that tests and
+//!   the bench harness use directly.
+//! * **Checkpoint/restore** — [`ServeHandle::snapshot`] serializes a
+//!   session's complete state ([`SessionSnapshot`]) into a versioned
+//!   binary format (raw IEEE-754 bit patterns, FNV-1a checksummed;
+//!   see [`SnapshotError`] for the typed rejection set), and
+//!   [`ServeHandle::restore`] resumes it — on any shard, at any shard
+//!   count, in any process — with a bit-identical remaining trajectory.
 //! * **Micro-batched IL lane** — each engine tick drains all pending
 //!   step requests, stacks their BEV images and runs one blocked
 //!   [`icoil_nn::Network::forward_batch_into`] pass. Batching is
@@ -39,8 +46,12 @@
 //! happens to be scheduled, and the batched CO solve is bit-identical
 //! per block to solo solves (the solver's batched-vs-sequential
 //! contract), so *who shares a worker's drain* cannot change a
-//! session's trajectory either. `scripts/check.sh` holds the server to
-//! that standard across worker counts and batch widths.
+//! session's trajectory either. Sharding adds nothing to this list —
+//! shards share no per-session state — and checkpoint/restore removes
+//! nothing: a snapshot carries every bit of episode state the next
+//! frame reads. `scripts/check.sh` holds the server to that standard
+//! across worker counts, batch widths, shard counts and a
+//! kill-snapshot-restore cycle.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -50,12 +61,18 @@ mod net;
 mod proto;
 mod queue;
 mod session;
+mod shard;
+mod snapshot;
 
 pub use engine::{Serve, ServeHandle};
 pub use net::run_server;
 pub use proto::{Request, Response};
 pub use queue::DeadlineQueue;
-pub use session::{ServeError, SessionConfig, StepResponse};
+pub use session::{
+    ServeError, SessionConfig, SessionSnapshot, SessionSpec, StepResponse,
+};
+pub use shard::ShardRouter;
+pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotError};
 
 use icoil_core::ICoilConfig;
 use std::time::Duration;
@@ -65,7 +82,10 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// The policy configuration every session runs with.
     pub icoil: ICoilConfig,
-    /// Worker threads draining the CO lane.
+    /// Engine shard threads; sessions are consistent-hashed across them
+    /// by id. `1` reproduces the single-engine behaviour exactly.
+    pub shards: usize,
+    /// Worker threads draining the CO lane (shared by all shards).
     pub co_workers: usize,
     /// Bound of the CO lane queue; admission beyond it sheds.
     pub queue_capacity: usize,
@@ -89,6 +109,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             icoil: ICoilConfig::default(),
+            shards: 1,
             co_workers: 2,
             queue_capacity: 64,
             co_deadline: Duration::from_millis(250),

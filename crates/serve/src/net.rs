@@ -79,6 +79,27 @@ pub(crate) fn handle_line(line: &str, handle: &ServeHandle) -> Response {
             },
             None => Response::failure("close needs a session id"),
         },
+        "snapshot" => match request.session {
+            Some(id) => match handle.snapshot(id) {
+                Ok(bytes) => Response::with_snapshot(&bytes),
+                Err(err) => err.into(),
+            },
+            None => Response::failure("snapshot needs a session id"),
+        },
+        "evict" => match request.session {
+            Some(id) => match handle.evict(id) {
+                Ok(bytes) => Response::with_snapshot(&bytes),
+                Err(err) => err.into(),
+            },
+            None => Response::failure("evict needs a session id"),
+        },
+        "restore" => match request.snapshot_bytes() {
+            Some(bytes) => match handle.restore(&bytes) {
+                Ok(id) => Response::restored(id),
+                Err(err) => err.into(),
+            },
+            None => Response::failure("restore needs hex snapshot bytes"),
+        },
         "metrics" => match handle.metrics() {
             Ok(metrics) => Response::with_metrics(metrics),
             Err(err) => err.into(),

@@ -15,15 +15,19 @@ use serde::{Deserialize, Serialize};
 ///
 /// `op` selects the operation; the other fields are its arguments:
 ///
-/// | `op`        | required fields        |
-/// |-------------|------------------------|
-/// | `"create"`  | `difficulty`, `seed`   |
-/// | `"step"`    | `session`              |
-/// | `"close"`   | `session`              |
-/// | `"metrics"` | —                      |
+/// | `op`         | required fields        |
+/// |--------------|------------------------|
+/// | `"create"`   | `difficulty`, `seed`   |
+/// | `"step"`     | `session`              |
+/// | `"close"`    | `session`              |
+/// | `"snapshot"` | `session`              |
+/// | `"evict"`    | `session`              |
+/// | `"restore"`  | `snapshot`             |
+/// | `"metrics"`  | —                      |
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Operation name: `"create"`, `"step"`, `"close"` or `"metrics"`.
+    /// Operation name: `"create"`, `"step"`, `"close"`, `"snapshot"`,
+    /// `"evict"`, `"restore"` or `"metrics"`.
     pub op: String,
     /// Scenario difficulty for `"create"`.
     #[serde(default)]
@@ -31,50 +35,79 @@ pub struct Request {
     /// Scenario seed for `"create"`.
     #[serde(default)]
     pub seed: Option<u64>,
-    /// Target session id for `"step"` / `"close"`.
+    /// Target session id for `"step"` / `"close"` / `"snapshot"` /
+    /// `"evict"`.
     #[serde(default)]
     pub session: Option<u64>,
+    /// Hex-encoded snapshot bytes for `"restore"` (the binary snapshot
+    /// container can't ride NDJSON raw).
+    #[serde(default)]
+    pub snapshot: Option<String>,
 }
 
 impl Request {
+    fn blank(op: &str) -> Self {
+        Request {
+            op: op.to_string(),
+            difficulty: None,
+            seed: None,
+            session: None,
+            snapshot: None,
+        }
+    }
+
     /// A `"create"` request.
     pub fn create(difficulty: Difficulty, seed: u64) -> Self {
         Request {
-            op: "create".to_string(),
             difficulty: Some(difficulty),
             seed: Some(seed),
-            session: None,
+            ..Request::blank("create")
         }
     }
 
     /// A `"step"` request.
     pub fn step(session: u64) -> Self {
         Request {
-            op: "step".to_string(),
-            difficulty: None,
-            seed: None,
             session: Some(session),
+            ..Request::blank("step")
         }
     }
 
     /// A `"close"` request.
     pub fn close(session: u64) -> Self {
         Request {
-            op: "close".to_string(),
-            difficulty: None,
-            seed: None,
             session: Some(session),
+            ..Request::blank("close")
+        }
+    }
+
+    /// A `"snapshot"` request (serialize a session without removing it).
+    pub fn snapshot(session: u64) -> Self {
+        Request {
+            session: Some(session),
+            ..Request::blank("snapshot")
+        }
+    }
+
+    /// An `"evict"` request (serialize and remove a session).
+    pub fn evict(session: u64) -> Self {
+        Request {
+            session: Some(session),
+            ..Request::blank("evict")
+        }
+    }
+
+    /// A `"restore"` request from raw snapshot bytes.
+    pub fn restore(snapshot_bytes: &[u8]) -> Self {
+        Request {
+            snapshot: Some(hex_encode(snapshot_bytes)),
+            ..Request::blank("restore")
         }
     }
 
     /// A `"metrics"` request.
     pub fn metrics() -> Self {
-        Request {
-            op: "metrics".to_string(),
-            difficulty: None,
-            seed: None,
-            session: None,
-        }
+        Request::blank("metrics")
     }
 
     /// The session spec a `"create"` request describes, if complete.
@@ -84,6 +117,35 @@ impl Request {
             seed: self.seed?,
         })
     }
+
+    /// The snapshot bytes a `"restore"` request carries, if present and
+    /// well-formed hex.
+    pub fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        hex_decode(self.snapshot.as_deref()?)
+    }
+}
+
+/// Lowercase-hex encoding of arbitrary bytes (the snapshot transport on
+/// the NDJSON wire).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` for odd length or non-hex digits.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Vec<u8> = s
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect::<Option<_>>()?;
+    Some(digits.chunks_exact(2).map(|p| (p[0] << 4) | p[1]).collect())
 }
 
 /// One server response line. Exactly one of the payload fields is set on
@@ -105,6 +167,10 @@ pub struct Response {
     /// The telemetry snapshot (`"metrics"` responses).
     #[serde(default)]
     pub metrics: Option<Metrics>,
+    /// Hex-encoded session snapshot bytes (`"snapshot"` / `"evict"`
+    /// responses).
+    #[serde(default)]
+    pub snapshot: Option<String>,
 }
 
 impl Response {
@@ -115,6 +181,7 @@ impl Response {
             session: None,
             frame: None,
             metrics: None,
+            snapshot: None,
         }
     }
 
@@ -147,14 +214,28 @@ impl Response {
         }
     }
 
+    /// A successful `"snapshot"` / `"evict"` response.
+    pub fn with_snapshot(bytes: &[u8]) -> Self {
+        Response {
+            snapshot: Some(hex_encode(bytes)),
+            ..Response::empty_ok()
+        }
+    }
+
+    /// A successful `"restore"` response (the restored session's id).
+    pub fn restored(session: u64) -> Self {
+        Response {
+            session: Some(session),
+            ..Response::empty_ok()
+        }
+    }
+
     /// A failure response.
     pub fn failure(message: impl Into<String>) -> Self {
         Response {
             ok: false,
             error: Some(message.into()),
-            session: None,
-            frame: None,
-            metrics: None,
+            ..Response::empty_ok()
         }
     }
 }
@@ -175,12 +256,26 @@ mod tests {
             Request::create(Difficulty::Hard, 42),
             Request::step(7),
             Request::close(7),
+            Request::snapshot(7),
+            Request::evict(7),
+            Request::restore(&[0x49, 0x43, 0x00, 0xff]),
             Request::metrics(),
         ] {
             let line = serde_json::to_string(&req).unwrap();
             let back: Request = serde_json::from_str(&line).unwrap();
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("zz"), None, "non-hex digit");
+        let req = Request::restore(&[0xde, 0xad]);
+        assert_eq!(req.snapshot_bytes(), Some(vec![0xde, 0xad]));
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Per-client episode state and its frame lifecycle.
 
 use crate::ServeConfig;
-use icoil_co::{CoController, CoOutput};
+use icoil_co::{CoController, CoOutput, CoSnapshot};
 use icoil_hsa::{Hsa, HsaDecision, Mode};
 use icoil_perception::{Perception, Sensing};
 use icoil_vehicle::Action;
 use icoil_world::episode::{Observation, Outcome};
-use icoil_world::{Difficulty, ScenarioConfig, World};
+use icoil_world::{Difficulty, Scenario, ScenarioConfig, World};
 use serde::{Deserialize, Serialize};
 
 /// What a client asks for when opening a session: deterministic
@@ -20,26 +20,61 @@ pub struct SessionConfig {
     pub seed: u64,
 }
 
+/// What a session runs: either the standard difficulty/seed scenario
+/// family, or an explicit [`Scenario`] (the conformance fuzzer's entry
+/// point — procedurally generated cases step through the full serving
+/// path this way).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionSpec {
+    /// A `(difficulty, seed)`-derived scenario.
+    Seeded(SessionConfig),
+    /// An explicit, fully-specified scenario.
+    Scenario(Box<Scenario>),
+}
+
+impl SessionSpec {
+    fn build_scenario(&self) -> Scenario {
+        match self {
+            SessionSpec::Seeded(cfg) => ScenarioConfig::new(cfg.difficulty, cfg.seed).build(),
+            SessionSpec::Scenario(s) => (**s).clone(),
+        }
+    }
+}
+
+impl From<SessionConfig> for SessionSpec {
+    fn from(cfg: SessionConfig) -> Self {
+        SessionSpec::Seeded(cfg)
+    }
+}
+
 /// Why a serving request failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// No live session has this id.
     UnknownSession(u64),
+    /// A restore named a session id that is already live.
+    SessionExists(u64),
     /// The server is at its configured session limit.
     SessionLimit,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
     /// The engine thread is gone (server already shut down).
     Disconnected,
+    /// A snapshot failed to decode (bad magic, version, checksum or
+    /// shape); the message is the underlying
+    /// [`SnapshotError`](crate::SnapshotError).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::SessionExists(id) => write!(f, "session {id} already exists"),
             ServeError::SessionLimit => write!(f, "session limit reached"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Disconnected => write!(f, "server engine is gone"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }
@@ -110,6 +145,31 @@ pub(crate) fn solve_co_batch(jobs: &mut [(&mut Session, &Sensing)]) -> Vec<CoOut
     icoil_co::control_batch(&mut co_jobs)
 }
 
+/// The complete serializable state of a live session — everything
+/// needed to resume it bit-identically on any shard or a fresh process.
+///
+/// The world carries the scenario (including its seed, from which the
+/// per-frame perception noise streams derive), so the stateless
+/// perception pipeline is rebuilt rather than stored. The CO side is
+/// the [`CoSnapshot`] episode state including the MPC warm-start
+/// memory; the HSA module serializes whole (sliding windows + debounce
+/// state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The session id (preserved across restore).
+    pub id: u64,
+    /// World state: scenario, ego, simulated time, frame counter.
+    pub world: World,
+    /// HSA state: uncertainty/complexity windows, mode, pending switch.
+    pub hsa: Hsa,
+    /// CO controller episode state incl. MPC warm-start memory.
+    pub co: CoSnapshot,
+    /// The episode time limit the session was created under.
+    pub max_time: f64,
+    /// Terminal outcome, when the episode has already ended.
+    pub outcome: Option<Outcome>,
+}
+
 /// A live episode owned by the serving engine: the world, the sensing
 /// pipeline, the HSA window state and the CO controller (whose
 /// `MpcMemory` carries warm starts across this session's frames). Moved
@@ -126,8 +186,8 @@ pub(crate) struct Session {
 }
 
 impl Session {
-    pub(crate) fn new(id: u64, config: &ServeConfig, spec: &SessionConfig) -> Self {
-        let scenario = ScenarioConfig::new(spec.difficulty, spec.seed).build();
+    pub(crate) fn new(id: u64, config: &ServeConfig, spec: &SessionSpec) -> Self {
+        let scenario = spec.build_scenario();
         let perception = Perception::new(config.icoil.bev, &scenario);
         let co = CoController::new(config.icoil.co, scenario.vehicle_params);
         let hsa = Hsa::new(config.icoil.hsa);
@@ -143,6 +203,43 @@ impl Session {
             co,
             max_time: config.max_time,
             outcome,
+        }
+    }
+
+    /// Captures the session's complete state (see [`SessionSnapshot`]).
+    pub(crate) fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            id: self.id,
+            world: self.world.clone(),
+            hsa: self.hsa.clone(),
+            co: self.co.snapshot(),
+            max_time: self.max_time,
+            outcome: self.outcome,
+        }
+    }
+
+    /// Rebuilds a session from a snapshot under the given server config.
+    ///
+    /// The perception pipeline is reconstructed from the config's BEV
+    /// settings and the snapshot's scenario (it is stateless per frame —
+    /// its noise stream derives from the scenario seed and frame index),
+    /// and the CO controller from the config plus the snapshot's episode
+    /// state. The restored session replays bit-identically to the
+    /// uninterrupted one as long as `config.icoil` matches the serving
+    /// config the snapshot was taken under.
+    pub(crate) fn restore(config: &ServeConfig, snap: &SessionSnapshot) -> Self {
+        let perception = Perception::new(config.icoil.bev, snap.world.scenario());
+        let mut co =
+            CoController::new(config.icoil.co, snap.world.scenario().vehicle_params);
+        co.restore(&snap.co);
+        Session {
+            id: snap.id,
+            world: snap.world.clone(),
+            perception,
+            hsa: snap.hsa.clone(),
+            co,
+            max_time: snap.max_time,
+            outcome: snap.outcome,
         }
     }
 

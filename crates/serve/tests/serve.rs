@@ -27,7 +27,19 @@ fn run_once(
     sessions: usize,
     frames: usize,
 ) -> (Vec<Vec<StepResponse>>, u64) {
+    run_sharded(1, co_workers, co_batch, sessions, frames)
+}
+
+/// [`run_once`] with an explicit shard count.
+fn run_sharded(
+    shards: usize,
+    co_workers: usize,
+    co_batch: usize,
+    sessions: usize,
+    frames: usize,
+) -> (Vec<Vec<StepResponse>>, u64) {
     let config = ServeConfig {
+        shards,
         co_workers,
         co_batch,
         // generous deadline and queue: zero sheds, so trajectories are
@@ -89,6 +101,127 @@ fn trajectories_are_identical_across_batch_widths() {
         solo, batched,
         "batched CO solves must be bit-identical to job-at-a-time solves"
     );
+}
+
+#[test]
+fn trajectories_are_identical_across_shard_counts() {
+    let (one, shed_one) = run_sharded(1, 2, 4, 4, 15);
+    let (four, shed_four) = run_sharded(4, 2, 4, 4, 15);
+    assert_eq!(shed_one, 0, "low load must not shed");
+    assert_eq!(shed_four, 0, "low load must not shed");
+    assert_eq!(
+        one, four,
+        "shard assignment must be invisible to trajectories"
+    );
+}
+
+/// A deadline-generous config for checkpoint tests (zero sheds keep the
+/// replay deterministic).
+fn snapshot_config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        co_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn restored_session_replays_bit_identically() {
+    // reference: one uninterrupted session
+    let server = Serve::start(snapshot_config(1), test_model());
+    let handle = server.handle();
+    let spec = SessionConfig {
+        difficulty: Difficulty::Easy,
+        seed: 314,
+    };
+    let id = handle.create(spec).expect("create");
+    let reference: Vec<StepResponse> =
+        (0..30).map(|_| handle.step(id).expect("step")).collect();
+
+    // checkpointed twin: same spec, snapshot mid-episode…
+    let id2 = handle.create(spec).expect("create twin");
+    let mut twin: Vec<StepResponse> = (0..12).map(|_| handle.step(id2).expect("step")).collect();
+    let bytes = handle.evict(id2).expect("evict");
+    assert!(
+        handle.step(id2).is_err(),
+        "an evicted session must be gone"
+    );
+
+    // …restored into a FRESH server at a DIFFERENT shard count
+    let server2 = Serve::start(snapshot_config(4), test_model());
+    let handle2 = server2.handle();
+    let restored = handle2.restore(&bytes).expect("restore");
+    assert_eq!(restored, id2, "restore keeps the session id");
+    twin.extend((0..18).map(|_| handle2.step(id2).expect("step restored")));
+
+    // the twin's stream must match the reference frame-for-frame except
+    // the session id field
+    assert_eq!(reference.len(), twin.len());
+    for (a, b) in reference.iter().zip(&twin) {
+        let mut b = b.clone();
+        b.session = a.session;
+        assert_eq!(*a, b, "restored replay must be bit-identical");
+    }
+    let m2 = handle2.metrics().expect("metrics");
+    assert_eq!(m2.counter(Counter::ServeRestores), 1);
+    server2.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_without_evict_leaves_the_session_live() {
+    let server = Serve::start(snapshot_config(2), test_model());
+    let handle = server.handle();
+    let id = handle
+        .create(SessionConfig {
+            difficulty: Difficulty::Easy,
+            seed: 77,
+        })
+        .expect("create");
+    for _ in 0..5 {
+        handle.step(id).expect("step");
+    }
+    let a = handle.snapshot(id).expect("snapshot");
+    let b = handle.snapshot(id).expect("snapshot again");
+    assert_eq!(a, b, "snapshotting must not disturb the session");
+    handle.step(id).expect("still steppable");
+    let metrics = handle.metrics().expect("metrics");
+    assert_eq!(metrics.counter(Counter::ServeSnapshots), 2);
+    assert_eq!(metrics.counter(Counter::ServeEvictions), 0);
+    // restoring over a live id is refused
+    assert_eq!(handle.restore(&a), Err(ServeError::SessionExists(id)));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_snapshots_are_typed_errors() {
+    let server = Serve::start(snapshot_config(1), test_model());
+    let handle = server.handle();
+    assert!(matches!(
+        handle.restore(b"not a snapshot at all"),
+        Err(ServeError::Snapshot(_))
+    ));
+    let id = handle
+        .create(SessionConfig {
+            difficulty: Difficulty::Easy,
+            seed: 5,
+        })
+        .expect("create");
+    handle.step(id).expect("step");
+    let mut bytes = handle.evict(id).expect("evict");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(matches!(
+        handle.restore(&bytes),
+        Err(ServeError::Snapshot(_))
+    ));
+    assert!(matches!(
+        handle.restore(&bytes[..bytes.len() / 2]),
+        Err(ServeError::Snapshot(_))
+    ));
+    assert_eq!(handle.snapshot(99), Err(ServeError::UnknownSession(99)));
+    assert_eq!(handle.evict(99), Err(ServeError::UnknownSession(99)));
+    server.shutdown();
 }
 
 #[test]
@@ -204,6 +337,7 @@ fn tcp_front_end_round_trips() {
         difficulty: None,
         seed: None,
         session: None,
+        snapshot: None,
     });
     assert!(!malformed_reply.ok, "unknown op must fail, not kill the connection");
 

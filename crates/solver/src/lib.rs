@@ -42,6 +42,6 @@ pub use ldl::{BatchLdl, LdlError, SparseLdl, SymbolicLdl};
 pub use linalg::{Cholesky, Mat};
 pub use qp::{
     solve_qp, solve_qp_warm, Backend, QpDiagnostics, QpProblem, QpSettings, QpSolution, QpStatus,
-    QpWarmStart, QpWorkspace,
+    QpWarmStart, QpWorkspace, QpWorkspaceSnapshot,
 };
 pub use sparse::{SparseKkt, SparseMatrix, TripletBuilder};

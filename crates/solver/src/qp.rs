@@ -346,6 +346,25 @@ pub struct QpWorkspace {
     pub(crate) rho: Option<f64>,
 }
 
+/// The serializable slice of a [`QpWorkspace`]: exactly the carried state
+/// that *changes solver iterates* and therefore must survive a session
+/// checkpoint for bit-identical replay.
+///
+/// The cached Ruiz scaling is reused verbatim on slightly-changed data
+/// (a change of variables, not a convergence tweak) and the adapted ρ
+/// seeds the next solve's penalty, so both alter every subsequent
+/// iterate. The factorization and symbolic caches are *not* captured:
+/// they are recomputed bit-identically from the (scaled) problem data on
+/// the first post-restore solve — dropping them costs one refactor, not
+/// one ulp.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QpWorkspaceSnapshot {
+    /// Cached Ruiz scaling vectors `D` (variables) and `E` (constraints).
+    pub scaling: Option<(Vec<f64>, Vec<f64>)>,
+    /// Adapted ADMM step size ρ carried from the previous solve.
+    pub rho: Option<f64>,
+}
+
 /// A factorization bound to one of the two backends; both expose the same
 /// allocation-free `solve_into`. One value lives per cache entry (never in
 /// an array), so the variant size gap costs nothing and boxing would only
@@ -424,6 +443,28 @@ impl QpWorkspace {
     /// run through this workspace.
     pub fn symbolic(&self) -> Option<&Arc<SymbolicLdl>> {
         self.symbolic.as_ref()
+    }
+
+    /// Captures the iterate-affecting carried state (scaling + adapted ρ)
+    /// for a session checkpoint. See [`QpWorkspaceSnapshot`].
+    pub fn snapshot(&self) -> QpWorkspaceSnapshot {
+        QpWorkspaceSnapshot {
+            scaling: self.scaling.clone(),
+            rho: self.rho,
+        }
+    }
+
+    /// Rebuilds a workspace from a checkpoint. The factorization and
+    /// symbolic caches start empty and are recomputed bit-identically on
+    /// the first solve, so a restored workspace replays exactly like the
+    /// captured one.
+    pub fn from_snapshot(snap: &QpWorkspaceSnapshot) -> Self {
+        QpWorkspace {
+            scaling: snap.scaling.clone(),
+            factor: None,
+            symbolic: None,
+            rho: snap.rho,
+        }
     }
 }
 

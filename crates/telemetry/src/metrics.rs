@@ -63,10 +63,16 @@ pub enum Counter {
     /// CO solve requests shed by the serving lane (queue full or
     /// deadline expired) and answered with the degraded full brake.
     CoShed,
+    /// Session snapshots encoded by the serving engine.
+    ServeSnapshots,
+    /// Sessions restored from a snapshot by the serving engine.
+    ServeRestores,
+    /// Sessions evicted (snapshotted and removed) by the serving engine.
+    ServeEvictions,
 }
 
 /// Number of [`Counter`] variants (the fixed counter-array length).
-pub const NUM_COUNTERS: usize = 25;
+pub const NUM_COUNTERS: usize = 28;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "frames",
@@ -94,6 +100,9 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "il_batches",
     "co_admitted",
     "co_shed",
+    "serve_snapshots",
+    "serve_restores",
+    "serve_evictions",
 ];
 
 impl Counter {
@@ -281,6 +290,8 @@ mod tests {
     #[test]
     fn counter_names_cover_every_variant() {
         // a name lookup on the last variant proves the array length
+        assert_eq!(Counter::ServeEvictions.name(), "serve_evictions");
+        assert_eq!(Counter::ServeSnapshots.name(), "serve_snapshots");
         assert_eq!(Counter::CoShed.name(), "co_shed");
         assert_eq!(Counter::Timeouts.name(), "timeouts");
         assert_eq!(Counter::Frames.name(), "frames");

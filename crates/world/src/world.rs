@@ -66,7 +66,7 @@ impl Default for GoalTolerance {
 /// }
 /// assert!(w.ego().pose.x > x0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct World {
     scenario: Scenario,
     ego: VehicleState,

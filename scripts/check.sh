@@ -12,8 +12,11 @@
 # the NDJSON trace against the aggregated counters, and validates the
 # BENCH_perf.json / BENCH_serve.json schemas. The serve smoke steps 8
 # concurrent sessions 50 frames through the in-process serving engine and
-# demands bit-identical trajectories across worker counts (1 vs 4) and CO
-# batch widths (1 vs 8) with zero sheds — and runs a second time with
+# demands bit-identical trajectories across worker counts (1 vs 4), CO
+# batch widths (1 vs 8) and engine shard counts (1 vs 4), plus a
+# kill-snapshot-restore cycle (every session evicted at frame 20, the
+# server torn down, every snapshot restored into a fresh server at a
+# different shard count) with zero sheds — and runs a second time with
 # ICOIL_FORCE_SCALAR=1 so the scalar kernel fallback is held to the same
 # contract. The solver/nn test suites also run once under
 # ICOIL_FORCE_SCALAR=1: the SIMD kernels' conformance tests then compare

@@ -288,6 +288,34 @@ impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "VecDeque"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -343,6 +371,16 @@ mod tests {
         assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
         let o: Option<String> = None;
         assert_eq!(Option::<String>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let dq: std::collections::VecDeque<f64> = [1.5, -0.0, f64::INFINITY].into();
+        let back = std::collections::VecDeque::<f64>::from_value(&dq.to_value()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back.iter().zip(&dq).all(|(a, b)| a.to_bits() == b.to_bits()));
+        let boxed: Box<u64> = Box::new(9);
+        assert_eq!(*Box::<u64>::from_value(&boxed.to_value()).unwrap(), 9);
     }
 
     #[test]
