@@ -7,17 +7,22 @@
 //! 1. **IL phase** — the HSA threshold is forced to `+∞` so every frame
 //!    stays on the IL lane: clean micro-batch latency and batch-width
 //!    numbers with zero CO contention;
-//! 2. **CO phase (provisioned)** — an untrained model keeps every
+//! 2. **IL int8 phase** — the same IL-only load with every session
+//!    pinned to the calibrated int8 lane; `frames_per_sec_int8` times
+//!    only the stepping loop, so the one-off startup calibration does
+//!    not pollute the throughput number;
+//! 3. **CO phase (provisioned)** — an untrained model keeps every
 //!    session on the CO lane with a generous deadline and queue: CO-lane
 //!    latency under a load the lane can carry, `shed_rate_low` must be 0;
-//! 3. **Overload phase** — one worker, a queue of 2 and a 1 ms deadline
+//! 4. **Overload phase** — one worker, a queue of 2 and a 1 ms deadline
 //!    against twice the sessions: the lane must shed (degraded
 //!    full-brake responses) instead of blocking, `shed_rate_overload`
 //!    must be positive;
-//! 4. **Shard sweep** — thousands of IL-only sessions replayed at 1, 2,
-//!    4 and 8 engine shards, recording sessions/sec at each width: the
-//!    scaling curve of the sharded engine under a session-heavy,
-//!    solver-light load.
+//! 5. **Shard sweep** — IL-only sessions replayed at 1, 2, 4 and 8
+//!    engine shards with the *offered load scaled by the shard count*
+//!    (a flat load would leave added shards idle and remeasure the
+//!    1-shard rate), recording sessions/sec and the mean per-shard IL
+//!    micro-batch width at each point.
 //!
 //! The file lands in the working directory (the repo root under
 //! `cargo run`). Run sizes honor `ICOIL_SERVE_SESSIONS` (default 8),
@@ -34,7 +39,7 @@
 use icoil_bench::ServeReport;
 use icoil_core::ICoilConfig;
 use icoil_hsa::HsaConfig;
-use icoil_il::IlModel;
+use icoil_il::{IlModel, IlPrecision};
 use icoil_perception::BevConfig;
 use icoil_serve::{Serve, ServeConfig, SessionConfig};
 use icoil_telemetry::{Counter, Metrics, Series};
@@ -50,8 +55,10 @@ fn env_size(key: &str, default: u64) -> u64 {
 }
 
 /// Runs `sessions` episodes of `frames` frames each against a fresh
-/// server; returns the server's final telemetry snapshot.
-fn run_phase(config: ServeConfig, sessions: u64, frames: u64, seed0: u64) -> Metrics {
+/// server; returns the server's final telemetry snapshot and the
+/// wall-clock seconds of the stepping loop alone (startup, session
+/// creation and any int8 calibration excluded).
+fn run_phase(config: ServeConfig, sessions: u64, frames: u64, seed0: u64) -> (Metrics, f64) {
     let model = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1);
     let server = Serve::start(config, model);
     let handle = server.handle();
@@ -65,14 +72,16 @@ fn run_phase(config: ServeConfig, sessions: u64, frames: u64, seed0: u64) -> Met
                 .expect("create session")
         })
         .collect();
+    let t0 = Instant::now();
     for _ in 0..frames {
         for result in handle.step_many(&ids) {
             result.expect("serving must answer every step");
         }
     }
+    let stepping_secs = t0.elapsed().as_secs_f64().max(1e-9);
     let metrics = handle.metrics().expect("metrics snapshot");
     server.shutdown();
-    metrics
+    (metrics, stepping_secs)
 }
 
 fn shed_rate(metrics: &Metrics) -> f64 {
@@ -108,12 +117,27 @@ fn main() {
         },
         ..base
     };
-    let il_metrics = run_phase(il_config, sessions, frames, 9000);
+    let (il_metrics, _) = run_phase(il_config, sessions, frames, 9000);
 
-    // phase 2: pure CO lane (untrained model → high uncertainty), carried
-    let co_metrics = run_phase(base, sessions, frames, 9100);
+    // phase 2: the same IL-only load with every session pinned to the
+    // calibrated int8 lane; only the stepping loop is timed, so the
+    // startup calibration stays out of the throughput number
+    let int8_config = ServeConfig {
+        il_precision: IlPrecision::Int8,
+        ..il_config
+    };
+    let (int8_metrics, int8_secs) = run_phase(int8_config, sessions, frames, 9050);
+    let frames_per_sec_int8 = (sessions * frames) as f64 / int8_secs;
+    assert_eq!(
+        int8_metrics.counter(Counter::IlFramesInt8),
+        sessions * frames,
+        "every int8-phase frame must go through the quantized lane"
+    );
 
-    // phase 3: deliberate overload — must shed, never block
+    // phase 3: pure CO lane (untrained model → high uncertainty), carried
+    let (co_metrics, _) = run_phase(base, sessions, frames, 9100);
+
+    // phase 4: deliberate overload — must shed, never block
     let overload_config = ServeConfig {
         co_workers: 1,
         queue_capacity: 2,
@@ -121,37 +145,44 @@ fn main() {
         ..ServeConfig::default()
     };
     let overload_frames = (frames / 4).max(5);
-    let overload_metrics = run_phase(overload_config, sessions * 2, overload_frames, 9200);
+    let (overload_metrics, _) = run_phase(overload_config, sessions * 2, overload_frames, 9200);
 
     let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
-    let total_sessions = sessions * 2 + sessions * 2;
-    let total_frames = sessions * frames * 2 + sessions * 2 * overload_frames;
+    let total_sessions = sessions * 3 + sessions * 2;
+    let total_frames = sessions * frames * 3 + sessions * 2 * overload_frames;
 
-    // phase 4: shard-scaling sweep — thousands of sessions, IL lane only
+    // phase 5: shard-scaling sweep — thousands of sessions, IL lane only
     // (λ = +∞ keeps the CO pool idle), so the measured curve is the
-    // sharded engine's own session-handling throughput
+    // sharded engine's own session-handling throughput. The offered load
+    // scales with the shard count: at a fixed load the per-shard session
+    // slice shrinks as shards are added, added shards idle between the
+    // same number of ticks, and the sweep flatlines at the 1-shard rate.
     let sweep_sessions = env_size("ICOIL_SERVE_SWEEP_SESSIONS", 2000);
     let sweep_frames = env_size("ICOIL_SERVE_SWEEP_FRAMES", 8);
     let mut sweep_rates = [0.0_f64; 4];
+    let mut sweep_batch_means = [0.0_f64; 4];
     for (slot, shards) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let offered = sweep_sessions * shards as u64;
         // 2x headroom: the session cap is split per shard, and the
         // consistent-hash split is balanced but not exact
         let sweep_config = ServeConfig {
             shards,
-            max_sessions: sweep_sessions as usize * 2,
+            max_sessions: offered as usize * 2,
             ..il_config
         };
-        let t = Instant::now();
-        let sweep_metrics = run_phase(
+        let (sweep_metrics, sweep_secs) = run_phase(
             sweep_config,
-            sweep_sessions,
+            offered,
             sweep_frames,
             9300 + slot as u64 * 10_000,
         );
-        sweep_rates[slot] = sweep_sessions as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        sweep_rates[slot] = offered as f64 / sweep_secs;
+        // each shard records the width of its own micro-batches, so the
+        // merged histogram's mean is the per-shard mean batch width
+        sweep_batch_means[slot] = sweep_metrics.series(Series::IlBatchSize).mean();
         assert_eq!(
             sweep_metrics.counter(Counter::ServeSessions),
-            sweep_sessions,
+            offered,
             "sweep at {shards} shard(s) lost sessions"
         );
     }
@@ -162,6 +193,7 @@ fn main() {
     let mut report = ServeReport {
         sessions_per_sec: total_sessions as f64 / elapsed,
         frames_per_sec: total_frames as f64 / elapsed,
+        frames_per_sec_int8,
         il_p50_us: il_lane.quantile(0.50) * 1e6,
         il_p95_us: il_lane.quantile(0.95) * 1e6,
         il_p99_us: il_lane.quantile(0.99) * 1e6,
@@ -176,6 +208,10 @@ fn main() {
         sweep_sessions_per_sec_s2: sweep_rates[1],
         sweep_sessions_per_sec_s4: sweep_rates[2],
         sweep_sessions_per_sec_s8: sweep_rates[3],
+        sweep_batch_mean_s1: sweep_batch_means[0],
+        sweep_batch_mean_s2: sweep_batch_means[1],
+        sweep_batch_mean_s4: sweep_batch_means[2],
+        sweep_batch_mean_s8: sweep_batch_means[3],
         had_nonfinite: false,
         sessions,
         frames_per_session: frames,
@@ -213,14 +249,23 @@ fn main() {
         report.frames_per_sec,
     );
     println!(
-        "shard sweep: {} sessions x {} frames (IL lane) | sessions/s at 1/2/4/8 shards: \
-         {:.0}/{:.0}/{:.0}/{:.0}",
+        "int8 IL phase: {:.1} frames/s through the quantized lane (stepping loop only)",
+        report.frames_per_sec_int8,
+    );
+    println!(
+        "shard sweep: {} sessions/shard x {} frames (IL lane, load scaled by shard count) | \
+         sessions/s at 1/2/4/8 shards: {:.0}/{:.0}/{:.0}/{:.0} | \
+         mean per-shard batch width: {:.1}/{:.1}/{:.1}/{:.1}",
         report.sweep_sessions,
         report.sweep_frames,
         report.sweep_sessions_per_sec_s1,
         report.sweep_sessions_per_sec_s2,
         report.sweep_sessions_per_sec_s4,
         report.sweep_sessions_per_sec_s8,
+        report.sweep_batch_mean_s1,
+        report.sweep_batch_mean_s2,
+        report.sweep_batch_mean_s4,
+        report.sweep_batch_mean_s8,
     );
 
     let json = serde_json::to_string(&report).expect("report serializes");

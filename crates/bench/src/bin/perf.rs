@@ -7,6 +7,11 @@
 //!   `icoil-core::eval::run_batch_with` at the configured parallelism;
 //! * `il_hz` — IL CNN inference rate on a live BEV image (the paper's
 //!   §V-E reports 75 Hz);
+//! * `il_hz_int8` — the same inference through the calibrated int8
+//!   lane; both lanes are timed in interleaved rounds and reported as
+//!   per-lane best so the ratio compares kernels, not scheduler luck;
+//! * `gemm_gops_int8` — int8 GEMM throughput of the quantized kernel
+//!   at the same network-shaped problem size as the f32 GEMM numbers;
 //! * `co_hz` / `co_hz_cold` — CO solve rate along an actual drive with
 //!   the deployed warm-start memory vs. with the memory cleared every
 //!   frame (paper: 18 Hz);
@@ -43,10 +48,10 @@ use icoil_bench::{PerfReport, RunSize};
 use icoil_co::{build_mpc_qp, CoConfig, CoController};
 use icoil_core::{eval, ICoilConfig, Method};
 use icoil_solver::{Backend, BatchLdl, SparseKkt, SparseLdl, SparseMatrix, SymbolicLdl};
-use icoil_il::IlModel;
+use icoil_il::{IlModel, IlPrecision};
 use icoil_perception::Perception;
 use icoil_telemetry::{Recorder, Series};
-use icoil_vehicle::ActionCodec;
+use icoil_vehicle::{Action, ActionCodec};
 use icoil_world::episode::{EpisodeConfig, Observation};
 use icoil_world::{Difficulty, ScenarioConfig};
 use std::time::Instant;
@@ -185,6 +190,32 @@ fn matmul_gflops(backend: icoil_nn::KernelBackend) -> f64 {
     flops / best / 1e9
 }
 
+/// int8 GEMM throughput (giga-ops/s) through the nn kernel layer at the
+/// same network-shaped problem size as [`matmul_gflops`]; one
+/// multiply-add counts as two ops. Best of [`KERNEL_BEST_OF`] timed
+/// repetitions.
+fn int8_gemm_gops() -> f64 {
+    let (m, k, n) = (64usize, 288usize, 256usize);
+    // activation codes stay in [0, 127] — the lane's quantizer contract
+    let a: Vec<u8> = (0..m * k).map(|i| ((i * 37 + 11) % 128) as u8).collect();
+    let b: Vec<i8> = (0..n * k)
+        .map(|i| (((i * 53 + 7) % 255) as i32 - 127) as i8)
+        .collect();
+    let mut out = vec![0i32; m * n];
+    let ops = 2.0 * m as f64 * k as f64 * n as f64;
+    let inner = 40;
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_BEST_OF {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            icoil_nn::simd::gemm_nt_i8(&a, m, k, &b, n, &mut out);
+            std::hint::black_box(&out);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / inner as f64);
+    }
+    ops / best / 1e9
+}
+
 /// Per-block microseconds of the block-diagonal batched sparse LDLᵀ
 /// refactor over `k_blocks` copies of the real MPC KKT matrix — the
 /// numeric pass `QpBatch` amortizes across a serve worker's drain. Best
@@ -231,17 +262,40 @@ fn main() {
     );
     let episodes_per_sec = results.len() as f64 / t0.elapsed().as_secs_f64();
 
-    // 2) IL inference rate on a live BEV image
+    // 2) IL inference rate on a live BEV image, f32 vs the calibrated
+    //    int8 lane. The two lanes are timed in interleaved rounds and
+    //    each reported as its best round, so the recorded ratio compares
+    //    the kernels rather than whichever lane the scheduler disturbed.
     let scenario = ScenarioConfig::new(Difficulty::Normal, 3).build();
     let mut perception = Perception::new(config.bev, &scenario);
-    let world = icoil_world::World::new(scenario);
-    let sensing = perception.observe(&Observation::new(&world));
-    let il_iters = 200;
-    let t0 = Instant::now();
-    for _ in 0..il_iters {
-        let _ = model.infer(&sensing.bev);
+    let mut world = icoil_world::World::new(scenario);
+    let mut calib = Vec::new();
+    for _ in 0..12 {
+        let sensing = perception.observe(&Observation::new(&world));
+        calib.push(sensing.bev);
+        world.step(&Action::forward(0.3, 0.05));
     }
-    let il_hz = il_iters as f64 / t0.elapsed().as_secs_f64();
+    {
+        let frames: Vec<&_> = calib.iter().collect();
+        model.calibrate_int8(&frames);
+    }
+    let bev = &calib[0];
+    let il_iters = 400;
+    let il_rounds = 8;
+    let mut lane_best = [f64::INFINITY; 2];
+    for _ in 0..il_rounds {
+        for (slot, precision) in [IlPrecision::F32, IlPrecision::Int8].into_iter().enumerate() {
+            model.set_precision(precision);
+            let t0 = Instant::now();
+            for _ in 0..il_iters {
+                std::hint::black_box(model.infer(bev));
+            }
+            lane_best[slot] = lane_best[slot].min(t0.elapsed().as_secs_f64() / il_iters as f64);
+        }
+    }
+    model.set_precision(IlPrecision::F32);
+    let il_hz = 1.0 / lane_best[0];
+    let il_hz_int8 = 1.0 / lane_best[1];
 
     // 3) CO solve rate and ADMM iteration counts, warm vs. cold, plus a
     //    forced-sparse warm drive for the backend comparison; latency
@@ -275,6 +329,7 @@ fn main() {
     //    batched block-diagonal refactor at several widths
     let matmul_gflops_scalar = matmul_gflops(icoil_nn::KernelBackend::Scalar);
     let matmul_gflops_simd = matmul_gflops(icoil_nn::simd::detected());
+    let gemm_gops_int8 = int8_gemm_gops();
     let batch_refactor_us_k1 = batch_refactor_us_per_block(&kkt_matrix, 1);
     let batch_refactor_us_k4 = batch_refactor_us_per_block(&kkt_matrix, 4);
     let batch_refactor_us_k16 = batch_refactor_us_per_block(&kkt_matrix, 16);
@@ -283,6 +338,8 @@ fn main() {
     let mut report = PerfReport {
         episodes_per_sec,
         il_hz,
+        il_hz_int8,
+        gemm_gops_int8,
         co_hz,
         co_hz_cold,
         co_hz_sparse,
@@ -317,7 +374,12 @@ fn main() {
 
     println!("# performance trajectory (wrote BENCH_perf.json)");
     println!("episodes/sec ({} workers): {episodes_per_sec:8.2}", size.parallelism);
-    println!("IL inference:  {il_hz:8.1} Hz");
+    println!("IL inference:  {il_hz:8.1} Hz f32");
+    println!(
+        "IL int8:       {il_hz_int8:8.1} Hz ({:.2}x f32, calibrated lane, best of {il_rounds} \
+         interleaved rounds)",
+        il_hz_int8 / il_hz
+    );
     println!(
         "CO solve:      {co_hz:8.1} Hz warm ({mean_admm_iters_warm:.0} ADMM iters) \
          vs {co_hz_cold:.1} Hz cold ({mean_admm_iters_cold:.0} iters)"
@@ -341,6 +403,9 @@ fn main() {
          {matmul_gflops_simd:.2} GFLOP/s {simd_dispatch} \
          ({:.1}x, best of {KERNEL_BEST_OF})",
         matmul_gflops_simd / matmul_gflops_scalar
+    );
+    println!(
+        "gemm int8:     {gemm_gops_int8:8.2} GOP/s {simd_dispatch} (best of {KERNEL_BEST_OF})"
     );
     println!(
         "batch refactor: {batch_refactor_us_k1:7.1} us/block K=1 / \

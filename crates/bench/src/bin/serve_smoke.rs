@@ -20,9 +20,12 @@
 //!   (distinct seeds ⇒ distinct episodes — a stuck engine replaying one
 //!   session 8 times would otherwise pass).
 //!
-//! Exits non-zero on the first violation, printing what broke.
+//! The whole contract runs at the IL precision named by
+//! `ICOIL_IL_PRECISION` (`f32` default, `int8` for the quantized lane),
+//! so `scripts/check.sh` can hold both lanes to the same determinism
+//! bar. Exits non-zero on the first violation, printing what broke.
 
-use icoil_il::IlModel;
+use icoil_il::{IlModel, IlPrecision};
 use icoil_perception::BevConfig;
 use icoil_serve::{Serve, ServeConfig, SessionConfig, StepResponse};
 use icoil_telemetry::Counter;
@@ -45,6 +48,7 @@ fn config(shards: usize, co_workers: usize, co_batch: usize) -> ServeConfig {
         co_batch,
         co_deadline: Duration::from_secs(60),
         queue_capacity: 64,
+        il_precision: IlPrecision::from_env(),
         ..ServeConfig::default()
     }
 }
@@ -182,9 +186,10 @@ fn run() -> Result<(), String> {
         }
     }
     println!(
-        "serve smoke: {SESSIONS} sessions x {FRAMES} frames bit-identical across \
-         1 vs 4 CO workers, co_batch 1 vs 8, 1 vs 4 shards, and a \
-         kill-snapshot-restore cycle at frame {KILL_AT}; zero sheds"
+        "serve smoke ({} IL lane): {SESSIONS} sessions x {FRAMES} frames bit-identical \
+         across 1 vs 4 CO workers, co_batch 1 vs 8, 1 vs 4 shards, and a \
+         kill-snapshot-restore cycle at frame {KILL_AT}; zero sheds",
+        IlPrecision::from_env().label()
     );
     Ok(())
 }

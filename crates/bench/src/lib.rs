@@ -75,6 +75,15 @@ pub struct PerfReport {
     pub episodes_per_sec: f64,
     /// IL CNN inference rate on a live BEV image (Hz).
     pub il_hz: f64,
+    /// IL CNN inference rate through the calibrated int8 lane on the
+    /// same frames (Hz). Measured interleaved with `il_hz` and reported
+    /// as best-of to keep the ratio meaningful on noisy boxes.
+    #[serde(default)]
+    pub il_hz_int8: f64,
+    /// int8 GEMM micro-kernel throughput at an IL-shaped problem size
+    /// (giga-ops/s; one multiply-add counts as two ops).
+    #[serde(default)]
+    pub gemm_gops_int8: f64,
     /// Warm-started CO solve rate along a real drive (Hz).
     pub co_hz: f64,
     /// CO solve rate with the warm-start memory cleared every frame (Hz).
@@ -148,6 +157,8 @@ impl PerfReport {
     pub const NUMERIC_FIELDS: &'static [&'static str] = &[
         "episodes_per_sec",
         "il_hz",
+        "il_hz_int8",
+        "gemm_gops_int8",
         "co_hz",
         "co_hz_cold",
         "co_hz_sparse",
@@ -178,6 +189,8 @@ impl PerfReport {
         for v in [
             &mut self.episodes_per_sec,
             &mut self.il_hz,
+            &mut self.il_hz_int8,
+            &mut self.gemm_gops_int8,
             &mut self.co_hz,
             &mut self.co_hz_cold,
             &mut self.co_hz_sparse,
@@ -258,6 +271,10 @@ pub struct ServeReport {
     pub sessions_per_sec: f64,
     /// Frames served per wall-clock second (all phases).
     pub frames_per_sec: f64,
+    /// Frames served per wall-clock second with every session pinned to
+    /// the int8 IL lane (same load shape as the provisioned phase).
+    #[serde(default)]
+    pub frames_per_sec_int8: f64,
     /// Median IL-lane frame latency (µs, request arrival → response).
     pub il_p50_us: f64,
     /// 95th-percentile IL-lane frame latency (µs).
@@ -291,6 +308,18 @@ pub struct ServeReport {
     /// Sessions/sec of the shard-scaling sweep at 8 engine shards.
     #[serde(default)]
     pub sweep_sessions_per_sec_s8: f64,
+    /// Mean per-shard IL micro-batch width in the sweep at 1 shard.
+    #[serde(default)]
+    pub sweep_batch_mean_s1: f64,
+    /// Mean per-shard IL micro-batch width in the sweep at 2 shards.
+    #[serde(default)]
+    pub sweep_batch_mean_s2: f64,
+    /// Mean per-shard IL micro-batch width in the sweep at 4 shards.
+    #[serde(default)]
+    pub sweep_batch_mean_s4: f64,
+    /// Mean per-shard IL micro-batch width in the sweep at 8 shards.
+    #[serde(default)]
+    pub sweep_batch_mean_s8: f64,
     /// Whether any measured field was non-finite before sanitization.
     #[serde(default)]
     pub had_nonfinite: bool,
@@ -314,6 +343,7 @@ impl ServeReport {
     pub const NUMERIC_FIELDS: &'static [&'static str] = &[
         "sessions_per_sec",
         "frames_per_sec",
+        "frames_per_sec_int8",
         "il_p50_us",
         "il_p95_us",
         "il_p99_us",
@@ -328,6 +358,10 @@ impl ServeReport {
         "sweep_sessions_per_sec_s2",
         "sweep_sessions_per_sec_s4",
         "sweep_sessions_per_sec_s8",
+        "sweep_batch_mean_s1",
+        "sweep_batch_mean_s2",
+        "sweep_batch_mean_s4",
+        "sweep_batch_mean_s8",
     ];
 
     /// Clamps every non-finite float field to a finite value and records
@@ -338,6 +372,7 @@ impl ServeReport {
         for v in [
             &mut self.sessions_per_sec,
             &mut self.frames_per_sec,
+            &mut self.frames_per_sec_int8,
             &mut self.il_p50_us,
             &mut self.il_p95_us,
             &mut self.il_p99_us,
@@ -352,6 +387,10 @@ impl ServeReport {
             &mut self.sweep_sessions_per_sec_s2,
             &mut self.sweep_sessions_per_sec_s4,
             &mut self.sweep_sessions_per_sec_s8,
+            &mut self.sweep_batch_mean_s1,
+            &mut self.sweep_batch_mean_s2,
+            &mut self.sweep_batch_mean_s4,
+            &mut self.sweep_batch_mean_s8,
         ] {
             icoil_telemetry::sanitize_field(v, &mut flagged);
         }
@@ -448,6 +487,8 @@ mod tests {
         PerfReport {
             episodes_per_sec: 1.5,
             il_hz: 4000.0,
+            il_hz_int8: 9000.0,
+            gemm_gops_int8: 20.0,
             co_hz: 3000.0,
             co_hz_cold: 2000.0,
             co_hz_sparse: 3200.0,
@@ -532,6 +573,7 @@ mod tests {
         ServeReport {
             sessions_per_sec: 2.0,
             frames_per_sec: 120.0,
+            frames_per_sec_int8: 180.0,
             il_p50_us: 400.0,
             il_p95_us: 900.0,
             il_p99_us: 1500.0,
@@ -546,6 +588,10 @@ mod tests {
             sweep_sessions_per_sec_s2: 280.0,
             sweep_sessions_per_sec_s4: 500.0,
             sweep_sessions_per_sec_s8: 700.0,
+            sweep_batch_mean_s1: 6.0,
+            sweep_batch_mean_s2: 4.5,
+            sweep_batch_mean_s4: 3.2,
+            sweep_batch_mean_s8: 2.1,
             had_nonfinite: false,
             sessions: 8,
             frames_per_session: 50,

@@ -53,6 +53,9 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
         CheckKind::Determinism => 5,
         CheckKind::Parallelism => 5,
         CheckKind::CheckpointRestoreReplay => 5,
+        // two served episodes per case: stride like the other
+        // serving-engine check
+        CheckKind::QuantizedIl => 5,
     };
     if smoke && base > 1 {
         base * 2

@@ -1,7 +1,7 @@
 //! The trained IL artifact and its inference path.
 
 use icoil_nn::loss::softmax_in_place;
-use icoil_nn::{InferBuffers, Network, Tensor};
+use icoil_nn::{InferBuffers, Network, QuantScratch, QuantizedNetwork, Tensor};
 use icoil_perception::{BevConfig, BevImage};
 use icoil_vehicle::{Action, ActionCodec};
 use serde::{Deserialize, Serialize};
@@ -15,6 +15,88 @@ pub struct InferResult {
     pub class: usize,
     /// The full softmax distribution (input to the HSA uncertainty).
     pub probs: Vec<f64>,
+}
+
+/// Numeric precision of the IL inference lane.
+///
+/// `F32` is the bit-reproducible reference lane and the default; `Int8`
+/// is the calibrated quantized lane — roughly twice as fast per frame,
+/// with per-logit error held to the calibrated tolerance
+/// ([`IlModel::quant_error_bound`]) rather than to zero. Selecting `Int8`
+/// requires a prior [`IlModel::calibrate_int8`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IlPrecision {
+    /// The f32 SIMD lane (bit-identical to the reference forward pass).
+    #[default]
+    F32,
+    /// The calibrated int8 lane (tolerance-bounded logits).
+    Int8,
+}
+
+// Hand-written serde: the wire form is the lowercase label ("f32" /
+// "int8"), which the vendored derive cannot express.
+impl Serialize for IlPrecision {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for IlPrecision {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::DeError::expected("string", "IlPrecision"))?;
+        s.parse().map_err(serde::DeError::custom)
+    }
+}
+
+impl IlPrecision {
+    /// Reads `ICOIL_IL_PRECISION` (`"f32"` or `"int8"`, default `f32`
+    /// when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value — a typo silently falling back to
+    /// f32 would invalidate a benchmark run.
+    pub fn from_env() -> IlPrecision {
+        match std::env::var("ICOIL_IL_PRECISION") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|e: String| panic!("ICOIL_IL_PRECISION: {e}")),
+            Err(_) => IlPrecision::F32,
+        }
+    }
+
+    /// The lowercase wire name (`"f32"` / `"int8"`), as used in NDJSON
+    /// replies and bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IlPrecision::F32 => "f32",
+            IlPrecision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::str::FromStr for IlPrecision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" => Ok(IlPrecision::F32),
+            "int8" => Ok(IlPrecision::Int8),
+            other => Err(format!("unknown IL precision {other:?} (expected \"f32\" or \"int8\")")),
+        }
+    }
+}
+
+/// The calibrated int8 lane: compiled network plus its reusable scratch
+/// and logits tensor (allocation-free after the first frame, like the
+/// f32 lane's buffers).
+#[derive(Debug, Clone)]
+struct QuantState {
+    net: QuantizedNetwork,
+    scratch: QuantScratch,
+    out: Tensor,
 }
 
 /// A trained IL model: network weights plus the action codec and the BEV
@@ -48,6 +130,16 @@ pub struct IlModel {
     /// persisted).
     #[serde(skip)]
     batch_out: Tensor,
+    /// Active inference precision (not persisted; serving pins one per
+    /// session and re-selects it after snapshot restore).
+    #[serde(skip)]
+    precision: IlPrecision,
+    /// The calibrated int8 lane, present after
+    /// [`IlModel::calibrate_int8`] (not persisted — calibration is a
+    /// deterministic function of the weights and the calibration frames,
+    /// so restores re-run it).
+    #[serde(skip)]
+    quant: Option<Box<QuantState>>,
 }
 
 impl IlModel {
@@ -60,6 +152,8 @@ impl IlModel {
             input: Tensor::default(),
             buffers: InferBuffers::new(),
             batch_out: Tensor::default(),
+            precision: IlPrecision::F32,
+            quant: None,
         }
     }
 
@@ -82,11 +176,90 @@ impl IlModel {
     }
 
     /// Mutable access to the network (the trainer drives this).
+    ///
+    /// Invalidates any int8 calibration: the quantized lane is a function
+    /// of the weights, so mutating them drops it (and falls back to f32)
+    /// rather than serving stale codes.
     pub fn network_mut(&mut self) -> &mut Network {
+        self.quant = None;
+        self.precision = IlPrecision::F32;
         &mut self.network
     }
 
-    /// Runs inference on one BEV image.
+    /// Builds the int8 lane from a deterministic calibration pass over
+    /// recorded BEV frames (see [`QuantizedNetwork::calibrate`]). Does
+    /// not switch precision by itself — call
+    /// [`IlModel::set_precision`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty calibration set or a frame whose geometry
+    /// differs from the model's [`BevConfig`].
+    pub fn calibrate_int8(&mut self, frames: &[&BevImage]) {
+        assert!(!frames.is_empty(), "calibration needs at least one frame");
+        let size = self.bev.size;
+        let tensors: Vec<Tensor> = frames
+            .iter()
+            .map(|image| {
+                assert_eq!(
+                    image.size, size,
+                    "calibration frame size does not match the model"
+                );
+                Tensor::from_vec(
+                    vec![BevImage::CHANNELS, size, size],
+                    image.data.clone(),
+                )
+                .expect("BEV frame reshapes")
+            })
+            .collect();
+        let net = QuantizedNetwork::calibrate(&self.network, &tensors);
+        self.quant = Some(Box::new(QuantState {
+            net,
+            scratch: QuantScratch::new(),
+            out: Tensor::default(),
+        }));
+    }
+
+    /// Whether the int8 lane has been calibrated.
+    pub fn is_calibrated(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// The active inference precision.
+    pub fn precision(&self) -> IlPrecision {
+        self.precision
+    }
+
+    /// Selects the inference lane used by [`IlModel::infer`] and
+    /// [`IlModel::infer_batch`]. The f32 lane is always available;
+    /// [`IlModel::infer_reference`] stays f32 regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics when selecting [`IlPrecision::Int8`] before
+    /// [`IlModel::calibrate_int8`] has run.
+    pub fn set_precision(&mut self, precision: IlPrecision) {
+        assert!(
+            precision == IlPrecision::F32 || self.quant.is_some(),
+            "calibrate_int8 must run before selecting the int8 lane"
+        );
+        self.precision = precision;
+    }
+
+    /// The calibrated per-logit absolute error tolerance of the int8
+    /// lane, when calibrated.
+    pub fn quant_error_bound(&self) -> Option<f32> {
+        self.quant.as_ref().map(|q| q.net.logit_error_bound())
+    }
+
+    /// Per-logit absolute errors observed during int8 calibration
+    /// (ascending), when calibrated.
+    pub fn quant_calibration_errors(&self) -> Option<&[f32]> {
+        self.quant.as_ref().map(|q| q.net.calibration_errors())
+    }
+
+    /// Runs inference on one BEV image through the active precision lane
+    /// ([`IlModel::set_precision`]).
     ///
     /// The forward pass reuses the model's internal buffers, so after the
     /// first frame it performs no heap allocation (only the returned
@@ -97,6 +270,12 @@ impl IlModel {
     /// Panics when the image geometry differs from the model's
     /// [`BevConfig`].
     pub fn infer(&mut self, image: &BevImage) -> InferResult {
+        if self.precision == IlPrecision::Int8 {
+            return self
+                .infer_batch_int8(&[image])
+                .pop()
+                .expect("one result per image");
+        }
         assert_eq!(
             image.size, self.bev.size,
             "BEV image size does not match the model"
@@ -137,6 +316,9 @@ impl IlModel {
     /// from the model's [`BevConfig`].
     pub fn infer_batch(&mut self, images: &[&BevImage]) -> Vec<InferResult> {
         assert!(!images.is_empty(), "infer_batch needs at least one image");
+        if self.precision == IlPrecision::Int8 {
+            return self.infer_batch_int8(images);
+        }
         let size = self.bev.size;
         let samples: Vec<&[f32]> = images
             .iter()
@@ -159,6 +341,56 @@ impl IlModel {
         let mut results = Vec::with_capacity(images.len());
         for i in 0..images.len() {
             let row = &self.batch_out.data()[i * classes..(i + 1) * classes];
+            let probs: Vec<f64> = row.iter().map(|&v| v as f64).collect();
+            // Last maximal index, matching `Tensor::argmax_rows` tie-breaking.
+            let mut class = 0;
+            for (j, &p) in row.iter().enumerate() {
+                if p >= row[class] {
+                    class = j;
+                }
+            }
+            results.push(InferResult {
+                action: self.codec.decode(class),
+                class,
+                probs,
+            });
+        }
+        results
+    }
+
+    /// The int8 lane: quantized batched logits, then the same softmax +
+    /// argmax decode as the f32 lane. Row `i` of a batch is bit-identical
+    /// to a single-image int8 call — the quantized pipeline processes
+    /// samples independently, so the batching contract carries over.
+    fn infer_batch_int8(&mut self, images: &[&BevImage]) -> Vec<InferResult> {
+        assert!(!images.is_empty(), "infer_batch needs at least one image");
+        let q = self
+            .quant
+            .as_mut()
+            .expect("int8 precision requires calibrate_int8");
+        let size = self.bev.size;
+        let samples: Vec<&[f32]> = images
+            .iter()
+            .map(|image| {
+                assert_eq!(
+                    image.size, size,
+                    "BEV image size does not match the model"
+                );
+                image.data.as_slice()
+            })
+            .collect();
+        q.net.forward_batch_into(
+            &samples,
+            &[BevImage::CHANNELS, size, size],
+            &mut self.buffers,
+            &mut q.scratch,
+            &mut q.out,
+        );
+        softmax_in_place(&mut q.out);
+        let classes = self.codec.num_classes();
+        let mut results = Vec::with_capacity(images.len());
+        for i in 0..images.len() {
+            let row = &q.out.data()[i * classes..(i + 1) * classes];
             let probs: Vec<f64> = row.iter().map(|&v| v as f64).collect();
             // Last maximal index, matching `Tensor::argmax_rows` tie-breaking.
             let mut class = 0;
@@ -304,5 +536,97 @@ mod tests {
     fn wrong_image_size_panics() {
         let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 4);
         let _ = m.infer(&blank_image(16));
+    }
+
+    fn noisy_images(count: usize, seed: usize) -> Vec<BevImage> {
+        (0..count)
+            .map(|k| {
+                let mut img = blank_image(32);
+                for (i, v) in img.data.iter_mut().enumerate() {
+                    *v = (((i + 31 * (k + seed)) * 2654435761) % 1000) as f32 / 1000.0;
+                }
+                img
+            })
+            .collect()
+    }
+
+    #[test]
+    fn precision_defaults_to_f32_and_calibration_does_not_change_it() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 8);
+        assert_eq!(m.precision(), IlPrecision::F32);
+        assert!(!m.is_calibrated());
+        let images = noisy_images(4, 0);
+        let before = m.infer(&images[0]);
+        m.calibrate_int8(&images.iter().collect::<Vec<_>>());
+        assert!(m.is_calibrated());
+        assert_eq!(m.precision(), IlPrecision::F32);
+        // the f32 lane is untouched by calibration
+        assert_eq!(m.infer(&images[0]), before);
+    }
+
+    #[test]
+    fn int8_lane_stays_within_calibrated_bound() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 9);
+        let images = noisy_images(8, 3);
+        let calib: Vec<&BevImage> = images[..4].iter().collect();
+        m.calibrate_int8(&calib);
+        let bound = m.quant_error_bound().unwrap() as f64;
+        for img in &images[4..] {
+            m.set_precision(IlPrecision::F32);
+            let f = m.infer(img);
+            m.set_precision(IlPrecision::Int8);
+            let q = m.infer(img);
+            assert!(q.action.validate().is_ok());
+            let sum: f64 = q.probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+            // logit-space bound loosely implies the probs stay close; a
+            // coarse sanity margin is enough here (conformance check #13
+            // holds the logits to the exact calibrated bound)
+            for (a, b) in f.probs.iter().zip(&q.probs) {
+                assert!((a - b).abs() < bound.max(0.25), "prob drift {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_batch_matches_single_image_bitwise() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 10);
+        let images = noisy_images(6, 7);
+        m.calibrate_int8(&images.iter().collect::<Vec<_>>());
+        m.set_precision(IlPrecision::Int8);
+        let refs: Vec<&BevImage> = images.iter().collect();
+        let batched = m.infer_batch(&refs);
+        for (i, b) in batched.iter().enumerate() {
+            assert_eq!(*b, m.infer(&images[i]), "int8 batch row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrate_int8 must run")]
+    fn int8_without_calibration_panics() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 11);
+        m.set_precision(IlPrecision::Int8);
+    }
+
+    #[test]
+    fn weight_mutation_drops_the_calibrated_lane() {
+        let mut m = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 12);
+        let images = noisy_images(2, 1);
+        m.calibrate_int8(&images.iter().collect::<Vec<_>>());
+        m.set_precision(IlPrecision::Int8);
+        let _ = m.network_mut();
+        assert!(!m.is_calibrated());
+        assert_eq!(m.precision(), IlPrecision::F32);
+    }
+
+    #[test]
+    fn precision_parses_and_labels_round_trip() {
+        assert_eq!("f32".parse::<IlPrecision>().unwrap(), IlPrecision::F32);
+        assert_eq!("INT8".parse::<IlPrecision>().unwrap(), IlPrecision::Int8);
+        assert!("fp16".parse::<IlPrecision>().is_err());
+        assert_eq!(IlPrecision::F32.label(), "f32");
+        assert_eq!(IlPrecision::Int8.label(), "int8");
+        assert_eq!(serde_json::to_string(&IlPrecision::Int8).unwrap(), "\"int8\"");
+        assert_eq!(IlPrecision::default(), IlPrecision::F32);
     }
 }

@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 /// inference performs no heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct InferBuffers {
-    ping: Tensor,
-    pong: Tensor,
+    pub(crate) ping: Tensor,
+    pub(crate) pong: Tensor,
     scratch: InferScratch,
 }
 
@@ -101,6 +101,11 @@ impl Network {
     /// The layer stack.
     pub fn layers_mut(&mut self) -> &mut [LayerKind] {
         &mut self.layers
+    }
+
+    /// Read-only view of the layer stack (the quantizer walks it).
+    pub(crate) fn layers(&self) -> &[LayerKind] {
+        &self.layers
     }
 
     /// Forward pass producing logits. `train = true` caches activations

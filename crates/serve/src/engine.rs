@@ -25,9 +25,12 @@ use crate::snapshot::{decode_snapshot, encode_snapshot};
 use crate::ServeConfig;
 use icoil_co::CoOutput;
 use icoil_hsa::{HsaDecision, Mode};
-use icoil_il::IlModel;
-use icoil_perception::{BevImage, Sensing};
+use icoil_il::{IlModel, IlPrecision, InferResult};
+use icoil_perception::{BevImage, Perception, Sensing};
 use icoil_telemetry::{Counter, Metrics, Series};
+use icoil_vehicle::Action;
+use icoil_world::episode::Observation;
+use icoil_world::{Difficulty, ScenarioConfig, World};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -285,6 +288,37 @@ fn worker_loop(lane: Arc<Lane>, co_batch: usize) {
     }
 }
 
+/// The fixed BEV frame set the server calibrates int8 quantization on:
+/// a few stepped frames from seeded scenarios cycling every difficulty
+/// tier, rendered through the config's own perception pipeline. Purely
+/// a function of `config.icoil`, so every shard of every process
+/// derives the identical activation scales — a session migrated across
+/// servers meets the same quantized network on both sides.
+pub(crate) fn calibration_frames(config: &ServeConfig) -> Vec<BevImage> {
+    let mut frames = Vec::new();
+    for (tier, difficulty) in Difficulty::ALL.into_iter().enumerate() {
+        for seed in 0..3u64 {
+            let scenario = ScenarioConfig::new(difficulty, 100 + 10 * tier as u64 + seed).build();
+            let mut perception = Perception::new(config.icoil.bev, &scenario);
+            let mut world = World::new(scenario);
+            for _ in 0..4 {
+                let sensing = perception.observe(&Observation::new(&world));
+                frames.push(sensing.bev);
+                world.step(&Action::forward(0.3, 0.05));
+            }
+        }
+    }
+    frames
+}
+
+/// Calibrates `model` for the int8 lane on the deterministic
+/// [`calibration_frames`] set.
+fn calibrate_model(config: &ServeConfig, model: &mut IlModel) {
+    let frames = calibration_frames(config);
+    let refs: Vec<&BevImage> = frames.iter().collect();
+    model.calibrate_int8(&refs);
+}
+
 /// A step request drained from the channel, sensed and awaiting the IL
 /// micro-batch.
 struct PendingStep {
@@ -315,6 +349,10 @@ struct Shard {
     backlog: VecDeque<Command>,
     metrics: Metrics,
     shutting_down: bool,
+    /// Whether this shard has published its model's quantization
+    /// abs-error profile into [`Series::IlQuantAbsErr`] yet — recorded
+    /// once per shard, the first time the int8 lane actually runs here.
+    quant_err_recorded: bool,
 }
 
 impl Shard {
@@ -426,6 +464,13 @@ impl Shard {
                 } else if self.sessions.len() + self.in_flight.len() >= self.limit {
                     let _ = reply.send(Err(ServeError::SessionLimit));
                 } else {
+                    if snapshot.il_precision == IlPrecision::Int8 {
+                        // an int8-pinned episode may migrate into an
+                        // f32-default server: make the lane ready now so
+                        // its first step isn't a calibration stall inside
+                        // a latency-measured batch
+                        self.ensure_calibrated();
+                    }
                     self.sessions
                         .insert(id, Session::restore(&self.config, &snapshot));
                     self.metrics.add(Counter::ServeRestores, 1);
@@ -481,17 +526,65 @@ impl Shard {
         self.deferred.entry(id).or_default().push_back(cmd);
     }
 
+    /// Readies the shard's model for the int8 lane. Normally a no-op —
+    /// `Serve::start` calibrates the prototype model before cloning it
+    /// to shards when the config asks for int8 — but an int8-pinned
+    /// snapshot restored into an f32-default server lands here with an
+    /// uncalibrated model, and the lazy path calibrates it on the same
+    /// deterministic frame set. The first time a shard is int8-ready it
+    /// also publishes the calibration's per-logit abs-error profile
+    /// into [`Series::IlQuantAbsErr`].
+    fn ensure_calibrated(&mut self) {
+        if !self.model.is_calibrated() {
+            calibrate_model(&self.config, &mut self.model);
+        }
+        if !self.quant_err_recorded {
+            self.quant_err_recorded = true;
+            if let Some(errs) = self.model.quant_calibration_errors() {
+                for &e in errs {
+                    self.metrics.observe(Series::IlQuantAbsErr, f64::from(e));
+                }
+            }
+        }
+    }
+
     /// One shard tick over the drained step requests: a single blocked
     /// IL pass over every pending frame (the HSA needs the softmax on
     /// every frame regardless of mode), then per-session HSA decisions —
     /// IL-mode frames finish inline, CO-mode frames go to the lane.
+    ///
+    /// Sessions pin their IL precision, so a tick that serves both f32
+    /// and int8 sessions splits into one sub-batch per precision (each
+    /// counted as its own `IlBatches` entry); an all-f32 tick runs the
+    /// exact pre-quantization single-pass path.
     fn run_batch(&mut self, steps: Vec<PendingStep>) {
-        let bevs: Vec<&BevImage> = steps.iter().map(|s| &s.sensing.bev).collect();
-        let il_results = self.model.infer_batch(&bevs);
-        self.metrics.add(Counter::IlBatches, 1);
-        self.metrics.observe(Series::IlBatchSize, bevs.len() as f64);
-        drop(bevs);
-        for (mut step, il) in steps.into_iter().zip(il_results) {
+        let mut results: Vec<Option<InferResult>> = Vec::new();
+        results.resize_with(steps.len(), || None);
+        for precision in [IlPrecision::F32, IlPrecision::Int8] {
+            let picked: Vec<usize> = steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.session.precision == precision)
+                .map(|(i, _)| i)
+                .collect();
+            if picked.is_empty() {
+                continue;
+            }
+            if precision == IlPrecision::Int8 {
+                self.ensure_calibrated();
+                self.metrics.add(Counter::IlFramesInt8, picked.len() as u64);
+            }
+            self.model.set_precision(precision);
+            let bevs: Vec<&BevImage> = picked.iter().map(|&i| &steps[i].sensing.bev).collect();
+            let il_results = self.model.infer_batch(&bevs);
+            self.metrics.add(Counter::IlBatches, 1);
+            self.metrics.observe(Series::IlBatchSize, bevs.len() as f64);
+            for (&i, il) in picked.iter().zip(il_results) {
+                results[i] = Some(il);
+            }
+        }
+        for (mut step, il) in steps.into_iter().zip(results) {
+            let il = il.expect("every pending step ran in exactly one sub-batch");
             let hsa = step.session.plan(&il.probs, &step.sensing);
             match hsa.mode {
                 Mode::Il => {
@@ -564,7 +657,12 @@ impl Serve {
     /// # Panics
     ///
     /// Panics when a thread cannot be spawned.
-    pub fn start(config: ServeConfig, model: IlModel) -> Serve {
+    pub fn start(config: ServeConfig, mut model: IlModel) -> Serve {
+        if config.il_precision == IlPrecision::Int8 {
+            // calibrate the prototype once, before cloning: every shard
+            // serves the identical quantized network and scales
+            calibrate_model(&config, &mut model);
+        }
         let lane = Arc::new(Lane::new(config.queue_capacity));
         let co_batch = config.co_batch;
         let workers = (0..config.co_workers.max(1))
@@ -596,6 +694,7 @@ impl Serve {
                 backlog: VecDeque::new(),
                 metrics: Metrics::new(),
                 shutting_down: false,
+                quant_err_recorded: false,
             };
             txs.push(tx);
             shards.push(
@@ -610,6 +709,7 @@ impl Serve {
                 txs: Arc::new(txs),
                 router: Arc::new(ShardRouter::new(shard_count)),
                 next_id: Arc::new(AtomicU64::new(1)),
+                il_precision: config.il_precision,
             },
             shards,
             workers,
@@ -668,12 +768,20 @@ pub struct ServeHandle {
     txs: Arc<Vec<Sender<Command>>>,
     router: Arc<ShardRouter>,
     next_id: Arc<AtomicU64>,
+    il_precision: IlPrecision,
 }
 
 impl ServeHandle {
     /// The number of engine shards behind this handle.
     pub fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// The IL-lane precision sessions created through this handle pin
+    /// (the server config's [`ServeConfig::il_precision`]). Restored
+    /// sessions keep whatever precision their snapshot carries instead.
+    pub fn il_precision(&self) -> IlPrecision {
+        self.il_precision
     }
 
     fn tx_for(&self, id: u64) -> &Sender<Command> {

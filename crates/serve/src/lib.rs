@@ -23,7 +23,11 @@
 //!   step requests, stacks their BEV images and runs one blocked
 //!   [`icoil_nn::Network::forward_batch_into`] pass. Batching is
 //!   bit-identical per row to single-sample inference, so per-session
-//!   trajectories do not depend on who else is being served.
+//!   trajectories do not depend on who else is being served. With
+//!   [`ServeConfig::il_precision`] set to `Int8` the lane runs the
+//!   calibrated quantized network instead; sessions pin their precision
+//!   at creation (snapshots carry it), and a tick serving both kinds
+//!   splits into one sub-batch per precision.
 //! * **Deadline-aware CO lane** — sessions whose HSA decision is CO
 //!   mode are handed (state and all) to a worker pool draining a
 //!   bounded [`DeadlineQueue`] in earliest-deadline order. A worker
@@ -75,6 +79,7 @@ pub use shard::ShardRouter;
 pub use snapshot::{decode_snapshot, encode_snapshot, SnapshotError};
 
 use icoil_core::ICoilConfig;
+use icoil_il::IlPrecision;
 use std::time::Duration;
 
 /// Server-wide tunables.
@@ -82,6 +87,13 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// The policy configuration every session runs with.
     pub icoil: ICoilConfig,
+    /// Numeric precision of the IL lane for sessions created under this
+    /// config. Each session pins the precision it was created with for
+    /// its whole episode (snapshots carry it), so mixed-precision
+    /// serving is per-session, never per-frame. `Int8` calibrates the
+    /// model once at startup from a fixed, deterministic frame set —
+    /// every shard serves the identical quantized network.
+    pub il_precision: IlPrecision,
     /// Engine shard threads; sessions are consistent-hashed across them
     /// by id. `1` reproduces the single-engine behaviour exactly.
     pub shards: usize,
@@ -109,6 +121,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             icoil: ICoilConfig::default(),
+            il_precision: IlPrecision::F32,
             shards: 1,
             co_workers: 2,
             queue_capacity: 64,

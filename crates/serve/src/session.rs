@@ -3,6 +3,7 @@
 use crate::ServeConfig;
 use icoil_co::{CoController, CoOutput, CoSnapshot};
 use icoil_hsa::{Hsa, HsaDecision, Mode};
+use icoil_il::IlPrecision;
 use icoil_perception::{Perception, Sensing};
 use icoil_vehicle::Action;
 use icoil_world::episode::{Observation, Outcome};
@@ -168,6 +169,11 @@ pub struct SessionSnapshot {
     pub max_time: f64,
     /// Terminal outcome, when the episode has already ended.
     pub outcome: Option<Outcome>,
+    /// The IL-lane precision the session was created under. Absent in
+    /// snapshots taken before the int8 lane existed; those decode as
+    /// [`IlPrecision::F32`], which is what produced them.
+    #[serde(default)]
+    pub il_precision: IlPrecision,
 }
 
 /// A live episode owned by the serving engine: the world, the sensing
@@ -183,6 +189,11 @@ pub(crate) struct Session {
     co: CoController,
     max_time: f64,
     outcome: Option<Outcome>,
+    /// IL-lane precision, pinned for the whole episode at creation (or
+    /// carried over by restore): the serving engine groups a tick's
+    /// step requests by this field, so one episode never mixes f32 and
+    /// int8 frames even if the server config changes around it.
+    pub(crate) precision: IlPrecision,
 }
 
 impl Session {
@@ -203,6 +214,7 @@ impl Session {
             co,
             max_time: config.max_time,
             outcome,
+            precision: config.il_precision,
         }
     }
 
@@ -215,6 +227,7 @@ impl Session {
             co: self.co.snapshot(),
             max_time: self.max_time,
             outcome: self.outcome,
+            il_precision: self.precision,
         }
     }
 
@@ -226,7 +239,9 @@ impl Session {
     /// and the CO controller from the config plus the snapshot's episode
     /// state. The restored session replays bit-identically to the
     /// uninterrupted one as long as `config.icoil` matches the serving
-    /// config the snapshot was taken under.
+    /// config the snapshot was taken under. The IL precision comes from
+    /// the snapshot, not the config: an int8 episode stays int8 after
+    /// migrating to a server whose default is f32, and vice versa.
     pub(crate) fn restore(config: &ServeConfig, snap: &SessionSnapshot) -> Self {
         let perception = Perception::new(config.icoil.bev, snap.world.scenario());
         let mut co =
@@ -240,6 +255,7 @@ impl Session {
             co,
             max_time: snap.max_time,
             outcome: snap.outcome,
+            precision: snap.il_precision,
         }
     }
 

@@ -69,10 +69,12 @@ pub enum Counter {
     ServeRestores,
     /// Sessions evicted (snapshotted and removed) by the serving engine.
     ServeEvictions,
+    /// Frames answered by the quantized int8 IL lane.
+    IlFramesInt8,
 }
 
 /// Number of [`Counter`] variants (the fixed counter-array length).
-pub const NUM_COUNTERS: usize = 28;
+pub const NUM_COUNTERS: usize = 29;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "frames",
@@ -103,6 +105,7 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "serve_snapshots",
     "serve_restores",
     "serve_evictions",
+    "il_frames_int8",
 ];
 
 impl Counter {
@@ -141,10 +144,15 @@ pub enum Series {
     /// CO-lane frame latency, request receipt to reply after the worker
     /// solve or shed (seconds). Wall-clock.
     ServeCoLane,
+    /// Per-logit absolute error of the int8 IL lane observed at
+    /// calibration time (recorded once per calibrated engine shard).
+    /// Load-dependent (which shards calibrate depends on session
+    /// placement), so exempt from `deterministic_eq`.
+    IlQuantAbsErr,
 }
 
 /// Number of [`Series`] variants (the fixed histogram-array length).
-pub const NUM_SERIES: usize = 11;
+pub const NUM_SERIES: usize = 12;
 
 impl Series {
     /// Whether the series holds wall-clock timings or load-dependent
@@ -163,6 +171,7 @@ impl Series {
                 | Series::CoQueueDepth
                 | Series::ServeIlLane
                 | Series::ServeCoLane
+                | Series::IlQuantAbsErr
         )
     }
 
@@ -179,6 +188,7 @@ impl Series {
             Series::CoQueueDepth,
             Series::ServeIlLane,
             Series::ServeCoLane,
+            Series::IlQuantAbsErr,
         ]
     }
 }
@@ -290,6 +300,7 @@ mod tests {
     #[test]
     fn counter_names_cover_every_variant() {
         // a name lookup on the last variant proves the array length
+        assert_eq!(Counter::IlFramesInt8.name(), "il_frames_int8");
         assert_eq!(Counter::ServeEvictions.name(), "serve_evictions");
         assert_eq!(Counter::ServeSnapshots.name(), "serve_snapshots");
         assert_eq!(Counter::CoShed.name(), "co_shed");
@@ -305,6 +316,7 @@ mod tests {
         a.observe(Series::CoQueueDepth, 3.0);
         a.observe(Series::ServeIlLane, 1e-4);
         a.observe(Series::ServeCoLane, 2e-3);
+        a.observe(Series::IlQuantAbsErr, 0.02);
         assert!(a.deterministic_eq(&b), "load-dependent content is exempt");
         a.add(Counter::CoShed, 1);
         assert!(!a.deterministic_eq(&b), "shed counters are not");

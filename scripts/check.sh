@@ -16,16 +16,20 @@
 # batch widths (1 vs 8) and engine shard counts (1 vs 4), plus a
 # kill-snapshot-restore cycle (every session evicted at frame 20, the
 # server torn down, every snapshot restored into a fresh server at a
-# different shard count) with zero sheds — and runs a second time with
+# different shard count) with zero sheds — and runs again with
 # ICOIL_FORCE_SCALAR=1 so the scalar kernel fallback is held to the same
-# contract. The solver/nn test suites also run once under
-# ICOIL_FORCE_SCALAR=1: the SIMD kernels' conformance tests then compare
-# scalar against scalar (trivially green) while everything else proves
-# the escape hatch leaves the numerics bit-identical. The conformance
-# smoke (which includes the simd_scalar_kernels and batched_single_qp
-# differential checks) fuzzes procedurally generated scenarios through
-# the full harness. Override the fuzz case count with ICOIL_FUZZ_CASES,
-# e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
+# contract, and a third time with ICOIL_IL_PRECISION=int8 so the
+# quantized IL lane meets the same determinism bar. The solver/nn test
+# suites also run once under ICOIL_FORCE_SCALAR=1: the SIMD kernels'
+# conformance tests then compare scalar against scalar (trivially green)
+# while everything else proves the escape hatch leaves the numerics
+# bit-identical (the nn run includes the quantization proptests, so the
+# int8 quantizer/accumulator contracts are proved on both backends). The
+# conformance smoke (which includes the simd_scalar_kernels,
+# batched_single_qp and quantized_il differential checks) fuzzes
+# procedurally generated scenarios through the full harness. Override
+# the fuzz case count with ICOIL_FUZZ_CASES, e.g.
+# `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +41,7 @@ cargo clippy --all-targets -- -D warnings
 cargo run --release -q -p icoil-bench --bin telemetry_smoke
 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FORCE_SCALAR=1 cargo run --release -q -p icoil-bench --bin serve_smoke
+ICOIL_IL_PRECISION=int8 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
 echo "all checks passed"
