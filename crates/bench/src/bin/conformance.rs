@@ -2,15 +2,19 @@
 //! differential conformance checks and emits a JSON triage report.
 //!
 //! ```text
-//! conformance [--cases N] [--seed S] [--smoke] [--inject] [--out PATH]
+//! conformance [--cases N] [--seed S] [--smoke] [--inject]
+//!             [--family NAME] [--out PATH]
 //! ```
 //!
+//! By default the campaign cycles every map family; `--family` pins one
+//! (by its stable name, e.g. `angled_echelon`) for the whole run.
 //! `ICOIL_FUZZ_CASES` overrides the default case count (200; 25 in
 //! `--smoke` mode). Exit status is nonzero when any *unexplained*
 //! divergence is found — injected-canary failures (from `--inject`) are
 //! expected, shrunk and reported, but never fail the run.
 
 use icoil_conformance::{run_fuzz_with_progress, FuzzConfig};
+use icoil_world::MapFamilyKind;
 
 fn main() {
     let mut config = FuzzConfig::default();
@@ -39,6 +43,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--family" => {
+                i += 1;
+                let name = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--family needs a family name"));
+                config.gen.family = Some(MapFamilyKind::from_name(name).unwrap_or_else(|| {
+                    usage(&format!(
+                        "unknown family {name} (expected one of: {})",
+                        MapFamilyKind::ALL.map(|k| k.name()).join(", ")
+                    ))
+                }));
+            }
             "--out" => {
                 i += 1;
                 out = Some(
@@ -58,9 +74,13 @@ fn main() {
     }
 
     eprintln!(
-        "conformance: fuzzing {} scenario(s) from seed {}{}{}",
+        "conformance: fuzzing {} scenario(s) from seed {}{}{}{}",
         config.cases,
         config.seed0,
+        match config.gen.family {
+            Some(kind) => format!(" (family {})", kind.name()),
+            None => " (all families)".to_string(),
+        },
         if config.smoke { " (smoke)" } else { "" },
         if config.inject { " (+canary)" } else { "" },
     );
@@ -103,6 +123,9 @@ fn main() {
 
 fn usage(problem: &str) -> ! {
     eprintln!("conformance: {problem}");
-    eprintln!("usage: conformance [--cases N] [--seed S] [--smoke] [--inject] [--out PATH]");
+    eprintln!(
+        "usage: conformance [--cases N] [--seed S] [--smoke] [--inject] \
+         [--family NAME] [--out PATH]"
+    );
     std::process::exit(2);
 }

@@ -163,11 +163,11 @@ fn main() {
     let mut sweep_batch_means = [0.0_f64; 4];
     for (slot, shards) in [1usize, 2, 4, 8].into_iter().enumerate() {
         let offered = sweep_sessions * shards as u64;
-        // 2x headroom: the session cap is split per shard, and the
-        // consistent-hash split is balanced but not exact
+        // the cap is enforced globally at the handle, so offered load
+        // can size it exactly — hash skew never rejects early
         let sweep_config = ServeConfig {
             shards,
-            max_sessions: offered as usize * 2,
+            max_sessions: offered as usize,
             ..il_config
         };
         let (sweep_metrics, sweep_secs) = run_phase(

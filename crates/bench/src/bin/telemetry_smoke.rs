@@ -7,14 +7,18 @@
 //!   tag plus the per-frame fields downstream tooling keys on;
 //! * the trace agrees with the aggregated metrics (frame counts, solve
 //!   counts, episode summary);
-//! * `BENCH_perf.json` and `BENCH_serve.json` (when present in the
-//!   working directory) pass the [`icoil_bench::validate_perf_json`] /
-//!   [`icoil_bench::validate_serve_json`] schema checks and round-trip
-//!   through the JSON layer.
+//! * `BENCH_perf.json`, `BENCH_serve.json` and `BENCH_scenarios.json`
+//!   (when present in the working directory) pass the
+//!   [`icoil_bench::validate_perf_json`] /
+//!   [`icoil_bench::validate_serve_json`] /
+//!   [`icoil_bench::validate_scenarios_json`] schema checks and
+//!   round-trip through the JSON layer.
 //!
 //! Exits non-zero on the first violation, printing what broke.
 
-use icoil_bench::{validate_perf_json, validate_serve_json, ServeReport};
+use icoil_bench::{
+    validate_perf_json, validate_scenarios_json, validate_serve_json, ScenariosReport, ServeReport,
+};
 use icoil_core::eval::drain_episode_metrics;
 use icoil_core::{ICoilConfig, ICoilPolicy};
 use icoil_il::IlModel;
@@ -159,6 +163,26 @@ fn run() -> Result<(), String> {
             println!("telemetry smoke: BENCH_serve.json schema + round-trip OK");
         }
         Err(_) => println!("telemetry smoke: no BENCH_serve.json in cwd, schema check skipped"),
+    }
+
+    // 5) BENCH_scenarios.json schema + round-trip, when present
+    match std::fs::read_to_string("BENCH_scenarios.json") {
+        Ok(raw) => {
+            let v: Value = serde_json::from_str(&raw)
+                .map_err(|e| format!("BENCH_scenarios.json does not parse: {e:?}"))?;
+            validate_scenarios_json(&v)?;
+            let report: ScenariosReport = serde_json::from_str(&raw)
+                .map_err(|e| format!("BENCH_scenarios.json does not deserialize: {e:?}"))?;
+            let reencoded = serde_json::to_string(&report)
+                .map_err(|e| format!("BENCH_scenarios.json does not re-serialize: {e:?}"))?;
+            let v2: Value = serde_json::from_str(&reencoded)
+                .map_err(|e| format!("re-serialized BENCH_scenarios.json does not parse: {e:?}"))?;
+            validate_scenarios_json(&v2)?;
+            println!("telemetry smoke: BENCH_scenarios.json schema + round-trip OK");
+        }
+        Err(_) => {
+            println!("telemetry smoke: no BENCH_scenarios.json in cwd, schema check skipped")
+        }
     }
     Ok(())
 }

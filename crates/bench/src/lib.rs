@@ -440,6 +440,185 @@ pub fn validate_serve_json(v: &serde_json::Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-family row of the scenario-matrix record emitted by the
+/// `scenarios` bin as `BENCH_scenarios.json`.
+///
+/// Outcome rates are fractions of the family's episode count; the HSA
+/// mode share and the maneuver taxonomy come from recorded traces
+/// (`il_mode_share` over frames carrying a mode tag, gear reversals and
+/// the single-shot share via `icoil_world::classify_maneuver`); solve
+/// percentiles come from the merged `co_solve` telemetry histogram of
+/// every episode in the family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyScenarioStats {
+    /// Stable family name ([`icoil_world::MapFamilyKind::name`]).
+    pub family: String,
+    /// Episodes run for this family.
+    pub episodes: u64,
+    /// Fraction of episodes that parked successfully.
+    pub success_rate: f64,
+    /// Fraction of episodes ending in a collision.
+    pub collision_rate: f64,
+    /// Fraction of episodes that timed out.
+    pub timeout_rate: f64,
+    /// Fraction of mode-tagged frames served by the IL lane.
+    pub il_mode_share: f64,
+    /// Mean gear reversals per episode.
+    pub mean_gear_reversals: f64,
+    /// Fraction of episodes classified as single-shot maneuvers (at most
+    /// one gear reversal).
+    pub single_shot_share: f64,
+    /// Median CO solve latency across the family's episodes (µs).
+    pub solve_p50_us: f64,
+    /// 95th-percentile CO solve latency across the family's episodes (µs).
+    pub solve_p95_us: f64,
+}
+
+impl FamilyScenarioStats {
+    /// The float fields every family row must carry, by JSON key.
+    pub const NUMERIC_FIELDS: &'static [&'static str] = &[
+        "success_rate",
+        "collision_rate",
+        "timeout_rate",
+        "il_mode_share",
+        "mean_gear_reversals",
+        "single_shot_share",
+        "solve_p50_us",
+        "solve_p95_us",
+    ];
+
+    /// The float fields that are rates and must lie inside `[0, 1]`.
+    pub const RATE_FIELDS: &'static [&'static str] = &[
+        "success_rate",
+        "collision_rate",
+        "timeout_rate",
+        "il_mode_share",
+        "single_shot_share",
+    ];
+}
+
+/// The scenario-matrix record emitted by the `scenarios` bin as
+/// `BENCH_scenarios.json`: one [`FamilyScenarioStats`] row per map
+/// family, in [`icoil_world::MapFamilyKind::ALL`] order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenariosReport {
+    /// One row per map family.
+    pub families: Vec<FamilyScenarioStats>,
+    /// Episodes run per family.
+    pub episodes_per_family: u64,
+    /// Whether the episodes drove the trained IL model artifact (`true`)
+    /// or an untrained stand-in (`false`, `--untrained`).
+    #[serde(default)]
+    pub trained_model: bool,
+    /// Whether any measured field was non-finite before sanitization.
+    #[serde(default)]
+    pub had_nonfinite: bool,
+}
+
+impl ScenariosReport {
+    /// Clamps every non-finite float field to a finite value and records
+    /// the occurrence in [`ScenariosReport::had_nonfinite`]. Returns
+    /// whether anything was clamped.
+    pub fn sanitize(&mut self) -> bool {
+        let mut flagged = false;
+        for f in &mut self.families {
+            for v in [
+                &mut f.success_rate,
+                &mut f.collision_rate,
+                &mut f.timeout_rate,
+                &mut f.il_mode_share,
+                &mut f.mean_gear_reversals,
+                &mut f.single_shot_share,
+                &mut f.solve_p50_us,
+                &mut f.solve_p95_us,
+            ] {
+                icoil_telemetry::sanitize_field(v, &mut flagged);
+            }
+        }
+        self.had_nonfinite |= flagged;
+        flagged
+    }
+}
+
+/// Validates a parsed `BENCH_scenarios.json` against the
+/// [`ScenariosReport`] schema: every map family present exactly once
+/// with a nonzero episode count, every numeric field finite, every rate
+/// inside `[0, 1]`, and each row's outcome rates summing to one.
+///
+/// # Errors
+///
+/// Returns the first violation found, naming the offending family and
+/// field.
+pub fn validate_scenarios_json(v: &serde_json::Value) -> Result<(), String> {
+    let families = v
+        .get("families")
+        .and_then(serde_json::Value::as_seq)
+        .ok_or_else(|| "BENCH_scenarios.json field \"families\" is not an array".to_string())?;
+    let mut seen: Vec<&str> = Vec::new();
+    for row in families {
+        let name = row
+            .get("family")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| "BENCH_scenarios.json row is missing \"family\"".to_string())?;
+        if icoil_world::MapFamilyKind::from_name(name).is_none() {
+            return Err(format!("BENCH_scenarios.json names unknown family {name:?}"));
+        }
+        if seen.contains(&name) {
+            return Err(format!("BENCH_scenarios.json lists family {name:?} twice"));
+        }
+        seen.push(name);
+        let episodes = row
+            .get("episodes")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("family {name:?} field \"episodes\" is not an integer"))?;
+        if episodes == 0 {
+            return Err(format!("family {name:?} reports zero episodes"));
+        }
+        for key in FamilyScenarioStats::NUMERIC_FIELDS {
+            let value = row
+                .get(key)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("family {name:?} field {key:?} is not a number"))?;
+            if !value.is_finite() {
+                return Err(format!("family {name:?} field {key:?} is non-finite"));
+            }
+            if FamilyScenarioStats::RATE_FIELDS.contains(key) && !(0.0..=1.0).contains(&value) {
+                return Err(format!(
+                    "family {name:?} field {key:?} is outside [0, 1]: {value}"
+                ));
+            }
+        }
+        let outcome_sum: f64 = ["success_rate", "collision_rate", "timeout_rate"]
+            .iter()
+            .map(|k| row.get(*k).and_then(serde_json::Value::as_f64).unwrap_or(0.0))
+            .sum();
+        if (outcome_sum - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "family {name:?} outcome rates sum to {outcome_sum}, not 1"
+            ));
+        }
+    }
+    for kind in icoil_world::MapFamilyKind::ALL {
+        if !seen.contains(&kind.name()) {
+            return Err(format!(
+                "BENCH_scenarios.json is missing family {:?}",
+                kind.name()
+            ));
+        }
+    }
+    v.get("episodes_per_family")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or_else(|| {
+            "BENCH_scenarios.json field \"episodes_per_family\" is not an integer".to_string()
+        })?;
+    v.get("had_nonfinite")
+        .and_then(serde_json::Value::as_bool)
+        .ok_or_else(|| {
+            "BENCH_scenarios.json field \"had_nonfinite\" is not a bool".to_string()
+        })?;
+    Ok(())
+}
+
 /// Path of the cached trained IL model.
 pub fn model_path() -> PathBuf {
     PathBuf::from("artifacts/il_model.json")
@@ -645,6 +824,82 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let err = validate_serve_json(&v).unwrap_err();
         assert!(err.contains("frames_per_sec"), "names the null field: {err}");
+    }
+
+    fn sample_scenarios_report() -> ScenariosReport {
+        let families = icoil_world::MapFamilyKind::ALL
+            .into_iter()
+            .map(|kind| FamilyScenarioStats {
+                family: kind.name().to_string(),
+                episodes: 4,
+                success_rate: 0.5,
+                collision_rate: 0.25,
+                timeout_rate: 0.25,
+                il_mode_share: 0.3,
+                mean_gear_reversals: 1.5,
+                single_shot_share: 0.75,
+                solve_p50_us: 800.0,
+                solve_p95_us: 2000.0,
+            })
+            .collect();
+        ScenariosReport {
+            families,
+            episodes_per_family: 4,
+            trained_model: true,
+            had_nonfinite: false,
+        }
+    }
+
+    #[test]
+    fn scenarios_report_sanitizes_and_validates() {
+        let mut clean = sample_scenarios_report();
+        assert!(!clean.sanitize());
+        let json = serde_json::to_string(&clean).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        validate_scenarios_json(&v).expect("clean report validates");
+
+        let mut poisoned = sample_scenarios_report();
+        poisoned.families[2].solve_p95_us = f64::NAN;
+        assert!(poisoned.sanitize());
+        assert!(poisoned.had_nonfinite);
+        let json = serde_json::to_string(&poisoned).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        validate_scenarios_json(&v).expect("sanitized report validates");
+    }
+
+    #[test]
+    fn validate_scenarios_rejects_bad_reports() {
+        // a missing family is named
+        let mut short = sample_scenarios_report();
+        short.families.pop();
+        let json = serde_json::to_string(&short).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_scenarios_json(&v).unwrap_err();
+        assert!(err.contains("missing family"), "{err}");
+
+        // an out-of-range rate is named with its family
+        let mut bad_rate = sample_scenarios_report();
+        bad_rate.families[1].il_mode_share = 1.5;
+        let json = serde_json::to_string(&bad_rate).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_scenarios_json(&v).unwrap_err();
+        assert!(err.contains("il_mode_share"), "{err}");
+
+        // outcome rates must sum to one
+        let mut lossy = sample_scenarios_report();
+        lossy.families[0].timeout_rate = 0.0;
+        let json = serde_json::to_string(&lossy).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_scenarios_json(&v).unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+
+        // zero episodes cannot satisfy the campaign's acceptance bar
+        let mut empty = sample_scenarios_report();
+        empty.families[3].episodes = 0;
+        let json = serde_json::to_string(&empty).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_scenarios_json(&v).unwrap_err();
+        assert!(err.contains("zero episodes"), "{err}");
     }
 
     #[test]

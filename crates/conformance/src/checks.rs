@@ -7,7 +7,7 @@
 //! candidate simplifications.
 
 use icoil_co::{solve_mpc, CoConfig, SolveRecord, MPC_QP_MAX_ITERS, MPC_REPLAN_VIOLATION};
-use icoil_core::{run_scenarios_with, EvalConfig, ICoilConfig, PureCoPolicy};
+use icoil_core::{run_scenarios_with, EvalConfig, ICoilConfig, ICoilPolicy, PureCoPolicy};
 use icoil_hsa::{
     instant_complexity, instant_uncertainty, ComplexityParams, Hsa, HsaConfig, Mode,
 };
@@ -20,7 +20,7 @@ use icoil_solver::{
 };
 use icoil_vehicle::ActionCodec;
 use icoil_world::episode::{run_episode, EpisodeConfig, Observation, Policy};
-use icoil_world::{ProcScenario, Scenario, World};
+use icoil_world::{gear_reversals, ProcScenario, Scenario, World};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,13 +59,19 @@ pub enum CheckKind {
     /// near-ties, and a served int8 episode reaching the same outcome as
     /// its f32 twin.
     QuantizedIl,
+    /// Per-family episode determinism: the full iCOIL stack run twice on
+    /// the generated scenario (the fuzz loop pins every map family in
+    /// turn) must be bit-identical — episode, trace, telemetry counters —
+    /// and the trace-derived gear-reversal count must agree with the
+    /// policy's live `gear_reversals` counter.
+    FamilyDeterminism,
     /// A deliberately-failing canary used to exercise shrinking.
     InjectedCanary,
 }
 
 impl CheckKind {
     /// Every real check (the canary is opt-in via `--inject`).
-    pub const ALL: [CheckKind; 13] = [
+    pub const ALL: [CheckKind; 14] = [
         CheckKind::WarmColdMpc,
         CheckKind::QpWarmCold,
         CheckKind::Parallelism,
@@ -79,6 +85,7 @@ impl CheckKind {
         CheckKind::BatchedSingleQp,
         CheckKind::CheckpointRestoreReplay,
         CheckKind::QuantizedIl,
+        CheckKind::FamilyDeterminism,
     ];
 
     /// Stable snake_case name used in reports.
@@ -97,6 +104,7 @@ impl CheckKind {
             CheckKind::BatchedSingleQp => "batched_single_qp",
             CheckKind::CheckpointRestoreReplay => "checkpoint_restore_replay",
             CheckKind::QuantizedIl => "quantized_il",
+            CheckKind::FamilyDeterminism => "family_determinism",
             CheckKind::InjectedCanary => "injected_canary",
         }
     }
@@ -195,6 +203,7 @@ pub fn run_check(
         CheckKind::BatchedSingleQp => check_batched_single_qp(spec),
         CheckKind::CheckpointRestoreReplay => check_checkpoint_restore_replay(spec, settings),
         CheckKind::QuantizedIl => check_quantized_il(spec, settings),
+        CheckKind::FamilyDeterminism => check_family_determinism(spec, settings),
         CheckKind::InjectedCanary => check_injected_canary(spec),
     }));
     match outcome {
@@ -1190,6 +1199,60 @@ fn check_quantized_il(spec: &ProcScenario, settings: &CheckSettings) -> Result<(
     Ok(())
 }
 
+/// Runs the full iCOIL stack (IL + HSA + CO) twice on the generated
+/// scenario — whichever map family it belongs to — and demands
+/// bit-identical episodes and telemetry counters, plus agreement between
+/// the post-hoc trace-derived gear-reversal count and the policy's live
+/// `gear_reversals` counter. The fuzz loop pins every family in turn, so
+/// structural obstacles (framing cars, pillar grids, dead-end walls) and
+/// scripted crowds all pass through this sweep.
+fn check_family_determinism(spec: &ProcScenario, settings: &CheckSettings) -> Result<(), String> {
+    let config = ICoilConfig::default();
+    let episode = EpisodeConfig {
+        max_time: (settings.episode_time * 0.5).max(3.0),
+        record_trace: true,
+    };
+    let family = spec.family.kind().name();
+    let run = || {
+        let scenario = spec.build();
+        let model = IlModel::untrained(ActionCodec::default(), config.bev, spec.seed ^ 0xFA31);
+        let mut policy = ICoilPolicy::new(&config, model, &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(&mut world, &mut policy, &episode);
+        let counters =
+            icoil_core::eval::drain_episode_metrics(&mut policy, &result).counter_snapshot();
+        (result, counters)
+    };
+    let (first, first_counters) = run();
+    let (second, second_counters) = run();
+    if first != second {
+        return Err(format!(
+            "family {family}: re-running the full-stack episode diverged: \
+             {:?}/{} frames vs {:?}/{} frames",
+            first.outcome, first.frames, second.outcome, second.frames
+        ));
+    }
+    if first_counters != second_counters {
+        return Err(format!(
+            "family {family}: telemetry counters diverged across identical replays: \
+             {first_counters:?} vs {second_counters:?}"
+        ));
+    }
+    let traced = gear_reversals(&first.trace) as u64;
+    let counted = first_counters
+        .iter()
+        .find(|(name, _)| name == "gear_reversals")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    if traced != counted {
+        return Err(format!(
+            "family {family}: trace-derived gear reversals {traced} disagree with the \
+             live counter {counted}"
+        ));
+    }
+    Ok(())
+}
+
 /// The canary "fails" whenever the scenario has a dynamic obstacle —
 /// a deliberately scenario-dependent defect that exercises the full
 /// report-and-shrink path without touching any real subsystem.
@@ -1260,12 +1323,12 @@ mod tests {
     #[test]
     fn warm_capped_solves_fall_back_to_cold_on_fuzzer_seed_182() {
         use icoil_geom::{Pose2, Vec2};
-        use icoil_world::{BayStyle, RouteSpec, StaticSpec};
+        use icoil_world::{MapFamily, RouteSpec, StaticSpec};
         let spec = ProcScenario {
             seed: 182,
             lot_w: 30.0,
             lot_h: 18.875938917286458,
-            bay_style: BayStyle::ParallelCurb,
+            family: MapFamily::ParallelCurb,
             bay_frac: 0.5,
             statics: vec![StaticSpec {
                 pose: Pose2::new(8.95577114397386, 7.470088871181514, -2.687110353761553),
@@ -1308,8 +1371,26 @@ mod tests {
                 "simd_scalar_kernels",
                 "batched_single_qp",
                 "checkpoint_restore_replay",
-                "quantized_il"
+                "quantized_il",
+                "family_determinism"
             ]
         );
+    }
+
+    #[test]
+    fn family_determinism_check_passes_on_every_family() {
+        for (i, kind) in icoil_world::MapFamilyKind::ALL.into_iter().enumerate() {
+            let gen = ProcGen::new(icoil_world::ProcGenConfig {
+                family: Some(kind),
+                ..icoil_world::ProcGenConfig::default()
+            });
+            let spec = gen.generate(40 + i as u64);
+            assert_eq!(
+                run_check(CheckKind::FamilyDeterminism, &spec, &CheckSettings::smoke()),
+                Ok(()),
+                "family {}",
+                kind.name()
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::checks::{run_check, telemetry_snapshot, CheckKind, CheckSettings};
 use crate::report::{DivergenceRecord, TriageReport};
-use icoil_world::{shrink, ProcGen, ProcGenConfig};
+use icoil_world::{shrink, MapFamilyKind, ProcGen, ProcGenConfig};
 
 /// Configuration of one fuzz campaign.
 #[derive(Debug, Clone)]
@@ -56,6 +56,8 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
         // two served episodes per case: stride like the other
         // serving-engine check
         CheckKind::QuantizedIl => 5,
+        // two full-stack episodes per case
+        CheckKind::FamilyDeterminism => 5,
     };
     if smoke && base > 1 {
         base * 2
@@ -78,7 +80,23 @@ pub fn run_fuzz_with_progress<P>(config: &FuzzConfig, mut progress: P) -> Triage
 where
     P: FnMut(usize, usize),
 {
-    let gen = ProcGen::new(config.gen);
+    // With no family pinned, the campaign cycles the full matrix: case i
+    // generates from family ALL[i % 6], so every family sees an even
+    // share of every check (strides are coprime with nothing here — the
+    // tallies in the report make the split visible). A pinned family
+    // runs the whole campaign on that family alone.
+    let generators: Vec<ProcGen> = match config.gen.family {
+        Some(_) => vec![ProcGen::new(config.gen)],
+        None => MapFamilyKind::ALL
+            .into_iter()
+            .map(|kind| {
+                ProcGen::new(ProcGenConfig {
+                    family: Some(kind),
+                    ..config.gen
+                })
+            })
+            .collect(),
+    };
     let settings = if config.smoke {
         CheckSettings::smoke()
     } else {
@@ -101,7 +119,7 @@ where
     for i in 0..config.cases {
         progress(i, config.cases);
         let seed = config.seed0 + i as u64;
-        let spec = gen.generate(seed);
+        let spec = generators[i % generators.len()].generate(seed);
         for &kind in &checks {
             if i % stride(kind, config.smoke) != 0 {
                 continue;
@@ -157,8 +175,12 @@ mod tests {
 
     #[test]
     fn injected_canary_is_caught_and_shrunk() {
-        // pick a window of seeds that includes a dynamic-obstacle case
-        let gen = ProcGen::default();
+        // pick a seed whose case-0 generator (family ALL[0] when no
+        // family is pinned) yields a dynamic-obstacle scenario
+        let gen = ProcGen::new(ProcGenConfig {
+            family: Some(MapFamilyKind::ALL[0]),
+            ..ProcGenConfig::default()
+        });
         let seed0 = (0..500)
             .find(|&s| !gen.generate(s).routes.is_empty())
             .expect("a dynamic scenario exists");

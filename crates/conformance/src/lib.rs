@@ -11,7 +11,9 @@
 //!
 //! The flow ([`run_fuzz`]):
 //!
-//! 1. generate a seeded, validated scenario spec;
+//! 1. generate a seeded, validated scenario spec — unpinned campaigns
+//!    cycle case `i` through map family
+//!    `MapFamilyKind::ALL[i % 6]`, so every family sees every check;
 //! 2. run each [`CheckKind`] on it (episode-heavy checks are strided);
 //! 3. on divergence, shrink the spec with [`icoil_world::shrink`] until
 //!    no obstacle, noise level or geometry knob can be removed while the

@@ -83,6 +83,7 @@ pub struct ICoilPolicy {
     hsa: Hsa,
     recorder: Recorder,
     last_mode: Option<Mode>,
+    last_reverse: Option<bool>,
 }
 
 impl ICoilPolicy {
@@ -95,6 +96,7 @@ impl ICoilPolicy {
             hsa: Hsa::new(config.hsa),
             recorder: Recorder::new(),
             last_mode: None,
+            last_reverse: None,
         }
     }
 
@@ -109,6 +111,7 @@ impl Policy for ICoilPolicy {
         self.co.reset();
         self.hsa.reset();
         self.last_mode = None;
+        self.last_reverse = None;
     }
 
     fn recorder_mut(&mut self) -> Option<&mut Recorder> {
@@ -137,6 +140,10 @@ impl Policy for ICoilPolicy {
             self.recorder.add(Counter::HsaSwitches, 1);
         }
         self.last_mode = Some(hsa.mode);
+        if self.last_reverse.is_some_and(|prev| prev != action.reverse) {
+            self.recorder.add(Counter::GearReversals, 1);
+        }
+        self.last_reverse = Some(action.reverse);
         let co_s = if co_out.is_some() {
             (t4 - t3).as_secs_f64()
         } else {
@@ -182,6 +189,7 @@ pub struct PureIlPolicy {
     model: IlModel,
     hsa: Hsa,
     recorder: Recorder,
+    last_reverse: Option<bool>,
 }
 
 impl PureIlPolicy {
@@ -192,6 +200,7 @@ impl PureIlPolicy {
             model,
             hsa: Hsa::new(config.hsa),
             recorder: Recorder::new(),
+            last_reverse: None,
         }
     }
 }
@@ -199,6 +208,7 @@ impl PureIlPolicy {
 impl Policy for PureIlPolicy {
     fn begin_episode(&mut self, _obs: &Observation) {
         self.hsa.reset();
+        self.last_reverse = None;
     }
 
     fn recorder_mut(&mut self) -> Option<&mut Recorder> {
@@ -215,6 +225,10 @@ impl Policy for PureIlPolicy {
         let hsa = self.hsa.update(&il.probs, &sensing.boxes);
         let t3 = Instant::now();
 
+        if self.last_reverse.is_some_and(|prev| prev != il.action.reverse) {
+            self.recorder.add(Counter::GearReversals, 1);
+        }
+        self.last_reverse = Some(il.action.reverse);
         self.recorder.frame(&frame_event(
             obs,
             "IL",
@@ -248,6 +262,7 @@ pub struct PureCoPolicy {
     perception: Perception,
     co: CoController,
     recorder: Recorder,
+    last_reverse: Option<bool>,
 }
 
 impl PureCoPolicy {
@@ -257,6 +272,7 @@ impl PureCoPolicy {
             perception: Perception::new(config.bev, scenario),
             co: CoController::new(config.co, scenario.vehicle_params),
             recorder: Recorder::new(),
+            last_reverse: None,
         }
     }
 
@@ -269,6 +285,7 @@ impl PureCoPolicy {
 impl Policy for PureCoPolicy {
     fn begin_episode(&mut self, _obs: &Observation) {
         self.co.reset();
+        self.last_reverse = None;
     }
 
     fn recorder_mut(&mut self) -> Option<&mut Recorder> {
@@ -282,6 +299,10 @@ impl Policy for PureCoPolicy {
         let out = self.co.control(obs, &sensing.boxes);
         let t2 = Instant::now();
 
+        if self.last_reverse.is_some_and(|prev| prev != out.action.reverse) {
+            self.recorder.add(Counter::GearReversals, 1);
+        }
+        self.last_reverse = Some(out.action.reverse);
         let solve = out.mpc.as_ref().map(solve_event);
         self.recorder.frame(&frame_event(
             obs,

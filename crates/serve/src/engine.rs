@@ -32,7 +32,7 @@ use icoil_vehicle::Action;
 use icoil_world::episode::Observation;
 use icoil_world::{Difficulty, ScenarioConfig, World};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -332,7 +332,9 @@ struct PendingStep {
 /// micro-batches, and submits their CO solves to the shared lane.
 struct Shard {
     config: ServeConfig,
-    /// This shard's session-count cap (the global limit split evenly).
+    /// Backstop session cap (the global limit; the handle enforces it
+    /// *before* routing, so under hash skew one shard may legitimately
+    /// hold most of it).
     limit: usize,
     model: IlModel,
     rx: Receiver<Command>,
@@ -675,7 +677,10 @@ impl Serve {
             })
             .collect();
         let shard_count = config.shards.max(1);
-        let limit = config.max_sessions.div_ceil(shard_count);
+        // the global cap is enforced handle-side before routing; each
+        // shard keeps the full limit as a backstop so consistent-hash
+        // skew can never produce a spurious per-shard rejection
+        let limit = config.max_sessions;
         let mut txs = Vec::with_capacity(shard_count);
         let mut shards = Vec::with_capacity(shard_count);
         for i in 0..shard_count {
@@ -709,6 +714,8 @@ impl Serve {
                 txs: Arc::new(txs),
                 router: Arc::new(ShardRouter::new(shard_count)),
                 next_id: Arc::new(AtomicU64::new(1)),
+                live: Arc::new(AtomicUsize::new(0)),
+                max_sessions: config.max_sessions,
                 il_precision: config.il_precision,
             },
             shards,
@@ -768,6 +775,11 @@ pub struct ServeHandle {
     txs: Arc<Vec<Sender<Command>>>,
     router: Arc<ShardRouter>,
     next_id: Arc<AtomicU64>,
+    /// Live-session count across all shards, maintained handle-side so
+    /// the global `max_sessions` cap holds exactly no matter how the
+    /// id → shard hash distributes sessions.
+    live: Arc<AtomicUsize>,
+    max_sessions: usize,
     il_precision: IlPrecision,
 }
 
@@ -808,9 +820,14 @@ impl ServeHandle {
     /// [`ServeError::ShuttingDown`] / [`ServeError::Disconnected`]
     /// around shutdown.
     pub fn create(&self, spec: impl Into<SessionSpec>) -> Result<u64, ServeError> {
+        self.reserve_slot()?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let spec = Box::new(spec.into());
-        self.request(id, |reply| Command::Create { id, spec, reply })
+        let result = self.request(id, |reply| Command::Create { id, spec, reply });
+        if result.is_err() {
+            self.release_slot();
+        }
+        result
     }
 
     /// Advances a session one frame and returns the served action and
@@ -859,7 +876,11 @@ impl ServeHandle {
     ///
     /// [`ServeError::UnknownSession`] for a dead id.
     pub fn close(&self, id: u64) -> Result<(), ServeError> {
-        self.request(id, |reply| Command::Close { id, reply })
+        let result = self.request(id, |reply| Command::Close { id, reply });
+        if result.is_ok() {
+            self.release_slot();
+        }
+        result
     }
 
     /// Serializes a session's complete state into the versioned binary
@@ -882,7 +903,11 @@ impl ServeHandle {
     ///
     /// [`ServeError::UnknownSession`] for a dead id.
     pub fn evict(&self, id: u64) -> Result<Vec<u8>, ServeError> {
-        self.request(id, |reply| Command::Evict { id, reply })
+        let result = self.request(id, |reply| Command::Evict { id, reply });
+        if result.is_ok() {
+            self.release_slot();
+        }
+        result
     }
 
     /// Restores a session from snapshot bytes, keeping its original id,
@@ -899,13 +924,33 @@ impl ServeHandle {
         let snapshot: SessionSnapshot =
             decode_snapshot(bytes).map_err(|e| ServeError::Snapshot(e.to_string()))?;
         let id = snapshot.id;
+        self.reserve_slot()?;
         // keep the allocator ahead of every restored id so future
         // creates never collide
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);
-        self.request(id, |reply| Command::Restore {
+        let result = self.request(id, |reply| Command::Restore {
             snapshot: Box::new(snapshot),
             reply,
-        })
+        });
+        if result.is_err() {
+            self.release_slot();
+        }
+        result
+    }
+
+    /// Atomically claims one of the `max_sessions` slots, or reports
+    /// [`ServeError::SessionLimit`] when the server is full.
+    fn reserve_slot(&self) -> Result<(), ServeError> {
+        self.live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |live| {
+                (live < self.max_sessions).then_some(live + 1)
+            })
+            .map(|_| ())
+            .map_err(|_| ServeError::SessionLimit)
+    }
+
+    fn release_slot(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// A snapshot of the server's telemetry, merged across shards in

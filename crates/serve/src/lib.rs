@@ -112,6 +112,9 @@ pub struct ServeConfig {
     /// Most step requests drained into one IL micro-batch.
     pub max_batch: usize,
     /// Most concurrently live sessions; creation beyond it is refused.
+    /// Enforced globally at the handle *before* routing, so the limit
+    /// holds exactly however consistent hashing skews sessions across
+    /// shards.
     pub max_sessions: usize,
     /// Simulated-seconds budget per session episode.
     pub max_time: f64,

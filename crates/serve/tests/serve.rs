@@ -4,7 +4,7 @@
 use icoil_il::{IlModel, IlPrecision};
 use icoil_perception::BevConfig;
 use icoil_serve::{
-    Request, Response, Serve, ServeConfig, ServeError, SessionConfig, StepResponse,
+    Request, Response, Serve, ServeConfig, ServeError, SessionConfig, ShardRouter, StepResponse,
 };
 use icoil_telemetry::{Counter, Series};
 use icoil_vehicle::ActionCodec;
@@ -433,6 +433,69 @@ fn session_lifecycle_errors() {
     assert_ne!(c, a, "session ids are never reused");
     server.shutdown();
     assert_eq!(handle.step(b), Err(ServeError::Disconnected));
+}
+
+#[test]
+fn global_session_cap_survives_shard_hash_skew() {
+    // Find a prefix of the id sequence whose 4-shard routing is skewed:
+    // some shard holding more than the old per-shard quota of
+    // div_ceil(n, shards). The handle allocates ids sequentially from 1,
+    // so this is exactly the id set a filled server holds.
+    let shards = 4;
+    let router = ShardRouter::new(shards);
+    let n = (2..=32)
+        .find(|&n: &usize| {
+            let mut counts = vec![0usize; shards];
+            for id in 1..=n as u64 {
+                counts[router.route(id)] += 1;
+            }
+            counts.iter().any(|&c| c > n.div_ceil(shards))
+        })
+        .expect("some prefix of ids 1.. must route unevenly across 4 shards");
+
+    let config = ServeConfig {
+        shards,
+        max_sessions: n,
+        ..ServeConfig::default()
+    };
+    let server = Serve::start(config, test_model());
+    let handle = server.handle();
+    let spec = SessionConfig {
+        difficulty: Difficulty::Easy,
+        seed: 11,
+    };
+    // fill to exactly max_sessions: under the split per-shard cap the
+    // overloaded shard would reject before the server is actually full
+    let ids: Vec<u64> = (0..n)
+        .map(|i| {
+            handle
+                .create(spec)
+                .unwrap_or_else(|e| panic!("create {i} rejected under hash skew: {e}"))
+        })
+        .collect();
+    assert_eq!(handle.create(spec), Err(ServeError::SessionLimit));
+
+    // close frees exactly one slot
+    handle.close(ids[0]).unwrap();
+    let refill = handle.create(spec).expect("slot freed by close");
+    assert_eq!(handle.create(spec), Err(ServeError::SessionLimit));
+
+    // evict frees a slot; restore takes one back and respects the cap
+    let bytes = handle.evict(ids[1]).expect("evict");
+    let again = handle.create(spec).expect("slot freed by evict");
+    assert_eq!(
+        handle.restore(&bytes),
+        Err(ServeError::SessionLimit),
+        "restore must respect the global cap"
+    );
+    handle.close(again).unwrap();
+    handle.restore(&bytes).expect("restore into the freed slot");
+
+    // every live session still steps
+    for id in ids.iter().skip(2).chain([&refill, &ids[1]]) {
+        handle.step(*id).expect("step live session");
+    }
+    server.shutdown();
 }
 
 #[test]

@@ -71,10 +71,13 @@ pub enum Counter {
     ServeEvictions,
     /// Frames answered by the quantized int8 IL lane.
     IlFramesInt8,
+    /// Gear reversals executed (the served action flipping `reverse`
+    /// relative to the previous frame) — the maneuver-taxonomy signal.
+    GearReversals,
 }
 
 /// Number of [`Counter`] variants (the fixed counter-array length).
-pub const NUM_COUNTERS: usize = 29;
+pub const NUM_COUNTERS: usize = 30;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "frames",
@@ -106,6 +109,7 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "serve_restores",
     "serve_evictions",
     "il_frames_int8",
+    "gear_reversals",
 ];
 
 impl Counter {

@@ -45,6 +45,7 @@
 #![deny(unsafe_code)]
 
 pub mod episode;
+pub mod maneuver;
 pub mod map;
 pub mod metrics;
 pub mod obstacle;
@@ -55,13 +56,15 @@ pub mod scenario;
 pub mod world;
 
 pub use episode::{run_episode, EpisodeConfig, EpisodeResult, ModeTag, Outcome};
+pub use maneuver::{classify_maneuver, gear_reversals, Maneuver};
 pub use persist::EpisodeRecord;
 pub use render::{render_trace, AsciiCanvas};
 pub use map::ParkingMap;
 pub use metrics::{success_rate, ParkingStats};
 pub use obstacle::{DynamicRoute, Obstacle, ObstacleKind};
 pub use procedural::{
-    shrink, BayStyle, InvalidScenario, ProcGen, ProcGenConfig, ProcScenario, RouteSpec, StaticSpec,
+    shrink, CrowdedParams, EchelonParams, GarageParams, InvalidScenario, MapFamily, MapFamilyKind,
+    ProcGen, ProcGenConfig, ProcScenario, RouteSpec, StaticSpec, StubParams,
 };
 pub use scenario::{Difficulty, MapKind, NoiseConfig, Scenario, ScenarioConfig, StartRegion};
 pub use world::{CollisionCause, World};

@@ -7,6 +7,27 @@
 //! from a seed — so the verification surface is not limited to layouts a
 //! human wrote down.
 //!
+//! Scenarios are organized into named **map families** ([`MapFamily`]):
+//!
+//! * `reverse_in` — the baseline MoCAM-style recessed bay.
+//! * `parallel_curb` — a curbside gap between two parked cars, entered
+//!   with the pull-past-and-reverse maneuver.
+//! * `angled_echelon` — an echelon bay at a parameterized angle to the
+//!   wall, flanked by neighbor cars parked at the same angle.
+//! * `pillared_garage` — a regular pillar grid across the floor, with
+//!   pillars deterministically culled from the slot corridor and spawn
+//!   strip.
+//! * `dead_end_stub` — two walls forming a narrow dead-end corridor in
+//!   front of the bay, forcing multi-point maneuvering.
+//! * `crowded_lot` — rows of perpendicular-parked cars around a central
+//!   aisle plus at least one scripted dynamic agent.
+//!
+//! Each family carries its own parameters (bay angle, pillar pitch, stub
+//! width, …) with validity-enforced ranges, and contributes *structural*
+//! obstacles — deterministic functions of the spec, emitted by
+//! [`ProcScenario::build`] between the sampled statics and the dynamic
+//! routes.
+//!
 //! The pipeline has three stages:
 //!
 //! 1. [`ProcGen::generate`] samples a [`ProcScenario`]: a fully *concrete*
@@ -43,14 +64,167 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// How the goal slot is oriented relative to the lot.
+/// The discriminant of a [`MapFamily`], without its parameters.
+///
+/// Used to pin a generator to one family ([`ProcGenConfig::family`]), to
+/// key per-family statistics, and as the stable name in reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum BayStyle {
-    /// A reverse-in bay recessed into the right wall (MoCAM-style).
+pub enum MapFamilyKind {
+    /// MoCAM-style reverse-in bay recessed into the right wall.
+    ReverseIn,
+    /// Curbside gap between two parked cars along the top edge.
+    ParallelCurb,
+    /// Angled echelon bay flanked by same-angle neighbor cars.
+    AngledEchelon,
+    /// Regular pillar grid across the garage floor.
+    PillaredGarage,
+    /// Narrow dead-end corridor walled in front of the bay.
+    DeadEndStub,
+    /// Perpendicular-parked rows plus scripted dynamic agents.
+    CrowdedLot,
+}
+
+impl MapFamilyKind {
+    /// Every family, in sampling/report order.
+    pub const ALL: [MapFamilyKind; 6] = [
+        MapFamilyKind::ReverseIn,
+        MapFamilyKind::ParallelCurb,
+        MapFamilyKind::AngledEchelon,
+        MapFamilyKind::PillaredGarage,
+        MapFamilyKind::DeadEndStub,
+        MapFamilyKind::CrowdedLot,
+    ];
+
+    /// Stable snake_case name used in reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MapFamilyKind::ReverseIn => "reverse_in",
+            MapFamilyKind::ParallelCurb => "parallel_curb",
+            MapFamilyKind::AngledEchelon => "angled_echelon",
+            MapFamilyKind::PillaredGarage => "pillared_garage",
+            MapFamilyKind::DeadEndStub => "dead_end_stub",
+            MapFamilyKind::CrowdedLot => "crowded_lot",
+        }
+    }
+
+    /// Parses a [`MapFamilyKind::name`] back into the kind.
+    pub fn from_name(name: &str) -> Option<MapFamilyKind> {
+        MapFamilyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for MapFamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of the angled-echelon family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EchelonParams {
+    /// Bay angle in radians; validity enforces `[0.3, 1.0]`.
+    pub angle: f64,
+}
+
+/// Parameters of the pillared-garage family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GarageParams {
+    /// Grid pitch in meters; validity enforces `[4.0, 7.0]`.
+    pub pitch: f64,
+    /// Pillar side length in meters; validity enforces `[0.4, 1.0]`.
+    pub pillar: f64,
+}
+
+/// Parameters of the dead-end-stub family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StubParams {
+    /// Clear corridor width in meters; validity enforces `[3.4, 5.0]`.
+    pub corridor_w: f64,
+    /// Wall length in meters; validity enforces `[5.0, 10.0]`.
+    pub corridor_len: f64,
+}
+
+/// Parameters of the crowded-lot family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdedParams {
+    /// Distance from the bay centerline to each parked row's center
+    /// in meters; validity enforces `[5.2, 7.0]`.
+    pub row_gap: f64,
+}
+
+/// A named scenario family together with its geometry parameters.
+///
+/// The parameters are part of the spec (explicit, serialized, shrunk), so
+/// equal specs build bit-identical scenarios and a triage report pins the
+/// exact geometry that reproduced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MapFamily {
+    /// MoCAM-style reverse-in bay recessed into the right wall.
     ReverseIn,
     /// A curbside gap between two parked cars along the top edge,
     /// entered with the pull-past-and-reverse maneuver.
     ParallelCurb,
+    /// An echelon bay at an angle to the right wall's normal, flanked
+    /// by two neighbor cars parked at the same angle.
+    AngledEchelon(EchelonParams),
+    /// A regular square-pillar grid across the garage floor. Pillars
+    /// intersecting the slot corridor or the spawn strip are culled
+    /// deterministically.
+    PillaredGarage(GarageParams),
+    /// Two walls forming a dead-end corridor in front of the bay — the
+    /// harshest multi-reversal geometry the generator emits.
+    DeadEndStub(StubParams),
+    /// Rows of perpendicular-parked cars on both sides of the bay
+    /// centerline, plus at least one scripted dynamic agent.
+    CrowdedLot(CrowdedParams),
+}
+
+impl MapFamily {
+    /// This family's discriminant.
+    pub fn kind(&self) -> MapFamilyKind {
+        match self {
+            MapFamily::ReverseIn => MapFamilyKind::ReverseIn,
+            MapFamily::ParallelCurb => MapFamilyKind::ParallelCurb,
+            MapFamily::AngledEchelon(_) => MapFamilyKind::AngledEchelon,
+            MapFamily::PillaredGarage(_) => MapFamilyKind::PillaredGarage,
+            MapFamily::DeadEndStub(_) => MapFamilyKind::DeadEndStub,
+            MapFamily::CrowdedLot(_) => MapFamilyKind::CrowdedLot,
+        }
+    }
+
+    /// The canonical (mid-range) parameters for a kind — what fallback
+    /// specs use and what the shrinker snaps parameters to.
+    pub fn canonical(kind: MapFamilyKind) -> MapFamily {
+        match kind {
+            MapFamilyKind::ReverseIn => MapFamily::ReverseIn,
+            MapFamilyKind::ParallelCurb => MapFamily::ParallelCurb,
+            MapFamilyKind::AngledEchelon => MapFamily::AngledEchelon(EchelonParams { angle: 0.6 }),
+            MapFamilyKind::PillaredGarage => MapFamily::PillaredGarage(GarageParams {
+                pitch: 5.5,
+                pillar: 0.6,
+            }),
+            MapFamilyKind::DeadEndStub => MapFamily::DeadEndStub(StubParams {
+                corridor_w: 4.0,
+                corridor_len: 7.0,
+            }),
+            MapFamilyKind::CrowdedLot => MapFamily::CrowdedLot(CrowdedParams { row_gap: 6.0 }),
+        }
+    }
+
+    /// Whether this family's parameters are inside their validity ranges.
+    fn params_in_range(&self) -> bool {
+        match *self {
+            MapFamily::ReverseIn | MapFamily::ParallelCurb => true,
+            MapFamily::AngledEchelon(p) => (0.3..=1.0).contains(&p.angle),
+            MapFamily::PillaredGarage(p) => {
+                (4.0..=7.0).contains(&p.pitch) && (0.4..=1.0).contains(&p.pillar)
+            }
+            MapFamily::DeadEndStub(p) => {
+                (3.4..=5.0).contains(&p.corridor_w) && (5.0..=10.0).contains(&p.corridor_len)
+            }
+            MapFamily::CrowdedLot(p) => (5.2..=7.0).contains(&p.row_gap),
+        }
+    }
 }
 
 /// Sampling ranges for [`ProcGen`].
@@ -64,11 +238,16 @@ pub struct ProcGenConfig {
     pub n_static: (usize, usize),
     /// Dynamic-obstacle count range (inclusive).
     pub n_dynamic: (usize, usize),
-    /// Whether parallel-curb slots are sampled alongside reverse-in bays.
+    /// Whether parallel-curb slots are sampled alongside the other
+    /// families (ignored when `family` pins one).
     pub allow_parallel: bool,
     /// Probability that a scenario carries sensing noise; the level is
     /// then drawn uniformly in `(0, 1]` × the hard-tier profile.
     pub noise_prob: f64,
+    /// Pins every generated scenario to one family; `None` samples the
+    /// full family mix.
+    #[serde(default)]
+    pub family: Option<MapFamilyKind>,
 }
 
 impl Default for ProcGenConfig {
@@ -80,6 +259,7 @@ impl Default for ProcGenConfig {
             n_dynamic: (0, 2),
             allow_parallel: true,
             noise_prob: 0.4,
+            family: None,
         }
     }
 }
@@ -117,8 +297,8 @@ pub struct ProcScenario {
     pub lot_w: f64,
     /// Lot height (meters).
     pub lot_h: f64,
-    /// Slot style.
-    pub bay_style: BayStyle,
+    /// Map family and its geometry parameters.
+    pub family: MapFamily,
     /// Slot position as a fraction of the usable wall span (0–1).
     pub bay_frac: f64,
     /// Static obstacles.
@@ -138,12 +318,19 @@ pub enum InvalidScenario {
     LotTooSmall,
     /// The slot or goal pose falls outside the lot.
     SlotOutsideLot,
-    /// The ego start footprint is outside the lot or overlaps an obstacle.
+    /// A family geometry parameter is outside its allowed range.
+    FamilyParamOutOfRange,
+    /// The ego start footprint is outside the lot or overlaps an
+    /// obstacle — nominally, or within the sensing-noise jitter
+    /// envelope when the spec carries noise.
     SpawnBlocked,
     /// A static obstacle blocks the corridor in front of the slot.
     CorridorBlocked,
     /// A dynamic route leaves the lot interior.
     RouteOutsideLot,
+    /// The family requires a scripted dynamic agent but the spec has
+    /// none (crowded lot).
+    MissingDynamicAgent,
     /// No drivable grid path connects the start to the slot approach.
     SlotUnreachable,
 }
@@ -153,9 +340,11 @@ impl std::fmt::Display for InvalidScenario {
         let s = match self {
             InvalidScenario::LotTooSmall => "lot too small",
             InvalidScenario::SlotOutsideLot => "slot outside lot",
+            InvalidScenario::FamilyParamOutOfRange => "family parameter out of range",
             InvalidScenario::SpawnBlocked => "spawn blocked",
             InvalidScenario::CorridorBlocked => "goal corridor blocked",
             InvalidScenario::RouteOutsideLot => "dynamic route outside lot",
+            InvalidScenario::MissingDynamicAgent => "family requires a dynamic agent",
             InvalidScenario::SlotUnreachable => "slot unreachable from start",
         };
         f.write_str(s)
@@ -169,8 +358,13 @@ const BAY_DEPTH: f64 = 5.4;
 const BAY_WIDTH: f64 = 3.0;
 const CURB_GAP: f64 = 7.0;
 const CURB_LANE_INSET: f64 = 1.6;
+/// Stub-wall thickness in the dead-end family (meters).
+const STUB_WALL: f64 = 0.5;
 /// Grid resolution of the reachability check (meters per cell).
 const REACH_RESOLUTION: f64 = 0.5;
+/// Worst-case factor applied to the noise profile's jitter std when
+/// checking the spawn clearance envelope (≈ a 3σ excursion).
+const NOISE_ENVELOPE_SIGMA: f64 = 3.0;
 
 impl ProcScenario {
     /// The lot geometry this spec describes.
@@ -181,8 +375,37 @@ impl ProcScenario {
     /// every construction path).
     pub fn map(&self) -> ParkingMap {
         let bounds = Aabb::new(Vec2::ZERO, Vec2::new(self.lot_w, self.lot_h));
-        match self.bay_style {
-            BayStyle::ReverseIn => {
+        let spawn = spawn_region(self.lot_w, self.lot_h);
+        match self.family {
+            MapFamily::ParallelCurb => {
+                let x = bay_center_parallel(self.lot_w, self.bay_frac);
+                let y = self.lot_h - CURB_LANE_INSET;
+                let bay = Obb::from_pose(Pose2::new(x, y, 0.0), CURB_GAP, 1.9);
+                let goal = Pose2::new(x - 1.3, y, 0.0);
+                ParkingMap::new(bounds, spawn, goal, bay)
+            }
+            MapFamily::AngledEchelon(EchelonParams { angle }) => {
+                // the bay's axis-aligned half-extents at this angle
+                let (s, c) = angle.sin_cos();
+                let ex = 0.5 * (BAY_DEPTH * c.abs() + BAY_WIDTH * s.abs());
+                let ey = 0.5 * (BAY_DEPTH * s.abs() + BAY_WIDTH * c.abs());
+                let x = self.lot_w - ex - 0.3;
+                let margin = ey + 1.2;
+                let y = margin + self.bay_frac * (self.lot_h - 2.0 * margin);
+                let bay = Obb::from_pose(Pose2::new(x, y, angle), BAY_DEPTH, BAY_WIDTH);
+                // deeper-into-bay direction, mirroring the reverse-in
+                // goal offset at angle 0
+                let goal = Pose2::new(
+                    x + 1.3 * c,
+                    y + 1.3 * s,
+                    angle + std::f64::consts::PI,
+                );
+                ParkingMap::new(bounds, spawn, goal, bay)
+            }
+            MapFamily::ReverseIn
+            | MapFamily::PillaredGarage(_)
+            | MapFamily::DeadEndStub(_)
+            | MapFamily::CrowdedLot(_) => {
                 let y = bay_center_reverse_in(self.lot_h, self.bay_frac);
                 let bay = Obb::from_pose(
                     Pose2::new(self.lot_w - BAY_DEPTH * 0.5 - 0.5, y, 0.0),
@@ -190,41 +413,140 @@ impl ProcScenario {
                     BAY_WIDTH,
                 );
                 let goal = Pose2::new(bay.center.x + 1.3, y, std::f64::consts::PI);
-                ParkingMap::new(bounds, spawn_region(self.lot_w, self.lot_h), goal, bay)
-            }
-            BayStyle::ParallelCurb => {
-                let x = bay_center_parallel(self.lot_w, self.bay_frac);
-                let y = self.lot_h - CURB_LANE_INSET;
-                let bay = Obb::from_pose(Pose2::new(x, y, 0.0), CURB_GAP, 1.9);
-                let goal = Pose2::new(x - 1.3, y, 0.0);
-                ParkingMap::new(bounds, spawn_region(self.lot_w, self.lot_h), goal, bay)
+                ParkingMap::new(bounds, spawn, goal, bay)
             }
         }
     }
 
+    /// The family's deterministic *structural* obstacles — framing cars,
+    /// echelon neighbors, pillar grid, stub walls, parked rows. A pure
+    /// function of the spec, appended by [`ProcScenario::build`] between
+    /// the sampled statics and the dynamic routes.
+    pub fn structural_statics(&self) -> Vec<StaticSpec> {
+        let map = self.map();
+        let bay = map.bay();
+        let bounds = map.bounds();
+        let mut out = Vec::new();
+        // grid/row members that don't fit the lot are culled rather
+        // than rejected: "as many as fit" is the family's meaning
+        let fits = |s: &StaticSpec| {
+            let aabb = Obb::from_pose(s.pose, s.length, s.width).aabb();
+            aabb.min.x >= bounds.min.x + 0.2
+                && aabb.min.y >= bounds.min.y + 0.2
+                && aabb.max.x <= bounds.max.x - 0.2
+                && aabb.max.y <= bounds.max.y - 0.2
+        };
+        match self.family {
+            MapFamily::ReverseIn => {}
+            MapFamily::ParallelCurb => {
+                // the two parked cars framing the curb gap
+                for dx in [-(CURB_GAP * 0.5 + 2.4), CURB_GAP * 0.5 + 2.4] {
+                    out.push(StaticSpec {
+                        pose: Pose2::new(bay.center.x + dx, bay.center.y, 0.0),
+                        length: 4.2,
+                        width: 1.8,
+                    });
+                }
+            }
+            MapFamily::AngledEchelon(EchelonParams { angle }) => {
+                // neighbor cars in the adjacent echelon bays, parked at
+                // the same angle; ones that would poke out are culled
+                let (s, c) = angle.sin_cos();
+                let across = Vec2::new(-s, c);
+                for side in [-1.0, 1.0] {
+                    let center = bay.center + across * (side * (BAY_WIDTH + 1.0));
+                    let spec = StaticSpec {
+                        pose: Pose2::new(center.x, center.y, angle),
+                        length: 4.2,
+                        width: 1.7,
+                    };
+                    if fits(&spec) {
+                        out.push(spec);
+                    }
+                }
+            }
+            MapFamily::PillaredGarage(GarageParams { pitch, pillar }) => {
+                let corridor = slot_corridor(&map, self.family);
+                let spawn = spawn_region(self.lot_w, self.lot_h);
+                let mut x = 0.34 * self.lot_w;
+                while x < self.lot_w - BAY_DEPTH - 2.5 {
+                    let mut y = 2.8;
+                    while y < self.lot_h - 2.8 {
+                        let spec = StaticSpec {
+                            pose: Pose2::new(x, y, 0.0),
+                            length: pillar,
+                            width: pillar,
+                        };
+                        let aabb = Obb::from_pose(spec.pose, pillar, pillar)
+                            .inflated(0.4)
+                            .aabb();
+                        if fits(&spec)
+                            && !corridor.intersects(&aabb)
+                            && !spawn.intersects(&aabb)
+                        {
+                            out.push(spec);
+                        }
+                        y += pitch;
+                    }
+                    x += pitch;
+                }
+            }
+            MapFamily::DeadEndStub(StubParams {
+                corridor_w,
+                corridor_len,
+            }) => {
+                // two walls flanking the bay approach, mouth-aligned
+                let mouth_x = bay.center.x - BAY_DEPTH * 0.5;
+                let cx = mouth_x - corridor_len * 0.5;
+                for side in [-1.0, 1.0] {
+                    out.push(StaticSpec {
+                        pose: Pose2::new(
+                            cx,
+                            bay.center.y + side * (corridor_w * 0.5 + STUB_WALL * 0.5),
+                            0.0,
+                        ),
+                        length: corridor_len,
+                        width: STUB_WALL,
+                    });
+                }
+            }
+            MapFamily::CrowdedLot(CrowdedParams { row_gap }) => {
+                // perpendicular-parked rows above and below the aisle
+                let spawn = spawn_region(self.lot_w, self.lot_h);
+                let x0 = (0.32 * self.lot_w).max(spawn.max.x + 1.2);
+                for side in [-1.0, 1.0] {
+                    let y = bay.center.y + side * row_gap;
+                    let mut x = x0;
+                    while x < self.lot_w - BAY_DEPTH - 2.0 {
+                        let spec = StaticSpec {
+                            pose: Pose2::new(x, y, std::f64::consts::FRAC_PI_2),
+                            length: 4.2,
+                            width: 1.8,
+                        };
+                        if fits(&spec) {
+                            out.push(spec);
+                        }
+                        x += 2.6;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Expands the spec into a runnable [`Scenario`].
     ///
-    /// Obstacle ids are assigned positionally (statics first, then the
-    /// parallel-curb framing cars, then dynamics), so equal specs build
-    /// bit-identical scenarios.
+    /// Obstacle ids are assigned positionally (sampled statics first,
+    /// then the family's structural obstacles, then dynamics), so equal
+    /// specs build bit-identical scenarios.
     pub fn build(&self) -> Scenario {
         let map = self.map();
         let mut obstacles = Vec::new();
         for s in &self.statics {
             obstacles.push(Obstacle::fixed(obstacles.len(), s.pose, s.length, s.width));
         }
-        if self.bay_style == BayStyle::ParallelCurb {
-            // the two parked cars framing the curb gap
-            let bay = map.bay();
-            let y = bay.center.y;
-            for dx in [-(CURB_GAP * 0.5 + 2.4), CURB_GAP * 0.5 + 2.4] {
-                obstacles.push(Obstacle::fixed(
-                    obstacles.len(),
-                    Pose2::new(bay.center.x + dx, y, 0.0),
-                    4.2,
-                    1.8,
-                ));
-            }
+        for s in self.structural_statics() {
+            obstacles.push(Obstacle::fixed(obstacles.len(), s.pose, s.length, s.width));
         }
         for r in &self.routes {
             obstacles.push(Obstacle::moving(
@@ -257,9 +579,10 @@ impl ProcScenario {
     }
 
     /// Checks that the spec describes a well-posed, plausibly-solvable
-    /// episode: geometry inside the lot, clear spawn, clear slot corridor,
-    /// in-bounds patrol routes and a drivable grid path from the start to
-    /// the slot approach.
+    /// episode: family parameters in range, geometry inside the lot,
+    /// clear spawn (under the sensing-noise jitter envelope, not just
+    /// nominally), clear slot corridor, in-bounds patrol routes and a
+    /// drivable grid path from the start to the slot approach.
     ///
     /// # Errors
     ///
@@ -270,6 +593,12 @@ impl ProcScenario {
         }
         if !(0.0..=1.0).contains(&self.bay_frac) || !(0.0..=1.0).contains(&self.noise_scale) {
             return Err(InvalidScenario::SlotOutsideLot);
+        }
+        if !self.family.params_in_range() {
+            return Err(InvalidScenario::FamilyParamOutOfRange);
+        }
+        if self.family.kind() == MapFamilyKind::CrowdedLot && self.routes.is_empty() {
+            return Err(InvalidScenario::MissingDynamicAgent);
         }
         let bounds = Aabb::new(Vec2::ZERO, Vec2::new(self.lot_w, self.lot_h));
         let map = self.map();
@@ -291,12 +620,31 @@ impl ProcScenario {
         if !map.contains_footprint(&fp) || footprints.iter().any(|o| o.intersects(&fp)) {
             return Err(InvalidScenario::SpawnBlocked);
         }
+        // ... and clear under the perception-noise jitter envelope:
+        // noised obstacle boxes are jittered *relative* to the ego, so a
+        // spawn that only clears nominally can read as a frame-0
+        // collision to the planner. Inflating each obstacle by the
+        // worst-case translation plus its heading-jitter arc covers
+        // every pose the noise can report. Zeroing `noise_scale` only
+        // weakens this check, so the shrinker still terminates.
+        if self.noise_scale > 0.0 {
+            let hard = NoiseConfig::hard();
+            let k = self.noise_scale.clamp(0.0, 1.0);
+            let d_pos = NOISE_ENVELOPE_SIGMA * hard.box_jitter * k;
+            let d_theta = NOISE_ENVELOPE_SIGMA * hard.heading_jitter * k;
+            for o in &footprints {
+                let slack = d_pos + o.circumradius() * d_theta;
+                if o.inflated(slack).intersects(&fp) {
+                    return Err(InvalidScenario::SpawnBlocked);
+                }
+            }
+        }
 
-        // statics must stay out of the slot approach corridor
-        let corridor = slot_corridor(&map, self.bay_style);
+        // sampled statics must stay out of the slot approach corridor;
+        // structural obstacles (framing cars, stub walls, …) legitimately
+        // touch it by construction
+        let corridor = slot_corridor(&map, self.family);
         let n_fixed = scenario.obstacles.iter().filter(|o| !o.is_dynamic()).count();
-        // the parallel framing cars legitimately touch the corridor edge;
-        // only the sampled statics are constrained
         for o in footprints.iter().take(self.statics.len().min(n_fixed)) {
             if corridor.intersects(&o.aabb()) {
                 return Err(InvalidScenario::CorridorBlocked);
@@ -325,7 +673,7 @@ impl ProcScenario {
             .take(n_fixed)
             .copied()
             .collect();
-        let approach = corridor.center();
+        let approach = approach_point(&map, self.family, &corridor);
         if !grid_reachable(&map, &statics, self.start.position(), approach, &params) {
             return Err(InvalidScenario::SlotUnreachable);
         }
@@ -353,17 +701,42 @@ fn bay_center_parallel(lot_w: f64, frac: f64) -> f64 {
 
 /// The region in front of the slot that must stay clear of sampled
 /// statics so the approach maneuver has room.
-fn slot_corridor(map: &ParkingMap, style: BayStyle) -> Aabb {
+fn slot_corridor(map: &ParkingMap, family: MapFamily) -> Aabb {
     let bay = map.bay().center;
-    match style {
-        BayStyle::ReverseIn => Aabb::new(
-            Vec2::new(bay.x - 5.8, bay.y - 2.8),
-            Vec2::new(map.bounds().max.x, bay.y + 2.8),
-        ),
-        BayStyle::ParallelCurb => Aabb::new(
+    match family {
+        MapFamily::ParallelCurb => Aabb::new(
             Vec2::new(bay.x - 8.5, bay.y - 4.5),
             Vec2::new(bay.x + 8.5, map.bounds().max.y),
         ),
+        MapFamily::AngledEchelon(EchelonParams { angle }) => {
+            // the angled bay sweeps a taller mouth than the straight one
+            let half_h = 2.8 + 1.5 * angle.sin().abs();
+            Aabb::new(
+                Vec2::new(bay.x - 6.2, bay.y - half_h),
+                Vec2::new(map.bounds().max.x, bay.y + half_h),
+            )
+        }
+        MapFamily::ReverseIn
+        | MapFamily::PillaredGarage(_)
+        | MapFamily::DeadEndStub(_)
+        | MapFamily::CrowdedLot(_) => Aabb::new(
+            Vec2::new(bay.x - 5.8, bay.y - 2.8),
+            Vec2::new(map.bounds().max.x, bay.y + 2.8),
+        ),
+    }
+}
+
+/// Where the reachability BFS must arrive. For the dead-end stub the
+/// corridor center can land past the stub mouth, so the target sits
+/// inside the walled corridor itself.
+fn approach_point(map: &ParkingMap, family: MapFamily, corridor: &Aabb) -> Vec2 {
+    match family {
+        MapFamily::DeadEndStub(StubParams { corridor_len, .. }) => {
+            let bay = map.bay();
+            let mouth_x = bay.center.x - BAY_DEPTH * 0.5;
+            Vec2::new(mouth_x - corridor_len * 0.5, bay.center.y)
+        }
+        _ => corridor.center(),
     }
 }
 
@@ -456,7 +829,8 @@ impl ProcGen {
     /// Candidates are sampled from seeds derived from `(seed, attempt)`
     /// and the first one passing [`ProcScenario::validity`] is returned —
     /// deterministic for a given seed. After 64 failed attempts the
-    /// obstacle-free fallback lot (always valid) is returned.
+    /// obstacle-free fallback lot for the pinned family (always valid)
+    /// is returned.
     pub fn generate(&self, seed: u64) -> ProcScenario {
         for attempt in 0..64u64 {
             let mut spec = self.sample(seed, attempt);
@@ -465,18 +839,8 @@ impl ProcGen {
                 return spec;
             }
         }
-        let mut fallback = ProcScenario {
-            seed,
-            lot_w: 30.0,
-            lot_h: 20.0,
-            bay_style: BayStyle::ReverseIn,
-            bay_frac: 0.5,
-            statics: Vec::new(),
-            routes: Vec::new(),
-            start: Pose2::new(5.0, 10.0, 0.0),
-            noise_scale: 0.0,
-        };
-        fallback.start = Pose2::new(5.0, bay_center_reverse_in(20.0, 0.5), 0.0);
+        let kind = self.config.family.unwrap_or(MapFamilyKind::ReverseIn);
+        let fallback = fallback_spec(seed, kind);
         debug_assert!(fallback.validity().is_ok());
         fallback
     }
@@ -485,27 +849,68 @@ impl ProcGen {
     fn sample(&self, seed: u64, attempt: u64) -> ProcScenario {
         let c = &self.config;
         let mut rng = SmallRng::seed_from_u64(seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15));
-        let lot_w = rng.gen_range(c.lot_width.0..c.lot_width.1);
-        let lot_h = rng.gen_range(c.lot_height.0..c.lot_height.1);
-        let bay_style = if c.allow_parallel && rng.gen_range(0.0..1.0) < 0.35 {
-            BayStyle::ParallelCurb
-        } else {
-            BayStyle::ReverseIn
+        let mut lot_w = rng.gen_range(c.lot_width.0..c.lot_width.1);
+        let mut lot_h = rng.gen_range(c.lot_height.0..c.lot_height.1);
+        let kind = match c.family {
+            Some(kind) => kind,
+            None => {
+                let mix: &[MapFamilyKind] = if c.allow_parallel {
+                    &MapFamilyKind::ALL
+                } else {
+                    &[
+                        MapFamilyKind::ReverseIn,
+                        MapFamilyKind::AngledEchelon,
+                        MapFamilyKind::PillaredGarage,
+                        MapFamilyKind::DeadEndStub,
+                        MapFamilyKind::CrowdedLot,
+                    ]
+                };
+                mix[rng.gen_range(0..mix.len())]
+            }
+        };
+        // family parameters are drawn unconditionally so the stream of
+        // downstream draws (obstacles, start, noise) is family-independent
+        let angle = rng.gen_range(0.35..0.95);
+        let pitch = rng.gen_range(4.5..6.5);
+        let pillar = rng.gen_range(0.45..0.9);
+        let corridor_w = rng.gen_range(3.6..4.8);
+        let corridor_len = rng.gen_range(5.5..9.0);
+        let row_gap = rng.gen_range(5.4..6.8);
+        // per-family lot clamps keep the sampled geometry plausible
+        let family = match kind {
+            MapFamilyKind::ReverseIn => MapFamily::ReverseIn,
+            MapFamilyKind::ParallelCurb => {
+                if lot_w < 2.0 * (CURB_GAP * 0.5 + 5.2) + 1.0 {
+                    // lot too narrow for the curb gap plus framing cars
+                    MapFamily::ReverseIn
+                } else {
+                    MapFamily::ParallelCurb
+                }
+            }
+            MapFamilyKind::AngledEchelon => MapFamily::AngledEchelon(EchelonParams { angle }),
+            MapFamilyKind::PillaredGarage => {
+                lot_w = lot_w.max(26.0);
+                MapFamily::PillaredGarage(GarageParams { pitch, pillar })
+            }
+            MapFamilyKind::DeadEndStub => {
+                lot_w = lot_w.max(24.0);
+                MapFamily::DeadEndStub(StubParams {
+                    corridor_w,
+                    corridor_len,
+                })
+            }
+            MapFamilyKind::CrowdedLot => {
+                lot_h = lot_h.max(16.0);
+                MapFamily::CrowdedLot(CrowdedParams { row_gap })
+            }
         };
         let bay_frac = rng.gen_range(0.0..1.0);
-        // lot must be wide enough for the curb gap plus framing cars
-        let bay_style = if bay_style == BayStyle::ParallelCurb && lot_w < 2.0 * (CURB_GAP * 0.5 + 5.2) + 1.0
-        {
-            BayStyle::ReverseIn
-        } else {
-            bay_style
-        };
 
         let spec_wo_obstacles = ProcScenario {
             seed,
             lot_w,
             lot_h,
-            bay_style,
+            family,
             bay_frac,
             statics: Vec::new(),
             routes: Vec::new(),
@@ -513,7 +918,7 @@ impl ProcGen {
             noise_scale: 0.0,
         };
         let map = spec_wo_obstacles.map();
-        let corridor = slot_corridor(&map, bay_style);
+        let corridor = slot_corridor(&map, family);
         let bounds = map.bounds();
 
         // statics in the mid-lot band, clear of the corridor and each other
@@ -546,8 +951,14 @@ impl ProcGen {
             statics.push(StaticSpec { pose, length, width });
         }
 
-        // dynamic patrols: straight two-point routes in the interior
-        let n_dynamic = rng.gen_range(c.n_dynamic.0..=c.n_dynamic.1);
+        // dynamic patrols: straight two-point routes in the interior;
+        // the crowded lot always ships at least one scripted agent
+        let n_dynamic_min = if kind == MapFamilyKind::CrowdedLot {
+            c.n_dynamic.0.max(1)
+        } else {
+            c.n_dynamic.0
+        };
+        let n_dynamic = rng.gen_range(n_dynamic_min..=c.n_dynamic.1.max(n_dynamic_min));
         let mut routes = Vec::new();
         for _ in 0..n_dynamic {
             let vertical = rng.gen_range(0.0..1.0) < 0.5;
@@ -588,7 +999,7 @@ impl ProcGen {
             seed,
             lot_w,
             lot_h,
-            bay_style,
+            family,
             bay_frac,
             statics,
             routes,
@@ -604,15 +1015,47 @@ impl Default for ProcGen {
     }
 }
 
+/// The canonical always-valid spec for a family — the generator's
+/// fallback when 64 sampled candidates all fail validity.
+fn fallback_spec(seed: u64, kind: MapFamilyKind) -> ProcScenario {
+    let family = MapFamily::canonical(kind);
+    let (lot_w, lot_h) = (30.0, 20.0);
+    let start_y = match family {
+        MapFamily::ParallelCurb => 7.0,
+        _ => bay_center_reverse_in(lot_h, 0.5),
+    };
+    let routes = match family {
+        // the crowded lot's family contract includes a scripted agent
+        MapFamily::CrowdedLot(_) => vec![RouteSpec {
+            waypoints: vec![Vec2::new(17.0, 3.0), Vec2::new(17.0, lot_h - 3.0)],
+            speed: 0.6,
+        }],
+        _ => Vec::new(),
+    };
+    ProcScenario {
+        seed,
+        lot_w,
+        lot_h,
+        family,
+        bay_frac: 0.5,
+        statics: Vec::new(),
+        routes,
+        start: Pose2::new(5.0, start_y, 0.0),
+        noise_scale: 0.0,
+    }
+}
+
 /// Deterministically minimizes a failing spec.
 ///
 /// `still_failing` must return `true` while the property under test still
 /// fails for a candidate. The shrinker greedily applies simplifications —
 /// drop a dynamic route, drop a static obstacle, zero the noise, snap the
-/// lot and slot to canonical values, center the start pose — keeping each
-/// one only when the candidate is still *valid* and still failing, and
-/// repeats until a fixpoint. The result reproduces the failure with the
-/// fewest moving parts.
+/// lot, slot and family parameters to canonical values, center the start
+/// pose — keeping each one only when the candidate is still *valid* and
+/// still failing, and repeats until a fixpoint. The family's kind never
+/// changes, so the minimized repro stays in the family that found the
+/// failure. The result reproduces the failure with the fewest moving
+/// parts.
 pub fn shrink<F>(spec: &ProcScenario, mut still_failing: F) -> ProcScenario
 where
     F: FnMut(&ProcScenario) -> bool,
@@ -657,10 +1100,11 @@ where
         }
 
         // snap geometry to canonical values, one knob at a time
-        let snaps: [fn(&mut ProcScenario); 4] = [
+        let snaps: [fn(&mut ProcScenario); 5] = [
             |c| c.lot_w = 30.0,
             |c| c.lot_h = 20.0,
             |c| c.bay_frac = 0.5,
+            |c| c.family = MapFamily::canonical(c.family.kind()),
             |c| {
                 let center = spawn_region(c.lot_w, c.lot_h).center();
                 c.start = Pose2::new(center.x, center.y, 0.0);
@@ -685,6 +1129,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn generation_is_deterministic_and_valid() {
@@ -701,15 +1146,69 @@ mod tests {
     #[test]
     fn seeds_explore_the_space() {
         let gen = ProcGen::default();
-        let specs: Vec<ProcScenario> = (0..60).map(|s| gen.generate(s)).collect();
+        let specs: Vec<ProcScenario> = (0..120).map(|s| gen.generate(s)).collect();
         let widths: std::collections::BTreeSet<u64> =
             specs.iter().map(|s| s.lot_w as u64).collect();
         assert!(widths.len() > 5, "lot widths barely vary: {widths:?}");
-        assert!(specs.iter().any(|s| s.bay_style == BayStyle::ParallelCurb));
-        assert!(specs.iter().any(|s| s.bay_style == BayStyle::ReverseIn));
+        let kinds: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.family.kind().name()).collect();
+        assert!(
+            kinds.len() >= 5,
+            "the family mix barely varies: {kinds:?}"
+        );
         assert!(specs.iter().any(|s| !s.routes.is_empty()));
         assert!(specs.iter().any(|s| s.noise_scale > 0.0));
         assert!(specs.iter().any(|s| s.statics.len() >= 3));
+    }
+
+    #[test]
+    fn every_family_generates_when_pinned() {
+        for kind in MapFamilyKind::ALL {
+            let gen = ProcGen::new(ProcGenConfig {
+                family: Some(kind),
+                ..ProcGenConfig::default()
+            });
+            for seed in 0..12 {
+                let spec = gen.generate(seed);
+                assert_eq!(spec.family.kind(), kind, "seed {seed} kind {kind}");
+                assert_eq!(spec.validity(), Ok(()), "seed {seed} kind {kind}");
+                let scenario = spec.build();
+                let mut world = crate::World::new(scenario);
+                assert!(
+                    !world.in_collision(),
+                    "seed {seed} kind {kind} spawns in collision"
+                );
+                for _ in 0..10 {
+                    world.step(&icoil_vehicle::Action::forward(0.2, 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_specs_are_valid_for_every_family() {
+        for kind in MapFamilyKind::ALL {
+            let spec = fallback_spec(9, kind);
+            assert_eq!(spec.family.kind(), kind);
+            assert_eq!(spec.validity(), Ok(()), "fallback for {kind}");
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip_and_are_stable() {
+        let expected = [
+            "reverse_in",
+            "parallel_curb",
+            "angled_echelon",
+            "pillared_garage",
+            "dead_end_stub",
+            "crowded_lot",
+        ];
+        for (kind, name) in MapFamilyKind::ALL.into_iter().zip(expected) {
+            assert_eq!(kind.name(), name);
+            assert_eq!(MapFamilyKind::from_name(name), Some(kind));
+        }
+        assert_eq!(MapFamilyKind::from_name("mocam"), None);
     }
 
     #[test]
@@ -738,11 +1237,40 @@ mod tests {
     }
 
     #[test]
+    fn validity_rejects_spawn_blocked_only_under_noise_jitter() {
+        // a static that clears the nominal inflated footprint but sits
+        // inside the 3σ jitter envelope must be rejected when (and only
+        // when) the spec carries sensing noise
+        let mut spec = fallback_spec(0, MapFamilyKind::ReverseIn);
+        let params = VehicleParams::default();
+        let fp = VehicleState::at_rest(spec.start).footprint(&params);
+        // place the box ahead of the nose: nominal gap ~0.45 m, inside
+        // the full-noise envelope (3 × 0.15 m translation + heading arc)
+        let nose_x = fp.aabb().max.x;
+        spec.statics.push(StaticSpec {
+            pose: Pose2::new(nose_x + 0.75 + 0.45, spec.start.y, 0.0),
+            length: 1.5,
+            width: 1.5,
+        });
+        spec.noise_scale = 0.0;
+        assert_eq!(spec.validity(), Ok(()), "nominal spawn must clear");
+        spec.noise_scale = 1.0;
+        assert_eq!(
+            spec.validity(),
+            Err(InvalidScenario::SpawnBlocked),
+            "the jitter envelope must reject the marginal spawn"
+        );
+    }
+
+    #[test]
     fn validity_rejects_walled_off_slot() {
         let gen = ProcGen::default();
         let mut spec = gen.generate(2);
         spec.statics.clear();
         spec.routes.clear();
+        if spec.family.kind() == MapFamilyKind::CrowdedLot {
+            spec = fallback_spec(2, MapFamilyKind::ReverseIn);
+        }
         assert_eq!(spec.validity(), Ok(()));
         // wall the lot in half between spawn and slot
         let map = spec.map();
@@ -767,12 +1295,74 @@ mod tests {
     }
 
     #[test]
+    fn validity_enforces_family_param_ranges() {
+        let mut spec = fallback_spec(0, MapFamilyKind::AngledEchelon);
+        spec.family = MapFamily::AngledEchelon(EchelonParams { angle: 1.4 });
+        assert_eq!(spec.validity(), Err(InvalidScenario::FamilyParamOutOfRange));
+        let mut spec = fallback_spec(0, MapFamilyKind::DeadEndStub);
+        spec.family = MapFamily::DeadEndStub(StubParams {
+            corridor_w: 1.0,
+            corridor_len: 7.0,
+        });
+        assert_eq!(spec.validity(), Err(InvalidScenario::FamilyParamOutOfRange));
+    }
+
+    #[test]
+    fn crowded_lot_requires_a_dynamic_agent() {
+        let mut spec = fallback_spec(0, MapFamilyKind::CrowdedLot);
+        assert_eq!(spec.validity(), Ok(()));
+        spec.routes.clear();
+        assert_eq!(spec.validity(), Err(InvalidScenario::MissingDynamicAgent));
+    }
+
+    #[test]
+    fn structural_obstacles_match_their_family() {
+        // curb gap: exactly two framing cars
+        let curb = fallback_spec(0, MapFamilyKind::ParallelCurb);
+        assert_eq!(curb.structural_statics().len(), 2);
+        // echelon: neighbor cars parked at the bay angle
+        let ech = fallback_spec(0, MapFamilyKind::AngledEchelon);
+        let neighbors = ech.structural_statics();
+        assert!(!neighbors.is_empty());
+        for n in &neighbors {
+            assert!((n.pose.theta - 0.6).abs() < 1e-12);
+        }
+        // garage: a pillar grid that stays out of the slot corridor
+        let garage = fallback_spec(0, MapFamilyKind::PillaredGarage);
+        let pillars = garage.structural_statics();
+        assert!(pillars.len() >= 4, "only {} pillars", pillars.len());
+        let corridor = slot_corridor(&garage.map(), garage.family);
+        for p in &pillars {
+            let aabb = Obb::from_pose(p.pose, p.length, p.width).aabb();
+            assert!(!corridor.intersects(&aabb));
+        }
+        // dead-end stub: two walls symmetric about the bay centerline
+        let stub = fallback_spec(0, MapFamilyKind::DeadEndStub);
+        let walls = stub.structural_statics();
+        assert_eq!(walls.len(), 2);
+        let bay_y = stub.map().bay().center.y;
+        assert!((walls[0].pose.y + walls[1].pose.y - 2.0 * bay_y).abs() < 1e-9);
+        // crowded lot: two rows of parked cars
+        let crowd = fallback_spec(0, MapFamilyKind::CrowdedLot);
+        let cars = crowd.structural_statics();
+        assert!(cars.len() >= 6, "only {} parked cars", cars.len());
+        let aisle_y = crowd.map().bay().center.y;
+        let above = cars.iter().filter(|c| c.pose.y > aisle_y).count();
+        assert!(above > 0 && above < cars.len(), "cars on both sides");
+    }
+
+    #[test]
     fn shrink_minimizes_to_smallest_failing_form() {
         let gen = ProcGen::default();
         // find a busy spec: several statics plus at least one route
         let spec = (0..200)
             .map(|s| gen.generate(s))
-            .find(|s| s.statics.len() >= 3 && !s.routes.is_empty() && s.noise_scale > 0.0)
+            .find(|s| {
+                s.statics.len() >= 3
+                    && !s.routes.is_empty()
+                    && s.noise_scale > 0.0
+                    && s.family.kind() != MapFamilyKind::CrowdedLot
+            })
             .expect("a busy spec exists");
         // property that "fails" whenever any dynamic obstacle is present
         let minimized = shrink(&spec, |s| !s.routes.is_empty());
@@ -782,6 +1372,11 @@ mod tests {
         assert_eq!(minimized.validity(), Ok(()));
         assert_eq!(minimized.lot_w, 30.0);
         assert_eq!(minimized.lot_h, 20.0);
+        assert_eq!(
+            minimized.family,
+            MapFamily::canonical(spec.family.kind()),
+            "family parameters snapped, kind preserved"
+        );
     }
 
     #[test]
@@ -799,7 +1394,7 @@ mod tests {
         let gen = ProcGen::default();
         let spec = (0..100)
             .map(|s| gen.generate(s))
-            .find(|s| s.bay_style == BayStyle::ParallelCurb)
+            .find(|s| s.family == MapFamily::ParallelCurb)
             .expect("a curb spec exists");
         let scenario = spec.build();
         let fixed = scenario
@@ -821,9 +1416,63 @@ mod tests {
         spec.noise_scale = 0.0;
         assert!(spec.build().noise.is_none());
         spec.noise_scale = 1.0;
+        // full-tier noise may push the (previously marginal) spawn into
+        // the jitter envelope; only the noise interpolation is under test
         assert_eq!(spec.build().noise, NoiseConfig::hard());
         spec.noise_scale = 0.5;
         let n = spec.build().noise;
         assert!((n.box_jitter - NoiseConfig::hard().box_jitter * 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Regression for the noised-spawn fix: every spec the generator
+        /// returns keeps its spawn clear under any obstacle perturbation
+        /// inside the noise envelope, not just nominally.
+        #[test]
+        fn generated_spawns_clear_the_noise_envelope(
+            seed in 0u64..600,
+            dx in -1.0f64..1.0,
+            dy in -1.0f64..1.0,
+            dth in -1.0f64..1.0,
+        ) {
+            let gen = ProcGen::default();
+            let spec = gen.generate(seed);
+            if spec.noise_scale == 0.0 {
+                // clean spec: the envelope property is vacuous
+                return Ok(());
+            }
+            let hard = NoiseConfig::hard();
+            let d_pos = NOISE_ENVELOPE_SIGMA * hard.box_jitter * spec.noise_scale;
+            let d_theta = NOISE_ENVELOPE_SIGMA * hard.heading_jitter * spec.noise_scale;
+            let scenario = spec.build();
+            let params = VehicleParams::default();
+            let fp = scenario.start_state.footprint(&params).inflated(0.3);
+            for o in scenario.obstacles.iter().map(|o| o.footprint_at(0.0)) {
+                // perturb the obstacle as jittered perception would
+                // report it (translation scaled inside the disc bound)
+                let scale = d_pos / 2f64.sqrt();
+                let mut moved = o;
+                moved.center = o.center + Vec2::new(dx * scale, dy * scale);
+                moved.theta += dth * d_theta;
+                prop_assert!(
+                    !moved.intersects(&fp),
+                    "seed {seed}: jittered obstacle overlaps the spawn"
+                );
+            }
+        }
+
+        /// The shrinker terminates and preserves validity + family kind
+        /// with the noised-spawn check active.
+        #[test]
+        fn shrink_preserves_validity_under_noise(seed in 0u64..200) {
+            let gen = ProcGen::default();
+            let spec = gen.generate(seed);
+            let kind = spec.family.kind();
+            let minimized = shrink(&spec, |_| true);
+            prop_assert_eq!(minimized.validity(), Ok(()));
+            prop_assert_eq!(minimized.family.kind(), kind);
+        }
     }
 }

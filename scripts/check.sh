@@ -26,8 +26,12 @@
 # bit-identical (the nn run includes the quantization proptests, so the
 # int8 quantizer/accumulator contracts are proved on both backends). The
 # conformance smoke (which includes the simd_scalar_kernels,
-# batched_single_qp and quantized_il differential checks) fuzzes
-# procedurally generated scenarios through the full harness. Override
+# batched_single_qp, quantized_il and family_determinism differential
+# checks) fuzzes procedurally generated scenarios through the full
+# harness, cycling every map family; a per-family pass then pins each
+# family for at least 5 cases so no family can hide behind the cycling.
+# The scenarios bin drives two full-stack episodes per family and emits
+# the BENCH_scenarios.json the telemetry smoke schema-checks. Override
 # the fuzz case count with ICOIL_FUZZ_CASES, e.g.
 # `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
 set -euo pipefail
@@ -38,10 +42,17 @@ cargo test -q
 ICOIL_FORCE_SCALAR=1 cargo test -q -p icoil-solver -p icoil-nn -p icoil-co
 cargo test --release -q --test backend_e2e
 cargo clippy --all-targets -- -D warnings
+ICOIL_EPISODES=2 \
+    cargo run --release -q -p icoil-bench --bin scenarios -- --untrained --out target/BENCH_scenarios_smoke.json
 cargo run --release -q -p icoil-bench --bin telemetry_smoke
 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FORCE_SCALAR=1 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_IL_PRECISION=int8 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
+for family in reverse_in parallel_curb angled_echelon pillared_garage dead_end_stub crowded_lot; do
+    ICOIL_FUZZ_CASES="${ICOIL_FAMILY_FUZZ_CASES:-5}" \
+        cargo run --release -q -p icoil-bench --bin conformance -- \
+        --smoke --family "$family" --out "target/conformance-$family.json"
+done
 echo "all checks passed"
