@@ -1,0 +1,133 @@
+//! Online-adaptation smoke gate: a tiny end-to-end run of the DAgger
+//! flywheel — seed demos → serve generation 0 → retrain → hot-swap →
+//! serve generation 1 — with the invariants the loop promises asserted
+//! along the way:
+//!
+//! * every session pins the weight generation published at its creation
+//!   (checked per response inside the harvest loop);
+//! * the client-side mirror worlds replay the served trajectories
+//!   bit-identically (the harvest panics on any divergence);
+//! * each retraining round publishes a fresh generation and the next
+//!   serving run rides it;
+//! * the harvested dataset and the published weights survive an on-disk
+//!   save/load round trip, checksums intact.
+//!
+//! Run sizes honor `ICOIL_ADAPT_SESSIONS` (episodes per family per
+//! generation, default 1), `ICOIL_ADAPT_FRAMES` (default 25),
+//! `ICOIL_ADAPT_GENERATIONS` (default 2) and `ICOIL_ADAPT_EPOCHS`
+//! (default 1):
+//!
+//! ```text
+//! cargo run --release -p icoil-bench --bin adapt_smoke
+//! ```
+
+use icoil_adapt::{fingerprint, AdaptDataset, WeightArtifact, WeightStore};
+use icoil_bench::adapt::{run_adapt_phase, AdaptOptions};
+use icoil_core::ICoilConfig;
+use icoil_il::IlModel;
+use icoil_perception::BevConfig;
+use icoil_serve::ServeConfig;
+use icoil_telemetry::Counter;
+use icoil_vehicle::ActionCodec;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_size(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let generations = env_size("ICOIL_ADAPT_GENERATIONS", 2) as usize;
+    let opts = AdaptOptions {
+        sessions_per_family: env_size("ICOIL_ADAPT_SESSIONS", 1),
+        frames_per_session: env_size("ICOIL_ADAPT_FRAMES", 25),
+        epochs_per_generation: env_size("ICOIL_ADAPT_EPOCHS", 1) as usize,
+        ..AdaptOptions::default()
+    };
+    let mut icoil = ICoilConfig::default();
+    icoil.safety.enabled = true;
+    let config = ServeConfig {
+        icoil,
+        co_deadline: Duration::from_secs(30),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    let seed_model = IlModel::untrained(ActionCodec::default(), config.icoil.bev, 1);
+    let store = Arc::new(WeightStore::new(seed_model));
+    let outcome = run_adapt_phase(&store, &config, &opts, generations, 1, 200);
+
+    assert_eq!(
+        outcome.generations.len(),
+        generations,
+        "one stats row per serving generation"
+    );
+    assert_eq!(
+        store.generation_count(),
+        generations,
+        "each retraining round must publish exactly one generation"
+    );
+    for (i, g) in outcome.generations.iter().enumerate() {
+        assert_eq!(
+            g.weight_version, i as u32,
+            "generation {i} must ride weight version {i}"
+        );
+        assert!(
+            g.tagged_frames() > 0,
+            "generation {i} served no mode-tagged frames"
+        );
+        println!(
+            "adapt smoke: generation {} | weights v{} | il share {:.3} | co+shed share {:.3} \
+             | harvested {} | collisions {} | safety clips {}",
+            i,
+            g.weight_version,
+            g.il_share(),
+            g.co_shed_share(),
+            g.harvested,
+            g.collisions,
+            g.metrics.counter(Counter::SafetyProjections),
+        );
+    }
+    assert!(
+        outcome.generations[0].harvested > 0,
+        "generation 0 (untrained weights) must harvest expert labels"
+    );
+    assert!(outcome.dataset_len > 0, "the reservoir dataset is empty");
+
+    // the artifacts the loop would persist survive the disk round trip
+    let dir = std::path::Path::new("target/adapt_smoke");
+    std::fs::create_dir_all(dir).expect("create target/adapt_smoke");
+    let latest = store.latest();
+    let artifact = WeightArtifact {
+        version: latest.version,
+        parent: latest.version.checked_sub(1),
+        seed: opts.seed,
+        examples: latest.examples,
+        model: latest.model.clone(),
+    };
+    let weights_path = dir.join("weights.icwt");
+    artifact.save(&weights_path).expect("save weight artifact");
+    let reloaded = WeightArtifact::load(&weights_path).expect("reload weight artifact");
+    assert_eq!(
+        fingerprint(&reloaded.model),
+        fingerprint(&latest.model),
+        "reloaded weights must be bit-identical to the published generation"
+    );
+
+    let dataset = AdaptDataset::for_bev(&BevConfig::default(), 4, opts.seed);
+    let dataset_path = dir.join("dataset.icds");
+    dataset.save(&dataset_path).expect("save dataset");
+    AdaptDataset::load(&dataset_path).expect("reload dataset");
+
+    println!(
+        "adapt smoke passed: {} generation(s), dataset {} frame(s) ({} offered), {:.1}s",
+        generations,
+        outcome.dataset_len,
+        outcome.dataset_seen,
+        t0.elapsed().as_secs_f64()
+    );
+}

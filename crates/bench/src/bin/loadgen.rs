@@ -22,12 +22,26 @@
 //!    engine shards with the *offered load scaled by the shard count*
 //!    (a flat load would leave added shards idle and remeasure the
 //!    1-shard rate), recording sessions/sec and the mean per-shard IL
-//!    micro-batch width at each point.
+//!    micro-batch width at each point;
+//! 6. **Adapt phase** — the online-adaptation flywheel on the hard
+//!    family tail (`parallel_curb`, `dead_end_stub`, `crowded_lot`):
+//!    a fixed evaluation scenario set served three times against a
+//!    shared weight store, with a DAgger-style retraining round (warm-
+//!    started from the previous weights, fed by the harvested CO-expert
+//!    labels) hot-swapped in between. Safety projection is enabled
+//!    throughout. The report must show the IL mode share strictly
+//!    rising and the CO + shed load strictly falling generation over
+//!    generation at zero collisions, plus per-family CO admit/shed
+//!    counters (attributed here and in the overload phase — seeded
+//!    scenarios carry no family).
 //!
 //! The file lands in the working directory (the repo root under
 //! `cargo run`). Run sizes honor `ICOIL_SERVE_SESSIONS` (default 8),
 //! `ICOIL_SERVE_FRAMES` (default 50), `ICOIL_SERVE_SWEEP_SESSIONS`
-//! (default 2000) and `ICOIL_SERVE_SWEEP_FRAMES` (default 8):
+//! (default 2000), `ICOIL_SERVE_SWEEP_FRAMES` (default 8),
+//! `ICOIL_ADAPT_SESSIONS` (episodes per family per generation, default
+//! 2), `ICOIL_ADAPT_FRAMES` (default 40) and `ICOIL_ADAPT_EPOCHS`
+//! (retraining passes per round, default 8):
 //!
 //! ```text
 //! cargo run --release -p icoil-bench --bin loadgen
@@ -36,15 +50,18 @@
 //! An untrained IL model is used throughout: inference cost does not
 //! depend on the weight values, and it keeps the bin self-contained.
 
+use icoil_adapt::WeightStore;
+use icoil_bench::adapt::{run_adapt_phase, AdaptOptions};
 use icoil_bench::ServeReport;
 use icoil_core::ICoilConfig;
 use icoil_hsa::HsaConfig;
 use icoil_il::{IlModel, IlPrecision};
 use icoil_perception::BevConfig;
-use icoil_serve::{Serve, ServeConfig, SessionConfig};
+use icoil_serve::{Serve, ServeConfig, SessionConfig, SessionSpec};
 use icoil_telemetry::{Counter, Metrics, Series};
 use icoil_vehicle::ActionCodec;
-use icoil_world::Difficulty;
+use icoil_world::{Difficulty, MapFamilyKind, ProcGen, ProcGenConfig};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn env_size(key: &str, default: u64) -> u64 {
@@ -59,18 +76,26 @@ fn env_size(key: &str, default: u64) -> u64 {
 /// wall-clock seconds of the stepping loop alone (startup, session
 /// creation and any int8 calibration excluded).
 fn run_phase(config: ServeConfig, sessions: u64, frames: u64, seed0: u64) -> (Metrics, f64) {
+    let specs = (0..sessions)
+        .map(|i| {
+            SessionSpec::Seeded(SessionConfig {
+                difficulty: Difficulty::Normal,
+                seed: seed0 + i,
+            })
+        })
+        .collect();
+    run_phase_specs(config, specs, frames)
+}
+
+/// [`run_phase`] with explicit session specs (the overload phase pins
+/// procedural map families so the per-family shed counters attribute).
+fn run_phase_specs(config: ServeConfig, specs: Vec<SessionSpec>, frames: u64) -> (Metrics, f64) {
     let model = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 1);
     let server = Serve::start(config, model);
     let handle = server.handle();
-    let ids: Vec<u64> = (0..sessions)
-        .map(|i| {
-            handle
-                .create(SessionConfig {
-                    difficulty: Difficulty::Normal,
-                    seed: seed0 + i,
-                })
-                .expect("create session")
-        })
+    let ids: Vec<u64> = specs
+        .into_iter()
+        .map(|spec| handle.create(spec).expect("create session"))
         .collect();
     let t0 = Instant::now();
     for _ in 0..frames {
@@ -137,7 +162,9 @@ fn main() {
     // phase 3: pure CO lane (untrained model → high uncertainty), carried
     let (co_metrics, _) = run_phase(base, sessions, frames, 9100);
 
-    // phase 4: deliberate overload — must shed, never block
+    // phase 4: deliberate overload — must shed, never block. Sessions
+    // cycle the procedural map families so the per-family admit/shed
+    // counters attribute the pressure (seeded scenarios carry no family).
     let overload_config = ServeConfig {
         co_workers: 1,
         queue_capacity: 2,
@@ -145,7 +172,17 @@ fn main() {
         ..ServeConfig::default()
     };
     let overload_frames = (frames / 4).max(5);
-    let (overload_metrics, _) = run_phase(overload_config, sessions * 2, overload_frames, 9200);
+    let overload_specs: Vec<SessionSpec> = (0..sessions * 2)
+        .map(|i| {
+            let family = MapFamilyKind::ALL[i as usize % MapFamilyKind::ALL.len()];
+            let gen = ProcGen::new(ProcGenConfig {
+                family: Some(family),
+                ..ProcGenConfig::default()
+            });
+            SessionSpec::Scenario(Box::new(gen.generate(9200 + i).build()))
+        })
+        .collect();
+    let (overload_metrics, _) = run_phase_specs(overload_config, overload_specs, overload_frames);
 
     let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
     let total_sessions = sessions * 3 + sessions * 2;
@@ -187,6 +224,57 @@ fn main() {
         );
     }
 
+    // phase 6: online adaptation — the DAgger flywheel on the hard
+    // family tail (parallel_curb, dead_end_stub, crowded_lot). A fixed
+    // evaluation scenario set is served three times against a shared
+    // weight store: generation 0 rides untrained seed weights, then each
+    // retraining round consumes the harvested CO-expert labels, warm-
+    // starts from the previous generation and hot-swaps the result in.
+    // Safety projection is on throughout, so the mode-share trend is
+    // priced at a fixed safety bar (zero collisions, asserted below).
+    let adapt_opts = AdaptOptions {
+        sessions_per_family: env_size("ICOIL_ADAPT_SESSIONS", 2),
+        frames_per_session: env_size("ICOIL_ADAPT_FRAMES", 40),
+        epochs_per_generation: env_size("ICOIL_ADAPT_EPOCHS", 8) as usize,
+        ..AdaptOptions::default()
+    };
+    let adapt_generations = 3u64;
+    let mut adapt_icoil = ICoilConfig::default();
+    adapt_icoil.safety.enabled = true;
+    let adapt_config = ServeConfig {
+        icoil: adapt_icoil,
+        co_deadline: Duration::from_secs(30),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let store = Arc::new(WeightStore::new(IlModel::untrained(
+        ActionCodec::default(),
+        adapt_config.icoil.bev,
+        1,
+    )));
+    let adapt = run_adapt_phase(
+        &store,
+        &adapt_config,
+        &adapt_opts,
+        adapt_generations as usize,
+        1,
+        400,
+    );
+    assert_eq!(adapt.generations.len(), 3, "the adapt phase runs three generations");
+    let adapt_metrics = adapt.merged_metrics();
+    let adapt_collisions: u64 = adapt.generations.iter().map(|g| g.collisions).sum();
+    let family_counter = |metrics: &Metrics, table: &[Counter; 6], kind: MapFamilyKind| {
+        metrics.counter(table[kind.index()]) as f64
+    };
+    let admits = |kind| {
+        family_counter(&adapt_metrics, &Counter::CO_ADMITTED_BY_FAMILY, kind)
+            + family_counter(&overload_metrics, &Counter::CO_ADMITTED_BY_FAMILY, kind)
+    };
+    let sheds = |kind| {
+        family_counter(&adapt_metrics, &Counter::CO_SHED_BY_FAMILY, kind)
+            + family_counter(&overload_metrics, &Counter::CO_SHED_BY_FAMILY, kind)
+    };
+
     let il_lane = il_metrics.series(Series::ServeIlLane);
     let co_lane = co_metrics.series(Series::ServeCoLane);
     let batches = il_metrics.series(Series::IlBatchSize);
@@ -212,12 +300,36 @@ fn main() {
         sweep_batch_mean_s2: sweep_batch_means[1],
         sweep_batch_mean_s4: sweep_batch_means[2],
         sweep_batch_mean_s8: sweep_batch_means[3],
+        adapt_il_share_g0: adapt.generations[0].il_share(),
+        adapt_il_share_g1: adapt.generations[1].il_share(),
+        adapt_il_share_g2: adapt.generations[2].il_share(),
+        adapt_co_shed_share_g0: adapt.generations[0].co_shed_share(),
+        adapt_co_shed_share_g1: adapt.generations[1].co_shed_share(),
+        adapt_co_shed_share_g2: adapt.generations[2].co_shed_share(),
+        adapt_collisions: adapt_collisions as f64,
+        adapt_dataset_frames: adapt.dataset_len as f64,
+        adapt_safety_projections: adapt_metrics.counter(Counter::SafetyProjections) as f64,
+        co_admitted_reverse_in: admits(MapFamilyKind::ReverseIn),
+        co_admitted_parallel_curb: admits(MapFamilyKind::ParallelCurb),
+        co_admitted_angled_echelon: admits(MapFamilyKind::AngledEchelon),
+        co_admitted_pillared_garage: admits(MapFamilyKind::PillaredGarage),
+        co_admitted_dead_end_stub: admits(MapFamilyKind::DeadEndStub),
+        co_admitted_crowded_lot: admits(MapFamilyKind::CrowdedLot),
+        co_shed_reverse_in: sheds(MapFamilyKind::ReverseIn),
+        co_shed_parallel_curb: sheds(MapFamilyKind::ParallelCurb),
+        co_shed_angled_echelon: sheds(MapFamilyKind::AngledEchelon),
+        co_shed_pillared_garage: sheds(MapFamilyKind::PillaredGarage),
+        co_shed_dead_end_stub: sheds(MapFamilyKind::DeadEndStub),
+        co_shed_crowded_lot: sheds(MapFamilyKind::CrowdedLot),
         had_nonfinite: false,
         sessions,
         frames_per_session: frames,
         co_workers: base.co_workers as u64,
         sweep_sessions,
         sweep_frames,
+        adapt_sessions: adapt_opts.sessions_per_family * adapt_opts.families.len() as u64,
+        adapt_frames_per_session: adapt_opts.frames_per_session,
+        adapt_generations,
     };
     report.sanitize();
 
@@ -228,6 +340,28 @@ fn main() {
     assert!(
         report.shed_rate_overload > 0.0,
         "the overload phase must shed instead of blocking"
+    );
+    assert!(
+        report.adapt_il_share_g0 < report.adapt_il_share_g1
+            && report.adapt_il_share_g1 < report.adapt_il_share_g2,
+        "the IL mode share must rise strictly across retraining generations: \
+         {:.3} / {:.3} / {:.3}",
+        report.adapt_il_share_g0,
+        report.adapt_il_share_g1,
+        report.adapt_il_share_g2,
+    );
+    assert!(
+        report.adapt_co_shed_share_g0 > report.adapt_co_shed_share_g1
+            && report.adapt_co_shed_share_g1 > report.adapt_co_shed_share_g2,
+        "the CO + shed load must fall strictly across retraining generations: \
+         {:.3} / {:.3} / {:.3}",
+        report.adapt_co_shed_share_g0,
+        report.adapt_co_shed_share_g1,
+        report.adapt_co_shed_share_g2,
+    );
+    assert_eq!(
+        report.adapt_collisions, 0.0,
+        "the adaptation trend is only admissible at zero collisions"
     );
 
     println!(
@@ -251,6 +385,23 @@ fn main() {
     println!(
         "int8 IL phase: {:.1} frames/s through the quantized lane (stepping loop only)",
         report.frames_per_sec_int8,
+    );
+    println!(
+        "adapt phase: {} generations x {} sessions x {} frames (hard families, safety on) | \
+         IL share {:.3} -> {:.3} -> {:.3} | CO+shed {:.3} -> {:.3} -> {:.3} | \
+         {} dataset frames | {} safety clips | {} collisions",
+        report.adapt_generations,
+        report.adapt_sessions,
+        report.adapt_frames_per_session,
+        report.adapt_il_share_g0,
+        report.adapt_il_share_g1,
+        report.adapt_il_share_g2,
+        report.adapt_co_shed_share_g0,
+        report.adapt_co_shed_share_g1,
+        report.adapt_co_shed_share_g2,
+        report.adapt_dataset_frames,
+        report.adapt_safety_projections,
+        report.adapt_collisions,
     );
     println!(
         "shard sweep: {} sessions/shard x {} frames (IL lane, load scaled by shard count) | \

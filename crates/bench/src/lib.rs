@@ -7,6 +7,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adapt;
+
 use icoil_core::artifacts;
 use icoil_core::EvalConfig;
 use icoil_il::IlModel;
@@ -320,6 +322,77 @@ pub struct ServeReport {
     /// Mean per-shard IL micro-batch width in the sweep at 8 shards.
     #[serde(default)]
     pub sweep_batch_mean_s8: f64,
+    /// IL mode share of adaptation generation 0 (the seed weights).
+    #[serde(default)]
+    pub adapt_il_share_g0: f64,
+    /// IL mode share of adaptation generation 1 (after one retraining
+    /// round; must be strictly above generation 0).
+    #[serde(default)]
+    pub adapt_il_share_g1: f64,
+    /// IL mode share of adaptation generation 2 (after two retraining
+    /// rounds; must be strictly above generation 1).
+    #[serde(default)]
+    pub adapt_il_share_g2: f64,
+    /// CO + shed share of adaptation generation 0 — the expert load the
+    /// flywheel is meant to shrink.
+    #[serde(default)]
+    pub adapt_co_shed_share_g0: f64,
+    /// CO + shed share of adaptation generation 1 (strictly below
+    /// generation 0).
+    #[serde(default)]
+    pub adapt_co_shed_share_g1: f64,
+    /// CO + shed share of adaptation generation 2 (strictly below
+    /// generation 1).
+    #[serde(default)]
+    pub adapt_co_shed_share_g2: f64,
+    /// Collision episodes across every adaptation generation (must be 0
+    /// — the safety-projection bar the mode-share trend is priced at).
+    #[serde(default)]
+    pub adapt_collisions: f64,
+    /// Frames in the reservoir dataset after the last harvest.
+    #[serde(default)]
+    pub adapt_dataset_frames: f64,
+    /// Safety-projection activations across the adaptation phase
+    /// (IL-mode actions clipped by the per-frame constraint QP).
+    #[serde(default)]
+    pub adapt_safety_projections: f64,
+    /// CO solves admitted for `reverse_in` sessions (adapt + overload
+    /// phases; seeded sessions carry no family and count nowhere).
+    #[serde(default)]
+    pub co_admitted_reverse_in: f64,
+    /// CO solves admitted for `parallel_curb` sessions.
+    #[serde(default)]
+    pub co_admitted_parallel_curb: f64,
+    /// CO solves admitted for `angled_echelon` sessions.
+    #[serde(default)]
+    pub co_admitted_angled_echelon: f64,
+    /// CO solves admitted for `pillared_garage` sessions.
+    #[serde(default)]
+    pub co_admitted_pillared_garage: f64,
+    /// CO solves admitted for `dead_end_stub` sessions.
+    #[serde(default)]
+    pub co_admitted_dead_end_stub: f64,
+    /// CO solves admitted for `crowded_lot` sessions.
+    #[serde(default)]
+    pub co_admitted_crowded_lot: f64,
+    /// CO requests shed for `reverse_in` sessions.
+    #[serde(default)]
+    pub co_shed_reverse_in: f64,
+    /// CO requests shed for `parallel_curb` sessions.
+    #[serde(default)]
+    pub co_shed_parallel_curb: f64,
+    /// CO requests shed for `angled_echelon` sessions.
+    #[serde(default)]
+    pub co_shed_angled_echelon: f64,
+    /// CO requests shed for `pillared_garage` sessions.
+    #[serde(default)]
+    pub co_shed_pillared_garage: f64,
+    /// CO requests shed for `dead_end_stub` sessions.
+    #[serde(default)]
+    pub co_shed_dead_end_stub: f64,
+    /// CO requests shed for `crowded_lot` sessions.
+    #[serde(default)]
+    pub co_shed_crowded_lot: f64,
     /// Whether any measured field was non-finite before sanitization.
     #[serde(default)]
     pub had_nonfinite: bool,
@@ -336,6 +409,16 @@ pub struct ServeReport {
     /// Frames stepped per session in the shard-scaling sweep.
     #[serde(default)]
     pub sweep_frames: u64,
+    /// Episodes served per adaptation generation (all families).
+    #[serde(default)]
+    pub adapt_sessions: u64,
+    /// Frames stepped per episode in the adaptation phase.
+    #[serde(default)]
+    pub adapt_frames_per_session: u64,
+    /// Serving generations in the adaptation phase (generation 0 runs
+    /// the seed weights; each later one follows a retraining round).
+    #[serde(default)]
+    pub adapt_generations: u64,
 }
 
 impl ServeReport {
@@ -362,6 +445,27 @@ impl ServeReport {
         "sweep_batch_mean_s2",
         "sweep_batch_mean_s4",
         "sweep_batch_mean_s8",
+        "adapt_il_share_g0",
+        "adapt_il_share_g1",
+        "adapt_il_share_g2",
+        "adapt_co_shed_share_g0",
+        "adapt_co_shed_share_g1",
+        "adapt_co_shed_share_g2",
+        "adapt_collisions",
+        "adapt_dataset_frames",
+        "adapt_safety_projections",
+        "co_admitted_reverse_in",
+        "co_admitted_parallel_curb",
+        "co_admitted_angled_echelon",
+        "co_admitted_pillared_garage",
+        "co_admitted_dead_end_stub",
+        "co_admitted_crowded_lot",
+        "co_shed_reverse_in",
+        "co_shed_parallel_curb",
+        "co_shed_angled_echelon",
+        "co_shed_pillared_garage",
+        "co_shed_dead_end_stub",
+        "co_shed_crowded_lot",
     ];
 
     /// Clamps every non-finite float field to a finite value and records
@@ -391,6 +495,27 @@ impl ServeReport {
             &mut self.sweep_batch_mean_s2,
             &mut self.sweep_batch_mean_s4,
             &mut self.sweep_batch_mean_s8,
+            &mut self.adapt_il_share_g0,
+            &mut self.adapt_il_share_g1,
+            &mut self.adapt_il_share_g2,
+            &mut self.adapt_co_shed_share_g0,
+            &mut self.adapt_co_shed_share_g1,
+            &mut self.adapt_co_shed_share_g2,
+            &mut self.adapt_collisions,
+            &mut self.adapt_dataset_frames,
+            &mut self.adapt_safety_projections,
+            &mut self.co_admitted_reverse_in,
+            &mut self.co_admitted_parallel_curb,
+            &mut self.co_admitted_angled_echelon,
+            &mut self.co_admitted_pillared_garage,
+            &mut self.co_admitted_dead_end_stub,
+            &mut self.co_admitted_crowded_lot,
+            &mut self.co_shed_reverse_in,
+            &mut self.co_shed_parallel_curb,
+            &mut self.co_shed_angled_echelon,
+            &mut self.co_shed_pillared_garage,
+            &mut self.co_shed_dead_end_stub,
+            &mut self.co_shed_crowded_lot,
         ] {
             icoil_telemetry::sanitize_field(v, &mut flagged);
         }
@@ -417,7 +542,10 @@ pub fn validate_serve_json(v: &serde_json::Value) -> Result<(), String> {
         if !value.is_finite() {
             return Err(format!("BENCH_serve.json field {key:?} is non-finite"));
         }
-        if key.starts_with("shed_rate") && !(0.0..=1.0).contains(&value) {
+        let is_rate = key.starts_with("shed_rate")
+            || key.starts_with("adapt_il_share")
+            || key.starts_with("adapt_co_shed_share");
+        if is_rate && !(0.0..=1.0).contains(&value) {
             return Err(format!(
                 "BENCH_serve.json field {key:?} is outside [0, 1]: {value}"
             ));
@@ -429,6 +557,9 @@ pub fn validate_serve_json(v: &serde_json::Value) -> Result<(), String> {
         "co_workers",
         "sweep_sessions",
         "sweep_frames",
+        "adapt_sessions",
+        "adapt_frames_per_session",
+        "adapt_generations",
     ] {
         v.get(key)
             .and_then(serde_json::Value::as_u64)
@@ -771,12 +902,36 @@ mod tests {
             sweep_batch_mean_s2: 4.5,
             sweep_batch_mean_s4: 3.2,
             sweep_batch_mean_s8: 2.1,
+            adapt_il_share_g0: 0.0,
+            adapt_il_share_g1: 0.1,
+            adapt_il_share_g2: 0.25,
+            adapt_co_shed_share_g0: 1.0,
+            adapt_co_shed_share_g1: 0.9,
+            adapt_co_shed_share_g2: 0.75,
+            adapt_collisions: 0.0,
+            adapt_dataset_frames: 600.0,
+            adapt_safety_projections: 3.0,
+            co_admitted_reverse_in: 10.0,
+            co_admitted_parallel_curb: 80.0,
+            co_admitted_angled_echelon: 10.0,
+            co_admitted_pillared_garage: 10.0,
+            co_admitted_dead_end_stub: 80.0,
+            co_admitted_crowded_lot: 80.0,
+            co_shed_reverse_in: 2.0,
+            co_shed_parallel_curb: 0.0,
+            co_shed_angled_echelon: 1.0,
+            co_shed_pillared_garage: 0.0,
+            co_shed_dead_end_stub: 0.0,
+            co_shed_crowded_lot: 3.0,
             had_nonfinite: false,
             sessions: 8,
             frames_per_session: 50,
             co_workers: 2,
             sweep_sessions: 2000,
             sweep_frames: 8,
+            adapt_sessions: 6,
+            adapt_frames_per_session: 40,
+            adapt_generations: 3,
         }
     }
 
@@ -816,6 +971,14 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         let err = validate_serve_json(&v).unwrap_err();
         assert!(err.contains("shed_rate_overload"), "names the field: {err}");
+
+        // mode shares are rates too
+        let mut bad_share = sample_serve_report();
+        bad_share.adapt_il_share_g1 = 1.5;
+        let json = serde_json::to_string(&bad_share).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let err = validate_serve_json(&v).unwrap_err();
+        assert!(err.contains("adapt_il_share_g1"), "names the field: {err}");
 
         // an unsanitized non-finite float serializes as null → not a number
         let mut poisoned = sample_serve_report();

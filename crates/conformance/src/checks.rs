@@ -65,13 +65,21 @@ pub enum CheckKind {
     /// and the trace-derived gear-reversal count must agree with the
     /// policy's live `gear_reversals` counter.
     FamilyDeterminism,
+    /// Versioned-weight serving: a session created before a mid-episode
+    /// hot-swap keeps its pinned generation and replays bitwise against
+    /// a fixed-version reference; sessions created after the publish
+    /// ride the new generation; a snapshot carrying a generation the
+    /// target server never published is refused with a typed error; and
+    /// the IL safety projection is idempotent — already-feasible actions
+    /// pass through bitwise unchanged.
+    WeightVersionPinning,
     /// A deliberately-failing canary used to exercise shrinking.
     InjectedCanary,
 }
 
 impl CheckKind {
     /// Every real check (the canary is opt-in via `--inject`).
-    pub const ALL: [CheckKind; 14] = [
+    pub const ALL: [CheckKind; 15] = [
         CheckKind::WarmColdMpc,
         CheckKind::QpWarmCold,
         CheckKind::Parallelism,
@@ -86,6 +94,7 @@ impl CheckKind {
         CheckKind::CheckpointRestoreReplay,
         CheckKind::QuantizedIl,
         CheckKind::FamilyDeterminism,
+        CheckKind::WeightVersionPinning,
     ];
 
     /// Stable snake_case name used in reports.
@@ -105,6 +114,7 @@ impl CheckKind {
             CheckKind::CheckpointRestoreReplay => "checkpoint_restore_replay",
             CheckKind::QuantizedIl => "quantized_il",
             CheckKind::FamilyDeterminism => "family_determinism",
+            CheckKind::WeightVersionPinning => "weight_version_pinning",
             CheckKind::InjectedCanary => "injected_canary",
         }
     }
@@ -204,6 +214,7 @@ pub fn run_check(
         CheckKind::CheckpointRestoreReplay => check_checkpoint_restore_replay(spec, settings),
         CheckKind::QuantizedIl => check_quantized_il(spec, settings),
         CheckKind::FamilyDeterminism => check_family_determinism(spec, settings),
+        CheckKind::WeightVersionPinning => check_weight_version_pinning(spec, settings),
         CheckKind::InjectedCanary => check_injected_canary(spec),
     }));
     match outcome {
@@ -1253,6 +1264,185 @@ fn check_family_determinism(spec: &ProcScenario, settings: &CheckSettings) -> Re
     Ok(())
 }
 
+/// Exercises the versioned-weight serving contract end to end on the
+/// generated scenario:
+///
+/// * a session created before a mid-episode hot-swap keeps the
+///   generation pinned at its creation to the very end and replays
+///   bitwise against a reference server that never swaps;
+/// * a session created after the publish rides the new generation;
+/// * a snapshot carrying a generation the target server never published
+///   is refused with the typed [`UnknownWeightVersion`] error instead of
+///   silently replaying on different weights;
+/// * the IL-lane safety projection is idempotent — re-projecting a
+///   projected action returns it bitwise unchanged and reports no clip,
+///   and actions the first pass already found feasible pass through
+///   untouched.
+///
+/// [`UnknownWeightVersion`]: icoil_serve::ServeError::UnknownWeightVersion
+fn check_weight_version_pinning(
+    spec: &ProcScenario,
+    settings: &CheckSettings,
+) -> Result<(), String> {
+    use icoil_adapt::{SafetyProjector, WeightStore};
+    use icoil_serve::{Serve, ServeConfig, ServeError, SessionSpec};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let total: usize = if settings.episode_time >= 12.0 { 40 } else { 24 };
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5AFE_11A0);
+    let swap_at = rng.gen_range(1..total);
+
+    // a generous deadline and deep queue make sheds impossible, so both
+    // streams are pure functions of (scenario, pinned weights)
+    let config = || ServeConfig {
+        co_deadline: Duration::from_secs(30),
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let pinned_model = || {
+        IlModel::untrained(
+            ActionCodec::default(),
+            ICoilConfig::default().bev,
+            spec.seed ^ 0xA11A,
+        )
+    };
+    let next_model = || {
+        IlModel::untrained(
+            ActionCodec::default(),
+            ICoilConfig::default().bev,
+            spec.seed ^ 0xB22B,
+        )
+    };
+    let session_spec = || SessionSpec::Scenario(Box::new(spec.build()));
+
+    // reference: generation 0 only, never swapped
+    let reference = {
+        let server = Serve::start(config(), pinned_model());
+        let handle = server.handle();
+        let id = handle
+            .create(session_spec())
+            .map_err(|e| format!("create reference: {e}"))?;
+        let stream: Result<Vec<_>, _> = (0..total).map(|_| handle.step(id)).collect();
+        server.shutdown();
+        stream.map_err(|e| format!("step reference: {e}"))?
+    };
+
+    // hot-swap twin: generation 1 goes live at the fuzzed frame
+    let store = Arc::new(WeightStore::new(pinned_model()));
+    let server = Serve::start_with_store(config(), Arc::clone(&store));
+    let handle = server.handle();
+    let pinned = handle
+        .create(session_spec())
+        .map_err(|e| format!("create pinned session: {e}"))?;
+    let mut stream = Vec::with_capacity(total);
+    for frame in 0..swap_at {
+        stream.push(
+            handle
+                .step(pinned)
+                .map_err(|e| format!("pinned frame {frame}: {e}"))?,
+        );
+    }
+    let published = store.publish(next_model(), 1);
+    if published != 1 {
+        return Err(format!(
+            "publishing the second generation returned version {published}, expected 1"
+        ));
+    }
+    let fresh = handle
+        .create(session_spec())
+        .map_err(|e| format!("create post-swap session: {e}"))?;
+    let first = handle
+        .step(fresh)
+        .map_err(|e| format!("post-swap step: {e}"))?;
+    if first.weight_version != 1 {
+        return Err(format!(
+            "a session created after the publish reports weight version {}, expected 1",
+            first.weight_version
+        ));
+    }
+    for frame in swap_at..total {
+        stream.push(
+            handle
+                .step(pinned)
+                .map_err(|e| format!("pinned frame {frame} after the swap: {e}"))?,
+        );
+    }
+    if let Some(r) = stream.iter().find(|r| r.weight_version != 0) {
+        return Err(format!(
+            "the pinned session drifted to weight version {} at frame {}",
+            r.weight_version, r.frame
+        ));
+    }
+    same_stream(
+        &reference,
+        &stream,
+        &format!("pinned session across a swap at frame {swap_at}"),
+    )?;
+
+    // a generation-1 snapshot is refused by a server that never
+    // published generation 1
+    let bytes = handle
+        .evict(fresh)
+        .map_err(|e| format!("evict post-swap session: {e}"))?;
+    server.shutdown();
+    let stale = Serve::start(config(), pinned_model());
+    let refused = stale.handle().restore(&bytes);
+    stale.shutdown();
+    match refused {
+        Err(ServeError::UnknownWeightVersion(1)) => {}
+        Ok(_) => {
+            return Err(
+                "a generation-1 snapshot restored onto a server that only knows generation 0"
+                    .to_string(),
+            )
+        }
+        Err(other) => {
+            return Err(format!(
+                "expected UnknownWeightVersion(1) refusing the stale restore, got: {other}"
+            ))
+        }
+    }
+
+    // safety projection idempotence on real frames of this scenario,
+    // over the whole action codebook
+    let scenario = spec.build();
+    let params = scenario.vehicle_params;
+    let icoil = ICoilConfig::default();
+    let mut safety = icoil.safety;
+    safety.enabled = true;
+    let projector = SafetyProjector::new(safety);
+    let codec = ActionCodec::default();
+    let mut perception = Perception::new(icoil.bev, &scenario);
+    let mut world = World::new(scenario);
+    for frame in 0..8 {
+        let sensing = perception.observe(&Observation::new(&world));
+        for class in 0..codec.num_classes() {
+            let action = codec.decode(class);
+            let once = projector.project(world.ego(), &params, &sensing.boxes, action);
+            let twice = projector.project(world.ego(), &params, &sensing.boxes, once.action);
+            if twice.clipped || twice.action != once.action {
+                return Err(format!(
+                    "safety projection is not idempotent at frame {frame} class {class}: \
+                     first pass {:?} (clipped {}), second pass {:?} (clipped {})",
+                    once.action, once.clipped, twice.action, twice.clipped
+                ));
+            }
+            if !once.clipped && once.action != action {
+                return Err(format!(
+                    "an unclipped projection rewrote the action at frame {frame} class \
+                     {class}: {:?} -> {:?}",
+                    action, once.action
+                ));
+            }
+        }
+        for _ in 0..3 {
+            world.step(&icoil_vehicle::Action::forward(0.3, 0.05));
+        }
+    }
+    Ok(())
+}
+
 /// The canary "fails" whenever the scenario has a dynamic obstacle —
 /// a deliberately scenario-dependent defect that exercises the full
 /// report-and-shrink path without touching any real subsystem.
@@ -1372,9 +1562,23 @@ mod tests {
                 "batched_single_qp",
                 "checkpoint_restore_replay",
                 "quantized_il",
-                "family_determinism"
+                "family_determinism",
+                "weight_version_pinning"
             ]
         );
+    }
+
+    #[test]
+    fn weight_version_pinning_check_passes_on_generated_scenarios() {
+        let gen = ProcGen::default();
+        for seed in [0u64, 7] {
+            let spec = gen.generate(seed);
+            assert_eq!(
+                run_check(CheckKind::WeightVersionPinning, &spec, &CheckSettings::smoke()),
+                Ok(()),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

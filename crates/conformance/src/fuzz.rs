@@ -58,6 +58,8 @@ fn stride(kind: CheckKind, smoke: bool) -> usize {
         CheckKind::QuantizedIl => 5,
         // two full-stack episodes per case
         CheckKind::FamilyDeterminism => 5,
+        // two served episodes plus a stale-restore round trip per case
+        CheckKind::WeightVersionPinning => 5,
     };
     if smoke && base > 1 {
         base * 2

@@ -1,5 +1,6 @@
 //! Top-level iCOIL configuration.
 
+use icoil_adapt::SafetyConfig;
 use icoil_co::CoConfig;
 use icoil_hsa::HsaConfig;
 use icoil_perception::BevConfig;
@@ -14,6 +15,10 @@ pub struct ICoilConfig {
     pub hsa: HsaConfig,
     /// BEV geometry used by perception and the IL model.
     pub bev: BevConfig,
+    /// Safety projection applied to IL-mode actions (disabled by
+    /// default; absent in configs serialized before it existed).
+    #[serde(default)]
+    pub safety: SafetyConfig,
 }
 
 #[cfg(test)]
@@ -27,6 +32,10 @@ mod tests {
         assert_eq!(c.hsa.complexity.horizon, c.co.horizon,
             "HSA complexity model should reflect the CO horizon");
         assert!(c.bev.size % 8 == 0);
+        assert!(
+            !c.safety.enabled,
+            "safety projection must be opt-in so existing trajectories stay bit-identical"
+        );
     }
 
     #[test]

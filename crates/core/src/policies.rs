@@ -1,12 +1,14 @@
 //! The iCOIL policy and its two single-mode baselines.
 
 use crate::config::ICoilConfig;
+use icoil_adapt::SafetyProjector;
 use icoil_co::{CoController, CoOutput, MpcSolution, MpcStatus};
 use icoil_hsa::{Hsa, Mode};
 use icoil_il::IlModel;
 use icoil_perception::Perception;
 use icoil_solver::Backend;
-use icoil_telemetry::{Counter, FrameEvent, Recorder, SolveEvent};
+use icoil_telemetry::{Counter, FrameEvent, Recorder, Series, SolveEvent};
+use icoil_vehicle::VehicleParams;
 use icoil_world::episode::{Decision, ModeTag, Observation, Policy};
 use icoil_world::Scenario;
 use std::time::Instant;
@@ -84,6 +86,11 @@ pub struct ICoilPolicy {
     recorder: Recorder,
     last_mode: Option<Mode>,
     last_reverse: Option<bool>,
+    /// Safety projection for IL-mode actions, present only when
+    /// `config.safety.enabled` — absent, IL actions pass through
+    /// untouched and trajectories stay bit-identical to earlier builds.
+    projector: Option<SafetyProjector>,
+    params: VehicleParams,
 }
 
 impl ICoilPolicy {
@@ -97,6 +104,11 @@ impl ICoilPolicy {
             recorder: Recorder::new(),
             last_mode: None,
             last_reverse: None,
+            projector: config
+                .safety
+                .enabled
+                .then(|| SafetyProjector::new(config.safety)),
+            params: scenario.vehicle_params,
         }
     }
 
@@ -128,7 +140,19 @@ impl Policy for ICoilPolicy {
         let hsa = self.hsa.update(&il.probs, &sensing.boxes);
         let t3 = Instant::now();
         let (action, tag, co_out) = match hsa.mode {
-            Mode::Il => (il.action, ModeTag::Il, None),
+            Mode::Il => {
+                let mut action = il.action;
+                if let Some(projector) = &self.projector {
+                    let proj = projector.project(&obs.ego(), &self.params, &sensing.boxes, action);
+                    if proj.clipped {
+                        self.recorder.add(Counter::SafetyProjections, 1);
+                        self.recorder
+                            .observe(Series::SafetyClipMag, proj.clip_magnitude);
+                    }
+                    action = proj.action;
+                }
+                (action, ModeTag::Il, None)
+            }
             Mode::Co => {
                 let out = self.co.control(obs, &sensing.boxes);
                 (out.action, ModeTag::Co, Some(out))
@@ -418,6 +442,46 @@ mod tests {
             },
         );
         assert!(result.is_success(), "outcome {:?}", result.outcome);
+    }
+
+    #[test]
+    fn safety_projection_shields_il_mode() {
+        use icoil_adapt::SafetyConfig;
+        use icoil_hsa::HsaConfig;
+        // pin the arbiter to IL so every frame exercises the projector,
+        // with an untrained (essentially random) policy driving
+        let config = ICoilConfig {
+            hsa: HsaConfig {
+                lambda: f64::INFINITY,
+                initial_mode: Mode::Il,
+                ..HsaConfig::default()
+            },
+            safety: SafetyConfig {
+                enabled: true,
+                ..SafetyConfig::default()
+            },
+            ..ICoilConfig::default()
+        };
+        let scenario = ScenarioConfig::new(Difficulty::Hard, 13).build();
+        let mut policy = ICoilPolicy::new(&config, untrained_model(&config), &scenario);
+        let mut world = World::new(scenario);
+        let result = run_episode(
+            &mut world,
+            &mut policy,
+            &EpisodeConfig {
+                max_time: 10.0,
+                record_trace: true,
+            },
+        );
+        for f in &result.trace {
+            assert!(f.action.validate().is_ok());
+        }
+        let m = policy.recorder_mut().expect("instrumented").metrics();
+        assert_eq!(
+            m.counter(Counter::SafetyProjections),
+            m.series(Series::SafetyClipMag).count(),
+            "every projection activation must record its clip magnitude"
+        );
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use collect::collect_demonstrations;
 pub use dagger::{dagger_train, DaggerConfig, DaggerReport};
 pub use expert::ExpertPolicy;
 pub use model::{IlModel, IlPrecision, InferResult};
-pub use train::{train, TrainConfig, TrainReport};
+pub use train::{train, train_incremental, TrainConfig, TrainReport};

@@ -70,13 +70,40 @@ pub fn train(
     bev: &BevConfig,
     config: &TrainConfig,
 ) -> (IlModel, TrainReport) {
+    let mut model = IlModel::untrained(*codec, *bev, config.seed);
+    let report = train_incremental(&mut model, dataset, config);
+    (model, report)
+}
+
+/// Continues training an existing model in place — the warm-started
+/// entry point the adaptation loop's retrainer uses: generation *g + 1*
+/// starts from generation *g*'s weights and sees the grown aggregate
+/// dataset, so each retraining pass refines rather than restarts.
+///
+/// Fresh Adam moments per call; the shuffling stream derives from
+/// `config.seed` exactly as in [`train`], so a retraining generation is
+/// a pure function of `(previous weights, dataset, config)`.
+///
+/// Note that touching the network drops any int8 calibration the model
+/// carried (`IlModel::network_mut` resets the precision to f32) — the
+/// serving side re-calibrates each published generation on its
+/// deterministic frame set before the quantized lane serves it.
+///
+/// # Panics
+///
+/// Panics for an empty dataset or a dataset whose sample shape does not
+/// match the model's BEV geometry.
+pub fn train_incremental(
+    model: &mut IlModel,
+    dataset: &Dataset,
+    config: &TrainConfig,
+) -> TrainReport {
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
     assert_eq!(
         dataset.sample_shape(),
-        &[3, bev.size, bev.size],
+        &[3, model.bev_config().size, model.bev_config().size],
         "dataset sample shape must match the BEV geometry"
     );
-    let mut model = IlModel::untrained(*codec, *bev, config.seed);
     let mut opt = Adam::new(config.lr);
     let mut losses = Vec::with_capacity(config.epochs);
     let mut accuracies = Vec::with_capacity(config.epochs);
@@ -99,7 +126,7 @@ pub fn train(
         losses.push(epoch_loss / n_batches as f64);
         accuracies.push(correct as f64 / dataset.len() as f64);
     }
-    (model, TrainReport { losses, accuracies })
+    TrainReport { losses, accuracies }
 }
 
 #[cfg(test)]
@@ -173,6 +200,41 @@ mod tests {
         let (_, r1) = train(&d, &codec, &bev, &cfg);
         let (_, r2) = train(&d, &codec, &bev, &cfg);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn incremental_training_warm_starts_and_is_deterministic() {
+        let bev = BevConfig {
+            size: 16,
+            range: 8.0,
+        };
+        let codec = ActionCodec::default();
+        let d = synthetic_dataset(&bev, &codec, 24);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 2e-3,
+            seed: 3,
+            label_smoothing: 0.05,
+        };
+        let run = || {
+            let (mut model, first) = train(&d, &codec, &bev, &cfg);
+            let more = TrainConfig { epochs: 2, ..cfg };
+            let second = train_incremental(&mut model, &d, &more);
+            (model.to_json(), first, second)
+        };
+        let (w1, first, second) = run();
+        // the continuation starts from the trained weights, not from
+        // scratch: its first epoch must sit below the cold first epoch
+        assert!(
+            second.losses[0] < first.losses[0] * 0.8,
+            "warm start {} vs cold start {}",
+            second.losses[0],
+            first.losses[0]
+        );
+        let (w2, f2, s2) = run();
+        assert_eq!(w1, w2, "retraining must be seed-deterministic");
+        assert_eq!((first, second), (f2, s2));
     }
 
     #[test]

@@ -82,6 +82,25 @@ impl Dataset {
         Ok(())
     }
 
+    /// Appends every sample of `other`, in order — how the adaptation
+    /// loop folds per-family reservoirs into one training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleLenError`] when the sample shapes differ; this
+    /// dataset is left untouched in that case.
+    pub fn extend(&mut self, other: &Dataset) -> Result<(), SampleLenError> {
+        if other.sample_shape != self.sample_shape {
+            return Err(SampleLenError {
+                expected: self.sample_len,
+                got: other.sample_len,
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.labels.extend_from_slice(&other.labels);
+        Ok(())
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.labels.len()

@@ -23,6 +23,7 @@ use crate::session::{ServeError, Session, SessionSnapshot, SessionSpec, StepResp
 use crate::shard::ShardRouter;
 use crate::snapshot::{decode_snapshot, encode_snapshot};
 use crate::ServeConfig;
+use icoil_adapt::{SafetyProjector, WeightStore};
 use icoil_co::CoOutput;
 use icoil_hsa::{HsaDecision, Mode};
 use icoil_il::{IlModel, IlPrecision, InferResult};
@@ -336,7 +337,17 @@ struct Shard {
     /// *before* routing, so under hash skew one shard may legitimately
     /// hold most of it).
     limit: usize,
-    model: IlModel,
+    /// The shared versioned weight store new sessions pin from.
+    store: Arc<WeightStore>,
+    /// Generations this shard has materialized (cloned out of the
+    /// store), keyed by version. A shard serving sessions pinned to
+    /// different generations holds one working copy per generation;
+    /// int8 calibration happens per copy, on the same deterministic
+    /// frame set everywhere.
+    models: HashMap<u32, IlModel>,
+    /// Safety projection for IL-mode actions, present only when
+    /// `config.icoil.safety.enabled`.
+    projector: Option<SafetyProjector>,
     rx: Receiver<Command>,
     /// This shard's own command sender — workers mail sessions home
     /// through a clone carried in each [`CoJob`].
@@ -394,7 +405,12 @@ impl Shard {
                 } else if self.sessions.len() + self.in_flight.len() >= self.limit {
                     let _ = reply.send(Err(ServeError::SessionLimit));
                 } else {
-                    self.sessions.insert(id, Session::new(id, &self.config, &spec));
+                    // the session pins the newest generation at this
+                    // instant for its whole episode; later publishes
+                    // affect only sessions created after them
+                    let version = self.store.published();
+                    self.sessions
+                        .insert(id, Session::new(id, &self.config, &spec, version));
                     self.metrics.add(Counter::ServeSessions, 1);
                     let _ = reply.send(Ok(id));
                 }
@@ -465,13 +481,19 @@ impl Shard {
                     let _ = reply.send(Err(ServeError::SessionExists(id)));
                 } else if self.sessions.len() + self.in_flight.len() >= self.limit {
                     let _ = reply.send(Err(ServeError::SessionLimit));
+                } else if self.store.get(snapshot.weight_version).is_none() {
+                    // replaying under different weights would diverge
+                    // silently — refuse instead
+                    let _ = reply.send(Err(ServeError::UnknownWeightVersion(
+                        snapshot.weight_version,
+                    )));
                 } else {
                     if snapshot.il_precision == IlPrecision::Int8 {
                         // an int8-pinned episode may migrate into an
                         // f32-default server: make the lane ready now so
                         // its first step isn't a calibration stall inside
                         // a latency-measured batch
-                        self.ensure_calibrated();
+                        self.ensure_calibrated(snapshot.weight_version);
                     }
                     self.sessions
                         .insert(id, Session::restore(&self.config, &snapshot));
@@ -492,6 +514,9 @@ impl Shard {
                 self.metrics.observe(Series::ServeCoLane, latency_s);
                 if shed {
                     self.metrics.add(Counter::CoShed, 1);
+                    if let Some(f) = session.family_index() {
+                        self.metrics.add(Counter::CO_SHED_BY_FAMILY[f], 1);
+                    }
                 }
                 if let Some(replies) = self.pending_close.remove(&id) {
                     // the client closed the session mid-flight: drop it
@@ -528,21 +553,39 @@ impl Shard {
         self.deferred.entry(id).or_default().push_back(cmd);
     }
 
-    /// Readies the shard's model for the int8 lane. Normally a no-op —
-    /// `Serve::start` calibrates the prototype model before cloning it
-    /// to shards when the config asks for int8 — but an int8-pinned
-    /// snapshot restored into an f32-default server lands here with an
-    /// uncalibrated model, and the lazy path calibrates it on the same
-    /// deterministic frame set. The first time a shard is int8-ready it
-    /// also publishes the calibration's per-logit abs-error profile
-    /// into [`Series::IlQuantAbsErr`].
-    fn ensure_calibrated(&mut self) {
-        if !self.model.is_calibrated() {
-            calibrate_model(&self.config, &mut self.model);
+    /// Materializes a weight generation into this shard's working set.
+    /// The first copy beyond the shard's initial one counts as a hot
+    /// swap — the shard is now serving weights it was not started with.
+    fn ensure_model(&mut self, version: u32) {
+        if self.models.contains_key(&version) {
+            return;
+        }
+        let generation = self
+            .store
+            .get(version)
+            .expect("sessions only pin published generations");
+        if !self.models.is_empty() {
+            self.metrics.add(Counter::WeightSwaps, 1);
+        }
+        self.models.insert(version, generation.model.clone());
+    }
+
+    /// Readies generation `version` for the int8 lane on this shard.
+    /// Calibration runs per materialized generation, on the same
+    /// deterministic [`calibration_frames`] set everywhere, so every
+    /// shard of every process derives identical scales for a given
+    /// generation. The first time a shard is int8-ready it also
+    /// publishes the calibration's per-logit abs-error profile into
+    /// [`Series::IlQuantAbsErr`].
+    fn ensure_calibrated(&mut self, version: u32) {
+        self.ensure_model(version);
+        let model = self.models.get_mut(&version).expect("materialized above");
+        if !model.is_calibrated() {
+            calibrate_model(&self.config, model);
         }
         if !self.quant_err_recorded {
             self.quant_err_recorded = true;
-            if let Some(errs) = self.model.quant_calibration_errors() {
+            if let Some(errs) = model.quant_calibration_errors() {
                 for &e in errs {
                     self.metrics.observe(Series::IlQuantAbsErr, f64::from(e));
                 }
@@ -555,34 +598,47 @@ impl Shard {
     /// every frame regardless of mode), then per-session HSA decisions —
     /// IL-mode frames finish inline, CO-mode frames go to the lane.
     ///
-    /// Sessions pin their IL precision, so a tick that serves both f32
-    /// and int8 sessions splits into one sub-batch per precision (each
-    /// counted as its own `IlBatches` entry); an all-f32 tick runs the
-    /// exact pre-quantization single-pass path.
+    /// Sessions pin their IL precision *and* their weight generation,
+    /// so a tick splits into one sub-batch per `(precision, version)`
+    /// pair present (each counted as its own `IlBatches` entry); a tick
+    /// of all-f32 sessions on one generation runs the exact
+    /// pre-quantization single-pass path. Batching stays bit-identical
+    /// per row because rows never cross models.
     fn run_batch(&mut self, steps: Vec<PendingStep>) {
         let mut results: Vec<Option<InferResult>> = Vec::new();
         results.resize_with(steps.len(), || None);
         for precision in [IlPrecision::F32, IlPrecision::Int8] {
-            let picked: Vec<usize> = steps
+            let mut versions: Vec<u32> = steps
                 .iter()
-                .enumerate()
-                .filter(|(_, s)| s.session.precision == precision)
-                .map(|(i, _)| i)
+                .filter(|s| s.session.precision == precision)
+                .map(|s| s.session.weight_version)
                 .collect();
-            if picked.is_empty() {
-                continue;
-            }
-            if precision == IlPrecision::Int8 {
-                self.ensure_calibrated();
-                self.metrics.add(Counter::IlFramesInt8, picked.len() as u64);
-            }
-            self.model.set_precision(precision);
-            let bevs: Vec<&BevImage> = picked.iter().map(|&i| &steps[i].sensing.bev).collect();
-            let il_results = self.model.infer_batch(&bevs);
-            self.metrics.add(Counter::IlBatches, 1);
-            self.metrics.observe(Series::IlBatchSize, bevs.len() as f64);
-            for (&i, il) in picked.iter().zip(il_results) {
-                results[i] = Some(il);
+            versions.sort_unstable();
+            versions.dedup();
+            for version in versions {
+                let picked: Vec<usize> = steps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        s.session.precision == precision && s.session.weight_version == version
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if precision == IlPrecision::Int8 {
+                    self.ensure_calibrated(version);
+                    self.metrics.add(Counter::IlFramesInt8, picked.len() as u64);
+                } else {
+                    self.ensure_model(version);
+                }
+                let model = self.models.get_mut(&version).expect("materialized above");
+                model.set_precision(precision);
+                let bevs: Vec<&BevImage> = picked.iter().map(|&i| &steps[i].sensing.bev).collect();
+                let il_results = model.infer_batch(&bevs);
+                self.metrics.add(Counter::IlBatches, 1);
+                self.metrics.observe(Series::IlBatchSize, bevs.len() as f64);
+                for (&i, il) in picked.iter().zip(il_results) {
+                    results[i] = Some(il);
+                }
             }
         }
         for (mut step, il) in steps.into_iter().zip(results) {
@@ -590,7 +646,23 @@ impl Shard {
             let hsa = step.session.plan(&il.probs, &step.sensing);
             match hsa.mode {
                 Mode::Il => {
-                    let resp = step.session.advance(il.action, &hsa, None, false);
+                    let mut action = il.action;
+                    if let Some(projector) = &self.projector {
+                        let world = step.session.world();
+                        let proj = projector.project(
+                            world.ego(),
+                            &world.scenario().vehicle_params,
+                            &step.sensing.boxes,
+                            action,
+                        );
+                        if proj.clipped {
+                            self.metrics.add(Counter::SafetyProjections, 1);
+                            self.metrics
+                                .observe(Series::SafetyClipMag, proj.clip_magnitude);
+                        }
+                        action = proj.action;
+                    }
+                    let resp = step.session.advance(action, &hsa, None, false);
                     self.metrics
                         .observe(Series::ServeIlLane, step.t0.elapsed().as_secs_f64());
                     self.sessions.insert(step.session.id, step.session);
@@ -598,6 +670,7 @@ impl Shard {
                 }
                 Mode::Co => {
                     let id = step.session.id;
+                    let family = step.session.family_index();
                     self.metrics
                         .observe(Series::CoQueueDepth, self.lane.len() as f64);
                     let job = Box::new(CoJob {
@@ -612,6 +685,9 @@ impl Shard {
                     match self.lane.submit(job) {
                         Ok(()) => {
                             self.metrics.add(Counter::CoAdmitted, 1);
+                            if let Some(f) = family {
+                                self.metrics.add(Counter::CO_ADMITTED_BY_FAMILY[f], 1);
+                            }
                             self.in_flight.insert(id);
                         }
                         Err(job) => {
@@ -627,6 +703,9 @@ impl Shard {
                             let out = CoOutput::degraded_brake();
                             let resp = session.advance(out.action, &hsa, Some(&out), true);
                             self.metrics.add(Counter::CoShed, 1);
+                            if let Some(f) = family {
+                                self.metrics.add(Counter::CO_SHED_BY_FAMILY[f], 1);
+                            }
                             self.metrics
                                 .observe(Series::ServeCoLane, t0.elapsed().as_secs_f64());
                             self.sessions.insert(id, *session);
@@ -650,21 +729,35 @@ pub struct Serve {
 }
 
 impl Serve {
-    /// Starts the shard and CO worker threads.
-    ///
-    /// `model` is the IL network every session shares (weights are
-    /// read-only at serve time; activations live in shard-owned
-    /// buffers); each shard holds its own clone.
+    /// Starts the shard and CO worker threads with `model` as the sole
+    /// (generation-0) entry of a fresh weight store.
     ///
     /// # Panics
     ///
     /// Panics when a thread cannot be spawned.
     pub fn start(config: ServeConfig, mut model: IlModel) -> Serve {
         if config.il_precision == IlPrecision::Int8 {
-            // calibrate the prototype once, before cloning: every shard
-            // serves the identical quantized network and scales
+            // calibrate the prototype once, before it enters the store:
+            // every shard materializes the identical quantized network
+            // and scales for generation 0
             calibrate_model(&config, &mut model);
         }
+        Serve::start_with_store(config, Arc::new(WeightStore::new(model)))
+    }
+
+    /// Starts the shard and CO worker threads against an existing
+    /// versioned weight store — the online-adaptation entry point.
+    ///
+    /// Each session pins [`WeightStore::published`] at creation for its
+    /// whole episode; publishing a retrained generation to `store`
+    /// hot-swaps the weights **between** episodes, never within one.
+    /// Shards materialize (and, for the int8 lane, calibrate) each
+    /// generation lazily the first time one of their sessions needs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a thread cannot be spawned.
+    pub fn start_with_store(config: ServeConfig, store: Arc<WeightStore>) -> Serve {
         let lane = Arc::new(Lane::new(config.queue_capacity));
         let co_batch = config.co_batch;
         let workers = (0..config.co_workers.max(1))
@@ -688,7 +781,13 @@ impl Serve {
             let shard = Shard {
                 config,
                 limit,
-                model: model.clone(),
+                store: Arc::clone(&store),
+                models: HashMap::new(),
+                projector: config
+                    .icoil
+                    .safety
+                    .enabled
+                    .then(|| SafetyProjector::new(config.icoil.safety)),
                 rx,
                 home: tx.clone(),
                 lane: Arc::clone(&lane),
@@ -717,6 +816,7 @@ impl Serve {
                 live: Arc::new(AtomicUsize::new(0)),
                 max_sessions: config.max_sessions,
                 il_precision: config.il_precision,
+                store,
             },
             shards,
             workers,
@@ -781,12 +881,21 @@ pub struct ServeHandle {
     live: Arc<AtomicUsize>,
     max_sessions: usize,
     il_precision: IlPrecision,
+    store: Arc<WeightStore>,
 }
 
 impl ServeHandle {
     /// The number of engine shards behind this handle.
     pub fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// The versioned weight store behind this server. Publish a
+    /// retrained generation here to hot-swap: sessions created after
+    /// the publish pin the new generation; running sessions finish on
+    /// the one they started with.
+    pub fn weight_store(&self) -> &Arc<WeightStore> {
+        &self.store
     }
 
     /// The IL-lane precision sessions created through this handle pin

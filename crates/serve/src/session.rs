@@ -7,7 +7,7 @@ use icoil_il::IlPrecision;
 use icoil_perception::{Perception, Sensing};
 use icoil_vehicle::Action;
 use icoil_world::episode::{Observation, Outcome};
-use icoil_world::{Difficulty, Scenario, ScenarioConfig, World};
+use icoil_world::{Difficulty, MapFamilyKind, Scenario, ScenarioConfig, World};
 use serde::{Deserialize, Serialize};
 
 /// What a client asks for when opening a session: deterministic
@@ -65,6 +65,10 @@ pub enum ServeError {
     /// shape); the message is the underlying
     /// [`SnapshotError`](crate::SnapshotError).
     Snapshot(String),
+    /// A restored snapshot pinned a weight-store generation this server
+    /// has not published — restoring it here would silently change the
+    /// policy mid-episode.
+    UnknownWeightVersion(u32),
 }
 
 impl std::fmt::Display for ServeError {
@@ -76,6 +80,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Disconnected => write!(f, "server engine is gone"),
             ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            ServeError::UnknownWeightVersion(v) => {
+                write!(f, "weight generation {v} is not published on this server")
+            }
         }
     }
 }
@@ -123,6 +130,12 @@ pub struct StepResponse {
     /// Set once the episode has ended: `"success"`, `"collision"` or
     /// `"timeout"`.
     pub outcome: Option<String>,
+    /// The weight-store generation that produced this frame's IL
+    /// inference — pinned for the whole episode, so it is constant
+    /// across a session's stream. Streams recorded before the weight
+    /// store existed decode as 0 (the startup model).
+    #[serde(default)]
+    pub weight_version: u32,
 }
 
 /// The CO leg for several sessions at once: pools their MPC solves
@@ -174,6 +187,13 @@ pub struct SessionSnapshot {
     /// [`IlPrecision::F32`], which is what produced them.
     #[serde(default)]
     pub il_precision: IlPrecision,
+    /// The weight-store generation the session pinned at creation.
+    /// Restore refuses snapshots whose generation the target server has
+    /// not published ([`ServeError::UnknownWeightVersion`]) — replaying
+    /// under different weights would diverge silently. Snapshots taken
+    /// before the weight store existed decode as 0, the startup model.
+    #[serde(default)]
+    pub weight_version: u32,
 }
 
 /// A live episode owned by the serving engine: the world, the sensing
@@ -194,10 +214,19 @@ pub(crate) struct Session {
     /// step requests by this field, so one episode never mixes f32 and
     /// int8 frames even if the server config changes around it.
     pub(crate) precision: IlPrecision,
+    /// Weight-store generation, pinned for the whole episode at
+    /// creation (or carried over by restore): mid-episode publishes
+    /// change which generation *new* sessions get, never this one's.
+    pub(crate) weight_version: u32,
 }
 
 impl Session {
-    pub(crate) fn new(id: u64, config: &ServeConfig, spec: &SessionSpec) -> Self {
+    pub(crate) fn new(
+        id: u64,
+        config: &ServeConfig,
+        spec: &SessionSpec,
+        weight_version: u32,
+    ) -> Self {
         let scenario = spec.build_scenario();
         let perception = Perception::new(config.icoil.bev, &scenario);
         let co = CoController::new(config.icoil.co, scenario.vehicle_params);
@@ -215,7 +244,21 @@ impl Session {
             max_time: config.max_time,
             outcome,
             precision: config.il_precision,
+            weight_version,
         }
+    }
+
+    /// Position of this session's map family in [`MapFamilyKind::ALL`]
+    /// — the index into the telemetry per-family counter arrays. `None`
+    /// for fixed (non-procedural) scenarios.
+    pub(crate) fn family_index(&self) -> Option<usize> {
+        self.world.scenario().family.map(MapFamilyKind::index)
+    }
+
+    /// The session's world (read-only — the safety projector needs the
+    /// ego state and vehicle parameters).
+    pub(crate) fn world(&self) -> &World {
+        &self.world
     }
 
     /// Captures the session's complete state (see [`SessionSnapshot`]).
@@ -228,6 +271,7 @@ impl Session {
             max_time: self.max_time,
             outcome: self.outcome,
             il_precision: self.precision,
+            weight_version: self.weight_version,
         }
     }
 
@@ -256,6 +300,7 @@ impl Session {
             max_time: snap.max_time,
             outcome: snap.outcome,
             precision: snap.il_precision,
+            weight_version: snap.weight_version,
         }
     }
 
@@ -347,6 +392,7 @@ impl Session {
             degraded,
             shed,
             outcome: self.outcome.map(|o| o.to_string()),
+            weight_version: self.weight_version,
         }
     }
 }

@@ -559,3 +559,110 @@ fn tcp_front_end_round_trips() {
 
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Weight hot-swap: sessions pin their generation for the whole episode.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hot_swap_pins_running_sessions_and_versions_new_ones() {
+    use icoil_adapt::WeightStore;
+    use std::sync::Arc;
+
+    let spec = SessionConfig {
+        difficulty: Difficulty::Easy,
+        seed: 314,
+    };
+
+    // reference: a server that never learns anything new
+    let reference_server = Serve::start(snapshot_config(1), test_model());
+    let reference_handle = reference_server.handle();
+    let rid = reference_handle.create(spec).expect("create reference");
+    let reference: Vec<StepResponse> = (0..30)
+        .map(|_| reference_handle.step(rid).expect("step reference"))
+        .collect();
+    reference_server.shutdown();
+
+    // hot-swap server: generation 1 (different weights) is published while
+    // a generation-0 session is mid-episode
+    let store = Arc::new(WeightStore::new(test_model()));
+    let server = Serve::start_with_store(snapshot_config(1), Arc::clone(&store));
+    let handle = server.handle();
+    let pinned = handle.create(spec).expect("create pinned");
+    let mut stream: Vec<StepResponse> = (0..10)
+        .map(|_| handle.step(pinned).expect("step pinned"))
+        .collect();
+
+    let swapped = IlModel::untrained(ActionCodec::default(), BevConfig::default(), 2);
+    let published = store.publish(swapped, 64);
+    assert_eq!(published, 1);
+    assert_eq!(store.published(), 1);
+
+    // a session created after the publish rides the new generation…
+    let fresh = handle.create(spec).expect("create fresh");
+    let fresh_step = handle.step(fresh).expect("step fresh");
+    assert_eq!(fresh_step.weight_version, 1);
+
+    // …while the pinned session finishes its episode on generation 0,
+    // bit-identical to the server that never swapped
+    stream.extend((0..20).map(|_| handle.step(pinned).expect("step pinned")));
+    assert_eq!(reference.len(), stream.len());
+    for (a, b) in reference.iter().zip(&stream) {
+        let mut b = b.clone();
+        b.session = a.session;
+        assert_eq!(*a, b, "pinned session must be immune to the hot swap");
+        assert_eq!(a.weight_version, 0);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn snapshots_carry_the_weight_version_and_refuse_unknown_generations() {
+    use icoil_adapt::WeightStore;
+    use std::sync::Arc;
+
+    let store = Arc::new(WeightStore::new(test_model()));
+    store.publish(
+        IlModel::untrained(ActionCodec::default(), BevConfig::default(), 2),
+        64,
+    );
+    let server = Serve::start_with_store(snapshot_config(1), Arc::clone(&store));
+    let handle = server.handle();
+    let spec = SessionConfig {
+        difficulty: Difficulty::Easy,
+        seed: 271,
+    };
+    // created after the publish → pinned to generation 1
+    let id = handle.create(spec).expect("create");
+    let reference: Vec<StepResponse> =
+        (0..24).map(|_| handle.step(id).expect("step")).collect();
+
+    let twin = handle.create(spec).expect("create twin");
+    let mut stream: Vec<StepResponse> =
+        (0..9).map(|_| handle.step(twin).expect("step twin")).collect();
+    let bytes = handle.evict(twin).expect("evict");
+
+    // a server without generation 1 must refuse the snapshot outright
+    let stale = Serve::start(snapshot_config(1), test_model());
+    match stale.handle().restore(&bytes) {
+        Err(ServeError::UnknownWeightVersion(1)) => {}
+        other => panic!("expected UnknownWeightVersion(1), got {other:?}"),
+    }
+    stale.shutdown();
+
+    // a server sharing the store replays the rest of the episode bitwise
+    let server2 = Serve::start_with_store(snapshot_config(2), Arc::clone(&store));
+    let handle2 = server2.handle();
+    let restored = handle2.restore(&bytes).expect("restore");
+    assert_eq!(restored, twin);
+    stream.extend((0..15).map(|_| handle2.step(twin).expect("step restored")));
+    assert_eq!(reference.len(), stream.len());
+    for (a, b) in reference.iter().zip(&stream) {
+        let mut b = b.clone();
+        b.session = a.session;
+        assert_eq!(*a, b, "restored replay must be bit-identical");
+        assert_eq!(a.weight_version, 1, "snapshot must carry the pinned generation");
+    }
+    server2.shutdown();
+    server.shutdown();
+}

@@ -107,6 +107,16 @@ impl MapFamilyKind {
         }
     }
 
+    /// The family's position in [`MapFamilyKind::ALL`] — the stable
+    /// index keying per-family telemetry counters and the adaptation
+    /// dataset's reservoirs.
+    pub fn index(self) -> usize {
+        MapFamilyKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("ALL covers every family")
+    }
+
     /// Parses a [`MapFamilyKind::name`] back into the kind.
     pub fn from_name(name: &str) -> Option<MapFamilyKind> {
         MapFamilyKind::ALL.into_iter().find(|k| k.name() == name)
@@ -575,6 +585,7 @@ impl ProcScenario {
             difficulty: crate::Difficulty::Normal,
             seed: self.seed,
             dt: 0.05,
+            family: Some(self.family.kind()),
         }
     }
 

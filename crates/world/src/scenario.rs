@@ -268,6 +268,7 @@ impl ScenarioConfig {
             difficulty: self.difficulty,
             seed: self.seed,
             dt: 0.05,
+            family: None,
         }
     }
 }
@@ -291,6 +292,15 @@ pub struct Scenario {
     pub seed: u64,
     /// Simulation step (seconds per frame).
     pub dt: f64,
+    /// The procedural map family this scenario came from, when it was
+    /// built by [`ProcScenario::build`](crate::procedural::ProcScenario)
+    /// — `None` for the fixed `ScenarioConfig` lots. Serving engines
+    /// attribute per-family CO admission/shed telemetry with this, and
+    /// the adaptation loop keys its dataset reservoirs on it. Absent in
+    /// scenarios serialized before the field existed; those decode as
+    /// `None`.
+    #[serde(default)]
+    pub family: Option<crate::procedural::MapFamilyKind>,
 }
 
 impl Scenario {

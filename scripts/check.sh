@@ -31,9 +31,14 @@
 # harness, cycling every map family; a per-family pass then pins each
 # family for at least 5 cases so no family can hide behind the cycling.
 # The scenarios bin drives two full-stack episodes per family and emits
-# the BENCH_scenarios.json the telemetry smoke schema-checks. Override
-# the fuzz case count with ICOIL_FUZZ_CASES, e.g.
-# `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
+# the BENCH_scenarios.json the telemetry smoke schema-checks. The adapt
+# smoke runs the online-adaptation flywheel end to end — seed demos,
+# serve a generation, retrain, hot-swap, serve the next — asserting
+# weight-version pinning per response, bit-identical client mirrors and
+# checksum-clean artifact round trips, then repeats under
+# ICOIL_FORCE_SCALAR=1 so retraining on the scalar kernels meets the
+# same contract. Override the fuzz case count with ICOIL_FUZZ_CASES,
+# e.g. `ICOIL_FUZZ_CASES=200 scripts/check.sh` for the full local sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +53,8 @@ cargo run --release -q -p icoil-bench --bin telemetry_smoke
 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_FORCE_SCALAR=1 cargo run --release -q -p icoil-bench --bin serve_smoke
 ICOIL_IL_PRECISION=int8 cargo run --release -q -p icoil-bench --bin serve_smoke
+cargo run --release -q -p icoil-bench --bin adapt_smoke
+ICOIL_FORCE_SCALAR=1 cargo run --release -q -p icoil-bench --bin adapt_smoke
 ICOIL_FUZZ_CASES="${ICOIL_FUZZ_CASES:-25}" \
     cargo run --release -q -p icoil-bench --bin conformance -- --smoke --out target/conformance-smoke.json
 for family in reverse_in parallel_curb angled_echelon pillared_garage dead_end_stub crowded_lot; do
